@@ -1,0 +1,43 @@
+# vcgraph — development targets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench table1 ext figures ablations examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+table1:
+	$(GO) run ./cmd/table1 -details
+
+ext:
+	$(GO) run ./cmd/table1 -ext
+
+figures:
+	$(GO) run ./cmd/figures
+
+ablations:
+	$(GO) run ./cmd/ablations
+
+examples:
+	@for ex in quickstart socialnetwork patternmatch roadnetwork treepipeline faulttolerance paradigms linkprediction; do \
+		echo "=== examples/$$ex ==="; \
+		$(GO) run ./examples/$$ex; \
+	done
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,28 @@
+// Command ablations runs the design-choice ablations DESIGN.md calls
+// out: the message-combiner saving, the bandwidth-parameter (g) sweep
+// of the paper's footnote 1, the worker-count effect on the
+// time-processor product, and the §3.8 subgraph-centric communication
+// overhead measured on triangle counting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vcgraph/internal/core"
+	"vcgraph/internal/vc"
+)
+
+func main() {
+	workers := flag.Int("workers", 4, "BSP workers")
+	flag.Parse()
+	outs, err := core.Ablations(vc.Config{Workers: *workers})
+	for _, s := range outs {
+		fmt.Println(s)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ablations:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,48 @@
+// Command figures regenerates the paper's Figures 1–5 as deterministic
+// textual traces from live runs of the vertex-centric algorithms:
+//
+//	1 — eccentricity flooding for diameter computation (§3.1)
+//	2 — the forest structure of the S-V algorithm (§3.3.2)
+//	3 — tree hooking, star hooking, and shortcutting (§3.3.2)
+//	4 — Euler tour, list-ranking, and traversal numbering (§3.4)
+//	5 — the conjoined-tree of Boruvka Min-Edge-Picking (§3.5)
+//
+// Usage:
+//
+//	figures [-fig N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vcgraph/internal/core"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to print (0 = all)")
+	flag.Parse()
+	fns := map[int]func() (string, error){
+		1: core.Figure1, 2: core.Figure2, 3: core.Figure3, 4: core.Figure4, 5: core.Figure5,
+	}
+	print := func(n int) {
+		s, err := fns[n]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: figure %d: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Println(s)
+	}
+	if *fig != 0 {
+		if _, ok := fns[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "figures: no figure %d (1-5)\n", *fig)
+			os.Exit(2)
+		}
+		print(*fig)
+		return
+	}
+	for n := 1; n <= 5; n++ {
+		print(n)
+	}
+}

@@ -1,0 +1,92 @@
+// Command table1 regenerates Table 1 of "Vertex-Centric Graph
+// Processing: The Good, the Bad, and the Ugly" (EDBT 2017): for each of
+// the twenty workloads it runs the vertex-centric implementation on the
+// instrumented BSP engine and the best-known sequential baseline at two
+// input scales, then prints the measured "More Work?" and "BPPA?"
+// verdicts next to the paper's.
+//
+// Usage:
+//
+//	table1 [-workers N] [-rows T1.03,T1.04] [-details]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vcgraph/internal/core"
+	"vcgraph/internal/vc"
+)
+
+func main() {
+	workers := flag.Int("workers", 4, "BSP workers (the P of the time-processor product)")
+	rows := flag.String("rows", "", "comma-separated experiment ids to run (default: all)")
+	details := flag.Bool("details", false, "print per-row evidence after the table")
+	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of the table")
+	ext := flag.Bool("ext", false, "run the extension registry (X.01.. — §3.8 and Pregel-paper workloads) instead of Table 1")
+	sweep := flag.Int("sweep", 0, "instead of verdicts, run each selected row at this many geometrically spaced sizes and emit the scaling curve as CSV")
+	flag.Parse()
+
+	cfg := vc.Config{Workers: *workers}
+	var filter []string
+	if *rows != "" {
+		filter = strings.Split(*rows, ",")
+	}
+	registry := core.Experiments()
+	if *ext {
+		registry = core.ExtensionExperiments()
+	}
+	if *sweep > 0 {
+		want := map[string]bool{}
+		for _, f := range filter {
+			want[f] = true
+		}
+		var points []core.SweepPoint
+		for _, e := range registry {
+			if len(want) > 0 && !want[e.ID] {
+				continue
+			}
+			ps, err := core.Sweep(e, *sweep, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "table1:", err)
+				os.Exit(1)
+			}
+			points = append(points, ps...)
+		}
+		fmt.Print(core.RenderSweepCSV(points))
+		return
+	}
+
+	start := time.Now()
+	run := core.RunAll
+	if *ext {
+		run = core.RunExtensions
+	}
+	outs, err := run(cfg, filter...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		if len(outs) == 0 {
+			os.Exit(1)
+		}
+	}
+	if *csv {
+		fmt.Print(core.RenderCSV(outs))
+		return
+	}
+	fmt.Print(core.RenderTable(outs))
+	fmt.Printf("\n%d/%d rows, %d workers, %.1fs\n", len(outs), 20, *workers, time.Since(start).Seconds())
+	if *details {
+		fmt.Println()
+		fmt.Print(core.RenderDetails(outs))
+	}
+	reproOK := 0
+	for _, o := range outs {
+		if o.MoreWorkRepro && o.BPPARepro {
+			reproOK++
+		}
+	}
+	fmt.Printf("verdicts fully reproduced: %d/%d\n", reproOK, len(outs))
+}

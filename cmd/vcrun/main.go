@@ -1,0 +1,459 @@
+// Command vcrun runs any of the library's vertex-centric algorithms on
+// a generated graph and reports the result summary alongside the BSP
+// cost metrics the paper is built on (supersteps, messages, local work,
+// time-processor product, per-vertex balance ratios).
+//
+// Usage:
+//
+//	vcrun -algo pagerank -gen powerlaw -n 10000 -m 3 [-workers 4] [-seed 1]
+//
+// Algorithms: pagerank, prconverge, sssp, hashmin, sv, wcc, scc, bcc,
+// diameter, doublesweep, euler, traversal, spanning, mcst, coloring,
+// mis, matching, bipartite, betweenness, simulation, dualsim,
+// strongsim, kcore, triangles, community, semicluster, hits, ppr, linkpred,
+// blockcc (the block-centric engine), asynccc and asyncsssp (the
+// asynchronous engine), gaspagerank (the GAS engine).
+//
+// Generators: random, connected, powerlaw, path, permpath, cycle,
+// grid, star, tree, bintree, bipartite, directed, dcycle, sbm,
+// smallworld.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vcgraph/internal/async"
+	"vcgraph/internal/blockcentric"
+	"vcgraph/internal/bsp"
+	"vcgraph/internal/gas"
+	"vcgraph/internal/graph"
+	"vcgraph/internal/vc"
+)
+
+func main() {
+	algo := flag.String("algo", "pagerank", "algorithm to run")
+	gen := flag.String("gen", "connected", "graph generator")
+	n := flag.Int("n", 1000, "vertices (or rows/side for grid)")
+	m := flag.Int("m", 3000, "edges (or attachment degree for powerlaw)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	workers := flag.Int("workers", 4, "BSP workers")
+	src := flag.Int("src", 0, "source vertex (sssp, betweenness single-source)")
+	load := flag.String("load", "", "load the graph from a vcgraph edge-list file instead of generating")
+	save := flag.String("save", "", "write the (generated or loaded) graph to an edge-list file and continue")
+	dot := flag.String("dot", "", "also write the graph in Graphviz DOT format to this file")
+	flag.Parse()
+
+	var g *graph.Graph
+	var err error
+	if *load != "" {
+		g, err = loadGraph(*load)
+	} else {
+		g, err = makeGraph(*gen, *n, *m, *seed)
+	}
+	if err != nil {
+		fail(err)
+	}
+	if *save != "" {
+		if err := saveGraph(*save, g); err != nil {
+			fail(err)
+		}
+	}
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			fail(err)
+		}
+		if err := graph.WriteDOT(f, g, *algo); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	source := *gen
+	if *load != "" {
+		source = "file:" + *load
+	}
+	cfg := vc.Config{Workers: *workers, Seed: *seed}
+	start := time.Now()
+	summary, stats, err := run(*algo, g, graph.VertexID(*src), cfg, *seed)
+	if err != nil {
+		fail(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("algorithm:  %s\n", *algo)
+	fmt.Printf("graph:      %s n=%d m=%d (seed %d)\n", source, g.N(), g.M(), *seed)
+	fmt.Printf("result:     %s\n", summary)
+	fmt.Printf("wall time:  %v\n", elapsed.Round(time.Microsecond))
+	fmt.Println()
+	fmt.Printf("supersteps:            %d\n", stats.NumSupersteps())
+	fmt.Printf("messages:              %d\n", stats.TotalMessages)
+	fmt.Printf("local work units:      %d\n", stats.TotalWork)
+	fmt.Printf("time-processor product: %.0f (P=%d, g=%.0f, L=%.0f)\n",
+		bsp.DefaultModel.TimeProcessor(stats), stats.Workers, bsp.DefaultModel.G, bsp.DefaultModel.L)
+	fmt.Printf("balance (per-vertex max / degree):\n")
+	fmt.Printf("  state %.2f  compute %.2f  sent %.2f  recv %.2f\n",
+		stats.MaxStatePerDeg, stats.MaxComputePerDeg, stats.MaxSentPerDeg, stats.MaxRecvPerDeg)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vcrun:", err)
+	os.Exit(1)
+}
+
+func loadGraph(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadEdgeList(f)
+}
+
+func saveGraph(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := graph.WriteEdgeList(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func makeGraph(gen string, n, m int, seed int64) (*graph.Graph, error) {
+	switch gen {
+	case "random":
+		return graph.Random(n, m, seed), nil
+	case "connected":
+		return graph.RandomConnected(n, m, seed), nil
+	case "powerlaw":
+		return graph.PreferentialAttachment(n, m, seed), nil
+	case "path":
+		return graph.Path(n), nil
+	case "cycle":
+		return graph.Cycle(n), nil
+	case "grid":
+		return graph.Grid(n, n), nil
+	case "star":
+		return graph.Star(n), nil
+	case "tree":
+		return graph.RandomTree(n, seed), nil
+	case "bintree":
+		return graph.BalancedBinaryTree(n), nil
+	case "bipartite":
+		return graph.RandomBipartite(n/2, n-n/2, m, seed), nil
+	case "directed":
+		return graph.RandomDirected(n, m, seed), nil
+	case "permpath":
+		return graph.PermutedPath(n, seed), nil
+	case "sbm":
+		return graph.StochasticBlockModel(n, 4, 0.3, 0.01, seed), nil
+	case "smallworld":
+		return graph.WattsStrogatz(n, 3, 0.1, seed), nil
+	case "dcycle":
+		g := graph.New(n, true)
+		for i := 0; i < n; i++ {
+			g.AddEdge(graph.VertexID(i), graph.VertexID((i+1)%n))
+		}
+		g.EnsureIn()
+		return g, nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", gen)
+	}
+}
+
+func run(algo string, g *graph.Graph, src graph.VertexID, cfg vc.Config, seed int64) (string, *bsp.Stats, error) {
+	switch algo {
+	case "pagerank":
+		res, err := vc.PageRank(g, 0.85, 30, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		best, bestV := 0.0, 0
+		for v, r := range res.Ranks {
+			if r > best {
+				best, bestV = r, v
+			}
+		}
+		return fmt.Sprintf("top vertex %d with rank %.6f", bestV, best), res.Stats, nil
+	case "sssp":
+		graph.RandomWeights(g, seed+1)
+		res, err := vc.SSSP(g, src, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		reached := 0
+		for _, d := range res.Dist {
+			if d < 1e300 {
+				reached++
+			}
+		}
+		return fmt.Sprintf("%d vertices reachable from %d", reached, src), res.Stats, nil
+	case "hashmin":
+		res, err := vc.HashMinCC(g, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("%d components", countDistinct(res.Color)), res.Stats, nil
+	case "sv":
+		res, err := vc.SVCC(g, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("%d components, %d spanning-forest edges", countDistinct(res.Color), len(res.TreeEdges)), res.Stats, nil
+	case "wcc":
+		res, err := vc.WCC(g, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("%d weak components", countDistinct(res.Color)), res.Stats, nil
+	case "scc":
+		res, err := vc.SCC(g, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("%d strongly connected components", countDistinct(res.Comp)), res.Stats, nil
+	case "bcc":
+		res, err := vc.BCC(g, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("%d biconnected components over %d edges", res.NumComponents, len(res.EdgeComp)), res.Stats, nil
+	case "diameter":
+		res, err := vc.Diameter(g, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("diameter %d", res.Diameter), res.Stats, nil
+	case "euler":
+		res, err := vc.EulerTour(g, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("tour of %d directed edges", 2*(g.N()-1)), res.Stats, nil
+	case "traversal":
+		res, err := vc.PrePostOrder(g, 0, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("pre/post numbers computed; post(root)=%d", res.Post[0]), res.Stats, nil
+	case "spanning":
+		res, err := vc.SVCC(g, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("spanning forest with %d edges", len(res.TreeEdges)), res.Stats, nil
+	case "mcst":
+		graph.RandomWeights(g, seed+1)
+		res, err := vc.MCST(g, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("minimum spanning forest: %d edges, weight %.0f", len(res.Edges), res.Weight), res.Stats, nil
+	case "coloring":
+		res, err := vc.ColoringMIS(g, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("proper coloring with %d colors", res.K), res.Stats, nil
+	case "matching":
+		graph.RandomWeights(g, seed+1)
+		res, err := vc.MaxWeightMatching(g, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("matching weight %.0f", res.Weight), res.Stats, nil
+	case "bipartite":
+		res, err := vc.BipartiteMatching(g, g.N()/2, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		size := 0
+		for _, m := range res.Match {
+			if m != graph.NoVertex {
+				size++
+			}
+		}
+		return fmt.Sprintf("maximal matching of size %d", size/2), res.Stats, nil
+	case "betweenness":
+		res, err := vc.Betweenness(g, nil, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		best, bestV := 0.0, 0
+		for v, c := range res.BC {
+			if c > best {
+				best, bestV = c, v
+			}
+		}
+		return fmt.Sprintf("most central vertex %d (bc %.1f)", bestV, best), res.Stats, nil
+	case "simulation", "dualsim", "strongsim":
+		graph.RandomLabels(g, []string{"A", "B", "C"}, seed+2)
+		q := graph.New(3, true)
+		q.Labels = []string{"A", "B", "C"}
+		q.AddEdge(0, 1)
+		q.AddEdge(1, 2)
+		q.EnsureIn()
+		switch algo {
+		case "simulation":
+			res, err := vc.GraphSimulation(g, q, cfg)
+			if err != nil {
+				return "", nil, err
+			}
+			return fmt.Sprintf("%d matched data vertices", countNonzero(res.Match)), res.Stats, nil
+		case "dualsim":
+			res, err := vc.DualSimulation(g, q, cfg)
+			if err != nil {
+				return "", nil, err
+			}
+			return fmt.Sprintf("%d matched data vertices", countNonzero(res.Match)), res.Stats, nil
+		default:
+			res, err := vc.StrongSimulation(g, q, cfg)
+			if err != nil {
+				return "", nil, err
+			}
+			c := 0
+			for _, b := range res.Centers {
+				if b {
+					c++
+				}
+			}
+			return fmt.Sprintf("%d match centers", c), res.Stats, nil
+		}
+	case "prconverge":
+		res, iters, err := vc.PageRankConverge(g, 0.85, 1e-9, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("converged in %d supersteps", iters), res.Stats, nil
+	case "doublesweep":
+		res, err := vc.DoubleSweepDiameter(g, graph.NoVertex, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("diameter >= %d (witness %d..%d)", res.LowerBound, res.From, res.To), res.Stats, nil
+	case "mis":
+		res, err := vc.MaximalIndependentSet(g, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("maximal independent set of size %d", res.Size), res.Stats, nil
+	case "semicluster":
+		graph.RandomWeights(g, seed+1)
+		res, err := vc.SemiClustering(g, vc.SemiClusterConfig{}, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		if len(res.Top) == 0 {
+			return "no clusters", res.Stats, nil
+		}
+		return fmt.Sprintf("best cluster %v (score %.2f)", res.Top[0].Members, res.Top[0].Score), res.Stats, nil
+	case "hits":
+		res, err := vc.HITS(g, 20, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		bh, bhv := 0.0, 0
+		for v, h := range res.Hub {
+			if h > bh {
+				bh, bhv = h, v
+			}
+		}
+		return fmt.Sprintf("top hub %d (%.4f)", bhv, bh), res.Stats, nil
+	case "asynccc":
+		labels, updates, err := async.ConnectedComponents(g, async.Config{})
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("%d components in %d async updates", countDistinct(labels), updates),
+			&bsp.Stats{Workers: 1, N: g.N()}, nil
+	case "asyncsssp":
+		graph.RandomWeights(g, seed+1)
+		_, updates, err := async.SSSP(g, src, async.Config{})
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("shortest paths in %d async updates", updates),
+			&bsp.Stats{Workers: 1, N: g.N()}, nil
+	case "gaspagerank":
+		_, res, err := gas.PageRank(g, 0.85, 1e-9, gas.Config{Workers: cfg.Workers})
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("converged in %d GAS iterations", res.Iterations), res.Stats, nil
+	case "ppr":
+		res, err := vc.PersonalizedPageRank(g, src, 20000, 0.15, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		best, bestV := 0.0, 0
+		for v, s := range res.Scores {
+			if graph.VertexID(v) != src && s > best {
+				best, bestV = s, v
+			}
+		}
+		return fmt.Sprintf("closest vertex to %d: %d (ppr %.4f)", src, bestV, best), res.Stats, nil
+	case "linkpred":
+		preds, res, err := vc.LinkPrediction(g, src, 5, 20000, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("suggested links for %d: %v", src, preds), res.Stats, nil
+	case "kcore":
+		res, err := vc.KCore(g, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("degeneracy %d", res.Degeneracy), res.Stats, nil
+	case "triangles":
+		res, err := vc.Triangles(g, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("%d triangles", res.Total), res.Stats, nil
+	case "community":
+		res, err := vc.LabelPropagation(g, 0, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		distinct := map[graph.VertexID]bool{}
+		for _, l := range res.Label {
+			distinct[l] = true
+		}
+		return fmt.Sprintf("%d communities, modularity %.3f", len(distinct), res.Modularity), res.Stats, nil
+	case "blockcc":
+		res, err := blockcentric.ConnectedComponents(g, blockcentric.Config{Blocks: cfg.Workers})
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("%d components (block-centric, %d blocks)", countDistinct(res.Color), cfg.Workers), res.Stats, nil
+	default:
+		return "", nil, fmt.Errorf("unknown algorithm %q (see -h)", strings.ToLower(algo))
+	}
+}
+
+func countDistinct(xs []graph.VertexID) int {
+	set := map[graph.VertexID]bool{}
+	for _, x := range xs {
+		set[x] = true
+	}
+	return len(set)
+}
+
+func countNonzero(xs []uint64) int {
+	c := 0
+	for _, x := range xs {
+		if x != 0 {
+			c++
+		}
+	}
+	return c
+}

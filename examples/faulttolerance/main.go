@@ -1,0 +1,49 @@
+// Fault tolerance: Pregel's checkpoint/rollback mechanism in action.
+// The run below checkpoints Hash-Min every 64 supersteps on a long
+// path, injects a machine failure mid-run, and shows the recovery
+// rolling back to the last checkpoint and re-executing — producing the
+// exact same answer at the cost of the redone supersteps.
+package main
+
+import (
+	"fmt"
+
+	"vcgraph/internal/graph"
+	"vcgraph/internal/vc"
+)
+
+func main() {
+	g := graph.Path(512) // δ = 511: a long-running Hash-Min
+	fmt.Printf("graph: path n=%d (Hash-Min needs ~n supersteps)\n\n", g.N())
+
+	clean, err := vc.HashMinCC(g, vc.Config{Workers: 4})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("clean run:      %4d supersteps, %8d messages\n",
+		clean.Stats.NumSupersteps(), clean.Stats.TotalMessages)
+
+	recovered, err := vc.HashMinCC(g, vc.Config{
+		Workers:         4,
+		CheckpointEvery: 64,  // snapshot every 64 supersteps
+		FailAt:          300, // machine failure right before superstep 300
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("with failure:   %4d supersteps, %8d messages\n",
+		recovered.Stats.NumSupersteps(), recovered.Stats.TotalMessages)
+	redone := recovered.Stats.NumSupersteps() - clean.Stats.NumSupersteps()
+	fmt.Printf("recovery cost:  %4d re-executed supersteps (failure at 300, last checkpoint at 256)\n\n", redone)
+
+	same := true
+	for v := range clean.Color {
+		if clean.Color[v] != recovered.Color[v] {
+			same = false
+			break
+		}
+	}
+	fmt.Printf("results identical after recovery: %v\n", same)
+	fmt.Println("\ncheckpoint cadence trades snapshot cost against recovery re-execution —")
+	fmt.Println("exactly the knob a production Pregel deployment tunes.")
+}

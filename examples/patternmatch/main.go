@@ -1,0 +1,71 @@
+// Pattern matching: graph simulation, dual simulation, and strong
+// simulation (Table 1 rows 18-20) over a labeled "who-talks-to-whom"
+// service graph, showing how each refinement tightens the match set.
+package main
+
+import (
+	"fmt"
+
+	"vcgraph/internal/graph"
+	"vcgraph/internal/vc"
+)
+
+func main() {
+	// A microservice call graph: frontends call APIs, APIs call DBs and
+	// caches, with some back-calls (webhooks).
+	labels := []string{"FE", "API", "DB", "CACHE"}
+	g := graph.RandomDirected(800, 3200, 11)
+	graph.RandomLabels(g, labels, 12)
+	fmt.Printf("service graph: n=%d m=%d, labels %v\n\n", g.N(), g.M(), labels)
+
+	// Query: a frontend that calls an API that reads a DB.
+	q := graph.New(3, true)
+	q.Labels = []string{"FE", "API", "DB"}
+	q.AddEdge(0, 1)
+	q.AddEdge(1, 2)
+	q.EnsureIn()
+	fmt.Println("query: FE -> API -> DB")
+
+	cfg := vc.Config{Workers: 4}
+
+	gs, err := vc.GraphSimulation(g, q, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\ngraph simulation:  %4d matched services  (supersteps %d, messages %d)\n",
+		matched(gs.Match), gs.Stats.NumSupersteps(), gs.Stats.TotalMessages)
+
+	ds, err := vc.DualSimulation(g, q, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("dual simulation:   %4d matched services  (adds parent conditions)\n", matched(ds.Match))
+
+	ss, err := vc.StrongSimulation(g, q, cfg)
+	if err != nil {
+		panic(err)
+	}
+	centers := 0
+	for _, c := range ss.Centers {
+		if c {
+			centers++
+		}
+	}
+	fmt.Printf("strong simulation: %4d match centers     (locality within radius diameter(Q))\n", centers)
+
+	fmt.Println("\nnote the inclusion chain: strong ⊆ dual ⊆ graph simulation —")
+	fmt.Println("each refinement trades extra communication for tighter topology")
+	fmt.Println("capture, which is exactly the cost Table 1 quantifies.")
+	fmt.Printf("strong-sim gathering shipped %d messages vs %d for plain simulation.\n",
+		ss.Stats.TotalMessages, gs.Stats.TotalMessages)
+}
+
+func matched(sets []uint64) int {
+	c := 0
+	for _, s := range sets {
+		if s != 0 {
+			c++
+		}
+	}
+	return c
+}

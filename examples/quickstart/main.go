@@ -1,0 +1,42 @@
+// Quickstart: run one vertex-centric algorithm on a generated graph
+// and read off both the answer and the BSP cost metrics the library
+// instruments (the paper's time-processor product and BPPA evidence).
+package main
+
+import (
+	"fmt"
+
+	"vcgraph/internal/bsp"
+	"vcgraph/internal/graph"
+	"vcgraph/internal/vc"
+)
+
+func main() {
+	// A small scale-free graph, like the paper's web-graph motivation.
+	g := graph.PreferentialAttachment(2000, 3, 42)
+	fmt.Printf("graph: n=%d m=%d\n\n", g.N(), g.M())
+
+	// PageRank, exactly as in the Pregel paper: 30 supersteps, α=0.85.
+	res, err := vc.PageRank(g, 0.85, 30, vc.Config{Workers: 4})
+	if err != nil {
+		panic(err)
+	}
+	top, topV := 0.0, 0
+	for v, r := range res.Ranks {
+		if r > top {
+			top, topV = r, v
+		}
+	}
+	fmt.Printf("PageRank: top vertex %d with rank %.5f\n", topV, top)
+
+	// Every run carries the instrumentation the paper's benchmark needs.
+	st := res.Stats
+	fmt.Printf("supersteps: %d\n", st.NumSupersteps())
+	fmt.Printf("messages:   %d (about m per superstep: %d edges)\n", st.TotalMessages, g.M())
+	fmt.Printf("time-processor product (g=1, L=1): %.0f\n", bsp.DefaultModel.TimeProcessor(st))
+	fmt.Printf("per-vertex balance (max/degree): compute %.2f, sent %.2f, recv %.2f\n",
+		st.MaxComputePerDeg, st.MaxSentPerDeg, st.MaxRecvPerDeg)
+	fmt.Println("\nPageRank is 'balanced' (per-vertex cost tracks degree) but runs")
+	fmt.Println("K=30 supersteps — more than log2(n) — which is why Table 1 row 2")
+	fmt.Println("classifies it as not a balanced practical Pregel algorithm (BPPA).")
+}

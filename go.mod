@@ -1,0 +1,3 @@
+module vcgraph
+
+go 1.22

@@ -1,0 +1,135 @@
+package bsp
+
+import (
+	"math"
+	"testing"
+)
+
+func ss(work, sent, recv []int64) SuperstepStats {
+	return SuperstepStats{Work: work, Sent: sent, Recv: recv}
+}
+
+func TestSuperstepCostTakesMax(t *testing.T) {
+	m := CostModel{G: 2, L: 5}
+	s := ss([]int64{3, 7}, []int64{1, 2}, []int64{4, 0})
+	// w = 7, h = max(2,4) = 4, g·h = 8, L = 5 -> 8.
+	if got := m.SuperstepTime(s); got != 8 {
+		t.Fatalf("cost = %v, want 8", got)
+	}
+	// Work dominates.
+	s2 := ss([]int64{30}, []int64{1}, []int64{1})
+	if got := m.SuperstepTime(s2); got != 30 {
+		t.Fatalf("cost = %v, want 30", got)
+	}
+	// L floors an idle superstep.
+	s3 := ss([]int64{0}, []int64{0}, []int64{0})
+	if got := m.SuperstepTime(s3); got != 5 {
+		t.Fatalf("cost = %v, want L=5", got)
+	}
+}
+
+func TestTimeProcessorProduct(t *testing.T) {
+	st := &Stats{Workers: 4, N: 10, Supersteps: []SuperstepStats{
+		ss([]int64{2, 2, 2, 2}, []int64{1, 1, 1, 1}, []int64{1, 1, 1, 1}),
+		ss([]int64{5, 1, 1, 1}, []int64{0, 0, 0, 0}, []int64{0, 0, 0, 0}),
+	}}
+	if got := DefaultModel.Time(st); got != 7 {
+		t.Fatalf("T = %v, want 7", got)
+	}
+	if got := DefaultModel.TimeProcessor(st); got != 28 {
+		t.Fatalf("PT = %v, want 28", got)
+	}
+}
+
+func TestHigherGIncreasesCost(t *testing.T) {
+	// The paper's footnote: for higher g the product is even higher.
+	st := &Stats{Workers: 2, N: 4, Supersteps: []SuperstepStats{
+		ss([]int64{1, 1}, []int64{10, 10}, []int64{10, 10}),
+	}}
+	low := CostModel{G: 1, L: 1}.TimeProcessor(st)
+	high := CostModel{G: 4, L: 1}.TimeProcessor(st)
+	if high <= low {
+		t.Fatalf("g=4 product %v not above g=1 product %v", high, low)
+	}
+}
+
+func TestMoreWorkDetectsGrowth(t *testing.T) {
+	// Constant-factor overhead: not more work.
+	small := Measurement{N: 100, PT: 500, SeqOps: 100}
+	large := Measurement{N: 400, PT: 2200, SeqOps: 410}
+	if MoreWork(small, large) {
+		t.Fatal("constant-factor overhead misread as more work")
+	}
+	// An extra log-ish factor: more work.
+	large2 := Measurement{N: 400, PT: 6000, SeqOps: 410}
+	if !MoreWork(small, large2) {
+		t.Fatal("growing overhead not detected")
+	}
+}
+
+func TestMoreWorkInfinities(t *testing.T) {
+	small := Measurement{N: 10, PT: 5, SeqOps: 0}
+	large := Measurement{N: 40, PT: 50, SeqOps: 0}
+	if MoreWork(small, large) {
+		t.Fatal("both infinite ratios should not report growth")
+	}
+}
+
+func TestCheckBPPAAllHold(t *testing.T) {
+	small := &Stats{N: 100, MaxStatePerDeg: 1, MaxComputePerDeg: 2, MaxSentPerDeg: 1, MaxRecvPerDeg: 1,
+		Supersteps: make([]SuperstepStats, 7)}
+	large := &Stats{N: 1600, MaxStatePerDeg: 1.1, MaxComputePerDeg: 2.1, MaxSentPerDeg: 1, MaxRecvPerDeg: 1,
+		Supersteps: make([]SuperstepStats, 11)}
+	v := CheckBPPA(small, large)
+	if !v.OK() {
+		t.Fatalf("verdict %+v, want all-pass", v)
+	}
+}
+
+func TestCheckBPPASpaceFailure(t *testing.T) {
+	small := &Stats{N: 100, MaxStatePerDeg: 10, Supersteps: make([]SuperstepStats, 5)}
+	large := &Stats{N: 400, MaxStatePerDeg: 40, Supersteps: make([]SuperstepStats, 6)}
+	v := CheckBPPA(small, large)
+	if v.P1Space {
+		t.Fatal("Θ(n) state growth not flagged")
+	}
+	if !v.P4Supersteps {
+		t.Fatal("logarithmic superstep growth wrongly flagged")
+	}
+}
+
+func TestCheckBPPASuperstepFailure(t *testing.T) {
+	// Θ(n) supersteps (e.g. Hash-Min on a path).
+	small := &Stats{N: 128, Supersteps: make([]SuperstepStats, 128)}
+	large := &Stats{N: 1024, Supersteps: make([]SuperstepStats, 1024)}
+	v := CheckBPPA(small, large)
+	if v.P4Supersteps {
+		t.Fatal("linear superstep growth not flagged")
+	}
+}
+
+func TestCheckBPPAMessageFailure(t *testing.T) {
+	small := &Stats{N: 64, MaxRecvPerDeg: 3, Supersteps: make([]SuperstepStats, 4)}
+	large := &Stats{N: 256, MaxRecvPerDeg: 30, Supersteps: make([]SuperstepStats, 5)}
+	if v := CheckBPPA(small, large); v.P3Messages {
+		t.Fatal("receive imbalance growth not flagged")
+	}
+}
+
+func TestMeasurementRatio(t *testing.T) {
+	m := Measurement{PT: 100, SeqOps: 25}
+	if m.Ratio() != 4 {
+		t.Fatalf("ratio = %v", m.Ratio())
+	}
+	z := Measurement{PT: 10, SeqOps: 0}
+	if !math.IsInf(z.Ratio(), 1) {
+		t.Fatal("zero baseline should give +Inf")
+	}
+}
+
+func TestStatsH(t *testing.T) {
+	s := ss([]int64{0, 0}, []int64{5, 1}, []int64{2, 9})
+	if s.H() != 9 || s.W() != 0 {
+		t.Fatalf("H=%d W=%d", s.H(), s.W())
+	}
+}

@@ -1,0 +1,36 @@
+package bsp
+
+// The paper's conclusion suggests evaluating distributed graph systems
+// by "speedup and cost/computation" in addition to the time-processor
+// product and BPPA. These helpers derive those metrics from a measured
+// run and a sequential baseline.
+
+// Speedup returns S/T(n): how much faster the parallel run's modeled
+// time is than the sequential operation count (both in work units).
+func Speedup(seqOps float64, m CostModel, st *Stats) float64 {
+	t := m.Time(st)
+	if t == 0 {
+		return 0
+	}
+	return seqOps / t
+}
+
+// Efficiency returns Speedup/P: the fraction of ideal linear speedup
+// achieved. An efficiency of 1 means the P processors are perfectly
+// utilized relative to the sequential baseline; vertex-centric
+// algorithms that "perform more work" necessarily sit below 1/overhead.
+func Efficiency(seqOps float64, m CostModel, st *Stats) float64 {
+	if st.Workers == 0 {
+		return 0
+	}
+	return Speedup(seqOps, m, st) / float64(st.Workers)
+}
+
+// CostPerComputation returns P·T divided by the sequential operation
+// count — the "cost/computation" overhead factor (1 = work-optimal).
+func CostPerComputation(seqOps float64, m CostModel, st *Stats) float64 {
+	if seqOps == 0 {
+		return 0
+	}
+	return m.TimeProcessor(st) / seqOps
+}

@@ -1,0 +1,70 @@
+package bsp
+
+import "testing"
+
+func mkStats(workers int, workPerWorker int64, supersteps int) *Stats {
+	st := &Stats{Workers: workers, N: 100}
+	for s := 0; s < supersteps; s++ {
+		ss := SuperstepStats{Work: make([]int64, workers), Sent: make([]int64, workers), Recv: make([]int64, workers)}
+		for w := 0; w < workers; w++ {
+			ss.Work[w] = workPerWorker
+		}
+		st.Supersteps = append(st.Supersteps, ss)
+	}
+	return st
+}
+
+func TestSpeedupPerfectlyParallel(t *testing.T) {
+	// 4 workers, 10 units each, 5 supersteps: T = 50, total work 200.
+	st := mkStats(4, 10, 5)
+	seqOps := 200.0
+	if s := Speedup(seqOps, DefaultModel, st); s != 4 {
+		t.Fatalf("speedup = %v, want 4", s)
+	}
+	if e := Efficiency(seqOps, DefaultModel, st); e != 1 {
+		t.Fatalf("efficiency = %v, want 1", e)
+	}
+	if c := CostPerComputation(seqOps, DefaultModel, st); c != 1 {
+		t.Fatalf("cost/computation = %v, want 1", c)
+	}
+}
+
+func TestMetricsWithOverhead(t *testing.T) {
+	// Parallel run does 2x the sequential work: efficiency halves.
+	st := mkStats(4, 10, 5) // PT = 200
+	seqOps := 100.0
+	if e := Efficiency(seqOps, DefaultModel, st); e != 0.5 {
+		t.Fatalf("efficiency = %v, want 0.5", e)
+	}
+	if c := CostPerComputation(seqOps, DefaultModel, st); c != 2 {
+		t.Fatalf("cost/computation = %v, want 2", c)
+	}
+}
+
+func TestMetricsDegenerate(t *testing.T) {
+	empty := &Stats{Workers: 0}
+	if Efficiency(10, DefaultModel, empty) != 0 {
+		t.Fatal("efficiency of empty run")
+	}
+	if CostPerComputation(0, DefaultModel, mkStats(2, 1, 1)) != 0 {
+		t.Fatal("cost with zero baseline")
+	}
+	if Speedup(10, DefaultModel, &Stats{Workers: 2}) != 0 {
+		t.Fatal("speedup with zero time")
+	}
+}
+
+func TestImbalanceHurtsSpeedup(t *testing.T) {
+	// Same total work, concentrated on one worker: T doubles.
+	balanced := mkStats(2, 10, 4)
+	skewed := &Stats{Workers: 2, N: 100}
+	for s := 0; s < 4; s++ {
+		skewed.Supersteps = append(skewed.Supersteps, SuperstepStats{
+			Work: []int64{20, 0}, Sent: make([]int64, 2), Recv: make([]int64, 2),
+		})
+	}
+	seqOps := 80.0
+	if sb, ss := Speedup(seqOps, DefaultModel, balanced), Speedup(seqOps, DefaultModel, skewed); ss >= sb {
+		t.Fatalf("skewed speedup %v not below balanced %v", ss, sb)
+	}
+}

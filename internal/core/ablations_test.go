@@ -1,0 +1,102 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"vcgraph/internal/vc"
+)
+
+func TestCombinerAblation(t *testing.T) {
+	s, err := CombinerAblation(300, 2000, vc.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "with combiner") || !strings.Contains(s, "results identical") {
+		t.Fatalf("unexpected output:\n%s", s)
+	}
+}
+
+func TestBandwidthSweepMonotone(t *testing.T) {
+	s, err := BandwidthSweep(vc.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "g") || !strings.Contains(s, "16") {
+		t.Fatalf("unexpected output:\n%s", s)
+	}
+}
+
+func TestPartitionAblationIdenticalResults(t *testing.T) {
+	s, err := PartitionAblation(vc.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "degree-balanced") {
+		t.Fatalf("unexpected output:\n%s", s)
+	}
+}
+
+func TestParadigmComparisonAgrees(t *testing.T) {
+	s, err := ParadigmComparison(vc.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Hash-Min", "S-V", "block-centric", "identical results"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestSubgraphOverhead(t *testing.T) {
+	s, err := SubgraphOverhead(vc.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "msgs/m") {
+		t.Fatalf("unexpected output:\n%s", s)
+	}
+}
+
+func TestRemainingAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by cmd/ablations")
+	}
+	t.Run("fcs", func(t *testing.T) {
+		s, err := FCSAblation(vc.Config{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(s, "with FCS") {
+			t.Fatalf("output:\n%s", s)
+		}
+	})
+	t.Run("superstep-sharing", func(t *testing.T) {
+		s, err := SuperstepSharingAblation(vc.Config{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(s, "shared supersteps") {
+			t.Fatalf("output:\n%s", s)
+		}
+	})
+	t.Run("model-comparison", func(t *testing.T) {
+		s, err := ModelComparison(vc.Config{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(s, "GAS") {
+			t.Fatalf("output:\n%s", s)
+		}
+	})
+	t.Run("worker-sweep", func(t *testing.T) {
+		s, err := WorkerSweep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(s, "workers") {
+			t.Fatalf("output:\n%s", s)
+		}
+	})
+}

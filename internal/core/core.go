@@ -1,0 +1,208 @@
+// Package core reproduces the paper's contribution: the complexity
+// benchmark of Table 1. It defines one experiment per table row, runs
+// the vertex-centric implementation (internal/vc) and the best-known
+// sequential baseline (internal/seq) at two input scales, evaluates the
+// two verdicts the paper reports for every workload — "does the
+// vertex-centric algorithm perform more work?" (time-processor product
+// growth vs. the sequential operation count) and "is it a balanced,
+// practical Pregel algorithm?" (the four BPPA properties) — and renders
+// the reproduced table next to the paper's expectations.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vcgraph/internal/bsp"
+	"vcgraph/internal/vc"
+)
+
+// Scale parameterizes one workload size.
+type Scale struct {
+	N    int   // vertices (or the scale's primary size knob)
+	M    int   // target edges (generator-specific meaning)
+	Seed int64 // generator seed
+}
+
+// Experiment is one Table 1 row: metadata, the paper's verdicts, the
+// two scales to measure at, and the paired vertex-centric/sequential
+// runner.
+type Experiment struct {
+	ID            string // "T1.01" ... "T1.20"
+	Row           int
+	Workload      string
+	VCAlgo        string // citation-style name of the vertex-centric algorithm
+	VCComplexity  string // the paper's stated vertex-centric bound
+	SeqAlgo       string
+	SeqComplexity string
+	PaperMoreWork bool
+	PaperBPPA     bool
+
+	Small, Large Scale
+
+	// Run executes both implementations at one scale and returns the
+	// paired measurement.
+	Run func(sc Scale, cfg vc.Config) (bsp.Measurement, error)
+
+	// JudgeBPPA overrides the default growth-based BPPA check for rows
+	// whose paper verdict rests on an absolute argument (e.g. PageRank's
+	// K > log n). Nil uses bsp.CheckBPPA.
+	JudgeBPPA func(small, large *bsp.Stats) bsp.BPPAVerdict
+
+	// Notes documents workload choices and substitutions for this row.
+	Notes string
+}
+
+// Outcome is a fully evaluated experiment.
+type Outcome struct {
+	Exp           *Experiment
+	SmallM        bsp.Measurement
+	LargeM        bsp.Measurement
+	MoreWork      bool
+	BPPA          bsp.BPPAVerdict
+	MoreWorkRepro bool // measured verdict agrees with the paper
+	BPPARepro     bool
+}
+
+// RunExperiment measures one experiment at both scales and evaluates
+// the verdicts.
+func RunExperiment(e *Experiment, cfg vc.Config) (*Outcome, error) {
+	small, err := e.Run(e.Small, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s small scale: %w", e.ID, err)
+	}
+	large, err := e.Run(e.Large, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s large scale: %w", e.ID, err)
+	}
+	out := &Outcome{Exp: e, SmallM: small, LargeM: large}
+	out.MoreWork = bsp.MoreWork(small, large)
+	if e.JudgeBPPA != nil {
+		out.BPPA = e.JudgeBPPA(small.VCStats, large.VCStats)
+	} else {
+		out.BPPA = bsp.CheckBPPA(small.VCStats, large.VCStats)
+	}
+	out.MoreWorkRepro = out.MoreWork == e.PaperMoreWork
+	out.BPPARepro = out.BPPA.OK() == e.PaperBPPA
+	return out, nil
+}
+
+// RunAll executes every registered experiment (or the subset whose ID
+// is in filter, when non-empty) in row order.
+func RunAll(cfg vc.Config, filter ...string) ([]*Outcome, error) {
+	return runRegistry(Experiments(), cfg, filter...)
+}
+
+// RunExtensions executes the extension registry ("Table 2", the
+// beyond-Table-1 workloads of §3.8 and the Pregel paper).
+func RunExtensions(cfg vc.Config, filter ...string) ([]*Outcome, error) {
+	return runRegistry(ExtensionExperiments(), cfg, filter...)
+}
+
+func runRegistry(exps []*Experiment, cfg vc.Config, filter ...string) ([]*Outcome, error) {
+	want := make(map[string]bool, len(filter))
+	for _, f := range filter {
+		want[f] = true
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].Row < exps[j].Row })
+	var outs []*Outcome
+	for _, e := range exps {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		o, err := RunExperiment(e, cfg)
+		if err != nil {
+			return outs, err
+		}
+		outs = append(outs, o)
+	}
+	return outs, nil
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "Yes"
+	}
+	return "No"
+}
+
+func mark(b bool) string {
+	if b {
+		return "ok"
+	}
+	return "DIFF"
+}
+
+// RenderTable formats the reproduced Table 1: per row the paper's
+// verdicts, the measured verdicts, and the evidence (work-overhead
+// ratios and superstep counts at both scales).
+func RenderTable(outs []*Outcome) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1 — Efficiency benchmark for vertex-centric graph algorithms (reproduced)\n")
+	fmt.Fprintf(&b, "ratio = time-processor product / sequential ops, at small and large scale\n\n")
+	fmt.Fprintf(&b, "%-5s %-34s %-16s %-14s | %-5s %-5s | %-5s %-5s | %9s %9s | %5s %5s | %s\n",
+		"id", "workload", "vc-bound", "seq-bound",
+		"MW(p)", "MW(m)", "BP(p)", "BP(m)",
+		"ratio-S", "ratio-L", "ss-S", "ss-L", "repro")
+	fmt.Fprintln(&b, strings.Repeat("-", 150))
+	for _, o := range outs {
+		e := o.Exp
+		fmt.Fprintf(&b, "%-5s %-34s %-16s %-14s | %-5s %-5s | %-5s %-5s | %9.2f %9.2f | %5d %5d | %s/%s\n",
+			e.ID, e.Workload, e.VCComplexity, e.SeqComplexity,
+			yesNo(e.PaperMoreWork), yesNo(o.MoreWork),
+			yesNo(e.PaperBPPA), yesNo(o.BPPA.OK()),
+			o.SmallM.Ratio(), o.LargeM.Ratio(),
+			o.SmallM.VCStats.NumSupersteps(), o.LargeM.VCStats.NumSupersteps(),
+			mark(o.MoreWorkRepro), mark(o.BPPARepro))
+	}
+	return b.String()
+}
+
+// RenderCSV emits the outcomes as machine-readable CSV (one row per
+// experiment) for downstream plotting.
+func RenderCSV(outs []*Outcome) string {
+	var b strings.Builder
+	b.WriteString("id,workload,n_small,m_small,n_large,m_large," +
+		"pt_small,pt_large,seq_small,seq_large,ratio_small,ratio_large," +
+		"supersteps_small,supersteps_large," +
+		"paper_morework,measured_morework,paper_bppa,measured_bppa," +
+		"p1_space,p2_compute,p3_messages,p4_supersteps\n")
+	for _, o := range outs {
+		e := o.Exp
+		fmt.Fprintf(&b, "%s,%q,%d,%d,%d,%d,%.0f,%.0f,%.0f,%.0f,%.4f,%.4f,%d,%d,%v,%v,%v,%v,%v,%v,%v,%v\n",
+			e.ID, e.Workload,
+			o.SmallM.N, o.SmallM.M, o.LargeM.N, o.LargeM.M,
+			o.SmallM.PT, o.LargeM.PT, o.SmallM.SeqOps, o.LargeM.SeqOps,
+			o.SmallM.Ratio(), o.LargeM.Ratio(),
+			o.SmallM.VCStats.NumSupersteps(), o.LargeM.VCStats.NumSupersteps(),
+			e.PaperMoreWork, o.MoreWork, e.PaperBPPA, o.BPPA.OK(),
+			o.BPPA.P1Space, o.BPPA.P2Compute, o.BPPA.P3Messages, o.BPPA.P4Supersteps)
+	}
+	return b.String()
+}
+
+// RenderDetails formats the per-row BPPA evidence used in
+// EXPERIMENTS.md.
+func RenderDetails(outs []*Outcome) string {
+	var b strings.Builder
+	for _, o := range outs {
+		e := o.Exp
+		fmt.Fprintf(&b, "%s %s\n", e.ID, e.Workload)
+		fmt.Fprintf(&b, "  vc: %s (%s)   seq: %s (%s)\n", e.VCAlgo, e.VCComplexity, e.SeqAlgo, e.SeqComplexity)
+		fmt.Fprintf(&b, "  scales: n=%d,m=%d -> n=%d,m=%d\n", o.SmallM.N, o.SmallM.M, o.LargeM.N, o.LargeM.M)
+		fmt.Fprintf(&b, "  PT: %.0f -> %.0f   seq ops: %.0f -> %.0f   ratio: %.2f -> %.2f\n",
+			o.SmallM.PT, o.LargeM.PT, o.SmallM.SeqOps, o.LargeM.SeqOps,
+			o.SmallM.Ratio(), o.LargeM.Ratio())
+		v := o.BPPA
+		fmt.Fprintf(&b, "  BPPA: P1(space)=%v P2(compute)=%v P3(messages)=%v P4(supersteps)=%v\n",
+			v.P1Space, v.P2Compute, v.P3Messages, v.P4Supersteps)
+		fmt.Fprintf(&b, "  evidence: state/deg=%.1f compute/deg=%.1f sent/deg=%.1f recv/deg=%.1f supersteps %d -> %d\n",
+			v.StateRatio, v.ComputeRatio, v.SentRatio, v.RecvRatio, v.SuperstepsSmall, v.SuperstepsLarge)
+		if e.Notes != "" {
+			fmt.Fprintf(&b, "  notes: %s\n", e.Notes)
+		}
+		fmt.Fprintf(&b, "  verdicts vs paper: more-work %s, BPPA %s\n\n", mark(o.MoreWorkRepro), mark(o.BPPARepro))
+	}
+	return b.String()
+}

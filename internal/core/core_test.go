@@ -1,0 +1,293 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"vcgraph/internal/bsp"
+	"vcgraph/internal/seq"
+	"vcgraph/internal/vc"
+)
+
+func TestRegistryShape(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(exps))
+	}
+	seen := map[string]bool{}
+	rows := map[int]bool{}
+	for _, e := range exps {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Row < 1 || e.Row > 20 || rows[e.Row] {
+			t.Fatalf("bad/duplicate row %d", e.Row)
+		}
+		rows[e.Row] = true
+		if e.Run == nil || e.Workload == "" || e.VCComplexity == "" || e.SeqComplexity == "" {
+			t.Fatalf("experiment %s missing fields", e.ID)
+		}
+		if e.Small.N >= e.Large.N {
+			t.Fatalf("experiment %s scales not increasing: %d >= %d", e.ID, e.Small.N, e.Large.N)
+		}
+	}
+}
+
+// TestPaperVerdictsEncoded pins the registry's expected verdicts to the
+// paper's Table 1.
+func TestPaperVerdictsEncoded(t *testing.T) {
+	wantMoreWork := map[int]bool{
+		1: false, 2: false, 3: true, 4: true, 5: true, 6: true, 7: true,
+		8: false, 9: true, 10: true, 11: true, 12: true, 13: true, 14: true,
+		15: false, 16: true, 17: false, 18: true, 19: true, 20: true,
+	}
+	wantBPPA := map[int]bool{
+		8: true, 9: true, 14: true,
+	}
+	for _, e := range Experiments() {
+		if e.PaperMoreWork != wantMoreWork[e.Row] {
+			t.Errorf("row %d: PaperMoreWork = %v", e.Row, e.PaperMoreWork)
+		}
+		if e.PaperBPPA != wantBPPA[e.Row] {
+			t.Errorf("row %d: PaperBPPA = %v", e.Row, e.PaperBPPA)
+		}
+	}
+}
+
+// TestExperimentsRunAtTinyScales executes every registered experiment
+// at reduced scales to verify the runners themselves (graph building,
+// both implementations, measurement plumbing) work end to end.
+func TestExperimentsRunAtTinyScales(t *testing.T) {
+	cfg := vc.Config{Workers: 2}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			sc := e.Small
+			sc.N /= 4
+			if sc.N < 16 {
+				sc.N = 16
+			}
+			if sc.M > 0 {
+				sc.M = sc.N * (e.Small.M / e.Small.N)
+				if sc.M < sc.N {
+					sc.M = sc.N
+				}
+			}
+			m, err := e.Run(sc, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.PT <= 0 || m.SeqOps <= 0 {
+				t.Fatalf("degenerate measurement: %+v", m)
+			}
+			if m.VCStats == nil || m.VCStats.NumSupersteps() == 0 {
+				t.Fatal("missing VC stats")
+			}
+		})
+	}
+}
+
+// TestSelectedVerdictsAtFullScale runs a few cheap representative rows
+// at their registered scales and checks the reproduced verdicts.
+func TestSelectedVerdictsAtFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale verdicts are exercised by cmd/table1")
+	}
+	for _, id := range []string{"T1.02", "T1.03", "T1.08", "T1.09"} {
+		outs, err := RunAll(vc.Config{Workers: 4}, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(outs) != 1 {
+			t.Fatalf("filter returned %d outcomes", len(outs))
+		}
+		o := outs[0]
+		if !o.MoreWorkRepro || !o.BPPARepro {
+			t.Fatalf("%s verdicts not reproduced: morework %v/%v bppa %v/%v",
+				id, o.MoreWork, o.Exp.PaperMoreWork, o.BPPA.OK(), o.Exp.PaperBPPA)
+		}
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	small := &bsp.Stats{N: 10, Workers: 2, Supersteps: make([]bsp.SuperstepStats, 3)}
+	large := &bsp.Stats{N: 40, Workers: 2, Supersteps: make([]bsp.SuperstepStats, 4)}
+	o := &Outcome{
+		Exp:    Experiments()[0],
+		SmallM: bsp.Measurement{N: 10, PT: 100, SeqOps: 50, VCStats: small},
+		LargeM: bsp.Measurement{N: 40, PT: 400, SeqOps: 210, VCStats: large},
+	}
+	o.BPPA = bsp.CheckBPPA(small, large)
+	s := RenderTable([]*Outcome{o})
+	for _, want := range []string{"T1.01", "Diameter", "ratio-S"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table missing %q:\n%s", want, s)
+		}
+	}
+	d := RenderDetails([]*Outcome{o})
+	if !strings.Contains(d, "P1(space)") {
+		t.Fatalf("details missing BPPA evidence:\n%s", d)
+	}
+}
+
+func TestCascadeSimIsQuadraticForVC(t *testing.T) {
+	g, q := cascadeSim(64)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := vc.GraphSimulation(g, q, vc.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One collapse per superstep: supersteps track n.
+	if ss := res.Stats.NumSupersteps(); ss < 60 {
+		t.Fatalf("cascade resolved in %d supersteps; want ~n", ss)
+	}
+	// And the result still matches the sequential baseline.
+	var ops seq.Ops
+	want := seq.GraphSimulation(g, q, &ops)
+	for u := range res.Match {
+		if (res.Match[u] != 0) != want[0][u] {
+			t.Fatalf("vertex %d: vc=%v seq=%v", u, res.Match[u] != 0, want[0][u])
+		}
+	}
+}
+
+func TestFiguresDeterministicAndComplete(t *testing.T) {
+	a, err := Figures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 5 {
+		t.Fatalf("%d figures, want 5", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("figure %d not deterministic", i+1)
+		}
+	}
+	checks := map[int][]string{
+		0: {"superstep 1", "diameter = max eccentricity = 4"},
+		1: {"initial (all self-loops)", "star"},
+		2: {"D[", "hook edges"},
+		3: {"(0,1) (1,2) (2,1)", "sequential DFS agreement: true"},
+		4: {"cycle: 2 <-> 5", "Kruskal agreement: true"},
+	}
+	for i, wants := range checks {
+		for _, w := range wants {
+			if !strings.Contains(a[i], w) {
+				t.Fatalf("figure %d missing %q:\n%s", i+1, w, a[i])
+			}
+		}
+	}
+}
+
+func TestGridSources(t *testing.T) {
+	s := gridSources(100, 8)
+	if len(s) != 8 || s[0] != 0 || s[7] != 87 {
+		t.Fatalf("sources = %v", s)
+	}
+	if got := gridSources(3, 8); len(got) != 3 {
+		t.Fatalf("clamped sources = %v", got)
+	}
+}
+
+func TestExtensionRegistryShape(t *testing.T) {
+	exps := ExtensionExperiments()
+	if len(exps) != 4 {
+		t.Fatalf("extension registry has %d experiments", len(exps))
+	}
+	for _, e := range exps {
+		if e.Run == nil || e.ID == "" || e.Notes == "" {
+			t.Fatalf("extension %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestExtensionExperimentsRunAtTinyScales(t *testing.T) {
+	cfg := vc.Config{Workers: 2}
+	for _, e := range ExtensionExperiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			sc := e.Small
+			sc.N /= 2
+			if sc.N < 32 {
+				sc.N = 32
+			}
+			if sc.M > 0 {
+				sc.M = sc.N * (e.Small.M / e.Small.N)
+			}
+			m, err := e.Run(sc, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.PT <= 0 || m.SeqOps <= 0 {
+				t.Fatalf("degenerate measurement: %+v", m)
+			}
+		})
+	}
+}
+
+func TestExtensionVerdictsReproduceAtFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exercised by cmd/table1 -ext")
+	}
+	outs, err := RunExtensions(vc.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outs {
+		if !o.MoreWorkRepro || !o.BPPARepro {
+			t.Fatalf("%s verdicts not reproduced: morework %v/%v bppa %v/%v",
+				o.Exp.ID, o.MoreWork, o.Exp.PaperMoreWork, o.BPPA.OK(), o.Exp.PaperBPPA)
+		}
+	}
+}
+
+func TestSweepProducesMonotoneSizes(t *testing.T) {
+	var exp *Experiment
+	for _, e := range Experiments() {
+		if e.ID == "T1.08" {
+			exp = e
+		}
+	}
+	points, err := Sweep(exp, 4, vc.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("%d points", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].M.N <= points[i-1].M.N {
+			t.Fatalf("sizes not increasing: %d after %d", points[i].M.N, points[i-1].M.N)
+		}
+	}
+	if points[0].M.N != exp.Small.N || points[3].M.N != exp.Large.N {
+		t.Fatalf("endpoints %d..%d, want %d..%d", points[0].M.N, points[3].M.N, exp.Small.N, exp.Large.N)
+	}
+	csv := RenderSweepCSV(points)
+	if !strings.Contains(csv, "T1.08") || !strings.Contains(csv, "supersteps") {
+		t.Fatalf("csv malformed:\n%s", csv)
+	}
+}
+
+func TestRenderCSVWellFormed(t *testing.T) {
+	outs, err := RunAll(vc.Config{Workers: 2}, "T1.08")
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := RenderCSV(outs)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if got, want := len(strings.Split(lines[0], ",")), len(strings.Split(lines[1], ",")); got != want {
+		t.Fatalf("header has %d fields, row has %d", got, want)
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+
+	"vcgraph/internal/bsp"
+	"vcgraph/internal/graph"
+	"vcgraph/internal/seq"
+	"vcgraph/internal/vc"
+)
+
+// (Beyond these measured rows, the library implements further §3.8
+// workloads without a formal verdict row: personalized PageRank by
+// Monte Carlo walks and PPR-based link prediction — §3.8(4)'s "link
+// prediction" — in internal/vc/ppr.go, verified against the exact
+// terminal-distribution computation in internal/seq.)
+
+// ExtensionExperiments is the registry's "Table 2": the same
+// time-processor-product / BPPA methodology applied to the workloads
+// the paper discusses outside Table 1 — the §3.8 subgraph-centric
+// cases and the remaining classics. The expected verdicts here are the
+// library's own analysis (documented per row), evaluated exactly like
+// the paper's rows.
+func ExtensionExperiments() []*Experiment {
+	return []*Experiment{
+		{
+			ID: "X.01", Row: 21, Workload: "Triangle Counting",
+			VCAlgo: "neighborhood exchange", VCComplexity: "O(Σd(v)²)",
+			SeqAlgo: "oriented intersection", SeqComplexity: "O(m^1.5)",
+			PaperMoreWork: false, PaperBPPA: false,
+			Small: Scale{N: 200, M: 1500, Seed: 21}, Large: Scale{N: 800, M: 24000, Seed: 21},
+			Notes: "§3.8(2) measured precisely: total WORK matches the sequential intersection (ratio flat ≈2), but the work arrives as Θ(Σ d(v)²) shipped messages — recv/deg fails P3, which is the actual subgraph-centric complaint (see the SubgraphOverhead ablation)",
+			Run: func(sc Scale, cfg vc.Config) (bsp.Measurement, error) {
+				g := graph.Random(sc.N, sc.M, sc.Seed)
+				res, err := vc.Triangles(g, cfg)
+				if err != nil {
+					return bsp.Measurement{}, err
+				}
+				var ops seq.Ops
+				seq.Triangles(g, &ops)
+				return measurement(sc, g.M(), res.Stats, &ops), nil
+			},
+		},
+		{
+			ID: "X.02", Row: 22, Workload: "k-Core Decomposition",
+			VCAlgo: "Montresor h-index refinement", VCComplexity: "O(m·rounds)",
+			SeqAlgo: "Matula-Beck peeling", SeqComplexity: "O(m+n)",
+			PaperMoreWork: false, PaperBPPA: false,
+			Small: Scale{N: 512, Seed: 22}, Large: Scale{N: 8192, Seed: 22},
+			Notes: "monotone estimates bound total updates by O(m), so work stays comparable (ratio flat ≈8) — but caterpillar trees cascade corrections one hop per superstep: Θ(n) rounds, Hash-Min's δ-driven P4 failure",
+			Run: func(sc Scale, cfg vc.Config) (bsp.Measurement, error) {
+				g := graph.CaterpillarTree(sc.N)
+				res, err := vc.KCore(g, cfg)
+				if err != nil {
+					return bsp.Measurement{}, err
+				}
+				var ops seq.Ops
+				seq.KCore(g, &ops)
+				return measurement(sc, g.M(), res.Stats, &ops), nil
+			},
+		},
+		{
+			ID: "X.03", Row: 23, Workload: "HITS (Hubs & Authorities)",
+			VCAlgo: "aggregator-normalized power iteration", VCComplexity: "O(mK)",
+			SeqAlgo: "power iteration", SeqComplexity: "O(mK)",
+			PaperMoreWork: false, PaperBPPA: false,
+			Small: Scale{N: 512, M: 2048, Seed: 23}, Large: Scale{N: 8192, M: 32768, Seed: 23},
+			Notes: "work-optimal like PageRank; fails P4 by the same absolute K > log n argument (K=20 fixed)",
+			JudgeBPPA: func(small, large *bsp.Stats) bsp.BPPAVerdict {
+				v := bsp.CheckBPPA(small, large)
+				v.P4Supersteps = float64(v.SuperstepsLarge) <= math.Log2(float64(large.N))+1
+				return v
+			},
+			Run: func(sc Scale, cfg vc.Config) (bsp.Measurement, error) {
+				g := graph.RandomDirected(sc.N, sc.M, sc.Seed)
+				res, err := vc.HITS(g, 20, cfg)
+				if err != nil {
+					return bsp.Measurement{}, err
+				}
+				var ops seq.Ops
+				seq.HITS(g, 20, &ops)
+				return measurement(sc, g.M(), res.Stats, &ops), nil
+			},
+		},
+		{
+			ID: "X.04", Row: 24, Workload: "Diameter Estimate (Double Sweep)",
+			VCAlgo: "two BFS waves", VCComplexity: "O(m)",
+			SeqAlgo: "two sequential BFS", SeqComplexity: "O(m)",
+			PaperMoreWork: false, PaperBPPA: false,
+			Small: Scale{N: 256, Seed: 24}, Large: Scale{N: 16384, Seed: 24},
+			Notes: "work-optimal contrast to row 1's exact flooding, but each wave still takes Θ(δ) = Θ(√n) supersteps on a grid (P4 fails)",
+			Run: func(sc Scale, cfg vc.Config) (bsp.Measurement, error) {
+				side := int(math.Round(math.Sqrt(float64(sc.N))))
+				g := graph.Grid(side, side)
+				res, err := vc.DoubleSweepDiameter(g, graph.NoVertex, cfg)
+				if err != nil {
+					return bsp.Measurement{}, err
+				}
+				var ops seq.Ops
+				d1, _ := seq.BFS(g, 0, &ops)
+				far := graph.VertexID(0)
+				for v, d := range d1 {
+					if d > d1[far] {
+						far = graph.VertexID(v)
+					}
+				}
+				seq.BFS(g, far, &ops)
+				return measurement(Scale{N: g.N()}, g.M(), res.Stats, &ops), nil
+			},
+		},
+	}
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vcgraph/internal/graph"
+	"vcgraph/internal/seq"
+	"vcgraph/internal/vc"
+)
+
+// Figure reproductions: the paper's five figures are illustrative
+// diagrams of algorithm mechanics; each Figure function regenerates the
+// illustrated behaviour as a deterministic textual trace from a live
+// run of the corresponding vertex-centric algorithm.
+
+// Figure1 traces the eccentricity/diameter algorithm of §3.1 on a small
+// graph: which origins every vertex first hears about at each
+// superstep, each vertex's eccentricity, and the diameter-equals-
+// supersteps-minus-one relation the paper highlights.
+func Figure1() (string, error) {
+	// The 7-vertex example: two triangles bridged by a path.
+	g := graph.New(7, false)
+	for _, e := range [][2]graph.VertexID{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {4, 6}} {
+		g.AddEdge(e[0], e[1])
+	}
+	g.SortAdjacency()
+	res, err := vc.Diameter(g, vc.Config{})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1 — vertex-centric diameter computation (eccentricity flooding)\n")
+	fmt.Fprintf(&b, "graph: 7 vertices, %d edges (two triangles bridged by a path)\n\n", g.M())
+	fmt.Fprintf(&b, "superstep 0: every vertex originates its unique ID to its neighbors\n")
+	maxEcc := int32(0)
+	for _, e := range res.Ecc {
+		if e > maxEcc {
+			maxEcc = e
+		}
+	}
+	for s := int32(1); s <= maxEcc; s++ {
+		fmt.Fprintf(&b, "superstep %d:", s)
+		for v := 0; v < g.N(); v++ {
+			var got []string
+			for o := 0; o < g.N(); o++ {
+				if res.Dist[v][o] == s {
+					got = append(got, fmt.Sprint(o))
+				}
+			}
+			if len(got) > 0 {
+				fmt.Fprintf(&b, "  v%d+={%s}", v, strings.Join(got, ","))
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "superstep %d: no new IDs anywhere — algorithm terminates\n\n", maxEcc+1)
+	for v, e := range res.Ecc {
+		fmt.Fprintf(&b, "eccentricity(v%d) = %d\n", v, e)
+	}
+	fmt.Fprintf(&b, "\ndiameter = max eccentricity = %d = supersteps(%d) - 2 (originate + final empty round)\n",
+		res.Diameter, res.Stats.NumSupersteps())
+	return b.String(), nil
+}
+
+func renderForest(d []vc.VertexID) string {
+	var b strings.Builder
+	// Group children under roots for a compact view.
+	children := map[vc.VertexID][]vc.VertexID{}
+	var roots []vc.VertexID
+	for v, p := range d {
+		if vc.VertexID(v) == p {
+			roots = append(roots, vc.VertexID(v))
+		} else {
+			children[p] = append(children[p], vc.VertexID(v))
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	for i, r := range roots {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		kids := children[r]
+		sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
+		if len(kids) == 0 {
+			fmt.Fprintf(&b, "(%d)", r)
+			continue
+		}
+		var ks []string
+		for _, k := range kids {
+			ks = append(ks, fmt.Sprint(k))
+		}
+		fmt.Fprintf(&b, "(%d <- %s)", r, strings.Join(ks, ","))
+	}
+	return b.String()
+}
+
+// Figure2 shows the forest structure of the S-V algorithm: the initial
+// self-loop forest, the evolving rooted trees, and the final stars —
+// the three states the paper's Figure 2 depicts.
+func Figure2() (string, error) {
+	g := graph.Path(8)
+	_, snaps, err := vc.SVCCTrace(g, vc.Config{})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2 — forest structure of the S-V algorithm on a path of 8 vertices\n")
+	fmt.Fprintf(&b, "notation: (root <- children); a bare (v) is a self-loop root D[v]=v\n\n")
+	for r, d := range snaps {
+		label := fmt.Sprintf("round %d start", r+1)
+		if r == 0 {
+			label = "initial (all self-loops)"
+		}
+		fmt.Fprintf(&b, "%-26s %s\n", label+":", renderForest(d))
+	}
+	fmt.Fprintf(&b, "\nfinal: every component is a star rooted at its smallest vertex\n")
+	return b.String(), nil
+}
+
+// Figure3 traces tree hooking, star hooking and shortcutting across one
+// round of S-V by diffing consecutive pointer snapshots.
+func Figure3() (string, error) {
+	// A graph with two initial trees that must hook and shortcut:
+	// two stars joined by an edge between leaves.
+	g := graph.New(8, false)
+	for _, e := range [][2]graph.VertexID{{0, 2}, {0, 3}, {1, 4}, {1, 5}, {3, 6}, {5, 7}, {6, 7}} {
+		g.AddEdge(e[0], e[1])
+	}
+	g.SortAdjacency()
+	res, snaps, err := vc.SVCCTrace(g, vc.Config{})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3 — tree hooking, star hooking, and shortcutting (S-V round trace)\n\n")
+	for r := 0; r < len(snaps); r++ {
+		fmt.Fprintf(&b, "round %d: %s\n", r, renderForest(snaps[r]))
+		if r+1 < len(snaps) {
+			for v := range snaps[r] {
+				if snaps[r][v] != snaps[r+1][v] {
+					fmt.Fprintf(&b, "         D[%d]: %d -> %d\n", v, snaps[r][v], snaps[r+1][v])
+				}
+			}
+		}
+	}
+	fmt.Fprintf(&b, "\nspanning-forest hook edges: %v\n", res.TreeEdges)
+	fmt.Fprintf(&b, "pointer values only ever decrease (hooking onto smaller D), as §3.3.2 requires\n")
+	return b.String(), nil
+}
+
+// Figure4 reproduces the Euler tour and list-ranking example of §3.4 on
+// the paper's 7-vertex tree: the tour, the tour-position ranking, the
+// forward/backward marking, and the pre/post-order numbers.
+func Figure4() (string, error) {
+	t := graph.New(7, false)
+	for _, e := range [][2]graph.VertexID{{0, 1}, {0, 5}, {0, 6}, {1, 2}, {1, 3}, {1, 4}} {
+		t.AddEdge(e[0], e[1])
+	}
+	t.SortAdjacency()
+	et, err := vc.EulerTour(t, vc.Config{})
+	if err != nil {
+		return "", err
+	}
+	tour := et.Walk(t, 0)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4 — Euler tour and list-ranking on the paper's example tree\n")
+	fmt.Fprintf(&b, "tree: 0-{1,5,6}, 1-{2,3,4}; first(0)=1, last(0)=6, next_0(1)=5, next_0(6)=1\n\n")
+	fmt.Fprintf(&b, "Euler tour (%d directed edges):\n  ", len(tour))
+	for i, e := range tour {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s", e)
+	}
+	fmt.Fprintln(&b)
+
+	// List-ranking demo: rank the tour as a list with val=1.
+	pre, post, err := traversalNumbers(t)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "\nper-vertex traversal numbers from two list-ranking passes:\n")
+	fmt.Fprintf(&b, "  vertex: ")
+	for v := 0; v < t.N(); v++ {
+		fmt.Fprintf(&b, "%4d", v)
+	}
+	fmt.Fprintf(&b, "\n  pre:    ")
+	for v := 0; v < t.N(); v++ {
+		fmt.Fprintf(&b, "%4d", pre[v])
+	}
+	fmt.Fprintf(&b, "\n  post:   ")
+	for v := 0; v < t.N(); v++ {
+		fmt.Fprintf(&b, "%4d", post[v])
+	}
+	fmt.Fprintln(&b)
+	var ops seq.Ops
+	wantPre, wantPost := seq.PrePostOrder(t, 0, &ops)
+	agree := true
+	for v := 0; v < t.N(); v++ {
+		if pre[v] != wantPre[v] || post[v] != wantPost[v] {
+			agree = false
+		}
+	}
+	fmt.Fprintf(&b, "\nsequential DFS agreement: %v\n", agree)
+	return b.String(), nil
+}
+
+func traversalNumbers(t *graph.Graph) (pre, post []int32, err error) {
+	res, err := vc.PrePostOrder(t, 0, vc.Config{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Pre, res.Post, nil
+}
+
+// Figure5 reproduces the conjoined-tree of Min-Edge-Picking: each
+// vertex points at its minimum-weight edge, the mutual pair forms the
+// cycle, and the smaller endpoint becomes the super-vertex.
+func Figure5() (string, error) {
+	// Weighted graph shaped like the paper's example: min-edge picks
+	// form one conjoined tree whose 2-cycle decides the super-vertex.
+	g := graph.New(7, false)
+	g.AddWeightedEdge(0, 2, 3)
+	g.AddWeightedEdge(1, 2, 4)
+	g.AddWeightedEdge(2, 5, 1)
+	g.AddWeightedEdge(5, 3, 7)
+	g.AddWeightedEdge(5, 6, 2)
+	g.AddWeightedEdge(6, 4, 5)
+	g.AddWeightedEdge(3, 4, 9)
+	g.SortAdjacency()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5 — conjoined-tree formed by Min-Edge-Picking\n\n")
+	pointer := make([]graph.VertexID, g.N())
+	for v := 0; v < g.N(); v++ {
+		best := graph.NoVertex
+		bw := 0.0
+		for _, e := range g.Out[v] {
+			if best == graph.NoVertex || e.W < bw || (e.W == bw && e.Dst < best) {
+				best, bw = e.Dst, e.W
+			}
+		}
+		pointer[v] = best
+		fmt.Fprintf(&b, "vertex %d picks min edge -> %d (weight %.0f)\n", v, best, bw)
+	}
+	for v := 0; v < g.N(); v++ {
+		u := pointer[v]
+		if u != graph.NoVertex && pointer[u] == graph.VertexID(v) && graph.VertexID(v) < u {
+			fmt.Fprintf(&b, "\ncycle: %d <-> %d (mutual picks); super-vertex = %d (smaller ID)\n", v, u, v)
+		}
+	}
+	res, err := vc.MCST(g, vc.Config{})
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "\nfull Boruvka MCST on this graph: weight %.0f, edges %v\n", res.Weight, res.Edges)
+	var ops seq.Ops
+	_, want := seq.MSTKruskalRadix(g, &ops)
+	fmt.Fprintf(&b, "Kruskal agreement: %v (weight %.0f)\n", res.Weight == want, want)
+	return b.String(), nil
+}
+
+// Figures runs all five figure reproductions in order.
+func Figures() ([]string, error) {
+	fns := []func() (string, error){Figure1, Figure2, Figure3, Figure4, Figure5}
+	out := make([]string, 0, len(fns))
+	for _, fn := range fns {
+		s, err := fn()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,206 @@
+// Package gas implements a minimal gather-apply-scatter engine in the
+// style of PowerGraph, the third programming model the paper's §1
+// surveys next to synchronous vertex-centric (Pregel) and
+// subgraph-centric (Giraph++). Computation is pull-based: an active
+// vertex GATHERs an associative summary over its in-neighbors' values,
+// APPLYs it to its own value, and — when the value changed — SCATTERs
+// activation to its out-neighbors. There are no messages; each
+// iteration reads a consistent snapshot of the previous iteration's
+// values (double buffering), so the engine is deterministic and
+// race-free by construction.
+package gas
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"vcgraph/internal/bsp"
+	"vcgraph/internal/graph"
+)
+
+// VertexID aliases graph.VertexID.
+type VertexID = graph.VertexID
+
+// Program is a GAS vertex program over value type V and gather type G.
+type Program[V, G any] interface {
+	// Init seeds vertex values; every vertex starts active.
+	Init(g *graph.Graph, id VertexID) V
+	// Gather produces u's contribution to v along edge (u -> v), given
+	// u's value from the previous iteration.
+	Gather(e graph.Edge, uVal V) G
+	// Zero is the identity of Sum.
+	Zero() G
+	// Sum combines gather contributions (associative, commutative).
+	Sum(a, b G) G
+	// Apply folds the gathered total into v's value and reports whether
+	// the value changed enough to scatter.
+	Apply(v *V, total G) bool
+}
+
+// Config controls a GAS run.
+type Config struct {
+	Workers       int // default 4
+	MaxIterations int // default 10·(n+64)
+}
+
+// ErrIterationCap reports a run exceeding Config.MaxIterations.
+var ErrIterationCap = errors.New("gas: iteration cap reached")
+
+// Result of a GAS run.
+type Result[V any] struct {
+	Values     []V
+	Iterations int
+	Stats      *bsp.Stats // Work = gather ops; Sent/Recv = activations
+}
+
+// Run executes prog on g to quiescence. The graph must be directed
+// with in-adjacency built, or undirected (in = out).
+func Run[V, G any](g *graph.Graph, prog Program[V, G], cfg Config) (*Result[V], error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 10 * (g.N() + 64)
+	}
+	if g.Directed {
+		g.EnsureIn()
+	}
+	in := g.In
+	if !g.Directed {
+		in = g.Out
+	}
+	n := g.N()
+	cur := make([]V, n)
+	next := make([]V, n)
+	for v := 0; v < n; v++ {
+		cur[v] = prog.Init(g, VertexID(v))
+	}
+	active := make([]bool, n)
+	nextActive := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	stats := &bsp.Stats{Workers: cfg.Workers, N: n}
+
+	iter := 0
+	for ; ; iter++ {
+		if iter >= cfg.MaxIterations {
+			return &Result[V]{Values: cur, Iterations: iter, Stats: stats},
+				fmt.Errorf("%w (cap %d)", ErrIterationCap, cfg.MaxIterations)
+		}
+		any := false
+		for _, a := range active {
+			if a {
+				any = true
+				break
+			}
+		}
+		if !any {
+			break
+		}
+		ss := bsp.SuperstepStats{
+			Work: make([]int64, cfg.Workers),
+			Sent: make([]int64, cfg.Workers),
+			Recv: make([]int64, cfg.Workers),
+		}
+		wake := make([][]VertexID, cfg.Workers)
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for v := w; v < n; v += cfg.Workers {
+					next[v] = cur[v]
+					if !active[v] {
+						continue
+					}
+					total := prog.Zero()
+					for _, e := range in[v] {
+						ss.Work[w]++
+						total = prog.Sum(total, prog.Gather(e, cur[e.Dst]))
+					}
+					if prog.Apply(&next[v], total) {
+						// Scatter: wake out-neighbors (buffered per
+						// worker; merged after the barrier).
+						for _, e := range g.Out[v] {
+							ss.Sent[w]++
+							wake[w] = append(wake[w], e.Dst)
+						}
+					}
+					ss.Work[w]++
+				}
+			}(w)
+		}
+		wg.Wait()
+		for w := 0; w < cfg.Workers; w++ {
+			for _, v := range wake[w] {
+				nextActive[v] = true
+			}
+		}
+		cur, next = next, cur
+		active, nextActive = nextActive, active
+		for i := range nextActive {
+			nextActive[i] = false
+		}
+		for w := 0; w < cfg.Workers; w++ {
+			stats.TotalWork += ss.Work[w]
+			stats.TotalMessages += ss.Sent[w]
+		}
+		stats.Supersteps = append(stats.Supersteps, ss)
+	}
+	return &Result[V]{Values: cur, Iterations: iter, Stats: stats}, nil
+}
+
+// --- GAS PageRank ---
+
+type prProgram struct {
+	n      int
+	alpha  float64
+	eps    float64
+	outDeg []float64
+}
+
+type prVal struct{ rank float64 }
+
+func (p *prProgram) Init(g *graph.Graph, id VertexID) prVal {
+	return prVal{rank: 1 / float64(p.n)}
+}
+
+func (p *prProgram) Gather(e graph.Edge, uVal prVal) float64 {
+	// e.Dst is the in-neighbor u; its rank spreads over its out-degree.
+	return uVal.rank / p.outDeg[e.Dst]
+}
+
+func (p *prProgram) Zero() float64            { return 0 }
+func (p *prProgram) Sum(a, b float64) float64 { return a + b }
+
+func (p *prProgram) Apply(v *prVal, total float64) bool {
+	nr := (1-p.alpha)/float64(p.n) + p.alpha*total
+	changed := nr-v.rank > p.eps || v.rank-nr > p.eps
+	v.rank = nr
+	return changed
+}
+
+// PageRank runs adaptive (delta-scheduled) PageRank in the GAS model
+// until every vertex's rank moves less than eps in an iteration.
+func PageRank(g *graph.Graph, alpha, eps float64, cfg Config) ([]float64, *Result[prVal], error) {
+	prog := &prProgram{n: g.N(), alpha: alpha, eps: eps}
+	prog.outDeg = make([]float64, g.N())
+	for v := 0; v < g.N(); v++ {
+		d := len(g.Out[v])
+		if d == 0 {
+			d = 1 // dangling: rank leaks, matching the Pregel variant
+		}
+		prog.outDeg[v] = float64(d)
+	}
+	res, err := Run[prVal, float64](g, prog, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	ranks := make([]float64, g.N())
+	for v, val := range res.Values {
+		ranks[v] = val.rank
+	}
+	return ranks, res, nil
+}

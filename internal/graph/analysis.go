@@ -1,0 +1,89 @@
+package graph
+
+// Structural predicates used by generators, tests, and verification.
+// These are plain utilities; the operation-counted sequential baselines
+// live in internal/seq.
+
+// Components labels each vertex with a component ID in [0, k) using BFS
+// over out-adjacency (treat directed graphs as undirected by calling
+// Underlying first). It returns the labels and k.
+func (g *Graph) Components() ([]int, int) {
+	n := g.N()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	k := 0
+	queue := make([]VertexID, 0, n)
+	for s := 0; s < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = k
+		queue = append(queue[:0], VertexID(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, e := range g.Out[u] {
+				if comp[e.Dst] == -1 {
+					comp[e.Dst] = k
+					queue = append(queue, e.Dst)
+				}
+			}
+		}
+		k++
+	}
+	return comp, k
+}
+
+// IsConnected reports whether the undirected graph is connected
+// (true for the empty graph).
+func (g *Graph) IsConnected() bool {
+	if g.N() == 0 {
+		return true
+	}
+	_, k := g.Components()
+	return k == 1
+}
+
+// IsTree reports whether the undirected graph is a tree: connected with
+// exactly n-1 edges.
+func (g *Graph) IsTree() bool {
+	return !g.Directed && g.N() > 0 && g.M() == g.N()-1 && g.IsConnected()
+}
+
+// BFSDistances returns hop distances from src over out-adjacency;
+// unreachable vertices get -1.
+func (g *Graph) BFSDistances(src VertexID) []int {
+	n := g.N()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []VertexID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Out[u] {
+			if dist[e.Dst] == -1 {
+				dist[e.Dst] = dist[u] + 1
+				queue = append(queue, e.Dst)
+			}
+		}
+	}
+	return dist
+}
+
+// IsBipartition reports whether the vertex set splits into the given
+// left-size prefix with all edges crossing sides.
+func (g *Graph) IsBipartition(nl int) bool {
+	for u := range g.Out {
+		for _, e := range g.Out[u] {
+			if (u < nl) == (int(e.Dst) < nl) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,434 @@
+package graph
+
+import (
+	"math/rand"
+)
+
+// Generators in this file are deterministic for a given seed and are the
+// synthetic substitutes for the paper's datasets (see DESIGN.md §5).
+// They control exactly the structural parameters (n, m, diameter, degree
+// skew) that the paper's verdicts depend on.
+
+// Path returns the straight-line graph 0-1-2-...-n-1 (the paper's
+// adversarial input for Hash-Min: diameter n-1).
+func Path(n int) *Graph {
+	g := New(n, false)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(VertexID(i), VertexID(i+1))
+	}
+	return g
+}
+
+// PermutedPath returns a path over a random permutation of the vertex
+// IDs. Min-label algorithms on it quickly shrink to a single active
+// wavefront (each vertex's label changes O(log n) expected times), the
+// long thin tail that motivates the FCS optimization.
+func PermutedPath(n int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n, false)
+	perm := rng.Perm(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(VertexID(perm[i]), VertexID(perm[i+1]))
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// Cycle returns the n-cycle.
+func Cycle(n int) *Graph {
+	g := Path(n)
+	if n > 2 {
+		g.AddEdge(VertexID(n-1), 0)
+	}
+	return g
+}
+
+// Complete returns the complete undirected graph K_n.
+func Complete(n int) *Graph {
+	g := New(n, false)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(VertexID(i), VertexID(j))
+		}
+	}
+	return g
+}
+
+// Grid returns the rows x cols 2D grid graph (a road-network stand-in:
+// bounded degree, large diameter).
+func Grid(rows, cols int) *Graph {
+	g := New(rows*cols, false)
+	id := func(r, c int) VertexID { return VertexID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// Star returns the star graph with center 0 and n-1 leaves.
+func Star(n int) *Graph {
+	g := New(n, false)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, VertexID(i))
+	}
+	return g
+}
+
+// Random returns an Erdős–Rényi style undirected graph with n vertices
+// and approximately m distinct edges (no self-loops, no parallel edges),
+// drawn deterministically from seed.
+func Random(n, m int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n, false)
+	if n < 2 {
+		return g
+	}
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		m = maxM
+	}
+	seen := make(map[[2]VertexID]bool, m)
+	for len(seen) < m {
+		u := VertexID(rng.Intn(n))
+		v := VertexID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		k := [2]VertexID{u, v}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		g.AddEdge(u, v)
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// RandomConnected returns a connected undirected graph: a random
+// spanning tree plus extra random edges up to approximately m edges.
+func RandomConnected(n, m int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n, false)
+	type pair = [2]VertexID
+	seen := make(map[pair]bool)
+	add := func(u, v VertexID) bool {
+		if u == v {
+			return false
+		}
+		if u > v {
+			u, v = v, u
+		}
+		k := pair{u, v}
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		g.AddEdge(u, v)
+		return true
+	}
+	// Random spanning tree: attach vertex i to a uniform earlier vertex.
+	for i := 1; i < n; i++ {
+		add(VertexID(rng.Intn(i)), VertexID(i))
+	}
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		m = maxM
+	}
+	for len(seen) < m {
+		if !add(VertexID(rng.Intn(n)), VertexID(rng.Intn(n))) {
+			continue
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// RandomDirected returns a directed graph with n vertices and
+// approximately m distinct directed edges (no self-loops).
+func RandomDirected(n, m int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n, true)
+	if n < 2 {
+		return g
+	}
+	maxM := n * (n - 1)
+	if m > maxM {
+		m = maxM
+	}
+	seen := make(map[[2]VertexID]bool, m)
+	for len(seen) < m {
+		u := VertexID(rng.Intn(n))
+		v := VertexID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		k := [2]VertexID{u, v}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		g.AddEdge(u, v)
+	}
+	g.EnsureIn()
+	g.SortAdjacency()
+	return g
+}
+
+// PreferentialAttachment returns a power-law-ish undirected graph built
+// by the Barabási–Albert process: each new vertex attaches k edges to
+// existing vertices chosen proportionally to degree. It is the stand-in
+// for skewed social/web graphs.
+func PreferentialAttachment(n, k int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n, false)
+	if n == 0 {
+		return g
+	}
+	if k < 1 {
+		k = 1
+	}
+	// Repeated-endpoint list makes degree-proportional sampling O(1).
+	var endpoints []VertexID
+	start := k + 1
+	if start > n {
+		start = n
+	}
+	for i := 0; i < start; i++ {
+		for j := 0; j < i; j++ {
+			g.AddEdge(VertexID(j), VertexID(i))
+			endpoints = append(endpoints, VertexID(j), VertexID(i))
+		}
+	}
+	for i := start; i < n; i++ {
+		chosen := make(map[VertexID]bool, k)
+		for len(chosen) < k {
+			t := endpoints[rng.Intn(len(endpoints))]
+			chosen[t] = true
+		}
+		for t := range chosen {
+			g.AddEdge(t, VertexID(i))
+			endpoints = append(endpoints, t, VertexID(i))
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// StochasticBlockModel returns an undirected graph with `blocks` equal
+// communities of size n/blocks: within-community edges appear with
+// probability pIn, cross-community edges with pOut. The ground-truth
+// community of vertex v is v / (n/blocks). The standard benchmark for
+// community detection.
+func StochasticBlockModel(n, blocks int, pIn, pOut float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n, false)
+	if blocks < 1 {
+		blocks = 1
+	}
+	size := n / blocks
+	if size == 0 {
+		size = 1
+	}
+	community := func(v int) int {
+		c := v / size
+		if c >= blocks {
+			c = blocks - 1
+		}
+		return c
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := pOut
+			if community(u) == community(v) {
+				p = pIn
+			}
+			if rng.Float64() < p {
+				g.AddEdge(VertexID(u), VertexID(v))
+			}
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// WattsStrogatz returns a small-world graph: a ring lattice where every
+// vertex connects to its k nearest neighbors on each side, with each
+// edge rewired to a uniform random endpoint with probability beta.
+// High clustering with low diameter — the classic small-world testbed.
+func WattsStrogatz(n, k int, beta float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	if k < 1 {
+		k = 1
+	}
+	type pair = [2]VertexID
+	seen := map[pair]bool{}
+	add := func(u, v VertexID) bool {
+		if u == v {
+			return false
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[pair{u, v}] {
+			return false
+		}
+		seen[pair{u, v}] = true
+		return true
+	}
+	// Lattice edges, possibly rewired.
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k; j++ {
+			v := VertexID((u + j) % n)
+			uu := VertexID(u)
+			if rng.Float64() < beta {
+				// Rewire: keep u, pick a fresh random endpoint.
+				for tries := 0; tries < 32; tries++ {
+					cand := VertexID(rng.Intn(n))
+					if add(uu, cand) {
+						v = cand
+						break
+					}
+					v = NoVertex
+				}
+				if v == NoVertex {
+					continue
+				}
+			} else if !add(uu, v) {
+				continue
+			}
+			// recorded in seen by add
+		}
+	}
+	g := New(n, false)
+	for p := range seen {
+		g.AddEdge(p[0], p[1])
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// RandomTree returns a uniform-ish random tree on n vertices: vertex i
+// (i>0) attaches to a uniform earlier vertex. Adjacency is sorted.
+func RandomTree(n int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n, false)
+	for i := 1; i < n; i++ {
+		g.AddEdge(VertexID(rng.Intn(i)), VertexID(i))
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// BalancedBinaryTree returns the complete binary tree on n vertices
+// (children of i at 2i+1, 2i+2); depth Theta(log n).
+func BalancedBinaryTree(n int) *Graph {
+	g := New(n, false)
+	for i := 1; i < n; i++ {
+		g.AddEdge(VertexID((i-1)/2), VertexID(i))
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// CaterpillarTree returns a path of length n/2 with a leaf hanging off
+// each spine vertex: a tree with Theta(n) diameter.
+func CaterpillarTree(n int) *Graph {
+	g := New(n, false)
+	spine := (n + 1) / 2
+	for i := 1; i < spine; i++ {
+		g.AddEdge(VertexID(i-1), VertexID(i))
+	}
+	for i := spine; i < n; i++ {
+		g.AddEdge(VertexID(i-spine), VertexID(i))
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// RandomBipartite returns a bipartite undirected graph with nl left
+// vertices (IDs 0..nl-1), nr right vertices (IDs nl..nl+nr-1) and
+// approximately m distinct edges.
+func RandomBipartite(nl, nr, m int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(nl+nr, false)
+	maxM := nl * nr
+	if m > maxM {
+		m = maxM
+	}
+	seen := make(map[[2]VertexID]bool, m)
+	for len(seen) < m {
+		u := VertexID(rng.Intn(nl))
+		v := VertexID(nl + rng.Intn(nr))
+		k := [2]VertexID{u, v}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		g.AddEdge(u, v)
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// RandomWeights assigns distinct pseudo-random positive weights to every
+// undirected edge (both directions get the same weight). Distinctness
+// makes minimum spanning trees unique, which simplifies verification.
+func RandomWeights(g *Graph, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	if g.Directed {
+		for u := range g.Out {
+			for i := range g.Out[u] {
+				g.Out[u][i].W = 1 + rng.Float64()*99
+			}
+		}
+		g.In = nil
+		g.EnsureIn()
+		return
+	}
+	type pair = [2]VertexID
+	w := make(map[pair]float64)
+	used := make(map[float64]bool)
+	for u := range g.Out {
+		for i := range g.Out[u] {
+			v := g.Out[u][i].Dst
+			a, b := VertexID(u), v
+			if a > b {
+				a, b = b, a
+			}
+			k := pair{a, b}
+			wt, ok := w[k]
+			if !ok {
+				for {
+					wt = float64(1 + rng.Intn(1<<30))
+					if !used[wt] {
+						used[wt] = true
+						break
+					}
+				}
+				w[k] = wt
+			}
+			g.Out[u][i].W = wt
+		}
+	}
+}
+
+// RandomLabels assigns each vertex a label drawn uniformly from the
+// given alphabet.
+func RandomLabels(g *Graph, alphabet []string, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	g.Labels = make([]string, g.N())
+	for i := range g.Labels {
+		g.Labels[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+}

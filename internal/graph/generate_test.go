@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStochasticBlockModelStructure(t *testing.T) {
+	g := StochasticBlockModel(120, 3, 0.5, 0.01, 7)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Count intra vs inter edges: intra should dominate by far.
+	var intra, inter int
+	for _, e := range g.UndirectedEdges() {
+		if int(e.U)/40 == int(e.V)/40 {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra < 5*inter {
+		t.Fatalf("intra=%d inter=%d: community structure too weak", intra, inter)
+	}
+	// Expected intra edges ≈ 3 * C(40,2) * 0.5 = 1170.
+	if intra < 900 || intra > 1450 {
+		t.Fatalf("intra=%d far from expectation", intra)
+	}
+}
+
+func TestStochasticBlockModelExtremes(t *testing.T) {
+	// pIn=1, pOut=0: disjoint cliques.
+	g := StochasticBlockModel(30, 3, 1, 0, 1)
+	_, k := g.Components()
+	if k != 3 {
+		t.Fatalf("components = %d, want 3", k)
+	}
+	if g.M() != 3*45 {
+		t.Fatalf("m = %d, want 135", g.M())
+	}
+}
+
+func TestWattsStrogatzLattice(t *testing.T) {
+	// beta = 0: pure ring lattice, every vertex degree 2k, diameter ~ n/(2k).
+	g := WattsStrogatz(60, 2, 0, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(VertexID(v)) != 4 {
+			t.Fatalf("degree[%d] = %d, want 4", v, g.Degree(VertexID(v)))
+		}
+	}
+	if !g.IsConnected() {
+		t.Fatal("lattice disconnected")
+	}
+}
+
+func TestWattsStrogatzSmallWorld(t *testing.T) {
+	// Rewiring shrinks the diameter while keeping m comparable.
+	lattice := WattsStrogatz(400, 3, 0, 5)
+	small := WattsStrogatz(400, 3, 0.2, 5)
+	if small.M() < lattice.M()*8/10 {
+		t.Fatalf("rewired graph lost too many edges: %d vs %d", small.M(), lattice.M())
+	}
+	dl := maxFiniteDist(lattice, 0)
+	ds := maxFiniteDist(small, 0)
+	if ds*2 > dl {
+		t.Fatalf("rewiring did not shrink distances: lattice %d, rewired %d", dl, ds)
+	}
+}
+
+func maxFiniteDist(g *Graph, src VertexID) int {
+	mx := 0
+	for _, d := range g.BFSDistances(src) {
+		if d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+func TestWattsStrogatzQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		g := WattsStrogatz(50, 2, 0.3, seed)
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermutedPathIsPath(t *testing.T) {
+	f := func(seed int64) bool {
+		g := PermutedPath(40, seed)
+		if !g.IsTree() {
+			return false
+		}
+		deg1 := 0
+		for v := 0; v < g.N(); v++ {
+			switch g.Degree(VertexID(v)) {
+			case 1:
+				deg1++
+			case 2:
+			default:
+				return false
+			}
+		}
+		return deg1 == 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,269 @@
+// Package graph provides the graph substrate used throughout the
+// repository: compact adjacency-list graphs (directed or undirected,
+// optionally weighted and vertex/edge labeled), deterministic random
+// generators, and structural helpers.
+//
+// Vertices are dense integer IDs in [0, N). Undirected graphs store each
+// edge in both endpoint adjacency lists; the Edges method deduplicates.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex. IDs are dense: 0..N()-1.
+type VertexID int32
+
+// NoVertex is a sentinel for "no vertex" (absent parent, unmatched, ...).
+const NoVertex VertexID = -1
+
+// Edge is one directed adjacency entry: a half-edge from an implicit
+// source to Dst with weight W and label L.
+type Edge struct {
+	Dst VertexID
+	W   float64
+	L   string
+}
+
+// Graph is an adjacency-list graph. Out holds out-adjacency; for
+// directed graphs In holds in-adjacency (built lazily by EnsureIn).
+// Undirected graphs store both directions in Out and leave In nil.
+type Graph struct {
+	Directed bool
+	Out      [][]Edge
+	In       [][]Edge // directed only; nil until EnsureIn
+	Labels   []string // optional vertex labels; nil if unlabeled
+	numEdges int
+}
+
+// New returns an empty graph with n vertices.
+func New(n int, directed bool) *Graph {
+	return &Graph{Directed: directed, Out: make([][]Edge, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.Out) }
+
+// M returns the number of edges (undirected edges counted once).
+func (g *Graph) M() int { return g.numEdges }
+
+// Label returns the label of v, or "" if the graph is unlabeled.
+func (g *Graph) Label(v VertexID) string {
+	if g.Labels == nil {
+		return ""
+	}
+	return g.Labels[v]
+}
+
+// AddEdge adds an edge u->v (and v->u when undirected) with weight 1.
+func (g *Graph) AddEdge(u, v VertexID) { g.AddWeightedEdge(u, v, 1) }
+
+// AddWeightedEdge adds an edge u->v (and v->u when undirected) with
+// weight w.
+func (g *Graph) AddWeightedEdge(u, v VertexID, w float64) {
+	g.AddLabeledEdge(u, v, w, "")
+}
+
+// AddLabeledEdge adds an edge u->v (and v->u when undirected) with
+// weight w and label l.
+func (g *Graph) AddLabeledEdge(u, v VertexID, w float64, l string) {
+	g.Out[u] = append(g.Out[u], Edge{Dst: v, W: w, L: l})
+	if !g.Directed {
+		if u != v {
+			g.Out[v] = append(g.Out[v], Edge{Dst: u, W: w, L: l})
+		}
+	} else if g.In != nil {
+		g.In[v] = append(g.In[v], Edge{Dst: u, W: w, L: l})
+	}
+	g.numEdges++
+}
+
+// Degree returns the out-degree of v (for undirected graphs, the
+// degree).
+func (g *Graph) Degree(v VertexID) int { return len(g.Out[v]) }
+
+// InDegree returns the in-degree of v. For undirected graphs it equals
+// Degree. For directed graphs, EnsureIn must have been called.
+func (g *Graph) InDegree(v VertexID) int {
+	if !g.Directed {
+		return len(g.Out[v])
+	}
+	if g.In == nil {
+		panic("graph: InDegree on directed graph before EnsureIn")
+	}
+	return len(g.In[v])
+}
+
+// TotalDegree returns d(v) for undirected graphs and
+// d_in(v)+d_out(v) for directed graphs (with In built).
+func (g *Graph) TotalDegree(v VertexID) int {
+	if !g.Directed {
+		return len(g.Out[v])
+	}
+	return len(g.Out[v]) + g.InDegree(v)
+}
+
+// Neighbors returns the out-neighbor IDs of v in adjacency order.
+func (g *Graph) Neighbors(v VertexID) []VertexID {
+	out := make([]VertexID, len(g.Out[v]))
+	for i, e := range g.Out[v] {
+		out[i] = e.Dst
+	}
+	return out
+}
+
+// EnsureIn builds the in-adjacency lists of a directed graph. It is a
+// no-op for undirected graphs or if already built.
+func (g *Graph) EnsureIn() {
+	if !g.Directed || g.In != nil {
+		return
+	}
+	in := make([][]Edge, g.N())
+	for u := range g.Out {
+		for _, e := range g.Out[u] {
+			in[e.Dst] = append(in[e.Dst], Edge{Dst: VertexID(u), W: e.W, L: e.L})
+		}
+	}
+	g.In = in
+}
+
+// SortAdjacency sorts every adjacency list by destination ID. Several
+// algorithms (Euler tour, deterministic traversals) assume sorted
+// adjacency.
+func (g *Graph) SortAdjacency() {
+	for v := range g.Out {
+		sort.Slice(g.Out[v], func(i, j int) bool { return g.Out[v][i].Dst < g.Out[v][j].Dst })
+	}
+	if g.In != nil {
+		for v := range g.In {
+			sort.Slice(g.In[v], func(i, j int) bool { return g.In[v][i].Dst < g.In[v][j].Dst })
+		}
+	}
+}
+
+// UndirectedEdge is a canonical undirected edge with U <= V.
+type UndirectedEdge struct {
+	U, V VertexID
+	W    float64
+}
+
+// UndirectedEdges returns each undirected edge once, sorted by (U, V).
+// Self-loops are returned once. Panics on directed graphs.
+func (g *Graph) UndirectedEdges() []UndirectedEdge {
+	if g.Directed {
+		panic("graph: UndirectedEdges on directed graph")
+	}
+	var out []UndirectedEdge
+	for u := range g.Out {
+		for _, e := range g.Out[u] {
+			if VertexID(u) <= e.Dst {
+				out = append(out, UndirectedEdge{U: VertexID(u), V: e.Dst, W: e.W})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Underlying returns the undirected graph obtained by forgetting edge
+// directions (parallel edges between a pair collapse to one, keeping the
+// smaller weight; self-loops dropped). For undirected graphs it returns
+// the receiver.
+func (g *Graph) Underlying() *Graph {
+	if !g.Directed {
+		return g
+	}
+	u := New(g.N(), false)
+	seen := make(map[[2]VertexID]float64)
+	for a := range g.Out {
+		for _, e := range g.Out[a] {
+			x, y := VertexID(a), e.Dst
+			if x == y {
+				continue
+			}
+			if x > y {
+				x, y = y, x
+			}
+			k := [2]VertexID{x, y}
+			if w, ok := seen[k]; !ok || e.W < w {
+				seen[k] = e.W
+			}
+		}
+	}
+	keys := make([][2]VertexID, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		u.AddWeightedEdge(k[0], k[1], seen[k])
+	}
+	return u
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{Directed: g.Directed, numEdges: g.numEdges}
+	c.Out = make([][]Edge, len(g.Out))
+	for v := range g.Out {
+		c.Out[v] = append([]Edge(nil), g.Out[v]...)
+	}
+	if g.In != nil {
+		c.In = make([][]Edge, len(g.In))
+		for v := range g.In {
+			c.In[v] = append([]Edge(nil), g.In[v]...)
+		}
+	}
+	if g.Labels != nil {
+		c.Labels = append([]string(nil), g.Labels...)
+	}
+	return c
+}
+
+// Validate checks structural invariants and returns an error describing
+// the first violation: destination IDs in range, undirected symmetry,
+// and label slice length.
+func (g *Graph) Validate() error {
+	n := VertexID(g.N())
+	for u := range g.Out {
+		for _, e := range g.Out[u] {
+			if e.Dst < 0 || e.Dst >= n {
+				return fmt.Errorf("graph: vertex %d has out-edge to %d, out of range [0,%d)", u, e.Dst, n)
+			}
+		}
+	}
+	if g.Labels != nil && len(g.Labels) != g.N() {
+		return fmt.Errorf("graph: %d labels for %d vertices", len(g.Labels), g.N())
+	}
+	if !g.Directed {
+		type key struct {
+			u, v VertexID
+		}
+		cnt := make(map[key]int)
+		for u := range g.Out {
+			for _, e := range g.Out[u] {
+				cnt[key{VertexID(u), e.Dst}]++
+			}
+		}
+		for k, c := range cnt {
+			if k.u == k.v {
+				continue
+			}
+			if cnt[key{k.v, k.u}] != c {
+				return fmt.Errorf("graph: asymmetric undirected adjacency between %d and %d", k.u, k.v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,288 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPathBasics(t *testing.T) {
+	g := Path(5)
+	if g.N() != 5 || g.M() != 4 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if !g.IsConnected() || !g.IsTree() {
+		t.Fatal("path should be a connected tree")
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 2 {
+		t.Fatalf("degrees: %d %d", g.Degree(0), g.Degree(2))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCycleAndComplete(t *testing.T) {
+	c := Cycle(6)
+	if c.M() != 6 {
+		t.Fatalf("cycle m=%d", c.M())
+	}
+	for v := 0; v < 6; v++ {
+		if c.Degree(VertexID(v)) != 2 {
+			t.Fatalf("cycle degree %d", c.Degree(VertexID(v)))
+		}
+	}
+	k := Complete(7)
+	if k.M() != 21 {
+		t.Fatalf("K7 m=%d", k.M())
+	}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 || g.M() != 3*3+2*4 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if !g.IsConnected() {
+		t.Fatal("grid disconnected")
+	}
+	// Corner has degree 2, interior 4.
+	if g.Degree(0) != 2 || g.Degree(5) != 4 {
+		t.Fatalf("corner=%d interior=%d", g.Degree(0), g.Degree(5))
+	}
+}
+
+func TestRandomGraphProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		g := Random(50, 100, seed)
+		if g.M() != 100 {
+			return false
+		}
+		if err := g.Validate(); err != nil {
+			return false
+		}
+		// No self-loops, no parallel edges.
+		seen := map[[2]VertexID]bool{}
+		for _, e := range g.UndirectedEdges() {
+			if e.U == e.V || seen[[2]VertexID{e.U, e.V}] {
+				return false
+			}
+			seen[[2]VertexID{e.U, e.V}] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomConnectedIsConnected(t *testing.T) {
+	f := func(seed int64) bool {
+		g := RandomConnected(60, 90, seed)
+		return g.IsConnected() && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	f := func(seed int64) bool {
+		return RandomTree(64, seed).IsTree()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeGenerators(t *testing.T) {
+	for name, g := range map[string]*Graph{
+		"binary":      BalancedBinaryTree(31),
+		"caterpillar": CaterpillarTree(21),
+		"star":        Star(12),
+	} {
+		if !g.IsTree() {
+			t.Fatalf("%s is not a tree (n=%d m=%d)", name, g.N(), g.M())
+		}
+	}
+}
+
+func TestPreferentialAttachmentSkew(t *testing.T) {
+	g := PreferentialAttachment(500, 2, 7)
+	if !g.IsConnected() {
+		t.Fatal("PA graph disconnected")
+	}
+	maxDeg := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(VertexID(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	// Degree skew: hubs should far exceed the attachment parameter.
+	if maxDeg < 10 {
+		t.Fatalf("max degree %d; expected a hub", maxDeg)
+	}
+}
+
+func TestRandomDirectedInOut(t *testing.T) {
+	g := RandomDirected(40, 200, 3)
+	if g.M() != 200 {
+		t.Fatalf("m=%d", g.M())
+	}
+	var in, out int
+	for v := 0; v < g.N(); v++ {
+		out += g.Degree(VertexID(v))
+		in += g.InDegree(VertexID(v))
+	}
+	if in != 200 || out != 200 {
+		t.Fatalf("in=%d out=%d", in, out)
+	}
+}
+
+func TestRandomBipartite(t *testing.T) {
+	g := RandomBipartite(10, 15, 60, 5)
+	if !g.IsBipartition(10) {
+		t.Fatal("not bipartite")
+	}
+	if g.M() != 60 {
+		t.Fatalf("m=%d", g.M())
+	}
+}
+
+func TestRandomWeightsDistinctAndSymmetric(t *testing.T) {
+	g := RandomConnected(40, 100, 2)
+	RandomWeights(g, 3)
+	weights := map[float64][2]VertexID{}
+	for _, e := range g.UndirectedEdges() {
+		if prev, dup := weights[e.W]; dup {
+			t.Fatalf("duplicate weight %v on %v and (%d,%d)", e.W, prev, e.U, e.V)
+		}
+		weights[e.W] = [2]VertexID{e.U, e.V}
+	}
+	// Symmetry: both directions carry the same weight.
+	for u := range g.Out {
+		for _, e := range g.Out[u] {
+			var back float64
+			for _, r := range g.Out[e.Dst] {
+				if r.Dst == VertexID(u) {
+					back = r.W
+					break
+				}
+			}
+			if back != e.W {
+				t.Fatalf("asymmetric weight on (%d,%d): %v vs %v", u, e.Dst, e.W, back)
+			}
+		}
+	}
+}
+
+func TestUnderlyingOfDirected(t *testing.T) {
+	g := New(4, true)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // parallel pair collapses
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 3) // self-loop dropped
+	u := g.Underlying()
+	if u.Directed {
+		t.Fatal("underlying is directed")
+	}
+	if u.M() != 2 {
+		t.Fatalf("underlying m=%d, want 2", u.M())
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := Random(20, 40, 9)
+	c := g.Clone()
+	c.AddEdge(0, 19)
+	if g.M() == c.M() {
+		t.Fatal("clone shares state with original")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := Path(6)
+	d := g.BFSDistances(0)
+	for i, want := range []int{0, 1, 2, 3, 4, 5} {
+		if d[i] != want {
+			t.Fatalf("d[%d]=%d", i, d[i])
+		}
+	}
+	h := New(3, false)
+	h.AddEdge(0, 1)
+	if d := h.BFSDistances(0); d[2] != -1 {
+		t.Fatal("unreachable vertex should be -1")
+	}
+}
+
+func TestComponentsCount(t *testing.T) {
+	g := New(7, false)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	_, k := g.Components()
+	if k != 4 { // {0,1}, {2,3,4}, {5}, {6}
+		t.Fatalf("k=%d", k)
+	}
+}
+
+func TestValidateCatchesAsymmetry(t *testing.T) {
+	g := New(3, false)
+	g.Out[0] = append(g.Out[0], Edge{Dst: 1})
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected asymmetry error")
+	}
+	h := New(2, true)
+	h.Out[0] = append(h.Out[0], Edge{Dst: 5})
+	if err := h.Validate(); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestSortAdjacency(t *testing.T) {
+	g := New(3, false)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 1)
+	g.SortAdjacency()
+	if g.Out[0][0].Dst != 1 || g.Out[0][1].Dst != 2 {
+		t.Fatalf("adjacency not sorted: %v", g.Out[0])
+	}
+}
+
+func TestLabels(t *testing.T) {
+	g := RandomDirected(20, 40, 1)
+	RandomLabels(g, []string{"X", "Y"}, 2)
+	if len(g.Labels) != 20 {
+		t.Fatalf("labels len %d", len(g.Labels))
+	}
+	for v := 0; v < 20; v++ {
+		if l := g.Label(VertexID(v)); l != "X" && l != "Y" {
+			t.Fatalf("label %q", l)
+		}
+	}
+	unlabeled := Path(3)
+	if unlabeled.Label(0) != "" {
+		t.Fatal("unlabeled graph should return empty label")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := Random(30, 60, 42).UndirectedEdges()
+	b := Random(30, 60, 42).UndirectedEdges()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic generator")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package pregel
+
+// Stock aggregators. All satisfy the associativity/commutativity
+// contract of Aggregator.
+
+type funcAgg struct {
+	zero   func() any
+	reduce func(a, b any) any
+}
+
+func (f funcAgg) Zero() any           { return f.zero() }
+func (f funcAgg) Reduce(a, b any) any { return f.reduce(a, b) }
+
+// SumInt64 sums int64 contributions.
+func SumInt64() Aggregator {
+	return funcAgg{
+		zero:   func() any { return int64(0) },
+		reduce: func(a, b any) any { return a.(int64) + b.(int64) },
+	}
+}
+
+// MaxInt64 keeps the maximum int64 contribution.
+func MaxInt64() Aggregator {
+	return funcAgg{
+		zero: func() any { return int64(-1 << 62) },
+		reduce: func(a, b any) any {
+			x, y := a.(int64), b.(int64)
+			if x > y {
+				return x
+			}
+			return y
+		},
+	}
+}
+
+// MinInt64 keeps the minimum int64 contribution.
+func MinInt64() Aggregator {
+	return funcAgg{
+		zero: func() any { return int64(1<<62 - 1) },
+		reduce: func(a, b any) any {
+			x, y := a.(int64), b.(int64)
+			if x < y {
+				return x
+			}
+			return y
+		},
+	}
+}
+
+// SumFloat64 sums float64 contributions.
+func SumFloat64() Aggregator {
+	return funcAgg{
+		zero:   func() any { return float64(0) },
+		reduce: func(a, b any) any { return a.(float64) + b.(float64) },
+	}
+}
+
+// MaxFloat64 keeps the maximum float64 contribution.
+func MaxFloat64() Aggregator {
+	return funcAgg{
+		zero: func() any { return float64(0) },
+		reduce: func(a, b any) any {
+			x, y := a.(float64), b.(float64)
+			if x > y {
+				return x
+			}
+			return y
+		},
+	}
+}
+
+// BoolOr ORs boolean contributions ("did anything change?").
+func BoolOr() Aggregator {
+	return funcAgg{
+		zero:   func() any { return false },
+		reduce: func(a, b any) any { return a.(bool) || b.(bool) },
+	}
+}
+
+// Collect accumulates all contributions into a slice (order
+// unspecified). Useful for gathering result edges (e.g. MST edges)
+// without a post-pass over all vertices.
+func Collect[T any]() Aggregator {
+	return funcAgg{
+		zero: func() any { return []T(nil) },
+		reduce: func(a, b any) any {
+			as := a.([]T)
+			switch bv := b.(type) {
+			case []T:
+				return append(as, bv...)
+			case T:
+				return append(as, bv)
+			default:
+				panic("pregel: Collect aggregator received incompatible type")
+			}
+		},
+	}
+}

@@ -1,0 +1,135 @@
+package pregel
+
+import "vcgraph/internal/graph"
+
+// Checkpointing: Pregel's fault-tolerance mechanism. When
+// Config.CheckpointEvery is set, the engine snapshots the complete
+// computation state (vertex values, halt flags, undelivered messages,
+// mutated adjacency, globals, and — via Snapshotter — master state) at
+// every k-th superstep barrier. A failure rolls the computation back to
+// the last checkpoint and re-executes from there; Config.FailAt injects
+// one such failure for testing and for measuring recovery cost (the
+// redone supersteps stay in the Stats, as they would on a real
+// cluster).
+//
+// Vertex values and messages are copied shallowly; programs whose V
+// carries reference types (slices, maps) must implement ValueCloner to
+// deep-copy them, or recovery would alias live state.
+
+// ValueCloner lets a program deep-copy vertex values for checkpoints.
+type ValueCloner[V any] interface {
+	CloneValue(v V) V
+}
+
+// Snapshotter lets a program (typically one with master state) save
+// and restore that state across a rollback.
+type Snapshotter interface {
+	Snapshot() any
+	Restore(snapshot any)
+}
+
+type checkpoint[V, M any] struct {
+	nextSuperstep int
+	pending       int
+	values        []V
+	halted        []bool
+	inbox         [][]M
+	rawRecv       []int64
+	adj           [][]graph.Edge
+	globals       map[string]any
+	aggCurrent    map[string]any
+	masterState   any
+}
+
+func (e *Engine[V, M]) cloneValues(src []V) []V {
+	out := make([]V, len(src))
+	if cloner, ok := e.prog.(ValueCloner[V]); ok {
+		for i, v := range src {
+			out[i] = cloner.CloneValue(v)
+		}
+	} else {
+		copy(out, src)
+	}
+	return out
+}
+
+// saveCheckpoint snapshots the state reachable at the current barrier;
+// nextSuperstep is the superstep that would execute next.
+func (e *Engine[V, M]) saveCheckpoint(nextSuperstep, pending int) {
+	ck := &checkpoint[V, M]{
+		nextSuperstep: nextSuperstep,
+		pending:       pending,
+		values:        e.cloneValues(e.values),
+		halted:        append([]bool(nil), e.halted...),
+		inbox:         make([][]M, len(e.inbox)),
+		rawRecv:       append([]int64(nil), e.rawRecv...),
+		adj:           make([][]graph.Edge, len(e.adj)),
+		globals:       make(map[string]any, len(e.globals)),
+		aggCurrent:    make(map[string]any, len(e.aggCurrent)),
+	}
+	for v := range e.inbox {
+		ck.inbox[v] = append([]M(nil), e.inbox[v]...)
+	}
+	for v := range e.adj {
+		ck.adj[v] = append([]graph.Edge(nil), e.adj[v]...)
+	}
+	for k, v := range e.globals {
+		ck.globals[k] = v
+	}
+	for k, v := range e.aggCurrent {
+		ck.aggCurrent[k] = v
+	}
+	if s, ok := e.prog.(Snapshotter); ok {
+		ck.masterState = s.Snapshot()
+	}
+	e.lastCheckpoint = ck
+}
+
+// recover rolls the engine back to the last checkpoint (or to a fresh
+// start when none exists) and returns the superstep and pending count
+// to resume from.
+func (e *Engine[V, M]) recoverFromCheckpoint() (nextSuperstep, pending int) {
+	e.recoveries++
+	ck := e.lastCheckpoint
+	if ck == nil {
+		// No checkpoint yet: restart from scratch.
+		for v := 0; v < e.g.N(); v++ {
+			e.values[v] = e.prog.Init(e.g, VertexID(v))
+			e.halted[v] = false
+			e.inbox[v] = nil
+			e.rawRecv[v] = 0
+			e.adj[v] = append(e.adj[v][:0], e.g.Out[v]...)
+		}
+		for name, a := range e.aggs {
+			e.aggCurrent[name] = a.Zero()
+		}
+		e.globals = make(map[string]any)
+		if s, ok := e.prog.(Snapshotter); ok {
+			s.Restore(nil)
+		}
+		return 0, 0
+	}
+	e.values = e.cloneValues(ck.values)
+	copy(e.halted, ck.halted)
+	for v := range e.inbox {
+		e.inbox[v] = append([]M(nil), ck.inbox[v]...)
+	}
+	copy(e.rawRecv, ck.rawRecv)
+	for v := range e.adj {
+		e.adj[v] = append([]graph.Edge(nil), ck.adj[v]...)
+	}
+	e.globals = make(map[string]any, len(ck.globals))
+	for k, v := range ck.globals {
+		e.globals[k] = v
+	}
+	for k, v := range ck.aggCurrent {
+		e.aggCurrent[k] = v
+	}
+	if s, ok := e.prog.(Snapshotter); ok {
+		s.Restore(ck.masterState)
+	}
+	return ck.nextSuperstep, ck.pending
+}
+
+// Recoveries reports how many failure recoveries the run performed.
+func (e *Engine[V, M]) Recoveries() int { return e.recoveries }

@@ -1,0 +1,80 @@
+package pregel
+
+import "vcgraph/internal/graph"
+
+// Finishing Computations Serially (FCS), the Salihoglu–Widom
+// optimization the paper's §1 cites: many vertex-centric algorithms
+// spend a long tail of supersteps on a tiny active frontier (Hash-Min
+// on a path spends Θ(n) supersteps moving one label). When the number
+// of active vertices drops to Config.FCSThreshold or below, the engine
+// hands the whole remaining computation to the program's serial
+// finisher, which completes it in one step with direct access to every
+// value. The serial work is charged to a single worker in one final
+// superstep — honest accounting: FCS trades superstep latency for a
+// deliberately imbalanced final step.
+
+// SerialFinisher is the optional program extension FCS requires.
+type SerialFinisher[V, M any] interface {
+	// FinishSerially completes the computation. active lists the
+	// vertices that would run next superstep, inbox their undelivered
+	// messages. It returns the sequential work performed (for the cost
+	// model).
+	FinishSerially(fc *FinishContext[V, M]) int64
+}
+
+// FinishContext gives the serial finisher full access to the
+// computation state.
+type FinishContext[V, M any] struct {
+	engine *Engine[V, M]
+	active []VertexID
+}
+
+// NumVertices returns the graph size.
+func (fc *FinishContext[V, M]) NumVertices() int { return fc.engine.g.N() }
+
+// Active lists the vertices that were still active at handoff.
+func (fc *FinishContext[V, M]) Active() []VertexID { return fc.active }
+
+// Inbox returns the undelivered messages of v.
+func (fc *FinishContext[V, M]) Inbox(v VertexID) []M { return fc.engine.inbox[v] }
+
+// Value returns a pointer to v's value.
+func (fc *FinishContext[V, M]) Value(v VertexID) *V { return &fc.engine.values[v] }
+
+// OutEdges returns v's current (possibly mutated) adjacency.
+func (fc *FinishContext[V, M]) OutEdges(v VertexID) []graph.Edge { return fc.engine.adj[v] }
+
+// maybeFinishSerially checks the FCS trigger after a superstep; it
+// returns true when the serial finisher ran (the computation is done).
+func (e *Engine[V, M]) maybeFinishSerially(pending int) bool {
+	threshold := e.cfg.FCSThreshold
+	finisher, ok := e.prog.(SerialFinisher[V, M])
+	if threshold <= 0 || !ok {
+		return false
+	}
+	var active []VertexID
+	for v := 0; v < e.g.N(); v++ {
+		if !e.halted[v] || e.rawRecv[v] > 0 {
+			active = append(active, VertexID(v))
+			if len(active) > threshold {
+				return false
+			}
+		}
+	}
+	if len(active) == 0 {
+		return false // regular termination handles this
+	}
+	fc := &FinishContext[V, M]{engine: e, active: active}
+	work := finisher.FinishSerially(fc)
+	// One final, single-worker superstep carrying the serial work.
+	ss := newSuperstepStats(e.cfg.Workers)
+	ss.Work[0] = work
+	e.stats.Supersteps = append(e.stats.Supersteps, ss)
+	e.stats.TotalWork += work
+	for v := range e.inbox {
+		e.inbox[v] = nil
+		e.rawRecv[v] = 0
+		e.halted[v] = true
+	}
+	return true
+}

@@ -1,0 +1,598 @@
+// Package pregel implements a vertex-centric bulk-synchronous-parallel
+// graph processing engine in the style of Google's Pregel: computation
+// proceeds in globally synchronous supersteps; in each superstep a
+// user-supplied Compute function runs for every active vertex, consumes
+// the messages addressed to the vertex in the previous superstep, sends
+// messages to arbitrary vertices, votes to halt, and optionally mutates
+// the vertex's own adjacency list. The engine supports message
+// combiners, named aggregators, and a master-compute hook for
+// multi-phase algorithms.
+//
+// The engine is fully instrumented: it records, per superstep and per
+// worker, the local work and message volume that Valiant's BSP cost
+// model charges (see internal/bsp), and it tracks the per-vertex
+// balance evidence needed to check the BPPA properties of Yan et al.
+package pregel
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"vcgraph/internal/bsp"
+	"vcgraph/internal/graph"
+)
+
+// VertexID aliases graph.VertexID for convenience.
+type VertexID = graph.VertexID
+
+// Program is a vertex program: Init produces the initial value of each
+// vertex; Compute is invoked once per active vertex per superstep with
+// the messages delivered to it.
+type Program[V, M any] interface {
+	Init(g *graph.Graph, id VertexID) V
+	Compute(ctx *Context[V, M], msgs []M)
+}
+
+// Master is an optional extension of Program: BeforeSuperstep runs
+// once, single-threaded, before every superstep. It can inspect
+// aggregator values from the previous superstep, publish globals,
+// switch phases, re-activate all vertices, or halt the computation.
+type Master interface {
+	BeforeSuperstep(mc *MasterContext)
+}
+
+// StateSizer is an optional extension of Program: when implemented, the
+// engine samples StateUnits after each vertex computation to check the
+// BPPA space property (P1).
+type StateSizer[V any] interface {
+	StateUnits(v *V) int64
+}
+
+// Combiner merges two messages addressed to the same vertex.
+type Combiner[M any] func(a, b M) M
+
+// Aggregator reduces values contributed by vertices during a superstep
+// into a single value visible in the next superstep. Reduce must be
+// associative and commutative.
+type Aggregator interface {
+	Zero() any
+	Reduce(a, b any) any
+}
+
+// Config controls an engine run.
+type Config[M any] struct {
+	// Workers is the number of parallel workers (the P of the
+	// time-processor product). Defaults to min(4, GOMAXPROCS).
+	Workers int
+	// MaxSupersteps caps the run; exceeding it makes Run return
+	// ErrSuperstepCap. Defaults to 1 + 10·(n + 64).
+	MaxSupersteps int
+	// Combiner, when set, merges messages per destination vertex.
+	Combiner Combiner[M]
+	// MessageLess, when set, sorts each vertex's inbox before Compute,
+	// making message order deterministic regardless of worker count.
+	MessageLess func(a, b M) bool
+	// Seed feeds Context.Rand. Defaults to 1.
+	Seed int64
+	// FCSThreshold enables "finishing computations serially": when the
+	// active-vertex count drops to this value or below and the program
+	// implements SerialFinisher, the computation is completed
+	// sequentially in one final step (0 = disabled).
+	FCSThreshold int
+	// Partition assigns vertices to workers; nil means PartitionHash.
+	// Partitioning changes per-worker load (and hence the measured BSP
+	// superstep costs) but never results.
+	Partition Partitioner
+	// CheckpointEvery, when positive, snapshots the full computation
+	// state every k supersteps (Pregel fault tolerance; see
+	// checkpoint.go for the deep-copy contract).
+	CheckpointEvery int
+	// FailAt, when positive, injects a simulated machine failure right
+	// before that superstep executes (once): the engine discards live
+	// state and recovers from the last checkpoint.
+	FailAt int
+}
+
+// ErrSuperstepCap reports that the run exceeded Config.MaxSupersteps.
+var ErrSuperstepCap = errors.New("pregel: superstep cap reached")
+
+// Result is the outcome of a run.
+type Result[V any] struct {
+	// Values holds the final vertex values, indexed by VertexID.
+	Values []V
+	// Stats is the instrumentation record consumed by internal/bsp.
+	Stats *bsp.Stats
+	// Aggregates holds the final value of every registered aggregator.
+	Aggregates map[string]any
+	// Supersteps is the number of supersteps executed.
+	Supersteps int
+}
+
+type addrMsg[M any] struct {
+	dst VertexID
+	m   M
+}
+
+// Engine executes a Program over a graph.
+type Engine[V, M any] struct {
+	g    *graph.Graph
+	prog Program[V, M]
+	cfg  Config[M]
+
+	values []V
+	halted []bool
+	adj    [][]graph.Edge // mutable copy of g.Out
+	inadj  [][]graph.Edge // view of g.In (directed graphs), immutable
+	deg    []int          // original total degree, for BPPA ratios
+
+	ownerOf []int32      // vertex -> worker
+	verts   [][]VertexID // worker -> owned vertices
+
+	inbox   [][]M
+	rawRecv []int64 // raw (pre-combiner) messages delivered per vertex
+	outbox  [][][]addrMsg[M]
+
+	aggs        map[string]Aggregator
+	aggCurrent  map[string]any // finalized, visible this superstep
+	aggPartials []map[string]any
+	globals     map[string]any
+
+	stats     *bsp.Stats
+	superstep int
+
+	sizer StateSizer[V]
+
+	masterHalt  bool
+	activateAll bool
+
+	lastCheckpoint *checkpoint[V, M]
+	failArmed      bool
+	recoveries     int
+}
+
+// NewEngine builds an engine for prog over g. The graph's adjacency is
+// copied so programs may mutate it freely via Context.SetOutEdges.
+func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[M]) *Engine[V, M] {
+	n := g.N()
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+		if p := runtime.GOMAXPROCS(0); p < cfg.Workers {
+			cfg.Workers = p
+		}
+	}
+	if cfg.MaxSupersteps <= 0 {
+		cfg.MaxSupersteps = 1 + 10*(n+64)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	e := &Engine[V, M]{
+		g:       g,
+		prog:    prog,
+		cfg:     cfg,
+		values:  make([]V, n),
+		halted:  make([]bool, n),
+		adj:     make([][]graph.Edge, n),
+		inbox:   make([][]M, n),
+		rawRecv: make([]int64, n),
+		deg:     make([]int, n),
+		aggs:    make(map[string]Aggregator),
+		globals: make(map[string]any),
+		stats:   &bsp.Stats{Workers: cfg.Workers, N: n},
+	}
+	if g.Directed {
+		g.EnsureIn()
+		e.inadj = g.In
+	}
+	for v := 0; v < n; v++ {
+		e.adj[v] = append([]graph.Edge(nil), g.Out[v]...)
+		e.deg[v] = g.TotalDegree(VertexID(v))
+	}
+	part := cfg.Partition
+	if part == nil {
+		part = PartitionHash
+	}
+	e.ownerOf = part(g, cfg.Workers)
+	e.verts = make([][]VertexID, cfg.Workers)
+	for v := 0; v < n; v++ {
+		w := e.ownerOf[v]
+		if w < 0 || int(w) >= cfg.Workers {
+			panic("pregel: partitioner assigned vertex to an out-of-range worker")
+		}
+		e.verts[w] = append(e.verts[w], VertexID(v))
+	}
+	e.outbox = make([][][]addrMsg[M], cfg.Workers)
+	for w := range e.outbox {
+		e.outbox[w] = make([][]addrMsg[M], cfg.Workers)
+	}
+	e.aggPartials = make([]map[string]any, cfg.Workers)
+	for w := range e.aggPartials {
+		e.aggPartials[w] = make(map[string]any)
+	}
+	if s, ok := prog.(StateSizer[V]); ok {
+		e.sizer = s
+	}
+	return e
+}
+
+// RegisterAggregator registers a named aggregator. Must be called
+// before Run.
+func (e *Engine[V, M]) RegisterAggregator(name string, a Aggregator) {
+	e.aggs[name] = a
+}
+
+// Graph returns the input graph.
+func (e *Engine[V, M]) Graph() *graph.Graph { return e.g }
+
+func (e *Engine[V, M]) owner(v VertexID) int { return int(e.ownerOf[v]) }
+
+// Run executes the program to termination: when every vertex has voted
+// to halt and no messages are in flight, or when the master halts. It
+// returns ErrSuperstepCap (with the partial Result) if the cap is hit.
+func (e *Engine[V, M]) Run() (*Result[V], error) {
+	n := e.g.N()
+	for v := 0; v < n; v++ {
+		e.values[v] = e.prog.Init(e.g, VertexID(v))
+	}
+	e.aggCurrent = make(map[string]any, len(e.aggs))
+	for name, a := range e.aggs {
+		e.aggCurrent[name] = a.Zero()
+	}
+
+	master, hasMaster := e.prog.(Master)
+	pending := 0 // messages waiting in inboxes
+	capErr := false
+
+	for e.superstep = 0; ; e.superstep++ {
+		if e.superstep >= e.cfg.MaxSupersteps {
+			capErr = true
+			break
+		}
+		if e.cfg.FailAt > 0 && e.superstep >= e.cfg.FailAt && !e.failArmed {
+			// Simulated machine failure: discard live state, roll back
+			// to the last checkpoint (or a fresh start) and resume.
+			e.failArmed = true
+			e.superstep, pending = e.recoverFromCheckpoint()
+		}
+		e.activateAll = false
+		if hasMaster {
+			mc := &MasterContext{engine: anyEngine{setGlobal: e.setGlobal, agg: e.aggValue, activate: func() { e.activateAll = true }, halt: func() { e.masterHalt = true }}, superstep: e.superstep, pending: pending}
+			master.BeforeSuperstep(mc)
+			if e.masterHalt {
+				break
+			}
+		}
+		if e.activateAll {
+			for v := range e.halted {
+				e.halted[v] = false
+			}
+		}
+		// A vertex computes if it is active or has mail.
+		anyActive := false
+		if e.superstep == 0 {
+			anyActive = n > 0
+		} else {
+			if pending > 0 {
+				anyActive = true
+			} else {
+				for v := 0; v < n; v++ {
+					if !e.halted[v] {
+						anyActive = true
+						break
+					}
+				}
+			}
+		}
+		if !anyActive {
+			break
+		}
+		pending = e.runSuperstep()
+		if k := e.cfg.CheckpointEvery; k > 0 && (e.superstep+1)%k == 0 {
+			e.saveCheckpoint(e.superstep+1, pending)
+		}
+		if e.maybeFinishSerially(pending) {
+			e.superstep++ // count the serial step
+			break
+		}
+	}
+
+	res := &Result[V]{
+		Values:     e.values,
+		Stats:      e.stats,
+		Aggregates: e.aggCurrent,
+		Supersteps: e.superstep,
+	}
+	if capErr {
+		return res, fmt.Errorf("%w (cap %d)", ErrSuperstepCap, e.cfg.MaxSupersteps)
+	}
+	return res, nil
+}
+
+// runSuperstep executes one superstep and returns the number of raw
+// messages delivered for the next superstep.
+func newSuperstepStats(workers int) bsp.SuperstepStats {
+	return bsp.SuperstepStats{
+		Work: make([]int64, workers),
+		Sent: make([]int64, workers),
+		Recv: make([]int64, workers),
+	}
+}
+
+func (e *Engine[V, M]) runSuperstep() int {
+	p := e.cfg.Workers
+	ss := newSuperstepStats(p)
+	type maxima struct {
+		state, compute, sent, recv float64
+	}
+	workerMax := make([]maxima, p)
+
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := &Context[V, M]{engine: e, worker: w}
+			for _, vid := range e.verts[w] {
+				v := int(vid)
+				msgs := e.inbox[v]
+				raw := e.rawRecv[v]
+				if e.halted[v] && raw == 0 && e.superstep > 0 {
+					continue
+				}
+				if raw > 0 {
+					e.halted[v] = false
+				}
+				if e.cfg.MessageLess != nil && len(msgs) > 1 {
+					less := e.cfg.MessageLess
+					sort.SliceStable(msgs, func(i, j int) bool { return less(msgs[i], msgs[j]) })
+				}
+				ctx.id = vid
+				ctx.sent = 0
+				ctx.charge = 0
+				ctx.state = -1
+				ctx.halt = false
+				e.prog.Compute(ctx, msgs)
+				if ctx.halt {
+					e.halted[v] = true
+				}
+				e.inbox[v] = nil
+				e.rawRecv[v] = 0
+
+				work := 1 + raw + ctx.sent + ctx.charge
+				ss.Work[w] += work
+				ss.Sent[w] += ctx.sent
+				d := float64(e.deg[v] + 1)
+				mm := &workerMax[w]
+				if r := float64(work) / d; r > mm.compute {
+					mm.compute = r
+				}
+				if r := float64(ctx.sent) / d; r > mm.sent {
+					mm.sent = r
+				}
+				if r := float64(raw) / d; r > mm.recv {
+					mm.recv = r
+				}
+				if e.sizer != nil {
+					su := e.sizer.StateUnits(&e.values[v])
+					if r := float64(su) / d; r > mm.state {
+						mm.state = r
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Delivery: worker j drains every outbox addressed to it.
+	delivered := make([]int64, p)
+	combined := make([]int64, p)
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			comb := e.cfg.Combiner
+			for src := 0; src < p; src++ {
+				box := e.outbox[src][w]
+				for _, am := range box {
+					v := am.dst
+					e.rawRecv[v]++
+					delivered[w]++
+					if comb != nil && len(e.inbox[v]) == 1 {
+						e.inbox[v][0] = comb(e.inbox[v][0], am.m)
+					} else {
+						e.inbox[v] = append(e.inbox[v], am.m)
+						combined[w]++
+					}
+				}
+				e.outbox[src][w] = box[:0]
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Finalize aggregators.
+	for name, a := range e.aggs {
+		val := a.Zero()
+		for w := 0; w < p; w++ {
+			if pv, ok := e.aggPartials[w][name]; ok {
+				val = a.Reduce(val, pv)
+				delete(e.aggPartials[w], name)
+			}
+		}
+		e.aggCurrent[name] = val
+	}
+
+	var pending int64
+	for w := 0; w < p; w++ {
+		ss.Recv[w] = delivered[w]
+		pending += delivered[w]
+		e.stats.CombinedDeliveries += combined[w]
+		m := workerMax[w]
+		if m.state > e.stats.MaxStatePerDeg {
+			e.stats.MaxStatePerDeg = m.state
+		}
+		if m.compute > e.stats.MaxComputePerDeg {
+			e.stats.MaxComputePerDeg = m.compute
+		}
+		if m.sent > e.stats.MaxSentPerDeg {
+			e.stats.MaxSentPerDeg = m.sent
+		}
+		if m.recv > e.stats.MaxRecvPerDeg {
+			e.stats.MaxRecvPerDeg = m.recv
+		}
+		e.stats.TotalWork += ss.Work[w]
+		e.stats.TotalMessages += ss.Sent[w]
+	}
+	e.stats.Supersteps = append(e.stats.Supersteps, ss)
+	return int(pending)
+}
+
+func (e *Engine[V, M]) setGlobal(name string, v any) { e.globals[name] = v }
+
+func (e *Engine[V, M]) aggValue(name string) any { return e.aggCurrent[name] }
+
+func (e *Engine[V, M]) aggregate(worker int, name string, v any) {
+	a, ok := e.aggs[name]
+	if !ok {
+		panic("pregel: aggregate to unregistered aggregator " + name)
+	}
+	part := e.aggPartials[worker]
+	if cur, ok := part[name]; ok {
+		part[name] = a.Reduce(cur, v)
+	} else {
+		part[name] = a.Reduce(a.Zero(), v)
+	}
+}
+
+// Context is the per-vertex view handed to Compute. It is only valid
+// for the duration of the Compute call.
+type Context[V, M any] struct {
+	engine *Engine[V, M]
+	worker int
+	id     VertexID
+	sent   int64
+	charge int64
+	state  int64
+	halt   bool
+}
+
+// ID returns the vertex ID.
+func (c *Context[V, M]) ID() VertexID { return c.id }
+
+// Superstep returns the current superstep number (0-based).
+func (c *Context[V, M]) Superstep() int { return c.engine.superstep }
+
+// NumVertices returns the number of vertices in the graph.
+func (c *Context[V, M]) NumVertices() int { return c.engine.g.N() }
+
+// Value returns a pointer to this vertex's mutable value.
+func (c *Context[V, M]) Value() *V { return &c.engine.values[c.id] }
+
+// ValueOfUnsafe returns a pointer to another vertex's value. It is safe
+// only when the program guarantees no concurrent writer (used by
+// read-only post-processing and tests, not by Compute on other
+// vertices' values).
+func (c *Context[V, M]) ValueOfUnsafe(v VertexID) *V { return &c.engine.values[v] }
+
+// OutEdges returns the vertex's current (possibly mutated) out-edges.
+// The returned slice must not be retained across supersteps if
+// SetOutEdges is used.
+func (c *Context[V, M]) OutEdges() []graph.Edge { return c.engine.adj[c.id] }
+
+// InEdges returns the vertex's in-edges for directed graphs (immutable
+// view of the input graph) and the out-edges for undirected graphs.
+func (c *Context[V, M]) InEdges() []graph.Edge {
+	if c.engine.inadj != nil {
+		return c.engine.inadj[c.id]
+	}
+	return c.engine.adj[c.id]
+}
+
+// Degree returns the vertex's original total degree in the input graph
+// (d(v), or d_in+d_out for directed graphs).
+func (c *Context[V, M]) Degree() int { return c.engine.deg[c.id] }
+
+// SetOutEdges replaces this vertex's out-adjacency. Only the vertex
+// itself may mutate its adjacency, which makes the operation race-free.
+func (c *Context[V, M]) SetOutEdges(edges []graph.Edge) { c.engine.adj[c.id] = edges }
+
+// SendTo sends m to vertex dst, delivered at the next superstep.
+func (c *Context[V, M]) SendTo(dst VertexID, m M) {
+	c.sent++
+	dw := c.engine.owner(dst)
+	c.engine.outbox[c.worker][dw] = append(c.engine.outbox[c.worker][dw], addrMsg[M]{dst: dst, m: m})
+}
+
+// SendToNeighbors sends m along every current out-edge.
+func (c *Context[V, M]) SendToNeighbors(m M) {
+	for _, e := range c.engine.adj[c.id] {
+		c.SendTo(e.Dst, m)
+	}
+}
+
+// VoteToHalt deactivates the vertex; an incoming message reactivates it.
+func (c *Context[V, M]) VoteToHalt() { c.halt = true }
+
+// Aggregate contributes v to the named aggregator; the reduced value is
+// visible from the next superstep.
+func (c *Context[V, M]) Aggregate(name string, v any) { c.engine.aggregate(c.worker, name, v) }
+
+// Agg returns the named aggregator's value as finalized at the end of
+// the previous superstep.
+func (c *Context[V, M]) Agg(name string) any { return c.engine.aggValue(name) }
+
+// Global returns a master-published global (nil if unset).
+func (c *Context[V, M]) Global(name string) any { return c.engine.globals[name] }
+
+// Charge adds units of local work beyond the automatic accounting
+// (1 + messages received + messages sent). Programs call it when they
+// scan adjacency lists or do super-constant local computation.
+func (c *Context[V, M]) Charge(units int64) { c.charge += units }
+
+// Rand returns a deterministic per-(vertex, superstep) RNG.
+func (c *Context[V, M]) Rand() *rand.Rand {
+	seed := c.engine.cfg.Seed
+	seed = seed*1000003 + int64(c.id)
+	seed = seed*1000033 + int64(c.engine.superstep)
+	return rand.New(rand.NewSource(seed))
+}
+
+// anyEngine erases the engine's type parameters for MasterContext.
+type anyEngine struct {
+	setGlobal func(string, any)
+	agg       func(string) any
+	activate  func()
+	halt      func()
+}
+
+// MasterContext is handed to Master.BeforeSuperstep.
+type MasterContext struct {
+	engine    anyEngine
+	superstep int
+	pending   int
+}
+
+// Superstep returns the superstep about to execute (0-based).
+func (mc *MasterContext) Superstep() int { return mc.superstep }
+
+// PendingMessages returns the number of messages awaiting delivery in
+// the superstep about to execute.
+func (mc *MasterContext) PendingMessages() int { return mc.pending }
+
+// Agg returns the named aggregator's value finalized at the end of the
+// previous superstep.
+func (mc *MasterContext) Agg(name string) any { return mc.engine.agg(name) }
+
+// SetGlobal publishes a value readable by every vertex via
+// Context.Global during subsequent supersteps.
+func (mc *MasterContext) SetGlobal(name string, v any) { mc.engine.setGlobal(name, v) }
+
+// ActivateAll clears every vertex's halt flag for this superstep.
+func (mc *MasterContext) ActivateAll() { mc.engine.activate() }
+
+// Halt terminates the computation before this superstep executes.
+func (mc *MasterContext) Halt() { mc.engine.halt() }

@@ -1,0 +1,140 @@
+package seq
+
+import "vcgraph/internal/graph"
+
+// BFS returns hop distances from src (-1 when unreachable), the BFS
+// parent of each vertex (NoVertex for src/unreachable), and charges the
+// visited edges and vertices to ops.
+func BFS(g *graph.Graph, src VertexID, ops *Ops) (dist []int32, parent []VertexID) {
+	n := g.N()
+	dist = make([]int32, n)
+	parent = make([]VertexID, n)
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = graph.NoVertex
+	}
+	dist[src] = 0
+	queue := make([]VertexID, 0, n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		ops.Inc()
+		for _, e := range g.Out[u] {
+			ops.Inc()
+			if dist[e.Dst] == -1 {
+				dist[e.Dst] = dist[u] + 1
+				parent[e.Dst] = u
+				queue = append(queue, e.Dst)
+			}
+		}
+	}
+	return dist, parent
+}
+
+// Components labels each vertex with the smallest vertex ID in its
+// component (the paper's "color" of a component), via BFS. O(m+n).
+func Components(g *graph.Graph, ops *Ops) []VertexID {
+	n := g.N()
+	color := make([]VertexID, n)
+	for i := range color {
+		color[i] = graph.NoVertex
+	}
+	queue := make([]VertexID, 0, n)
+	for s := 0; s < n; s++ {
+		if color[s] != graph.NoVertex {
+			continue
+		}
+		c := VertexID(s) // vertices scanned in increasing order, so s is the min of its component
+		color[s] = c
+		queue = append(queue[:0], VertexID(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			ops.Inc()
+			for _, e := range g.Out[u] {
+				ops.Inc()
+				if color[e.Dst] == graph.NoVertex {
+					color[e.Dst] = c
+					queue = append(queue, e.Dst)
+				}
+			}
+		}
+	}
+	return color
+}
+
+// SpanningForest returns a BFS spanning forest as a parent array
+// (NoVertex for roots). O(m+n).
+func SpanningForest(g *graph.Graph, ops *Ops) []VertexID {
+	n := g.N()
+	parent := make([]VertexID, n)
+	seen := make([]bool, n)
+	for i := range parent {
+		parent[i] = graph.NoVertex
+	}
+	queue := make([]VertexID, 0, n)
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		queue = append(queue[:0], VertexID(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			ops.Inc()
+			for _, e := range g.Out[u] {
+				ops.Inc()
+				if !seen[e.Dst] {
+					seen[e.Dst] = true
+					parent[e.Dst] = u
+					queue = append(queue, e.Dst)
+				}
+			}
+		}
+	}
+	return parent
+}
+
+// Eccentricities returns the hop eccentricity of every vertex by
+// running BFS from each vertex: the paper's O(mn) sequential diameter
+// baseline. Unreachable pairs are ignored (per-component eccentricity).
+func Eccentricities(g *graph.Graph, ops *Ops) []int32 {
+	n := g.N()
+	ecc := make([]int32, n)
+	for v := 0; v < n; v++ {
+		dist, _ := BFS(g, VertexID(v), ops)
+		var mx int32
+		for _, d := range dist {
+			if d > mx {
+				mx = d
+			}
+		}
+		ecc[v] = mx
+	}
+	return ecc
+}
+
+// Diameter returns the exact hop diameter (max eccentricity), O(mn).
+func Diameter(g *graph.Graph, ops *Ops) int32 {
+	var mx int32
+	for _, e := range Eccentricities(g, ops) {
+		if e > mx {
+			mx = e
+		}
+	}
+	return mx
+}
+
+// APSPUnweighted returns the full hop-distance matrix via BFS from
+// every source (the O(mn) baseline standing in for Chan's algorithm;
+// see DESIGN.md §5). dist[u][v] == -1 when unreachable.
+func APSPUnweighted(g *graph.Graph, ops *Ops) [][]int32 {
+	n := g.N()
+	all := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		all[v], _ = BFS(g, VertexID(v), ops)
+	}
+	return all
+}

@@ -1,0 +1,107 @@
+package seq
+
+import "vcgraph/internal/graph"
+
+// LexFirstMIS returns the lexicographically-first maximal independent
+// set among the vertices with active[v] == true: scan IDs in increasing
+// order, greedily taking every vertex none of whose smaller active
+// neighbors was taken. O(m+n) over the active subgraph.
+func LexFirstMIS(g *graph.Graph, active []bool, ops *Ops) []bool {
+	n := g.N()
+	inMIS := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if !active[v] {
+			continue
+		}
+		ops.Inc()
+		ok := true
+		for _, e := range g.Out[v] {
+			ops.Inc()
+			if active[e.Dst] && inMIS[e.Dst] {
+				ok = false
+				break
+			}
+		}
+		inMIS[v] = ok
+	}
+	return inMIS
+}
+
+// ColoringMIS colors the graph by repeatedly extracting the
+// lexicographically-first MIS of the remaining vertices and assigning
+// it the next color: the paper's O(Km) sequential comparator (K = the
+// number of MIS phases). It returns colors (0-based) and K.
+func ColoringMIS(g *graph.Graph, ops *Ops) ([]int, int) {
+	n := g.N()
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	active := make([]bool, n)
+	remaining := n
+	for i := range active {
+		active[i] = true
+	}
+	k := 0
+	for remaining > 0 {
+		mis := LexFirstMIS(g, active, ops)
+		for v := 0; v < n; v++ {
+			if active[v] && mis[v] {
+				colors[v] = k
+				active[v] = false
+				remaining--
+			}
+		}
+		k++
+	}
+	return colors, k
+}
+
+// IsProperColoring verifies that no edge is monochromatic and every
+// vertex is colored.
+func IsProperColoring(g *graph.Graph, colors []int) bool {
+	for u := range g.Out {
+		if colors[u] < 0 {
+			return false
+		}
+		for _, e := range g.Out[u] {
+			if e.Dst != VertexID(u) && colors[e.Dst] == colors[u] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsMIS verifies that mis is independent and maximal within the active
+// vertex set.
+func IsMIS(g *graph.Graph, active, mis []bool) bool {
+	for v := range g.Out {
+		if !active[v] {
+			if mis[v] {
+				return false
+			}
+			continue
+		}
+		if mis[v] {
+			for _, e := range g.Out[v] {
+				if active[e.Dst] && mis[e.Dst] && e.Dst != VertexID(v) {
+					return false
+				}
+			}
+			continue
+		}
+		// Not in MIS: must have a neighbor in the MIS.
+		covered := false
+		for _, e := range g.Out[v] {
+			if active[e.Dst] && mis[e.Dst] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}

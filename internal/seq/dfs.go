@@ -1,0 +1,318 @@
+package seq
+
+import (
+	"fmt"
+
+	"vcgraph/internal/graph"
+)
+
+// SCC computes strongly connected components with Tarjan's linear-time
+// algorithm (iterative). It returns a component label per vertex;
+// labels are normalized to the smallest vertex ID in the component.
+func SCC(g *graph.Graph, ops *Ops) []VertexID {
+	n := g.N()
+	const unvisited = -1
+	disc := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	comp := make([]VertexID, n)
+	for i := range disc {
+		disc[i] = unvisited
+		comp[i] = graph.NoVertex
+	}
+	var stack []VertexID
+	var timer int32
+
+	type frame struct {
+		v  VertexID
+		ei int
+	}
+	var call []frame
+	for s := 0; s < n; s++ {
+		if disc[s] != unvisited {
+			continue
+		}
+		call = append(call[:0], frame{v: VertexID(s)})
+		disc[s] = timer
+		low[s] = timer
+		timer++
+		stack = append(stack, VertexID(s))
+		onStack[s] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			if f.ei < len(g.Out[v]) {
+				e := g.Out[v][f.ei]
+				f.ei++
+				ops.Inc()
+				w := e.Dst
+				if disc[w] == unvisited {
+					disc[w] = timer
+					low[w] = timer
+					timer++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+				} else if onStack[w] && disc[w] < low[v] {
+					low[v] = disc[w]
+				}
+				continue
+			}
+			// v finished.
+			ops.Inc()
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == disc[v] {
+				// Pop the component; find min ID for normalization.
+				minID := v
+				end := len(stack)
+				for i := end - 1; ; i-- {
+					w := stack[i]
+					if w < minID {
+						minID = w
+					}
+					if w == v {
+						for j := i; j < end; j++ {
+							comp[stack[j]] = minID
+							onStack[stack[j]] = false
+						}
+						stack = stack[:i]
+						break
+					}
+				}
+			}
+		}
+	}
+	return comp
+}
+
+// BCCResult is the output of biconnected-component decomposition.
+type BCCResult struct {
+	// EdgeComp maps each canonical undirected edge (U<=V) to a
+	// component label (arbitrary but consistent small ints).
+	EdgeComp map[[2]VertexID]int
+	// Articulation flags articulation vertices.
+	Articulation []bool
+	// NumComponents is the number of biconnected components.
+	NumComponents int
+}
+
+func canon(u, v VertexID) [2]VertexID {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]VertexID{u, v}
+}
+
+// BCC computes biconnected components of an undirected graph with the
+// Hopcroft–Tarjan DFS algorithm (iterative, edge stack). O(m+n).
+func BCC(g *graph.Graph, ops *Ops) BCCResult {
+	if g.Directed {
+		panic("seq: BCC on directed graph")
+	}
+	n := g.N()
+	const unvisited = -1
+	disc := make([]int32, n)
+	low := make([]int32, n)
+	parent := make([]VertexID, n)
+	for i := range disc {
+		disc[i] = unvisited
+		parent[i] = graph.NoVertex
+	}
+	res := BCCResult{
+		EdgeComp:     make(map[[2]VertexID]int),
+		Articulation: make([]bool, n),
+	}
+	var timer int32
+	var estack [][2]VertexID
+
+	type frame struct {
+		v        VertexID
+		ei       int
+		children int
+	}
+	var call []frame
+	popComp := func(u, v VertexID) {
+		// Pop edges up to and including (u, v) into a new component.
+		id := res.NumComponents
+		res.NumComponents++
+		for len(estack) > 0 {
+			e := estack[len(estack)-1]
+			estack = estack[:len(estack)-1]
+			res.EdgeComp[e] = id
+			ops.Inc()
+			if e == canon(u, v) {
+				break
+			}
+		}
+	}
+	for s := 0; s < n; s++ {
+		if disc[s] != unvisited {
+			continue
+		}
+		call = append(call[:0], frame{v: VertexID(s)})
+		disc[s] = timer
+		low[s] = timer
+		timer++
+		rootChildren := 0
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			if f.ei < len(g.Out[v]) {
+				e := g.Out[v][f.ei]
+				f.ei++
+				ops.Inc()
+				w := e.Dst
+				if w == v {
+					// Self-loop: its own biconnected component.
+					k := canon(v, w)
+					if _, done := res.EdgeComp[k]; !done {
+						res.EdgeComp[k] = res.NumComponents
+						res.NumComponents++
+					}
+					continue
+				}
+				if disc[w] == unvisited {
+					parent[w] = v
+					f.children++
+					if len(call) == 1 {
+						rootChildren++
+					}
+					estack = append(estack, canon(v, w))
+					disc[w] = timer
+					low[w] = timer
+					timer++
+					call = append(call, frame{v: w})
+				} else if w != parent[v] && disc[w] < disc[v] {
+					// Back edge.
+					estack = append(estack, canon(v, w))
+					if disc[w] < low[v] {
+						low[v] = disc[w]
+					}
+				}
+				continue
+			}
+			call = call[:len(call)-1]
+			ops.Inc()
+			if len(call) > 0 {
+				p := call[len(call)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+				if low[v] >= disc[p] {
+					// p is an articulation point (unless root; handled below),
+					// and the edges above (p, v) form a component.
+					if parent[p] != graph.NoVertex {
+						res.Articulation[p] = true
+					}
+					popComp(p, v)
+				}
+			}
+		}
+		res.Articulation[s] = rootChildren > 1
+	}
+	return res
+}
+
+// DirEdge is a directed tree edge in an Euler tour.
+type DirEdge struct{ U, V VertexID }
+
+func (e DirEdge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
+
+// EulerTour returns the Euler tour of a tree rooted at root, following
+// sorted adjacency: the tour starts with (root, first(root)) and the
+// successor of (u, v) is (v, next_v(u)) where next_v wraps around v's
+// sorted neighbor list. The tour has 2(n-1) directed edges. O(n).
+func EulerTour(t *graph.Graph, root VertexID, ops *Ops) []DirEdge {
+	if !t.IsTree() {
+		panic("seq: EulerTour on non-tree")
+	}
+	n := t.N()
+	if n <= 1 {
+		return nil
+	}
+	// next[v] maps neighbor u -> neighbor after u in v's sorted list.
+	next := make([]map[VertexID]VertexID, n)
+	for v := 0; v < n; v++ {
+		adj := t.Out[v]
+		next[v] = make(map[VertexID]VertexID, len(adj))
+		for i, e := range adj {
+			ops.Inc()
+			next[v][e.Dst] = adj[(i+1)%len(adj)].Dst
+		}
+	}
+	tour := make([]DirEdge, 0, 2*(n-1))
+	cur := DirEdge{U: root, V: t.Out[root][0].Dst}
+	for i := 0; i < 2*(n-1); i++ {
+		ops.Inc()
+		tour = append(tour, cur)
+		cur = DirEdge{U: cur.V, V: next[cur.V][cur.U]}
+	}
+	return tour
+}
+
+// PrePostOrder returns DFS pre- and post-order numbers (0-based) of a
+// tree rooted at root, visiting the children of a vertex reached from
+// parent p in cyclic sorted-adjacency order starting at next(p) — the
+// exact order the Euler tour induces (at the root, plain sorted order).
+// O(n).
+func PrePostOrder(t *graph.Graph, root VertexID, ops *Ops) (pre, post []int32) {
+	n := t.N()
+	pre = make([]int32, n)
+	post = make([]int32, n)
+	for i := range pre {
+		pre[i] = -1
+		post[i] = -1
+	}
+	type frame struct {
+		v     VertexID
+		start int // adjacency index to begin the cyclic scan at
+		k     int // neighbors processed so far
+	}
+	var preN, postN int32
+	parent := make([]VertexID, n)
+	for i := range parent {
+		parent[i] = graph.NoVertex
+	}
+	stack := []frame{{v: root}}
+	pre[root] = preN
+	preN++
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		v := f.v
+		adj := t.Out[v]
+		if f.k < len(adj) {
+			w := adj[(f.start+f.k)%len(adj)].Dst
+			f.k++
+			ops.Inc()
+			if w == parent[v] {
+				continue
+			}
+			parent[w] = v
+			pre[w] = preN
+			preN++
+			// The child's scan starts right after its link back to v.
+			wadj := t.Out[w]
+			start := 0
+			for i, e := range wadj {
+				ops.Inc()
+				if e.Dst == v {
+					start = (i + 1) % len(wadj)
+					break
+				}
+			}
+			stack = append(stack, frame{v: w, start: start})
+			continue
+		}
+		post[v] = postN
+		postN++
+		ops.Inc()
+		stack = stack[:len(stack)-1]
+	}
+	return pre, post
+}

@@ -1,0 +1,65 @@
+package seq
+
+import "vcgraph/internal/graph"
+
+// KCore computes the coreness of every vertex with the Matula–Beck
+// bucket-peeling algorithm, O(m+n): repeatedly remove a vertex of
+// minimum remaining degree; its coreness is the running maximum of the
+// minimum degrees seen.
+func KCore(g *graph.Graph, ops *Ops) []int32 {
+	n := g.N()
+	deg := make([]int32, n)
+	maxDeg := int32(0)
+	for v := 0; v < n; v++ {
+		deg[v] = int32(g.Degree(VertexID(v)))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket sort vertices by degree with positional bookkeeping so
+	// degree decrements are O(1) swaps.
+	bin := make([]int32, maxDeg+2)
+	for v := 0; v < n; v++ {
+		bin[deg[v]]++
+	}
+	start := int32(0)
+	for d := int32(0); d <= maxDeg; d++ {
+		bin[d], start = start, start+bin[d]
+	}
+	pos := make([]int32, n)
+	vert := make([]VertexID, n)
+	for v := 0; v < n; v++ {
+		pos[v] = bin[deg[v]]
+		vert[pos[v]] = VertexID(v)
+		bin[deg[v]]++
+	}
+	for d := maxDeg; d >= 1; d-- {
+		bin[d] = bin[d-1]
+	}
+	bin[0] = 0
+
+	core := make([]int32, n)
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		core[v] = deg[v]
+		ops.Inc()
+		for _, e := range g.Out[v] {
+			u := e.Dst
+			ops.Inc()
+			if deg[u] > deg[v] {
+				// Move u to the front of its bucket, then shrink it.
+				du := deg[u]
+				pu := pos[u]
+				pw := bin[du]
+				w := vert[pw]
+				if u != w {
+					pos[u], pos[w] = pw, pu
+					vert[pu], vert[pw] = w, u
+				}
+				bin[du]++
+				deg[u]--
+			}
+		}
+	}
+	return core
+}

@@ -1,0 +1,200 @@
+package seq
+
+import (
+	"sort"
+
+	"vcgraph/internal/graph"
+)
+
+// sortSlice adapts sort.Slice to a typed less function.
+func sortSlice[T any](s []T, less func(a, b T) bool) {
+	sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
+}
+
+// MaxWeightMatchingPGA computes a 1/2-approximate maximum weight
+// matching with the Drake–Hougardy path-growing algorithm, the
+// linear-time O(m) stand-in for Preis's algorithm (same bound, same
+// guarantee; see DESIGN.md §5). It returns match[v] (NoVertex when
+// unmatched) and the matching weight.
+func MaxWeightMatchingPGA(g *graph.Graph, ops *Ops) ([]VertexID, float64) {
+	n := g.N()
+	removed := make([]bool, n)
+	// Two alternating matchings; keep the heavier.
+	m1 := make(map[[2]VertexID]float64)
+	m2 := make(map[[2]VertexID]float64)
+	var w1, w2 float64
+
+	heaviest := func(v VertexID) (VertexID, float64, bool) {
+		var best VertexID = graph.NoVertex
+		var bw float64
+		for _, e := range g.Out[v] {
+			ops.Inc()
+			if removed[e.Dst] || e.Dst == v {
+				continue
+			}
+			if best == graph.NoVertex || e.W > bw || (e.W == bw && e.Dst < best) {
+				best, bw = e.Dst, e.W
+			}
+		}
+		return best, bw, best != graph.NoVertex
+	}
+	for s := 0; s < n; s++ {
+		if removed[s] {
+			continue
+		}
+		v := VertexID(s)
+		side := 1
+		for {
+			u, w, ok := heaviest(v)
+			if !ok {
+				removed[v] = true
+				break
+			}
+			k := canon(v, u)
+			if side == 1 {
+				m1[k] = w
+				w1 += w
+			} else {
+				m2[k] = w
+				w2 += w
+			}
+			side = 3 - side
+			removed[v] = true
+			v = u
+		}
+	}
+	chosen := m1
+	total := w1
+	if w2 > w1 {
+		chosen = m2
+		total = w2
+	}
+	match := make([]VertexID, n)
+	for i := range match {
+		match[i] = graph.NoVertex
+	}
+	for k := range chosen {
+		match[k[0]] = k[1]
+		match[k[1]] = k[0]
+	}
+	return match, total
+}
+
+// GreedyMaxWeightMatching computes the classic greedy 1/2-approximate
+// maximum weight matching: scan edges by decreasing weight (ties by
+// endpoint IDs) and add every edge whose endpoints are both free.
+// O(m log m). With distinct weights this equals the matching produced
+// by repeated locally-heaviest-edge selection, which is what the
+// vertex-centric row 13 algorithm computes.
+func GreedyMaxWeightMatching(g *graph.Graph, ops *Ops) ([]VertexID, float64) {
+	edges := g.UndirectedEdges()
+	sortEdgesByWeightDesc(edges, ops)
+	n := g.N()
+	match := make([]VertexID, n)
+	for i := range match {
+		match[i] = graph.NoVertex
+	}
+	var total float64
+	for _, e := range edges {
+		ops.Inc()
+		if e.U != e.V && match[e.U] == graph.NoVertex && match[e.V] == graph.NoVertex {
+			match[e.U] = e.V
+			match[e.V] = e.U
+			total += e.W
+		}
+	}
+	return match, total
+}
+
+func sortEdgesByWeightDesc(edges []graph.UndirectedEdge, ops *Ops) {
+	sortSlice(edges, func(a, b graph.UndirectedEdge) bool {
+		ops.Inc()
+		if a.W != b.W {
+			return a.W > b.W
+		}
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+}
+
+// GreedyBipartiteMatching computes a maximal matching of a bipartite
+// graph (left side = vertices [0, nl)) by scanning left vertices in ID
+// order and matching each to its first free neighbor. O(m+n).
+func GreedyBipartiteMatching(g *graph.Graph, nl int, ops *Ops) []VertexID {
+	n := g.N()
+	match := make([]VertexID, n)
+	for i := range match {
+		match[i] = graph.NoVertex
+	}
+	for u := 0; u < nl; u++ {
+		ops.Inc()
+		for _, e := range g.Out[u] {
+			ops.Inc()
+			if match[e.Dst] == graph.NoVertex {
+				match[u] = e.Dst
+				match[e.Dst] = VertexID(u)
+				break
+			}
+		}
+	}
+	return match
+}
+
+// MatchingWeight sums the weight of a matching given match pointers.
+func MatchingWeight(g *graph.Graph, match []VertexID) float64 {
+	var total float64
+	for u := range match {
+		v := match[u]
+		if v == graph.NoVertex || VertexID(u) > v {
+			continue
+		}
+		for _, e := range g.Out[u] {
+			if e.Dst == v {
+				total += e.W
+				break
+			}
+		}
+	}
+	return total
+}
+
+// IsMatching verifies match pointer symmetry and edge existence.
+func IsMatching(g *graph.Graph, match []VertexID) bool {
+	for u := range match {
+		v := match[u]
+		if v == graph.NoVertex {
+			continue
+		}
+		if match[v] != VertexID(u) {
+			return false
+		}
+		found := false
+		for _, e := range g.Out[u] {
+			if e.Dst == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMaximalMatching reports whether no edge has both endpoints free.
+func IsMaximalMatching(g *graph.Graph, match []VertexID) bool {
+	if !IsMatching(g, match) {
+		return false
+	}
+	for u := range g.Out {
+		for _, e := range g.Out[u] {
+			if match[u] == graph.NoVertex && match[e.Dst] == graph.NoVertex && VertexID(u) != e.Dst {
+				return false
+			}
+		}
+	}
+	return true
+}

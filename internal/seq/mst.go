@@ -1,0 +1,185 @@
+package seq
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"vcgraph/internal/graph"
+)
+
+// MSTPrim computes a minimum spanning forest with Prim's algorithm and
+// a binary heap, O(m log n): the practical sequential comparator the
+// paper names alongside Chazelle's algorithm (see DESIGN.md §5). It
+// returns the forest edges and total weight.
+func MSTPrim(g *graph.Graph, ops *Ops) ([]graph.UndirectedEdge, float64) {
+	n := g.N()
+	inTree := make([]bool, n)
+	best := make([]float64, n)
+	bestEdge := make([]graph.UndirectedEdge, n)
+	for i := range best {
+		best[i] = math.Inf(1)
+	}
+	var edges []graph.UndirectedEdge
+	var total float64
+	pq := &distHeap{ops: ops}
+	for s := 0; s < n; s++ {
+		if inTree[s] {
+			continue
+		}
+		best[s] = 0
+		pq.items = pq.items[:0]
+		heap.Push(pq, distItem{v: VertexID(s), d: 0})
+		for pq.Len() > 0 {
+			it := heap.Pop(pq).(distItem)
+			v := it.v
+			if inTree[v] {
+				continue
+			}
+			inTree[v] = true
+			ops.Inc()
+			if v != VertexID(s) {
+				edges = append(edges, bestEdge[v])
+				total += bestEdge[v].W
+			}
+			for _, e := range g.Out[v] {
+				ops.Inc()
+				if !inTree[e.Dst] && e.W < best[e.Dst] {
+					best[e.Dst] = e.W
+					u, w := v, e.Dst
+					if u > w {
+						u, w = w, u
+					}
+					bestEdge[e.Dst] = graph.UndirectedEdge{U: u, V: w, W: e.W}
+					heap.Push(pq, distItem{v: e.Dst, d: e.W})
+				}
+			}
+		}
+	}
+	sortEdges(edges)
+	return edges, total
+}
+
+// MSTKruskal computes a minimum spanning forest with Kruskal's
+// algorithm and union-find, O(m log m). Used to cross-check Prim.
+func MSTKruskal(g *graph.Graph, ops *Ops) ([]graph.UndirectedEdge, float64) {
+	all := g.UndirectedEdges()
+	sort.Slice(all, func(i, j int) bool {
+		ops.Inc()
+		return all[i].W < all[j].W
+	})
+	uf := NewUnionFind(g.N())
+	var edges []graph.UndirectedEdge
+	var total float64
+	for _, e := range all {
+		ops.Inc()
+		if uf.Union(e.U, e.V) {
+			edges = append(edges, e)
+			total += e.W
+		}
+	}
+	sortEdges(edges)
+	return edges, total
+}
+
+// MSTKruskalRadix computes a minimum spanning forest in O(m α(m,n))
+// time: LSD radix sort on the IEEE bit patterns of the (non-negative)
+// weights — linear, since the key width is constant — followed by
+// Kruskal's union-find scan. This is the practical stand-in for the
+// paper's Chazelle baseline: genuinely near-linear, unlike
+// comparison-sort Kruskal or heap-based Prim (see DESIGN.md §5).
+func MSTKruskalRadix(g *graph.Graph, ops *Ops) ([]graph.UndirectedEdge, float64) {
+	all := g.UndirectedEdges()
+	m := len(all)
+	buf := make([]graph.UndirectedEdge, m)
+	var count [256]int
+	for shift := 0; shift < 64; shift += 8 {
+		for i := range count {
+			count[i] = 0
+		}
+		for _, e := range all {
+			ops.Inc()
+			count[(keyBits(e.W)>>shift)&0xff]++
+		}
+		if count[0] == m {
+			continue // this byte is zero in every key: pass is a no-op
+		}
+		total := 0
+		for i := range count {
+			count[i], total = total, total+count[i]
+		}
+		for _, e := range all {
+			b := (keyBits(e.W) >> shift) & 0xff
+			buf[count[b]] = e
+			count[b]++
+		}
+		all, buf = buf, all
+	}
+	uf := NewUnionFind(g.N())
+	var edges []graph.UndirectedEdge
+	var total float64
+	for _, e := range all {
+		ops.Inc()
+		if uf.Union(e.U, e.V) {
+			edges = append(edges, e)
+			total += e.W
+		}
+	}
+	sortEdges(edges)
+	return edges, total
+}
+
+// keyBits maps a non-negative float64 to a radix-sortable uint64 (the
+// IEEE ordering of non-negative floats matches their bit patterns).
+func keyBits(w float64) uint64 { return math.Float64bits(w) }
+
+func sortEdges(edges []graph.UndirectedEdge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+}
+
+// UnionFind is a disjoint-set forest with union by rank and path
+// halving.
+type UnionFind struct {
+	parent []VertexID
+	rank   []int8
+}
+
+// NewUnionFind returns n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{parent: make([]VertexID, n), rank: make([]int8, n)}
+	for i := range uf.parent {
+		uf.parent[i] = VertexID(i)
+	}
+	return uf
+}
+
+// Find returns the representative of v's set.
+func (uf *UnionFind) Find(v VertexID) VertexID {
+	for uf.parent[v] != v {
+		uf.parent[v] = uf.parent[uf.parent[v]]
+		v = uf.parent[v]
+	}
+	return v
+}
+
+// Union merges the sets of a and b; it reports whether a merge
+// happened (false if already joined).
+func (uf *UnionFind) Union(a, b VertexID) bool {
+	ra, rb := uf.Find(a), uf.Find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+	return true
+}

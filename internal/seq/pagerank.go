@@ -1,0 +1,149 @@
+package seq
+
+import (
+	"math"
+
+	"vcgraph/internal/graph"
+)
+
+// HITS runs k iterations of Kleinberg's hubs-and-authorities power
+// iteration on a directed graph, L2-normalizing after every half step
+// (the same schedule as the vertex-centric implementation, so the two
+// are comparable element-wise). Returns unit-normalized hub and
+// authority vectors.
+func HITS(g *graph.Graph, k int, ops *Ops) (hub, auth []float64) {
+	n := g.N()
+	hub = make([]float64, n)
+	auth = make([]float64, n)
+	for i := range hub {
+		hub[i] = 1
+		auth[i] = 1
+	}
+	normalize := func(xs []float64) {
+		var sq float64
+		for _, x := range xs {
+			sq += x * x
+		}
+		if sq == 0 {
+			return
+		}
+		inv := 1 / sqrt(sq)
+		for i := range xs {
+			xs[i] *= inv
+			ops.Inc()
+		}
+	}
+	for it := 0; it < k; it++ {
+		normalize(hub)
+		for i := range auth {
+			auth[i] = 0
+		}
+		for u := 0; u < n; u++ {
+			for _, e := range g.Out[u] {
+				ops.Inc()
+				auth[e.Dst] += hub[u]
+			}
+		}
+		normalize(auth)
+		for i := range hub {
+			hub[i] = 0
+		}
+		for u := 0; u < n; u++ {
+			for _, e := range g.Out[u] {
+				ops.Inc()
+				hub[u] += auth[e.Dst]
+			}
+		}
+	}
+	normalize(hub)
+	normalize(auth)
+	return hub, auth
+}
+
+func sqrt(x float64) float64 {
+	return math.Sqrt(x)
+}
+
+// PageRank runs K iterations of power iteration with teleportation
+// probability (1-alpha), matching the Pregel-paper formulation: each
+// iteration costs O(m). Dangling vertices (out-degree 0) leak rank to
+// the teleport term, exactly as the vertex-centric version does, so the
+// two are comparable element-wise.
+func PageRank(g *graph.Graph, alpha float64, k int, ops *Ops) []float64 {
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	pr := make([]float64, n)
+	next := make([]float64, n)
+	for i := range pr {
+		pr[i] = 1 / float64(n)
+	}
+	base := (1 - alpha) / float64(n)
+	for it := 0; it < k; it++ {
+		for i := range next {
+			next[i] = base
+			ops.Inc()
+		}
+		for u := 0; u < n; u++ {
+			out := g.Out[u]
+			if len(out) == 0 {
+				continue
+			}
+			share := alpha * pr[u] / float64(len(out))
+			for _, e := range out {
+				ops.Inc()
+				next[e.Dst] += share
+			}
+		}
+		pr, next = next, pr
+	}
+	return pr
+}
+
+// PersonalizedPageRank computes the exact terminal distribution of
+// the restart random walk from src: at each step the walk ends with
+// probability c (or certainly, at a dangling vertex), else moves to a
+// uniform random neighbor. Computed by accumulating the occupancy
+// distribution q_t over `iters` steps:
+//
+//	terminal(v) = Σ_t q_t(v) · c            (non-dangling)
+//	terminal(v) = Σ_t q_t(v)                (dangling)
+//
+// This matches the Monte Carlo estimator in internal/vc exactly.
+func PersonalizedPageRank(g *graph.Graph, src VertexID, c float64, iters int, ops *Ops) []float64 {
+	n := g.N()
+	q := make([]float64, n)
+	next := make([]float64, n)
+	terminal := make([]float64, n)
+	q[src] = 1
+	for it := 0; it < iters; it++ {
+		for i := range next {
+			next[i] = 0
+			ops.Inc()
+		}
+		for u := 0; u < n; u++ {
+			if q[u] == 0 {
+				continue
+			}
+			out := g.Out[u]
+			if len(out) == 0 {
+				terminal[u] += q[u] // walk must end here
+				continue
+			}
+			terminal[u] += q[u] * c
+			share := (1 - c) * q[u] / float64(len(out))
+			for _, e := range out {
+				ops.Inc()
+				next[e.Dst] += share
+			}
+		}
+		q, next = next, q
+	}
+	// Whatever occupancy remains after the horizon ends in place
+	// (mirrors the walk-length cap of the Monte Carlo version).
+	for v := 0; v < n; v++ {
+		terminal[v] += q[v]
+	}
+	return terminal
+}

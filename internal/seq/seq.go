@@ -1,0 +1,24 @@
+// Package seq implements the best-known sequential algorithms the
+// paper uses as comparators in Table 1, each instrumented with an
+// operation counter so the benchmark harness can compare measured work
+// growth against the vertex-centric implementations.
+//
+// The counting convention: one unit per elementary step (an edge scan,
+// a queue/stack operation, a heap operation counted with its log
+// factor folded in by the heap's own loop). The absolute constants do
+// not matter — the harness compares growth across input sizes.
+package seq
+
+import "vcgraph/internal/graph"
+
+// Ops is the operation counter threaded through every baseline.
+type Ops struct{ N int64 }
+
+// Add adds n units of work.
+func (o *Ops) Add(n int64) { o.N += n }
+
+// Inc adds one unit of work.
+func (o *Ops) Inc() { o.N++ }
+
+// VertexID aliases graph.VertexID.
+type VertexID = graph.VertexID

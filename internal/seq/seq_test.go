@@ -1,0 +1,495 @@
+package seq
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vcgraph/internal/graph"
+)
+
+func TestBFSPath(t *testing.T) {
+	g := graph.Path(6)
+	var ops Ops
+	dist, parent := BFS(g, 0, &ops)
+	for i := 0; i < 6; i++ {
+		if dist[i] != int32(i) {
+			t.Fatalf("dist[%d]=%d", i, dist[i])
+		}
+	}
+	if parent[3] != 2 || parent[0] != graph.NoVertex {
+		t.Fatalf("parents: %v", parent)
+	}
+	if ops.N == 0 {
+		t.Fatal("no ops counted")
+	}
+}
+
+func TestComponentsLabels(t *testing.T) {
+	g := graph.New(6, false)
+	g.AddEdge(4, 5)
+	g.AddEdge(1, 2)
+	var ops Ops
+	c := Components(g, &ops)
+	want := []VertexID{0, 1, 1, 3, 4, 4}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("c[%d]=%d want %d", i, c[i], want[i])
+		}
+	}
+}
+
+func TestDiameterKnownShapes(t *testing.T) {
+	var ops Ops
+	if d := Diameter(graph.Path(10), &ops); d != 9 {
+		t.Fatalf("path diameter %d", d)
+	}
+	if d := Diameter(graph.Cycle(10), &ops); d != 5 {
+		t.Fatalf("cycle diameter %d", d)
+	}
+	if d := Diameter(graph.Complete(5), &ops); d != 1 {
+		t.Fatalf("complete diameter %d", d)
+	}
+	if d := Diameter(graph.Star(9), &ops); d != 2 {
+		t.Fatalf("star diameter %d", d)
+	}
+}
+
+func TestSCCAgainstKosarajuStyleBruteForce(t *testing.T) {
+	// Brute force: u,v in same SCC iff mutual reachability.
+	reach := func(g *graph.Graph, s VertexID) []bool {
+		seen := make([]bool, g.N())
+		seen[s] = true
+		stack := []VertexID{s}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range g.Out[u] {
+				if !seen[e.Dst] {
+					seen[e.Dst] = true
+					stack = append(stack, e.Dst)
+				}
+			}
+		}
+		return seen
+	}
+	f := func(seed int64) bool {
+		g := graph.RandomDirected(25, 80, seed)
+		var ops Ops
+		comp := SCC(g, &ops)
+		r := make([][]bool, g.N())
+		for v := 0; v < g.N(); v++ {
+			r[v] = reach(g, VertexID(v))
+		}
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				same := r[u][v] && r[v][u]
+				if same != (comp[u] == comp[v]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBCCBruteForce(t *testing.T) {
+	// Brute force: edges e, f are in the same biconnected component iff
+	// e == f or they lie on a common simple cycle. Equivalent test:
+	// removing any single vertex leaves e and f connected through their
+	// endpoints... simplest reliable check for tiny graphs: the
+	// edge-equivalence closure where two incident edges are equivalent
+	// iff their far endpoints are connected in G minus the shared
+	// vertex. Instead of re-deriving theory, verify BCC output on
+	// handcrafted graphs with known decompositions.
+	g := graph.New(7, false)
+	// Blocks: triangle {0,1,2}; bridge (2,3); square {3,4,5,6}.
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(5, 6)
+	g.AddEdge(3, 6)
+	var ops Ops
+	res := BCC(g, &ops)
+	if res.NumComponents != 3 {
+		t.Fatalf("components = %d, want 3", res.NumComponents)
+	}
+	tri := res.EdgeComp[[2]VertexID{0, 1}]
+	if res.EdgeComp[[2]VertexID{1, 2}] != tri || res.EdgeComp[[2]VertexID{0, 2}] != tri {
+		t.Fatal("triangle split across components")
+	}
+	bridge := res.EdgeComp[[2]VertexID{2, 3}]
+	if bridge == tri {
+		t.Fatal("bridge merged with triangle")
+	}
+	sq := res.EdgeComp[[2]VertexID{3, 4}]
+	for _, k := range [][2]VertexID{{4, 5}, {5, 6}, {3, 6}} {
+		if res.EdgeComp[k] != sq {
+			t.Fatal("square split across components")
+		}
+	}
+	// Articulation points: 2 and 3.
+	for v, want := range []bool{false, false, true, true, false, false, false} {
+		if res.Articulation[v] != want {
+			t.Fatalf("articulation[%d] = %v, want %v", v, res.Articulation[v], want)
+		}
+	}
+}
+
+func TestBCCEveryEdgeLabeled(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.RandomConnected(30, 45, seed)
+		var ops Ops
+		res := BCC(g, &ops)
+		return len(res.EdgeComp) == g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEulerTourVisitsEveryDirectedEdgeOnce(t *testing.T) {
+	tr := graph.RandomTree(40, 3)
+	var ops Ops
+	tour := EulerTour(tr, 0, &ops)
+	if len(tour) != 78 {
+		t.Fatalf("tour length %d", len(tour))
+	}
+	seen := map[DirEdge]bool{}
+	for i, e := range tour {
+		if seen[e] {
+			t.Fatalf("repeat edge %v", e)
+		}
+		seen[e] = true
+		if i > 0 && tour[i-1].V != e.U {
+			t.Fatalf("tour not contiguous at %d", i)
+		}
+	}
+	if tour[0].U != 0 || tour[len(tour)-1].V != 0 {
+		t.Fatal("tour does not start and end at the root")
+	}
+}
+
+func TestPrePostOrderProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := graph.RandomTree(30, seed)
+		var ops Ops
+		pre, post := PrePostOrder(tr, 0, &ops)
+		// Both are permutations of 0..n-1.
+		seenPre := make([]bool, 30)
+		seenPost := make([]bool, 30)
+		for v := 0; v < 30; v++ {
+			if pre[v] < 0 || pre[v] >= 30 || seenPre[pre[v]] {
+				return false
+			}
+			if post[v] < 0 || post[v] >= 30 || seenPost[post[v]] {
+				return false
+			}
+			seenPre[pre[v]] = true
+			seenPost[post[v]] = true
+		}
+		// Root properties.
+		return pre[0] == 0 && post[0] == 29
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDijkstraAgainstBellmanFord(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.Random(30, 80, seed)
+		graph.RandomWeights(g, seed+5)
+		var o1, o2 Ops
+		d1 := Dijkstra(g, 0, &o1)
+		d2 := BellmanFord(g, 0, &o2)
+		for v := range d1 {
+			if math.IsInf(d1[v], 1) != math.IsInf(d2[v], 1) {
+				return false
+			}
+			if !math.IsInf(d1[v], 1) && math.Abs(d1[v]-d2[v]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSTAgainstBruteForce(t *testing.T) {
+	// On tiny graphs, compare Kruskal weight with exhaustive spanning
+	// tree enumeration via bitmask over edges.
+	f := func(seed int64) bool {
+		g := graph.RandomConnected(7, 10, seed)
+		graph.RandomWeights(g, seed+9)
+		edges := g.UndirectedEdges()
+		best := math.Inf(1)
+		for mask := 0; mask < 1<<len(edges); mask++ {
+			if popcount(mask) != g.N()-1 {
+				continue
+			}
+			uf := NewUnionFind(g.N())
+			ok := true
+			var w float64
+			for i, e := range edges {
+				if mask&(1<<i) == 0 {
+					continue
+				}
+				if !uf.Union(e.U, e.V) {
+					ok = false
+					break
+				}
+				w += e.W
+			}
+			if ok && w < best {
+				best = w
+			}
+		}
+		var ops Ops
+		_, got := MSTKruskal(g, &ops)
+		return math.Abs(got-best) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+func TestColoringMISProper(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.Random(40, 100, seed)
+		var ops Ops
+		colors, k := ColoringMIS(g, &ops)
+		return IsProperColoring(g, colors) && k >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLexFirstMISIsMIS(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.Random(40, 90, seed)
+		active := make([]bool, g.N())
+		for i := range active {
+			active[i] = true
+		}
+		var ops Ops
+		mis := LexFirstMIS(g, active, &ops)
+		return IsMIS(g, active, mis)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchingBaselines(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.Random(30, 70, seed)
+		graph.RandomWeights(g, seed+3)
+		var o1, o2 Ops
+		pga, wPGA := MaxWeightMatchingPGA(g, &o1)
+		greedy, wG := GreedyMaxWeightMatching(g, &o2)
+		if !IsMatching(g, pga) || !IsMatching(g, greedy) {
+			return false
+		}
+		if !IsMaximalMatching(g, greedy) {
+			return false
+		}
+		// Both are 1/2-approximations of the same optimum: they must be
+		// within a factor 2 of each other.
+		return wPGA <= 2*wG+1e-9 && wG <= 2*wPGA+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyBipartiteMaximal(t *testing.T) {
+	g := graph.RandomBipartite(15, 15, 60, 2)
+	var ops Ops
+	m := GreedyBipartiteMatching(g, 15, &ops)
+	if !IsMaximalMatching(g, m) {
+		t.Fatal("greedy bipartite matching not maximal")
+	}
+}
+
+func TestBetweennessBruteForce(t *testing.T) {
+	// Brute force via path counting per pair on small graphs.
+	g := graph.RandomConnected(12, 20, 4)
+	var ops Ops
+	got := Betweenness(g, nil, &ops)
+	n := g.N()
+	want := make([]float64, n)
+	var all [][]int32
+	for s := 0; s < n; s++ {
+		d, _ := BFS(g, VertexID(s), &ops)
+		all = append(all, d)
+	}
+	// Count shortest paths through each vertex.
+	var countPaths func(dist []int32, from VertexID, to VertexID) float64
+	countPaths = func(dist []int32, from, to VertexID) float64 {
+		if from == to {
+			return 1
+		}
+		var c float64
+		for _, e := range g.Out[to] {
+			if dist[e.Dst] == dist[to]-1 {
+				c += countPaths(dist, from, e.Dst)
+			}
+		}
+		return c
+	}
+	for s := 0; s < n; s++ {
+		for t2 := 0; t2 < n; t2++ {
+			if s == t2 || all[s][t2] < 0 {
+				continue
+			}
+			total := countPaths(all[s], VertexID(s), VertexID(t2))
+			for v := 0; v < n; v++ {
+				if v == s || v == t2 || all[s][v]+all[v][t2] != all[s][t2] {
+					continue
+				}
+				through := countPaths(all[s], VertexID(s), VertexID(v)) * countPaths(all[v], VertexID(v), VertexID(t2))
+				want[v] += through / total
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if math.Abs(got[v]-want[v]) > 1e-9 {
+			t.Fatalf("bc[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestSimulationHandExample(t *testing.T) {
+	// Query: A -> B. Data: a1->b1, a2 (no B child), b2 isolated.
+	q := graph.New(2, true)
+	q.Labels = []string{"A", "B"}
+	q.AddEdge(0, 1)
+	q.EnsureIn()
+	g := graph.New(4, true)
+	g.Labels = []string{"A", "B", "A", "B"}
+	g.AddEdge(0, 1)
+	g.EnsureIn()
+	var ops Ops
+	sim := GraphSimulation(g, q, &ops)
+	if !sim[0][0] || sim[0][2] {
+		t.Fatalf("query A: %v", sim[0])
+	}
+	// Plain simulation has no parent condition: both B vertices match.
+	if !sim[1][1] || !sim[1][3] {
+		t.Fatalf("query B: %v", sim[1])
+	}
+	dual := DualSimulation(g, q, &ops)
+	// Dual simulation requires B matches to have an A parent.
+	if !dual[1][1] || dual[1][3] {
+		t.Fatalf("dual query B: %v", dual[1])
+	}
+	if !SimNonEmpty(dual) {
+		t.Fatal("dual sim should be non-empty")
+	}
+}
+
+func TestStrongSimulationLocality(t *testing.T) {
+	// Strong simulation rejects matches that only exist via far-apart
+	// witnesses. Query: cycle A->B->A requires a 2-cycle in data.
+	q := graph.New(2, true)
+	q.Labels = []string{"A", "B"}
+	q.AddEdge(0, 1)
+	q.AddEdge(1, 0)
+	q.EnsureIn()
+
+	g := graph.New(4, true)
+	g.Labels = []string{"A", "B", "A", "B"}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // true 2-cycle at {0,1}
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 2) // another true 2-cycle
+	g.EnsureIn()
+	var ops Ops
+	centers, _ := StrongSimulation(g, q, &ops)
+	for v, want := range []bool{true, true, true, true} {
+		if centers[v] != want {
+			t.Fatalf("centers[%d] = %v, want %v", v, centers[v], want)
+		}
+	}
+
+	// Break one cycle: dual sim globally still holds for 0,1 via the
+	// other pair? No — dual is per-vertex; vertex 0 loses its B-parent
+	// witness. Check centers shrink.
+	h := graph.New(4, true)
+	h.Labels = []string{"A", "B", "A", "B"}
+	h.AddEdge(0, 1) // one-way only
+	h.AddEdge(2, 3)
+	h.AddEdge(3, 2)
+	h.EnsureIn()
+	var ops2 Ops
+	centers2, _ := StrongSimulation(h, q, &ops2)
+	if centers2[0] || centers2[1] {
+		t.Fatal("broken cycle should not produce centers")
+	}
+	if !centers2[2] || !centers2[3] {
+		t.Fatal("intact cycle lost its centers")
+	}
+}
+
+func TestQueryDiameter(t *testing.T) {
+	q := graph.New(3, true)
+	q.AddEdge(0, 1)
+	q.AddEdge(1, 2)
+	if d := QueryDiameter(q); d != 2 {
+		t.Fatalf("diameter %d, want 2", d)
+	}
+}
+
+func TestPageRankSumsOnRegularGraph(t *testing.T) {
+	g := graph.Cycle(50)
+	var ops Ops
+	pr := PageRank(g, 0.85, 30, &ops)
+	var sum float64
+	for _, r := range pr {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("sum = %v", sum)
+	}
+	// Symmetry: all ranks equal on a cycle.
+	for _, r := range pr {
+		if math.Abs(r-pr[0]) > 1e-12 {
+			t.Fatalf("ranks differ on a vertex-transitive graph: %v vs %v", r, pr[0])
+		}
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := NewUnionFind(5)
+	if !uf.Union(0, 1) || !uf.Union(3, 4) {
+		t.Fatal("fresh unions failed")
+	}
+	if uf.Union(1, 0) {
+		t.Fatal("repeat union succeeded")
+	}
+	if uf.Find(0) != uf.Find(1) || uf.Find(3) != uf.Find(4) {
+		t.Fatal("find inconsistent")
+	}
+	if uf.Find(2) == uf.Find(0) {
+		t.Fatal("disjoint sets merged")
+	}
+}

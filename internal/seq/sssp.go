@@ -1,0 +1,95 @@
+package seq
+
+import (
+	"container/heap"
+	"math"
+
+	"vcgraph/internal/graph"
+)
+
+// Dijkstra computes single-source shortest paths over non-negative
+// edge weights using a binary heap: the near-linear baseline standing
+// in for the paper's Fibonacci-heap variant (see DESIGN.md §5).
+// Unreachable vertices get +Inf.
+func Dijkstra(g *graph.Graph, src VertexID, ops *Ops) []float64 {
+	n := g.N()
+	dist := make([]float64, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &distHeap{items: []distItem{{v: src, d: 0}}, ops: ops}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if done[it.v] {
+			continue
+		}
+		done[it.v] = true
+		ops.Inc()
+		for _, e := range g.Out[it.v] {
+			ops.Inc()
+			if nd := it.d + e.W; nd < dist[e.Dst] {
+				dist[e.Dst] = nd
+				heap.Push(pq, distItem{v: e.Dst, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distItem struct {
+	v VertexID
+	d float64
+}
+
+type distHeap struct {
+	items []distItem
+	ops   *Ops
+}
+
+func (h *distHeap) Len() int { return len(h.items) }
+func (h *distHeap) Less(i, j int) bool {
+	h.ops.Inc() // comparisons carry the log factor of heap operations
+	return h.items[i].d < h.items[j].d
+}
+func (h *distHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *distHeap) Push(x any)    { h.items = append(h.items, x.(distItem)) }
+func (h *distHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}
+
+// BellmanFord is the O(mn) reference used to cross-check Dijkstra in
+// tests (it also handles graphs Dijkstra handles; no negative cycles in
+// our workloads).
+func BellmanFord(g *graph.Graph, src VertexID, ops *Ops) []float64 {
+	n := g.N()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	for i := 0; i < n; i++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			if math.IsInf(dist[u], 1) {
+				continue
+			}
+			for _, e := range g.Out[u] {
+				ops.Inc()
+				if nd := dist[u] + e.W; nd < dist[e.Dst] {
+					dist[e.Dst] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}

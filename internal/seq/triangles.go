@@ -1,0 +1,105 @@
+package seq
+
+import (
+	"sort"
+
+	"vcgraph/internal/graph"
+)
+
+// Triangles counts triangles and per-vertex triangle membership with
+// the standard degree-ordered intersection algorithm, O(m^{3/2}) —
+// the sequential comparator for the §3.8 subgraph-centric workloads.
+func Triangles(g *graph.Graph, ops *Ops) (perVertex []int64, total int64) {
+	n := g.N()
+	order := make([]VertexID, n)
+	for i := range order {
+		order[i] = VertexID(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di < dj
+		}
+		return order[i] < order[j]
+	})
+	rank := make([]int32, n)
+	for i, v := range order {
+		rank[v] = int32(i)
+	}
+	higher := make([][]VertexID, n)
+	for v := 0; v < n; v++ {
+		for _, e := range g.Out[v] {
+			ops.Inc()
+			if rank[v] < rank[e.Dst] {
+				higher[v] = append(higher[v], e.Dst)
+			}
+		}
+		sort.Slice(higher[v], func(i, j int) bool { return higher[v][i] < higher[v][j] })
+	}
+	perVertex = make([]int64, n)
+	for u := 0; u < n; u++ {
+		for _, v := range higher[u] {
+			a, b := higher[u], higher[v]
+			i, j := 0, 0
+			for i < len(a) && j < len(b) {
+				ops.Inc()
+				switch {
+				case a[i] == b[j]:
+					perVertex[u]++
+					perVertex[v]++
+					perVertex[a[i]]++
+					total++
+					i++
+					j++
+				case a[i] < b[j]:
+					i++
+				default:
+					j++
+				}
+			}
+		}
+	}
+	return perVertex, total
+}
+
+// ClusteringCoefficients derives local clustering coefficients from
+// per-vertex triangle counts.
+func ClusteringCoefficients(g *graph.Graph, perVertex []int64) []float64 {
+	out := make([]float64, g.N())
+	for v := range out {
+		d := g.Degree(VertexID(v))
+		if d >= 2 {
+			out[v] = 2 * float64(perVertex[v]) / float64(d*(d-1))
+		}
+	}
+	return out
+}
+
+// StreamingCC consumes an edge stream with union-find: the §3.8
+// observation that the union-find connected-components algorithm is a
+// poor fit for vertex-centric frameworks but ideal for edge streams.
+// It returns component labels normalized to the smallest member.
+func StreamingCC(n int, stream []graph.UndirectedEdge, ops *Ops) []VertexID {
+	uf := NewUnionFind(n)
+	for _, e := range stream {
+		ops.Inc()
+		uf.Union(e.U, e.V)
+	}
+	// Normalize: smallest vertex of each set is its label.
+	label := make([]VertexID, n)
+	for i := range label {
+		label[i] = graph.NoVertex
+	}
+	for v := 0; v < n; v++ {
+		ops.Inc()
+		r := uf.Find(VertexID(v))
+		if label[r] == graph.NoVertex {
+			label[r] = VertexID(v) // v ascending: first hit is the min
+		}
+	}
+	out := make([]VertexID, n)
+	for v := 0; v < n; v++ {
+		out[v] = label[uf.Find(VertexID(v))]
+	}
+	return out
+}

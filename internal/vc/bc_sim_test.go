@@ -1,0 +1,306 @@
+package vc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vcgraph/internal/graph"
+	"vcgraph/internal/seq"
+)
+
+// --- Betweenness ---
+
+func TestBetweennessMatchesBrandes(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"random": graph.RandomConnected(80, 240, 3),
+		"path":   graph.Path(30),
+		"star":   graph.Star(20),
+		"grid":   graph.Grid(6, 7),
+		"cycle":  graph.Cycle(25),
+		"sparse": graph.Random(60, 70, 9),
+	}
+	for name, g := range cases {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			res, err := Betweenness(g, nil, Config{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ops seq.Ops
+			want := seq.Betweenness(g, nil, &ops)
+			for v := range want {
+				if !almostEqual(res.BC[v], want[v], 1e-9) {
+					t.Fatalf("bc[%d]: vc=%v brandes=%v", v, res.BC[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+func TestBetweennessPathCenter(t *testing.T) {
+	// On a path of 5, the middle vertex lies on 2*(2*3-1)... just use
+	// the known closed form: vertex i on P_n has bc = 2*i*(n-1-i).
+	g := graph.Path(7)
+	res, err := Betweenness(g, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		want := 2 * float64(i) * float64(6-i)
+		if !almostEqual(res.BC[i], want, 1e-9) {
+			t.Fatalf("bc[%d] = %v, want %v", i, res.BC[i], want)
+		}
+	}
+}
+
+func TestBetweennessSampledSources(t *testing.T) {
+	g := graph.RandomConnected(60, 180, 5)
+	sources := []VertexID{0, 7, 13}
+	res, err := Betweenness(g, sources, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops seq.Ops
+	want := seq.Betweenness(g, sources, &ops)
+	for v := range want {
+		if !almostEqual(res.BC[v], want[v], 1e-9) {
+			t.Fatalf("bc[%d]: vc=%v brandes=%v", v, res.BC[v], want[v])
+		}
+	}
+}
+
+// --- Simulation family ---
+
+var simAlphabet = []string{"A", "B", "C"}
+
+// randomQuery builds a small connected directed labeled query graph.
+func randomQuery(nq int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	q := graph.New(nq, true)
+	q.Labels = make([]string, nq)
+	for i := range q.Labels {
+		q.Labels[i] = simAlphabet[rng.Intn(len(simAlphabet))]
+	}
+	// Weak connectivity: attach each node to an earlier one in a random
+	// direction, plus a few extra edges.
+	for i := 1; i < nq; i++ {
+		j := graph.VertexID(rng.Intn(i))
+		if rng.Intn(2) == 0 {
+			q.AddEdge(j, graph.VertexID(i))
+		} else {
+			q.AddEdge(graph.VertexID(i), j)
+		}
+	}
+	for k := 0; k < nq/2; k++ {
+		a, b := graph.VertexID(rng.Intn(nq)), graph.VertexID(rng.Intn(nq))
+		if a != b {
+			q.AddEdge(a, b)
+		}
+	}
+	q.EnsureIn()
+	q.SortAdjacency()
+	return q
+}
+
+func labeledData(n, m int, seed int64) *graph.Graph {
+	g := graph.RandomDirected(n, m, seed)
+	graph.RandomLabels(g, simAlphabet, seed+1)
+	return g
+}
+
+func simEqual(got []uint64, want [][]bool) bool {
+	for qi := range want {
+		for u := range want[qi] {
+			if (got[u]&(1<<uint(qi)) != 0) != want[qi][u] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestGraphSimulationMatchesHHK(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		g := labeledData(120, 500, seed)
+		q := randomQuery(4, seed+20)
+		res, err := GraphSimulation(g, q, Config{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ops seq.Ops
+		want := seq.GraphSimulation(g, q, &ops)
+		if !simEqual(res.Match, want) {
+			t.Fatalf("seed %d: relation mismatch", seed)
+		}
+	}
+}
+
+func TestDualSimulationMatchesMa(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		g := labeledData(120, 500, seed)
+		q := randomQuery(4, seed+30)
+		res, err := DualSimulation(g, q, Config{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ops seq.Ops
+		want := seq.DualSimulation(g, q, &ops)
+		if !simEqual(res.Match, want) {
+			t.Fatalf("seed %d: relation mismatch", seed)
+		}
+	}
+}
+
+func TestDualTightensGraphSimulation(t *testing.T) {
+	g := labeledData(150, 700, 7)
+	q := randomQuery(5, 71)
+	gs, err := GraphSimulation(g, q, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := DualSimulation(g, q, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range ds.Match {
+		if ds.Match[u]&^gs.Match[u] != 0 {
+			t.Fatalf("dual sim admits matches graph sim rejects at vertex %d", u)
+		}
+	}
+}
+
+func TestStrongSimulationMatchesMa(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g := labeledData(80, 240, seed)
+		q := randomQuery(3, seed+40)
+		res, err := StrongSimulation(g, q, Config{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ops seq.Ops
+		wantCenters, _ := seq.StrongSimulation(g, q, &ops)
+		for v := range wantCenters {
+			if res.Centers[v] != wantCenters[v] {
+				t.Fatalf("seed %d vertex %d: vc=%v seq=%v", seed, v, res.Centers[v], wantCenters[v])
+			}
+		}
+	}
+}
+
+func TestStrongTightensDual(t *testing.T) {
+	g := labeledData(60, 200, 11)
+	q := randomQuery(3, 53)
+	res, err := StrongSimulation(g, q, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range res.Centers {
+		if c && res.Dual[v] == 0 {
+			t.Fatalf("vertex %d is a center without a dual match", v)
+		}
+	}
+}
+
+func TestSimulationRejectsBadInputs(t *testing.T) {
+	und := graph.Path(4)
+	q := randomQuery(3, 1)
+	if _, err := GraphSimulation(und, q, Config{}); err == nil {
+		t.Fatal("expected error on undirected data graph")
+	}
+	big := graph.New(65, true)
+	big.Labels = make([]string, 65)
+	g := labeledData(10, 20, 1)
+	if _, err := GraphSimulation(g, big, Config{}); err == nil {
+		t.Fatal("expected error on oversized query")
+	}
+}
+
+func TestSimulationQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		g := labeledData(40, 150, seed)
+		q := randomQuery(3, seed^0x5bf03635)
+		res, err := DualSimulation(g, q, Config{Workers: 2})
+		if err != nil {
+			return false
+		}
+		var ops seq.Ops
+		return simEqual(res.Match, seq.DualSimulation(g, q, &ops))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBetweennessSharedMatchesPerSource(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"random": graph.RandomConnected(80, 240, 3),
+		"grid":   graph.Grid(7, 8),
+		"path":   graph.Path(30),
+	}
+	for name, g := range cases {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			res, err := Betweenness(g, nil, Config{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			shared, err := BetweennessShared(g, nil, Config{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range res.BC {
+				if !almostEqual(res.BC[v], shared.BC[v], 1e-9) {
+					t.Fatalf("bc[%d]: per-source=%v shared=%v", v, res.BC[v], shared.BC[v])
+				}
+			}
+		})
+	}
+}
+
+func TestBetweennessSharedCutsSupersteps(t *testing.T) {
+	// Superstep sharing: Σ_s 2δ_s collapses to max_s 2δ_s.
+	g := graph.Grid(12, 12)
+	sources := []VertexID{0, 17, 65, 100, 120, 143, 80, 40}
+	per, err := Betweenness(g, sources, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := BetweennessShared(g, sources, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Stats.NumSupersteps()*4 > per.Stats.NumSupersteps() {
+		t.Fatalf("shared %d supersteps vs per-source %d: expected >4x reduction",
+			shared.Stats.NumSupersteps(), per.Stats.NumSupersteps())
+	}
+	for v := range per.BC {
+		if !almostEqual(per.BC[v], shared.BC[v], 1e-9) {
+			t.Fatalf("bc[%d] differs", v)
+		}
+	}
+}
+
+func TestBetweennessSharedQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.RandomConnected(40, 100, seed)
+		sources := []VertexID{0, 7, 13, 21}
+		a, err := Betweenness(g, sources, Config{Workers: 2})
+		if err != nil {
+			return false
+		}
+		b, err := BetweennessShared(g, sources, Config{Workers: 3})
+		if err != nil {
+			return false
+		}
+		for v := range a.BC {
+			if !almostEqual(a.BC[v], b.BC[v], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

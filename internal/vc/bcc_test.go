@@ -1,0 +1,172 @@
+package vc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vcgraph/internal/graph"
+	"vcgraph/internal/seq"
+)
+
+// samePartition verifies that two edge labelings induce the same
+// partition of the edge set.
+func samePartition(t *testing.T, got map[[2]VertexID]int, want map[[2]VertexID]int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("labelings cover %d vs %d edges", len(got), len(want))
+	}
+	fwd := make(map[int]int)
+	bwd := make(map[int]int)
+	for k, g := range got {
+		w, ok := want[k]
+		if !ok {
+			t.Fatalf("edge %v missing from reference", k)
+		}
+		if m, seen := fwd[g]; seen && m != w {
+			t.Fatalf("label %d maps to both %d and %d", g, m, w)
+		}
+		if m, seen := bwd[w]; seen && m != g {
+			t.Fatalf("reference label %d maps to both %d and %d", w, m, g)
+		}
+		fwd[g] = w
+		bwd[w] = g
+	}
+}
+
+func seqBCCLabels(g *graph.Graph) map[[2]VertexID]int {
+	var ops seq.Ops
+	res := seq.BCC(g, &ops)
+	return res.EdgeComp
+}
+
+func TestBCCSmallShapes(t *testing.T) {
+	cases := map[string]func() *graph.Graph{
+		"triangle-with-pendant": func() *graph.Graph {
+			g := graph.New(4, false)
+			g.AddEdge(0, 1)
+			g.AddEdge(1, 2)
+			g.AddEdge(0, 2)
+			g.AddEdge(0, 3)
+			return g
+		},
+		"two-triangles-sharing-a-vertex": func() *graph.Graph {
+			g := graph.New(5, false)
+			g.AddEdge(0, 1)
+			g.AddEdge(1, 2)
+			g.AddEdge(0, 2)
+			g.AddEdge(2, 3)
+			g.AddEdge(3, 4)
+			g.AddEdge(2, 4)
+			return g
+		},
+		"path":        func() *graph.Graph { return graph.Path(10) },
+		"cycle":       func() *graph.Graph { return graph.Cycle(8) },
+		"single-edge": func() *graph.Graph { return graph.Path(2) },
+		"complete":    func() *graph.Graph { return graph.Complete(6) },
+		"star":        func() *graph.Graph { return graph.Star(9) },
+		"theta": func() *graph.Graph {
+			// Two vertices joined by three internally disjoint paths:
+			// one big biconnected component.
+			g := graph.New(8, false)
+			g.AddEdge(0, 1)
+			g.AddEdge(1, 7)
+			g.AddEdge(0, 2)
+			g.AddEdge(2, 3)
+			g.AddEdge(3, 7)
+			g.AddEdge(0, 4)
+			g.AddEdge(4, 5)
+			g.AddEdge(5, 6)
+			g.AddEdge(6, 7)
+			return g
+		},
+	}
+	for name, mk := range cases {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			g := mk()
+			g.SortAdjacency()
+			res, err := BCC(g, Config{Workers: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			samePartition(t, res.EdgeComp, seqBCCLabels(g))
+		})
+	}
+}
+
+func TestBCCRandomConnected(t *testing.T) {
+	for _, tc := range []struct {
+		n, m int
+		seed int64
+	}{
+		{60, 70, 1},  // sparse: many bridges
+		{60, 120, 2}, // medium
+		{60, 300, 3}, // dense: few components
+		{120, 140, 4},
+		{200, 260, 5},
+	} {
+		g := graph.RandomConnected(tc.n, tc.m, tc.seed)
+		res, err := BCC(g, Config{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		samePartition(t, res.EdgeComp, seqBCCLabels(g))
+	}
+}
+
+func TestBCCComponentCount(t *testing.T) {
+	g := graph.RandomConnected(100, 130, 9)
+	res, err := BCC(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops seq.Ops
+	want := seq.BCC(g, &ops)
+	if res.NumComponents != want.NumComponents {
+		t.Fatalf("NumComponents = %d, want %d", res.NumComponents, want.NumComponents)
+	}
+}
+
+func TestBCCRejectsDisconnected(t *testing.T) {
+	g := graph.New(4, false)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if _, err := BCC(g, Config{}); err == nil {
+		t.Fatal("expected error on disconnected input")
+	}
+}
+
+func TestBCCQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 20 + int(uint64(seed)%40)
+		g := graph.RandomConnected(n, n+n/2, seed)
+		res, err := BCC(g, Config{Workers: 2})
+		if err != nil {
+			return false
+		}
+		want := seqBCCLabels(g)
+		if len(res.EdgeComp) != len(want) {
+			return false
+		}
+		fwd := make(map[int]int)
+		bwd := make(map[int]int)
+		for k, gl := range res.EdgeComp {
+			wl, ok := want[k]
+			if !ok {
+				return false
+			}
+			if m, seen := fwd[gl]; seen && m != wl {
+				return false
+			}
+			if m, seen := bwd[wl]; seen && m != gl {
+				return false
+			}
+			fwd[gl] = wl
+			bwd[wl] = gl
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package vc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vcgraph/internal/graph"
+	"vcgraph/internal/seq"
+)
+
+func TestHITSMatchesSequential(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g := graph.RandomDirected(150, 700, seed)
+		res, err := HITS(g, 20, Config{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ops seq.Ops
+		hub, auth := seq.HITS(g, 20, &ops)
+		for v := range hub {
+			if math.Abs(res.Hub[v]-hub[v]) > 1e-9 || math.Abs(res.Auth[v]-auth[v]) > 1e-9 {
+				t.Fatalf("seed %d vertex %d: hub %v/%v auth %v/%v",
+					seed, v, res.Hub[v], hub[v], res.Auth[v], auth[v])
+			}
+		}
+	}
+}
+
+func TestHITSHubAuthStructure(t *testing.T) {
+	// A directory page pointing at many content pages: the pointer is
+	// the top hub, the pointees the top authorities.
+	g := graph.New(6, true)
+	for i := 1; i < 5; i++ {
+		g.AddEdge(0, graph.VertexID(i)) // 0 points to 1..4
+		g.AddEdge(5, graph.VertexID(i)) // 5 points to them too (weaker? same)
+	}
+	g.AddEdge(0, 5)
+	g.EnsureIn()
+	res, err := HITS(g, 30, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 5; v++ {
+		if res.Hub[v] > res.Hub[0] {
+			t.Fatalf("content page %d out-hubs the directory: %v vs %v", v, res.Hub[v], res.Hub[0])
+		}
+		if res.Auth[v] <= res.Auth[0] {
+			t.Fatalf("content page %d not more authoritative than the directory", v)
+		}
+	}
+}
+
+func TestHITSUnitNorm(t *testing.T) {
+	g := graph.RandomDirected(80, 300, 5)
+	res, err := HITS(g, 15, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hs, as float64
+	for v := range res.Hub {
+		hs += res.Hub[v] * res.Hub[v]
+		as += res.Auth[v] * res.Auth[v]
+	}
+	if math.Abs(hs-1) > 1e-9 || math.Abs(as-1) > 1e-9 {
+		t.Fatalf("norms: hub²=%v auth²=%v", hs, as)
+	}
+}
+
+func TestHITSRejectsUndirected(t *testing.T) {
+	if _, err := HITS(graph.Path(4), 5, Config{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestHITSQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.RandomDirected(40, 160, seed)
+		res, err := HITS(g, 10, Config{Workers: 2})
+		if err != nil {
+			return false
+		}
+		var ops seq.Ops
+		hub, auth := seq.HITS(g, 10, &ops)
+		for v := range hub {
+			if math.Abs(res.Hub[v]-hub[v]) > 1e-8 || math.Abs(res.Auth[v]-auth[v]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package vc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vcgraph/internal/graph"
+	"vcgraph/internal/seq"
+)
+
+// --- Standalone MIS ---
+
+func TestMISIsMaximalIndependent(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"random":   graph.Random(200, 600, 3),
+		"path":     graph.Path(50),
+		"complete": graph.Complete(12),
+		"star":     graph.Star(30),
+		"isolated": graph.New(10, false),
+		"cycle":    graph.Cycle(17),
+	}
+	for name, g := range cases {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			res, err := MaximalIndependentSet(g, Config{Workers: 4, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			active := make([]bool, g.N())
+			for i := range active {
+				active[i] = true
+			}
+			if !seq.IsMIS(g, active, res.InSet) {
+				t.Fatal("not a maximal independent set")
+			}
+		})
+	}
+}
+
+func TestMISCompleteGraphPicksOne(t *testing.T) {
+	res, err := MaximalIndependentSet(graph.Complete(20), Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size != 1 {
+		t.Fatalf("MIS of K20 has size %d", res.Size)
+	}
+}
+
+func TestMISQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.Random(60, 150, seed)
+		res, err := MaximalIndependentSet(g, Config{Workers: 2, Seed: seed})
+		if err != nil {
+			return false
+		}
+		active := make([]bool, g.N())
+		for i := range active {
+			active[i] = true
+		}
+		return seq.IsMIS(g, active, res.InSet)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMISDeterministicAcrossWorkers(t *testing.T) {
+	g := graph.Random(150, 400, 9)
+	a, err := MaximalIndependentSet(g, Config{Workers: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MaximalIndependentSet(g, Config{Workers: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.InSet {
+		if a.InSet[v] != b.InSet[v] {
+			t.Fatalf("vertex %d differs across worker counts", v)
+		}
+	}
+}
+
+// --- Double-sweep diameter ---
+
+func TestDoubleSweepExactOnTrees(t *testing.T) {
+	// Double sweep is exact on trees.
+	f := func(seed int64) bool {
+		tr := graph.RandomTree(80, seed)
+		ds, err := DoubleSweepDiameter(tr, graph.NoVertex, Config{Workers: 3})
+		if err != nil {
+			return false
+		}
+		var ops seq.Ops
+		return ds.LowerBound == seq.Diameter(tr, &ops)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleSweepIsLowerBound(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.RandomConnected(70, 200, seed)
+		ds, err := DoubleSweepDiameter(g, graph.NoVertex, Config{Workers: 2})
+		if err != nil {
+			return false
+		}
+		var ops seq.Ops
+		exact := seq.Diameter(g, &ops)
+		// Lower bound, and the witness path length is consistent.
+		return ds.LowerBound <= exact && ds.LowerBound >= exact/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleSweepCheaperThanExact(t *testing.T) {
+	g := graph.RandomConnected(400, 1200, 4)
+	ds, err := DoubleSweepDiameter(g, graph.NoVertex, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Diameter(g, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.LowerBound > exact.Diameter {
+		t.Fatalf("lower bound %d exceeds exact %d", ds.LowerBound, exact.Diameter)
+	}
+	if ds.Stats.TotalMessages*10 > exact.Stats.TotalMessages {
+		t.Fatalf("double sweep messages %d vs exact %d: expected >10x cheaper",
+			ds.Stats.TotalMessages, exact.Stats.TotalMessages)
+	}
+}
+
+func TestDoubleSweepPathEndpoints(t *testing.T) {
+	ds, err := DoubleSweepDiameter(graph.Path(40), 20, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.LowerBound != 39 {
+		t.Fatalf("bound %d, want 39", ds.LowerBound)
+	}
+	if !(ds.From == 0 && ds.To == 39) && !(ds.From == 39 && ds.To == 0) {
+		t.Fatalf("endpoints %d-%d", ds.From, ds.To)
+	}
+}
+
+func TestDoubleSweepEmptyGraph(t *testing.T) {
+	ds, err := DoubleSweepDiameter(graph.New(0, false), graph.NoVertex, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.LowerBound != 0 {
+		t.Fatalf("bound %d", ds.LowerBound)
+	}
+}

@@ -1,0 +1,152 @@
+package vc
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"vcgraph/internal/graph"
+	"vcgraph/internal/seq"
+)
+
+func topK(scores []float64, k int) []VertexID {
+	idx := make([]VertexID, len(scores))
+	for i := range idx {
+		idx[i] = VertexID(i)
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		if scores[idx[i]] != scores[idx[j]] {
+			return scores[idx[i]] > scores[idx[j]]
+		}
+		return idx[i] < idx[j]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+func TestPPRScoresSumToOne(t *testing.T) {
+	g := graph.RandomConnected(200, 600, 3)
+	res, err := PersonalizedPageRank(g, 0, 20000, 0.15, Config{Workers: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, s := range res.Scores {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("terminal mass %v, want 1 (every walk ends somewhere)", sum)
+	}
+}
+
+func TestPPRApproximatesExact(t *testing.T) {
+	g := graph.PreferentialAttachment(300, 3, 5)
+	res, err := PersonalizedPageRank(g, 7, 60000, 0.15, Config{Workers: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops seq.Ops
+	exact := seq.PersonalizedPageRank(g, 7, 0.15, 200, &ops)
+	// Monte Carlo: check top-10 overlap and absolute error on the head.
+	gotTop := topK(res.Scores, 10)
+	wantTop := topK(exact, 10)
+	wantSet := map[VertexID]bool{}
+	for _, v := range wantTop {
+		wantSet[v] = true
+	}
+	overlap := 0
+	for _, v := range gotTop {
+		if wantSet[v] {
+			overlap++
+		}
+	}
+	if overlap < 6 {
+		t.Fatalf("top-10 overlap %d/10: estimator far from exact PPR\nest top: %v\nexact top: %v",
+			overlap, gotTop, wantTop)
+	}
+	for v := range exact {
+		if exact[v] > 0.01 && math.Abs(res.Scores[v]-exact[v]) > 0.5*exact[v] {
+			t.Fatalf("vertex %d: est %v vs exact %v", v, res.Scores[v], exact[v])
+		}
+	}
+}
+
+func TestPPRSourceDominates(t *testing.T) {
+	g := graph.RandomConnected(100, 300, 7)
+	res, err := PersonalizedPageRank(g, 42, 20000, 0.15, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, s := range res.Scores {
+		if VertexID(v) != 42 && s > res.Scores[42] {
+			t.Fatalf("vertex %d (%v) outranks the source (%v)", v, s, res.Scores[42])
+		}
+	}
+}
+
+func TestPPRDeterministicForSeed(t *testing.T) {
+	g := graph.RandomConnected(80, 240, 2)
+	run := func(workers int) []float64 {
+		res, err := PersonalizedPageRank(g, 0, 5000, 0.15, Config{Workers: workers, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Scores
+	}
+	a, b := run(1), run(8)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("vertex %d: %v vs %v across worker counts", v, a[v], b[v])
+		}
+	}
+}
+
+func TestLinkPredictionStaysInCommunity(t *testing.T) {
+	// SBM with strong blocks: predicted links for a block-0 vertex
+	// should overwhelmingly land in block 0.
+	g := graph.StochasticBlockModel(120, 3, 0.3, 0.005, 13)
+	preds, _, err := LinkPrediction(g, 5, 10, 40000, Config{Workers: 4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) == 0 {
+		t.Fatal("no predictions")
+	}
+	inBlock := 0
+	for _, v := range preds {
+		if int(v) < 40 {
+			inBlock++
+		}
+	}
+	if inBlock*10 < len(preds)*8 {
+		t.Fatalf("only %d/%d predictions inside the source's community: %v", inBlock, len(preds), preds)
+	}
+	// Predictions are non-neighbors by construction.
+	nbrs := map[VertexID]bool{5: true}
+	for _, e := range g.Out[5] {
+		nbrs[e.Dst] = true
+	}
+	for _, v := range preds {
+		if nbrs[v] {
+			t.Fatalf("predicted an existing edge to %d", v)
+		}
+	}
+}
+
+func TestPPRWalksAreMessages(t *testing.T) {
+	// The Pregel formulation's cost: total messages ≈ walks × expected
+	// walk length (1/c - 1 forwarding steps per walk).
+	g := graph.RandomConnected(100, 400, 8)
+	walks := 10000
+	res, err := PersonalizedPageRank(g, 0, walks, 0.2, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := float64(walks) * (1/0.2 - 1)
+	got := float64(res.Stats.TotalMessages)
+	if got < expected*0.8 || got > expected*1.2 {
+		t.Fatalf("messages %v; expected ≈ %v (walks × (1/c − 1))", got, expected)
+	}
+}

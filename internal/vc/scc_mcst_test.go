@@ -1,0 +1,195 @@
+package vc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vcgraph/internal/graph"
+	"vcgraph/internal/seq"
+)
+
+// --- SCC ---
+
+func TestSCCMatchesTarjan(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"random-dense":  graph.RandomDirected(120, 700, 3),
+		"random-sparse": graph.RandomDirected(150, 200, 4),
+		"two-cycles": func() *graph.Graph {
+			g := graph.New(6, true)
+			g.AddEdge(0, 1)
+			g.AddEdge(1, 2)
+			g.AddEdge(2, 0)
+			g.AddEdge(3, 4)
+			g.AddEdge(4, 5)
+			g.AddEdge(5, 3)
+			g.AddEdge(2, 3) // bridge between the cycles
+			g.EnsureIn()
+			return g
+		}(),
+		"dag": func() *graph.Graph {
+			g := graph.New(8, true)
+			for i := 0; i < 7; i++ {
+				g.AddEdge(graph.VertexID(i), graph.VertexID(i+1))
+			}
+			g.EnsureIn()
+			return g
+		}(),
+		"self-loops-only": graph.New(5, true),
+	}
+	for name, g := range cases {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			res, err := SCC(g, Config{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ops seq.Ops
+			want := seq.SCC(g, &ops)
+			for v := range want {
+				if res.Comp[v] != want[v] {
+					t.Fatalf("vertex %d: vc=%d tarjan=%d", v, res.Comp[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+func TestSCCRejectsUndirected(t *testing.T) {
+	if _, err := SCC(graph.Path(4), Config{}); err == nil {
+		t.Fatal("expected error on undirected input")
+	}
+}
+
+func TestSCCQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.RandomDirected(60, 240, seed)
+		res, err := SCC(g, Config{Workers: 3})
+		if err != nil {
+			return false
+		}
+		var ops seq.Ops
+		want := seq.SCC(g, &ops)
+		for v := range want {
+			if res.Comp[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- MCST ---
+
+func TestMCSTMatchesKruskalUniqueWeights(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		g := graph.RandomConnected(120, 400, seed)
+		graph.RandomWeights(g, seed+50) // distinct weights: unique MST
+		res, err := MCST(g, Config{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ops seq.Ops
+		want, wantW := seq.MSTKruskal(g, &ops)
+		if len(res.Edges) != len(want) {
+			t.Fatalf("seed %d: %d edges, want %d", seed, len(res.Edges), len(want))
+		}
+		for i := range want {
+			if res.Edges[i].U != want[i].U || res.Edges[i].V != want[i].V {
+				t.Fatalf("seed %d edge %d: vc=(%d,%d) kruskal=(%d,%d)",
+					seed, i, res.Edges[i].U, res.Edges[i].V, want[i].U, want[i].V)
+			}
+		}
+		if !almostEqual(res.Weight, wantW, 1e-12) {
+			t.Fatalf("seed %d: weight %v, want %v", seed, res.Weight, wantW)
+		}
+	}
+}
+
+func TestMCSTPrimAgreesWithKruskal(t *testing.T) {
+	g := graph.RandomConnected(200, 600, 9)
+	graph.RandomWeights(g, 77)
+	var ops1, ops2 seq.Ops
+	_, w1 := seq.MSTPrim(g, &ops1)
+	_, w2 := seq.MSTKruskal(g, &ops2)
+	if !almostEqual(w1, w2, 1e-12) {
+		t.Fatalf("prim=%v kruskal=%v", w1, w2)
+	}
+}
+
+func TestMCSTEqualWeights(t *testing.T) {
+	// All weights 1: any spanning tree is minimum; verify size & weight.
+	g := graph.RandomConnected(80, 200, 6)
+	res, err := MCST(g, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Edges) != g.N()-1 {
+		t.Fatalf("%d edges, want %d", len(res.Edges), g.N()-1)
+	}
+	if !almostEqual(res.Weight, float64(g.N()-1), 1e-12) {
+		t.Fatalf("weight %v, want %v", res.Weight, float64(g.N()-1))
+	}
+	uf := seq.NewUnionFind(g.N())
+	for _, e := range res.Edges {
+		if !uf.Union(e.U, e.V) {
+			t.Fatalf("edge (%d,%d) closes a cycle", e.U, e.V)
+		}
+	}
+}
+
+func TestMCSTDisconnected(t *testing.T) {
+	g := graph.Random(100, 80, 5) // sparse: many components
+	graph.RandomWeights(g, 17)
+	res, err := MCST(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops seq.Ops
+	want, wantW := seq.MSTKruskal(g, &ops)
+	if len(res.Edges) != len(want) || !almostEqual(res.Weight, wantW, 1e-12) {
+		t.Fatalf("forest: got %d edges weight %v, want %d weight %v",
+			len(res.Edges), res.Weight, len(want), wantW)
+	}
+}
+
+func TestMCSTQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.Random(50, 120, seed)
+		graph.RandomWeights(g, seed*3+1)
+		res, err := MCST(g, Config{Workers: 2})
+		if err != nil {
+			return false
+		}
+		var ops seq.Ops
+		_, wantW := seq.MSTKruskal(g, &ops)
+		return almostEqual(res.Weight, wantW, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMCSTSuperstepGrowthLogarithmic(t *testing.T) {
+	mk := func(n int, seed int64) *graph.Graph {
+		g := graph.RandomConnected(n, 3*n, seed)
+		graph.RandomWeights(g, seed+1)
+		return g
+	}
+	small, err := MCST(mk(64, 2), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := MCST(mk(1024, 2), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(large.Stats.NumSupersteps()) / float64(small.Stats.NumSupersteps())
+	if ratio > math.Log2(1024)/math.Log2(64)*2.5 {
+		t.Fatalf("supersteps grew %vx (%d -> %d), want polylog",
+			ratio, small.Stats.NumSupersteps(), large.Stats.NumSupersteps())
+	}
+}

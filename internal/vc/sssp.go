@@ -1,0 +1,72 @@
+package vc
+
+import (
+	"math"
+
+	"vcgraph/internal/bsp"
+	"vcgraph/internal/graph"
+	"vcgraph/internal/pregel"
+)
+
+// SSSPResult holds the vertex-centric single-source shortest path
+// output.
+type SSSPResult struct {
+	Dist  []float64
+	Stats *bsp.Stats
+}
+
+type ssspValue struct{ dist float64 }
+
+type ssspProgram struct{ src VertexID }
+
+func (p *ssspProgram) Init(g *graph.Graph, id VertexID) ssspValue {
+	if id == p.src {
+		return ssspValue{dist: 0}
+	}
+	return ssspValue{dist: math.Inf(1)}
+}
+
+func (p *ssspProgram) Compute(ctx *pregel.Context[ssspValue, float64], msgs []float64) {
+	v := ctx.Value()
+	improved := ctx.Superstep() == 0 && ctx.ID() == p.src
+	for _, m := range msgs {
+		if m < v.dist {
+			v.dist = m
+			improved = true
+		}
+	}
+	if improved {
+		for _, e := range ctx.OutEdges() {
+			ctx.SendTo(e.Dst, v.dist+e.W)
+		}
+	}
+	ctx.VoteToHalt()
+}
+
+func (p *ssspProgram) StateUnits(v *ssspValue) int64 { return 1 }
+
+// SSSP runs the Pregel-paper Bellman–Ford style single-source shortest
+// path algorithm (Table 1 row 16: O(mn) worst-case work vs. Dijkstra's
+// near-linear bound). Weights must be non-negative.
+func SSSP(g *graph.Graph, src VertexID, cfg Config) (*SSSPResult, error) {
+	prog := &ssspProgram{src: src}
+	ecfg := engineCfg[float64](cfg)
+	if !cfg.NoCombiner {
+		ecfg.Combiner = func(a, b float64) float64 {
+			if a < b {
+				return a
+			}
+			return b
+		}
+	}
+	eng := pregel.NewEngine[ssspValue, float64](g, prog, ecfg)
+	res, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	dist := make([]float64, g.N())
+	for v, val := range res.Values {
+		dist[v] = val.dist
+	}
+	return &SSSPResult{Dist: dist, Stats: res.Stats}, nil
+}

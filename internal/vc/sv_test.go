@@ -1,0 +1,166 @@
+package vc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vcgraph/internal/graph"
+	"vcgraph/internal/seq"
+)
+
+func checkColors(t *testing.T, g *graph.Graph, got []VertexID) {
+	t.Helper()
+	var ops seq.Ops
+	want := seq.Components(g, &ops)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("vertex %d: vc=%d seq=%d", v, got[v], want[v])
+		}
+	}
+}
+
+// checkSpanningForest verifies the edge set is a spanning forest of g:
+// real edges, acyclic, exactly n - #components of them, and connecting
+// each component.
+func checkSpanningForest(t *testing.T, g *graph.Graph, edges []graph.UndirectedEdge) {
+	t.Helper()
+	var ops seq.Ops
+	comps := seq.Components(g, &ops)
+	distinct := make(map[VertexID]bool)
+	for _, c := range comps {
+		distinct[c] = true
+	}
+	if want := g.N() - len(distinct); len(edges) != want {
+		t.Fatalf("forest has %d edges, want %d", len(edges), want)
+	}
+	real := make(map[[2]VertexID]bool)
+	for _, e := range g.UndirectedEdges() {
+		real[[2]VertexID{e.U, e.V}] = true
+	}
+	uf := seq.NewUnionFind(g.N())
+	for _, e := range edges {
+		if !real[[2]VertexID{e.U, e.V}] {
+			t.Fatalf("edge (%d,%d) not in graph", e.U, e.V)
+		}
+		if !uf.Union(e.U, e.V) {
+			t.Fatalf("edge (%d,%d) closes a cycle", e.U, e.V)
+		}
+	}
+	for v := range comps {
+		if uf.Find(VertexID(v)) != uf.Find(comps[v]) {
+			t.Fatalf("vertex %d not connected to its component color %d", v, comps[v])
+		}
+	}
+}
+
+func TestSVCCMatchesBFS(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"random":       graph.Random(300, 700, 5),
+		"path":         graph.Path(128),
+		"cycle":        graph.Cycle(99),
+		"star":         graph.Star(64),
+		"disconnected": graph.Random(200, 120, 8),
+		"grid":         graph.Grid(10, 12),
+		"isolated":     graph.New(7, false),
+		"complete":     graph.Complete(20),
+		"powerlaw":     graph.PreferentialAttachment(200, 2, 13),
+	}
+	for name, g := range cases {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			res, err := SVCC(g, Config{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkColors(t, g, res.Color)
+			checkSpanningForest(t, g, res.TreeEdges)
+		})
+	}
+}
+
+func TestSVCCLogSupersteps(t *testing.T) {
+	// On a path (diameter n-1), Hash-Min needs Θ(n) supersteps but S-V
+	// needs O(log n) rounds of constant supersteps.
+	small, err := SVCC(graph.Path(256), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := SVCC(graph.Path(4096), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16x size: expect ~4 extra rounds (~4·19 supersteps), far below 16x.
+	ratio := float64(large.Stats.NumSupersteps()) / float64(small.Stats.NumSupersteps())
+	logRatio := math.Log2(4096) / math.Log2(256)
+	if ratio > logRatio*2 {
+		t.Fatalf("supersteps grew %vx (small=%d large=%d); want ~log growth %v",
+			ratio, small.Stats.NumSupersteps(), large.Stats.NumSupersteps(), logRatio)
+	}
+}
+
+func TestSVCCRootImbalance(t *testing.T) {
+	// A star's center becomes the parent of all leaves: some vertex
+	// receives far more than d(v) messages... but on a star the center
+	// IS high degree. Use a path: the min vertex ends up parenting many
+	// vertices while having degree <= 2.
+	res, err := SVCC(graph.Path(512), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MaxRecvPerDeg < 4 {
+		t.Fatalf("expected workload imbalance (recv/deg >> 1), got %v", res.Stats.MaxRecvPerDeg)
+	}
+}
+
+func TestSVCCQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.Random(80, 100, seed)
+		res, err := SVCC(g, Config{Workers: 3})
+		if err != nil {
+			return false
+		}
+		var ops seq.Ops
+		want := seq.Components(g, &ops)
+		for v := range want {
+			if res.Color[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWCCDirected(t *testing.T) {
+	for _, seed := range []int64{3, 6} {
+		g := graph.RandomDirected(150, 300, seed)
+		res, err := WCC(g, Config{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkColors(t, g.Underlying(), res.Color)
+	}
+}
+
+func TestSpanningForestDeterministic(t *testing.T) {
+	g := graph.Random(120, 240, 21)
+	a, err := SVCC(g, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SVCC(g, Config{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.TreeEdges) != len(b.TreeEdges) {
+		t.Fatalf("worker count changed forest size: %d vs %d", len(a.TreeEdges), len(b.TreeEdges))
+	}
+	for i := range a.TreeEdges {
+		if a.TreeEdges[i] != b.TreeEdges[i] {
+			t.Fatalf("worker count changed forest edge %d: %v vs %v", i, a.TreeEdges[i], b.TreeEdges[i])
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package vc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vcgraph/internal/graph"
+	"vcgraph/internal/seq"
+)
+
+// paperTree is the 7-vertex example tree of the paper's Figure 4(a):
+// 0 connected to 1, 5, 6; 1 to 2, 3, 4.
+func paperTree() *graph.Graph {
+	t := graph.New(7, false)
+	t.AddEdge(0, 1)
+	t.AddEdge(0, 5)
+	t.AddEdge(0, 6)
+	t.AddEdge(1, 2)
+	t.AddEdge(1, 3)
+	t.AddEdge(1, 4)
+	t.SortAdjacency()
+	return t
+}
+
+// --- Euler tour ---
+
+func TestEulerTourPaperExample(t *testing.T) {
+	tr := paperTree()
+	res, err := EulerTour(tr, Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's example: first(0)=1, last(0)=6, next_0(1)=5, next_0(6)=1.
+	if got := res.Succ[1][0]; got != 5 { // next_0(1) stored at vertex 1 under key 0
+		t.Fatalf("next_0(1) = %d, want 5", got)
+	}
+	if got := res.Succ[1][4]; got != 0 { // wrap: next_1(4)... stored at 4? check below instead
+		_ = got
+	}
+	var ops seq.Ops
+	want := seq.EulerTour(tr, 0, &ops)
+	got := res.Walk(tr, 0)
+	if len(got) != len(want) {
+		t.Fatalf("tour length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tour[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEulerTourIsEulerianCircuit(t *testing.T) {
+	for _, seed := range []int64{1, 5, 9} {
+		tr := graph.RandomTree(64, seed)
+		res, err := EulerTour(tr, Config{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tour := res.Walk(tr, 0)
+		if len(tour) != 2*(tr.N()-1) {
+			t.Fatalf("tour length %d", len(tour))
+		}
+		seen := make(map[seq.DirEdge]bool)
+		for _, e := range tour {
+			if seen[e] {
+				t.Fatalf("edge %v visited twice", e)
+			}
+			seen[e] = true
+		}
+		// Circuit closes: successor of last edge is the first edge.
+		last := tour[len(tour)-1]
+		if next := (seq.DirEdge{U: last.V, V: res.Succ[last.U][last.V]}); next != tour[0] {
+			t.Fatalf("tour does not close: %v -> %v, want %v", last, next, tour[0])
+		}
+	}
+}
+
+func TestEulerTourSuperstepsConstant(t *testing.T) {
+	small, err := EulerTour(graph.RandomTree(32, 2), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := EulerTour(graph.RandomTree(1024, 2), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Stats.NumSupersteps() != large.Stats.NumSupersteps() {
+		t.Fatalf("superstep counts differ: %d vs %d",
+			small.Stats.NumSupersteps(), large.Stats.NumSupersteps())
+	}
+	if large.Stats.NumSupersteps() > 3 {
+		t.Fatalf("expected constant (<=3) supersteps, got %d", large.Stats.NumSupersteps())
+	}
+}
+
+func TestEulerTourRejectsNonTree(t *testing.T) {
+	if _, err := EulerTour(graph.Cycle(5), Config{}); err == nil {
+		t.Fatal("expected error on non-tree input")
+	}
+}
+
+// --- List ranking ---
+
+func TestListRankMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(200)
+		// Random permutation defines list order; element order[i] has
+		// predecessor order[i-1].
+		order := rng.Perm(n)
+		pred := make([]VertexID, n)
+		val := make([]int64, n)
+		for i := range val {
+			val[i] = int64(rng.Intn(10))
+		}
+		pred[order[0]] = graph.NoVertex
+		for i := 1; i < n; i++ {
+			pred[order[i]] = VertexID(order[i-1])
+		}
+		res, err := ListRank(pred, val, Config{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := SeqListRank(pred, val)
+		for v := range want {
+			if res.Sum[v] != want[v] {
+				t.Fatalf("trial %d: sum[%d] = %d, want %d", trial, v, res.Sum[v], want[v])
+			}
+		}
+	}
+}
+
+func TestListRankLogSupersteps(t *testing.T) {
+	mk := func(n int) []VertexID {
+		pred := make([]VertexID, n)
+		pred[0] = graph.NoVertex
+		for i := 1; i < n; i++ {
+			pred[i] = VertexID(i - 1)
+		}
+		return pred
+	}
+	val := func(n int) []int64 { return make([]int64, n) }
+	small, err := ListRank(mk(64), val(64), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := ListRank(mk(4096), val(4096), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64x size increase should cost ~6 extra rounds (12 supersteps), not 64x.
+	if d := large.Stats.NumSupersteps() - small.Stats.NumSupersteps(); d > 16 {
+		t.Fatalf("supersteps grew by %d; want logarithmic growth", d)
+	}
+	// Each element sends/receives at most one message per superstep.
+	if large.Stats.MaxSentPerDeg > 1.01 || large.Stats.MaxRecvPerDeg > 1.01 {
+		t.Fatalf("per-vertex message bound violated: sent=%v recv=%v",
+			large.Stats.MaxSentPerDeg, large.Stats.MaxRecvPerDeg)
+	}
+}
+
+func TestListRankSingleElement(t *testing.T) {
+	res, err := ListRank([]VertexID{graph.NoVertex}, []int64{7}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum[0] != 7 {
+		t.Fatalf("sum = %d, want 7", res.Sum[0])
+	}
+}
+
+// --- Pre/post-order ---
+
+func TestPrePostOrderPaperTree(t *testing.T) {
+	tr := paperTree()
+	res, err := PrePostOrder(tr, 0, Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops seq.Ops
+	wantPre, wantPost := seq.PrePostOrder(tr, 0, &ops)
+	for v := 0; v < tr.N(); v++ {
+		if res.Pre[v] != wantPre[v] || res.Post[v] != wantPost[v] {
+			t.Fatalf("vertex %d: pre=%d/%d post=%d/%d (vc/seq)",
+				v, res.Pre[v], wantPre[v], res.Post[v], wantPost[v])
+		}
+	}
+}
+
+func TestPrePostOrderRandomTrees(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 2 + int(seed%97+97)%97
+		tr := graph.RandomTree(n, seed)
+		root := VertexID(int(uint64(seed)>>3) % n)
+		res, err := PrePostOrder(tr, root, Config{Workers: 4})
+		if err != nil {
+			return false
+		}
+		var ops seq.Ops
+		wantPre, wantPost := seq.PrePostOrder(tr, root, &ops)
+		for v := 0; v < n; v++ {
+			if res.Pre[v] != wantPre[v] || res.Post[v] != wantPost[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrePostOrderShapes(t *testing.T) {
+	shapes := map[string]*graph.Graph{
+		"path":        graph.Path(33),
+		"star":        graph.Star(20),
+		"binary":      graph.BalancedBinaryTree(63),
+		"caterpillar": graph.CaterpillarTree(40),
+		"two-nodes":   graph.Path(2),
+		"one-node":    graph.Path(1),
+	}
+	for name, tr := range shapes {
+		tr := tr
+		t.Run(name, func(t *testing.T) {
+			tr.SortAdjacency()
+			res, err := PrePostOrder(tr, 0, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ops seq.Ops
+			wantPre, wantPost := seq.PrePostOrder(tr, 0, &ops)
+			for v := 0; v < tr.N(); v++ {
+				if res.Pre[v] != wantPre[v] || res.Post[v] != wantPost[v] {
+					t.Fatalf("vertex %d: pre=%d/%d post=%d/%d (vc/seq)",
+						v, res.Pre[v], wantPre[v], res.Post[v], wantPost[v])
+				}
+			}
+		})
+	}
+}
+
+func TestPrePostOrderRootOutOfRange(t *testing.T) {
+	if _, err := PrePostOrder(graph.Path(3), 5, Config{}); err == nil {
+		t.Fatal("expected error for out-of-range root")
+	}
+}
