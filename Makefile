@@ -15,8 +15,11 @@ vet:
 test:
 	$(GO) test ./...
 
+# Race-detect the engines and the shared execution runtime. Scoped to
+# internal/ (the concurrent code) so the tier-1 gate stays fast; part
+# of the verification checklist alongside build/vet/test.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race ./internal/...
 
 bench:
 	$(GO) test -bench . -benchmem ./...

@@ -15,6 +15,7 @@ import (
 	"vcgraph/internal/core"
 	"vcgraph/internal/gas"
 	"vcgraph/internal/graph"
+	"vcgraph/internal/pregel"
 	"vcgraph/internal/seq"
 	"vcgraph/internal/vc"
 )
@@ -126,6 +127,68 @@ func BenchmarkWallclockSSSP(b *testing.B) {
 }
 
 // --- Engine micro-benchmarks and worker-count ablation ---
+
+// tokenProgram passes a single token down a path: one active vertex per
+// superstep over n supersteps. It isolates the engine's superstep
+// dispatch overhead (worker wakeup, active-vertex discovery, inbox
+// management) from algorithmic work.
+type tokenProgram struct{}
+
+func (tokenProgram) Init(g *graph.Graph, id pregel.VertexID) int { return 0 }
+
+func (tokenProgram) Compute(ctx *pregel.Context[int, int], msgs []int) {
+	if ctx.Superstep() == 0 {
+		if ctx.ID() == 0 && ctx.NumVertices() > 1 {
+			ctx.SendTo(1, 1)
+		}
+	} else if len(msgs) > 0 {
+		if next := ctx.ID() + 1; int(next) < ctx.NumVertices() {
+			ctx.SendTo(next, 1)
+		}
+	}
+	ctx.VoteToHalt()
+}
+
+// BenchmarkEngineSuperstepDispatch measures the per-superstep fixed
+// cost of the pregel engine: 2048 supersteps with exactly one active
+// vertex and one in-flight message each.
+func BenchmarkEngineSuperstepDispatch(b *testing.B) {
+	g := graph.Path(2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := pregel.NewEngine[int, int](g, tokenProgram{}, pregel.Config[int]{Workers: 4})
+		if _, err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPowerLawPageRank / BenchmarkPowerLawSSSP: the two headline
+// workloads on the preferential-attachment (power-law) generator, used
+// to document engine-substrate improvements.
+func BenchmarkPowerLawPageRank(b *testing.B) {
+	g := graph.PreferentialAttachment(20000, 4, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vc.PageRank(g, 0.85, 20, vc.Config{Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPowerLawSSSP(b *testing.B) {
+	g := graph.PreferentialAttachment(20000, 4, 7)
+	graph.RandomWeights(g, 11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vc.SSSP(g, 0, vc.Config{Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 func BenchmarkEngineWorkers(b *testing.B) {
 	g := graph.PreferentialAttachment(20000, 4, 5)

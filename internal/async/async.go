@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"vcgraph/internal/graph"
+	rt "vcgraph/internal/runtime"
 )
 
 // VertexID aliases graph.VertexID.
@@ -99,27 +100,26 @@ func Run[V any](g *graph.Graph, prog Program[V], cfg Config) (*Result[V], error)
 			return runPrioritized(ctx, prog, pr, cfg)
 		}
 	}
-	queue := make([]VertexID, n)
-	inQueue := make([]bool, n)
+	// The deduplicating FIFO worklist from the shared runtime replaces
+	// the previous slice+inQueue pair; its in-place compaction keeps a
+	// long drain with re-activations from reallocating the queue.
+	queue := rt.NewFIFO(n)
 	for v := 0; v < n; v++ {
-		queue[v] = VertexID(v)
-		inQueue[v] = true
+		queue.Push(VertexID(v))
 	}
 	updates := 0
-	for len(queue) > 0 {
+	for {
+		v, ok := queue.Pop()
+		if !ok {
+			break
+		}
 		if updates >= cfg.MaxUpdates {
 			return &Result[V]{Values: ctx.values, Updates: updates},
 				fmt.Errorf("%w (cap %d)", ErrUpdateCap, cfg.MaxUpdates)
 		}
-		v := queue[0]
-		queue = queue[1:]
-		inQueue[v] = false
 		updates++
 		for _, w := range prog.Update(ctx, v) {
-			if !inQueue[w] {
-				inQueue[w] = true
-				queue = append(queue, w)
-			}
+			queue.Push(w)
 		}
 	}
 	return &Result[V]{Values: ctx.values, Updates: updates}, nil

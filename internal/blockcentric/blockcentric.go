@@ -13,11 +13,11 @@ package blockcentric
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"vcgraph/internal/bsp"
 	"vcgraph/internal/graph"
 	"vcgraph/internal/pregel"
+	rt "vcgraph/internal/runtime"
 )
 
 // VertexID aliases graph.VertexID.
@@ -25,7 +25,9 @@ type VertexID = graph.VertexID
 
 // Program is a block program: Init seeds per-vertex values;
 // ComputeBlock runs once per block per superstep with all messages
-// addressed to the block's vertices.
+// addressed to the block's vertices. The msgs map (and its slices) is
+// owned by the engine and reused across supersteps; ComputeBlock must
+// not retain it after returning.
 type Program[V, M any] interface {
 	Init(g *graph.Graph, id VertexID) V
 	ComputeBlock(ctx *BlockContext[V, M], msgs map[VertexID][]M)
@@ -65,6 +67,7 @@ type Engine[V, M any] struct {
 	inbox   []map[VertexID][]M // per block
 	outbox  [][]addr[M]        // per block (source)
 	stats   *bsp.Stats
+	pool    *rt.Pool
 	current int
 }
 
@@ -116,6 +119,13 @@ func (e *Engine[V, M]) Run() (*Result[V], error) {
 	for v := 0; v < e.g.N(); v++ {
 		e.values[v] = e.prog.Init(e.g, VertexID(v))
 	}
+	// One block per persistent worker; goroutines park between
+	// supersteps instead of being respawned each barrier.
+	e.pool = rt.NewPool(e.cfg.Blocks)
+	defer func() {
+		e.pool.Close()
+		e.pool = nil
+	}()
 	pending := 0
 	superstep := 0
 	for ; ; superstep++ {
@@ -147,30 +157,26 @@ func (e *Engine[V, M]) runSuperstep(superstep int) int {
 		Sent: make([]int64, nb),
 		Recv: make([]int64, nb),
 	}
-	var wg sync.WaitGroup
-	for b := 0; b < nb; b++ {
-		wg.Add(1)
-		go func(b int) {
-			defer wg.Done()
-			msgs := e.inbox[b]
-			if e.halted[b] && len(msgs) == 0 && superstep > 0 {
-				return
-			}
-			e.halted[b] = false
-			for _, ms := range msgs {
-				ss.Recv[b] += int64(len(ms))
-			}
-			ctx := &BlockContext[V, M]{engine: e, block: b, superstep: superstep}
-			e.prog.ComputeBlock(ctx, msgs)
-			e.inbox[b] = map[VertexID][]M{}
-			if ctx.halt {
-				e.halted[b] = true
-			}
-			ss.Work[b] = ctx.work + 1
-			ss.Sent[b] = ctx.sent
-		}(b)
-	}
-	wg.Wait()
+	e.pool.Run(func(b int) {
+		msgs := e.inbox[b]
+		if e.halted[b] && len(msgs) == 0 && superstep > 0 {
+			return
+		}
+		e.halted[b] = false
+		for _, ms := range msgs {
+			ss.Recv[b] += int64(len(ms))
+		}
+		ctx := &BlockContext[V, M]{engine: e, block: b, superstep: superstep}
+		e.prog.ComputeBlock(ctx, msgs)
+		// Reuse the inbox map's buckets across supersteps instead of
+		// allocating a fresh map (ComputeBlock must not retain msgs).
+		clear(msgs)
+		if ctx.halt {
+			e.halted[b] = true
+		}
+		ss.Work[b] = ctx.work + 1
+		ss.Sent[b] = ctx.sent
+	})
 
 	// Deliver boundary messages.
 	pending := 0

@@ -64,10 +64,15 @@ type Stats struct {
 
 	TotalMessages int64
 	TotalWork     int64
-	// CombinedDeliveries counts messages actually placed in inboxes
-	// after combiner reduction; without a combiner it equals
-	// TotalMessages. The gap is the network volume a combiner saves.
-	CombinedDeliveries int64
+	// InboxDeliveries counts inbox placements: messages that still
+	// exist after combiner reduction and occupy an inbox slot. Without
+	// a combiner every raw message is placed, so InboxDeliveries ==
+	// TotalMessages; with one, each receiving vertex gets exactly one
+	// placement per superstep. TotalMessages - InboxDeliveries is the
+	// message volume the combiner saved (the shrinkage of the BSP
+	// model's h before delivery). The counter was previously named
+	// CombinedDeliveries, which misread as "number of combine calls".
+	InboxDeliveries int64
 }
 
 // NumSupersteps returns the number of executed supersteps.

@@ -46,9 +46,9 @@ func CombinerAblation(n, m int, cfg vc.Config) (string, error) {
 	var out strings.Builder
 	fmt.Fprintf(&out, "Combiner ablation — Hash-Min on random n=%d m=%d\n", g.N(), g.M())
 	fmt.Fprintf(&out, "%-14s %12s %18s %10s\n", "", "sent (raw)", "delivered (net)", "supersteps")
-	fmt.Fprintf(&out, "%-14s %12d %18d %10d\n", "with combiner", a.Stats.TotalMessages, a.Stats.CombinedDeliveries, a.Stats.NumSupersteps())
-	fmt.Fprintf(&out, "%-14s %12d %18d %10d\n", "without", b.Stats.TotalMessages, b.Stats.CombinedDeliveries, b.Stats.NumSupersteps())
-	save := 1 - float64(a.Stats.CombinedDeliveries)/float64(b.Stats.CombinedDeliveries)
+	fmt.Fprintf(&out, "%-14s %12d %18d %10d\n", "with combiner", a.Stats.TotalMessages, a.Stats.InboxDeliveries, a.Stats.NumSupersteps())
+	fmt.Fprintf(&out, "%-14s %12d %18d %10d\n", "without", b.Stats.TotalMessages, b.Stats.InboxDeliveries, b.Stats.NumSupersteps())
+	save := 1 - float64(a.Stats.InboxDeliveries)/float64(b.Stats.InboxDeliveries)
 	fmt.Fprintf(&out, "combining removes %.0f%% of delivered message volume; results identical\n", save*100)
 	return out.String(), nil
 }

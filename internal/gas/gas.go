@@ -13,10 +13,10 @@ package gas
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"vcgraph/internal/bsp"
 	"vcgraph/internal/graph"
+	rt "vcgraph/internal/runtime"
 )
 
 // VertexID aliases graph.VertexID.
@@ -81,7 +81,14 @@ func Run[V, G any](g *graph.Graph, prog Program[V, G], cfg Config) (*Result[V], 
 	for i := range active {
 		active[i] = true
 	}
+	activeCount := n // O(1) quiescence check instead of an O(n) scan
 	stats := &bsp.Stats{Workers: cfg.Workers, N: n}
+
+	// Persistent workers, parked on the phase barrier between
+	// iterations; per-worker wake buffers are reused across iterations.
+	pool := rt.NewPool(cfg.Workers)
+	defer pool.Close()
+	wake := make([][]VertexID, cfg.Workers)
 
 	iter := 0
 	for ; ; iter++ {
@@ -89,14 +96,7 @@ func Run[V, G any](g *graph.Graph, prog Program[V, G], cfg Config) (*Result[V], 
 			return &Result[V]{Values: cur, Iterations: iter, Stats: stats},
 				fmt.Errorf("%w (cap %d)", ErrIterationCap, cfg.MaxIterations)
 		}
-		any := false
-		for _, a := range active {
-			if a {
-				any = true
-				break
-			}
-		}
-		if !any {
+		if activeCount == 0 {
 			break
 		}
 		ss := bsp.SuperstepStats{
@@ -104,39 +104,37 @@ func Run[V, G any](g *graph.Graph, prog Program[V, G], cfg Config) (*Result[V], 
 			Sent: make([]int64, cfg.Workers),
 			Recv: make([]int64, cfg.Workers),
 		}
-		wake := make([][]VertexID, cfg.Workers)
-		var wg sync.WaitGroup
-		for w := 0; w < cfg.Workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for v := w; v < n; v += cfg.Workers {
-					next[v] = cur[v]
-					if !active[v] {
-						continue
-					}
-					total := prog.Zero()
-					for _, e := range in[v] {
-						ss.Work[w]++
-						total = prog.Sum(total, prog.Gather(e, cur[e.Dst]))
-					}
-					if prog.Apply(&next[v], total) {
-						// Scatter: wake out-neighbors (buffered per
-						// worker; merged after the barrier).
-						for _, e := range g.Out[v] {
-							ss.Sent[w]++
-							wake[w] = append(wake[w], e.Dst)
-						}
-					}
-					ss.Work[w]++
+		pool.Run(func(w int) {
+			for v := w; v < n; v += cfg.Workers {
+				next[v] = cur[v]
+				if !active[v] {
+					continue
 				}
-			}(w)
-		}
-		wg.Wait()
+				total := prog.Zero()
+				for _, e := range in[v] {
+					ss.Work[w]++
+					total = prog.Sum(total, prog.Gather(e, cur[e.Dst]))
+				}
+				if prog.Apply(&next[v], total) {
+					// Scatter: wake out-neighbors (buffered per
+					// worker; merged after the barrier).
+					for _, e := range g.Out[v] {
+						ss.Sent[w]++
+						wake[w] = append(wake[w], e.Dst)
+					}
+				}
+				ss.Work[w]++
+			}
+		})
+		activeCount = 0
 		for w := 0; w < cfg.Workers; w++ {
 			for _, v := range wake[w] {
-				nextActive[v] = true
+				if !nextActive[v] {
+					nextActive[v] = true
+					activeCount++
+				}
 			}
+			wake[w] = wake[w][:0]
 		}
 		cur, next = next, cur
 		active, nextActive = nextActive, active

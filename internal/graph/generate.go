@@ -2,6 +2,7 @@ package graph
 
 import (
 	"math/rand"
+	"slices"
 )
 
 // Generators in this file are deterministic for a given seed and are the
@@ -216,7 +217,16 @@ func PreferentialAttachment(n, k int, seed int64) *Graph {
 			t := endpoints[rng.Intn(len(endpoints))]
 			chosen[t] = true
 		}
+		// Iterate the chosen set in sorted order: map iteration order
+		// would leak into the endpoints list (and therefore into every
+		// later degree-proportional sample), making the generated graph
+		// differ from process to process for the same seed.
+		targets := make([]VertexID, 0, k)
 		for t := range chosen {
+			targets = append(targets, t)
+		}
+		slices.Sort(targets)
+		for _, t := range targets {
 			g.AddEdge(t, VertexID(i))
 			endpoints = append(endpoints, t, VertexID(i))
 		}

@@ -56,19 +56,21 @@ func (e *Engine[V, M]) cloneValues(src []V) []V {
 // saveCheckpoint snapshots the state reachable at the current barrier;
 // nextSuperstep is the superstep that would execute next.
 func (e *Engine[V, M]) saveCheckpoint(nextSuperstep, pending int) {
+	n := e.g.N()
 	ck := &checkpoint[V, M]{
 		nextSuperstep: nextSuperstep,
 		pending:       pending,
 		values:        e.cloneValues(e.values),
 		halted:        append([]bool(nil), e.halted...),
-		inbox:         make([][]M, len(e.inbox)),
-		rawRecv:       append([]int64(nil), e.rawRecv...),
+		inbox:         make([][]M, n),
+		rawRecv:       make([]int64, n),
 		adj:           make([][]graph.Edge, len(e.adj)),
 		globals:       make(map[string]any, len(e.globals)),
 		aggCurrent:    make(map[string]any, len(e.aggCurrent)),
 	}
-	for v := range e.inbox {
-		ck.inbox[v] = append([]M(nil), e.inbox[v]...)
+	for v := 0; v < n; v++ {
+		ck.inbox[v] = append([]M(nil), e.mbox.Inbox(VertexID(v))...)
+		ck.rawRecv[v] = e.mbox.RawCount(VertexID(v))
 	}
 	for v := range e.adj {
 		ck.adj[v] = append([]graph.Edge(nil), e.adj[v]...)
@@ -96,8 +98,7 @@ func (e *Engine[V, M]) recoverFromCheckpoint() (nextSuperstep, pending int) {
 		for v := 0; v < e.g.N(); v++ {
 			e.values[v] = e.prog.Init(e.g, VertexID(v))
 			e.halted[v] = false
-			e.inbox[v] = nil
-			e.rawRecv[v] = 0
+			e.mbox.ResetVertex(VertexID(v))
 			e.adj[v] = append(e.adj[v][:0], e.g.Out[v]...)
 		}
 		for name, a := range e.aggs {
@@ -107,14 +108,14 @@ func (e *Engine[V, M]) recoverFromCheckpoint() (nextSuperstep, pending int) {
 		if s, ok := e.prog.(Snapshotter); ok {
 			s.Restore(nil)
 		}
+		e.rebuildWorklists()
 		return 0, 0
 	}
 	e.values = e.cloneValues(ck.values)
 	copy(e.halted, ck.halted)
-	for v := range e.inbox {
-		e.inbox[v] = append([]M(nil), ck.inbox[v]...)
+	for v := 0; v < e.g.N(); v++ {
+		e.mbox.LoadVertex(VertexID(v), ck.inbox[v], ck.rawRecv[v])
 	}
-	copy(e.rawRecv, ck.rawRecv)
 	for v := range e.adj {
 		e.adj[v] = append([]graph.Edge(nil), ck.adj[v]...)
 	}
@@ -128,7 +129,19 @@ func (e *Engine[V, M]) recoverFromCheckpoint() (nextSuperstep, pending int) {
 	if s, ok := e.prog.(Snapshotter); ok {
 		s.Restore(ck.masterState)
 	}
+	e.rebuildWorklists()
 	return ck.nextSuperstep, ck.pending
+}
+
+// rebuildWorklists reconstructs the active-vertex worklists from the
+// restored halt flags and inboxes after a rollback.
+func (e *Engine[V, M]) rebuildWorklists() {
+	e.wl.Clear()
+	for v := 0; v < e.g.N(); v++ {
+		if !e.halted[v] || e.mbox.RawCount(VertexID(v)) > 0 {
+			e.wl.Add(int(e.ownerOf[v]), VertexID(v))
+		}
+	}
 }
 
 // Recoveries reports how many failure recoveries the run performed.

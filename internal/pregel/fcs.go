@@ -1,6 +1,10 @@
 package pregel
 
-import "vcgraph/internal/graph"
+import (
+	"slices"
+
+	"vcgraph/internal/graph"
+)
 
 // Finishing Computations Serially (FCS), the Salihoglu–Widom
 // optimization the paper's §1 cites: many vertex-centric algorithms
@@ -36,7 +40,7 @@ func (fc *FinishContext[V, M]) NumVertices() int { return fc.engine.g.N() }
 func (fc *FinishContext[V, M]) Active() []VertexID { return fc.active }
 
 // Inbox returns the undelivered messages of v.
-func (fc *FinishContext[V, M]) Inbox(v VertexID) []M { return fc.engine.inbox[v] }
+func (fc *FinishContext[V, M]) Inbox(v VertexID) []M { return fc.engine.mbox.Inbox(v) }
 
 // Value returns a pointer to v's value.
 func (fc *FinishContext[V, M]) Value(v VertexID) *V { return &fc.engine.values[v] }
@@ -52,18 +56,18 @@ func (e *Engine[V, M]) maybeFinishSerially(pending int) bool {
 	if threshold <= 0 || !ok {
 		return false
 	}
-	var active []VertexID
-	for v := 0; v < e.g.N(); v++ {
-		if !e.halted[v] || e.rawRecv[v] > 0 {
-			active = append(active, VertexID(v))
-			if len(active) > threshold {
-				return false
-			}
-		}
+	// The worklist holds exactly the vertices that would run next
+	// superstep (active or holding mail), so the trigger check is a
+	// counter read instead of an O(n) halt-flag scan.
+	count := e.wl.Pending()
+	if count == 0 || count > threshold {
+		return false // regular termination / frontier still too wide
 	}
-	if len(active) == 0 {
-		return false // regular termination handles this
+	active := make([]VertexID, 0, count)
+	for w := 0; w < e.cfg.Workers; w++ {
+		active = append(active, e.wl.Next(w)...)
 	}
+	slices.Sort(active)
 	fc := &FinishContext[V, M]{engine: e, active: active}
 	work := finisher.FinishSerially(fc)
 	// One final, single-worker superstep carrying the serial work.
@@ -71,10 +75,10 @@ func (e *Engine[V, M]) maybeFinishSerially(pending int) bool {
 	ss.Work[0] = work
 	e.stats.Supersteps = append(e.stats.Supersteps, ss)
 	e.stats.TotalWork += work
-	for v := range e.inbox {
-		e.inbox[v] = nil
-		e.rawRecv[v] = 0
+	for v := 0; v < e.g.N(); v++ {
+		e.mbox.ResetVertex(VertexID(v))
 		e.halted[v] = true
 	}
+	e.wl.Clear()
 	return true
 }

@@ -155,7 +155,7 @@ func TestBadPartitionerPanics(t *testing.T) {
 	NewEngine[int, int](graph.Path(4), &echoProgram{}, Config[int]{Workers: 2, Partition: bad})
 }
 
-func TestCombinedDeliveriesStat(t *testing.T) {
+func TestInboxDeliveriesStat(t *testing.T) {
 	g := graph.Star(50)
 	prog := &sendAllToCenter{}
 	withComb := Config[int]{Workers: 2, Combiner: func(a, b int) int { return a + b }}
@@ -167,17 +167,18 @@ func TestCombinedDeliveriesStat(t *testing.T) {
 	if res.Stats.TotalMessages != 49 {
 		t.Fatalf("sent %d", res.Stats.TotalMessages)
 	}
-	// All 49 messages combine into... per-source-worker partial combine
-	// only happens at the destination: one inbox slot total.
-	if res.Stats.CombinedDeliveries != 1 {
-		t.Fatalf("combined deliveries %d, want 1", res.Stats.CombinedDeliveries)
+	// All 49 raw messages combine: sender-side combining collapses each
+	// (src,dst)-worker lane to one entry, and delivery merges the lane
+	// partials into a single inbox slot — 1 placement, 49 raw messages.
+	if res.Stats.InboxDeliveries != 1 {
+		t.Fatalf("combined deliveries %d, want 1", res.Stats.InboxDeliveries)
 	}
 	eng2 := NewEngine[int, int](g, prog, Config[int]{Workers: 2})
 	res2, err := eng2.Run()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res2.Stats.CombinedDeliveries != res2.Stats.TotalMessages {
-		t.Fatalf("without combiner: %d != %d", res2.Stats.CombinedDeliveries, res2.Stats.TotalMessages)
+	if res2.Stats.InboxDeliveries != res2.Stats.TotalMessages {
+		t.Fatalf("without combiner: %d != %d", res2.Stats.InboxDeliveries, res2.Stats.TotalMessages)
 	}
 }

@@ -18,12 +18,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sort"
-	"sync"
+	"slices"
 
 	"vcgraph/internal/bsp"
 	"vcgraph/internal/graph"
+	rt "vcgraph/internal/runtime"
 )
 
 // VertexID aliases graph.VertexID for convenience.
@@ -112,12 +111,16 @@ type Result[V any] struct {
 	Supersteps int
 }
 
-type addrMsg[M any] struct {
-	dst VertexID
-	m   M
+// maxima tracks one worker's running per-vertex BPPA ratio maxima
+// within a superstep.
+type maxima struct {
+	state, compute, sent, recv float64
 }
 
-// Engine executes a Program over a graph.
+// Engine executes a Program over a graph. Message routing, worker
+// scheduling, and active-vertex tracking sit on the shared primitives
+// of internal/runtime: a persistent worker pool, sharded mailboxes
+// with sender-side combining, and per-worker worklists.
 type Engine[V, M any] struct {
 	g    *graph.Graph
 	prog Program[V, M]
@@ -132,9 +135,16 @@ type Engine[V, M any] struct {
 	ownerOf []int32      // vertex -> worker
 	verts   [][]VertexID // worker -> owned vertices
 
-	inbox   [][]M
-	rawRecv []int64 // raw (pre-combiner) messages delivered per vertex
-	outbox  [][][]addrMsg[M]
+	mbox *rt.Mailbox[M] // sharded outbox lanes + per-vertex inboxes
+	wl   *rt.Worklists  // vertices to compute next superstep
+	pool *rt.Pool       // persistent workers, live for one Run
+
+	// Per-superstep scratch, allocated once per engine.
+	ctxs      []Context[V, M]
+	workerMax []maxima
+	delivered []int64
+	placed    []int64
+	onMail    []func(VertexID) // per-worker worklist hook for delivery
 
 	aggs        map[string]Aggregator
 	aggCurrent  map[string]any // finalized, visible this superstep
@@ -159,10 +169,7 @@ type Engine[V, M any] struct {
 func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[M]) *Engine[V, M] {
 	n := g.N()
 	if cfg.Workers <= 0 {
-		cfg.Workers = 4
-		if p := runtime.GOMAXPROCS(0); p < cfg.Workers {
-			cfg.Workers = p
-		}
+		cfg.Workers = rt.DefaultWorkers()
 	}
 	if cfg.MaxSupersteps <= 0 {
 		cfg.MaxSupersteps = 1 + 10*(n+64)
@@ -177,8 +184,6 @@ func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[M]) *Eng
 		values:  make([]V, n),
 		halted:  make([]bool, n),
 		adj:     make([][]graph.Edge, n),
-		inbox:   make([][]M, n),
-		rawRecv: make([]int64, n),
 		deg:     make([]int, n),
 		aggs:    make(map[string]Aggregator),
 		globals: make(map[string]any),
@@ -205,9 +210,16 @@ func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[M]) *Eng
 		}
 		e.verts[w] = append(e.verts[w], VertexID(v))
 	}
-	e.outbox = make([][][]addrMsg[M], cfg.Workers)
-	for w := range e.outbox {
-		e.outbox[w] = make([][]addrMsg[M], cfg.Workers)
+	e.mbox = rt.NewMailbox[M](cfg.Workers, e.ownerOf, cfg.Combiner)
+	e.wl = rt.NewWorklists(cfg.Workers, n)
+	e.ctxs = make([]Context[V, M], cfg.Workers)
+	e.workerMax = make([]maxima, cfg.Workers)
+	e.delivered = make([]int64, cfg.Workers)
+	e.placed = make([]int64, cfg.Workers)
+	e.onMail = make([]func(VertexID), cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		e.ctxs[w] = Context[V, M]{engine: e, worker: w}
+		e.onMail[w] = func(v VertexID) { e.wl.Add(w, v) }
 	}
 	e.aggPartials = make([]map[string]any, cfg.Workers)
 	for w := range e.aggPartials {
@@ -243,6 +255,14 @@ func (e *Engine[V, M]) Run() (*Result[V], error) {
 		e.aggCurrent[name] = a.Zero()
 	}
 
+	// The worker pool lives for the whole run: goroutines start once
+	// here and park on the phase barrier between supersteps.
+	e.pool = rt.NewPool(e.cfg.Workers)
+	defer func() { e.pool.Close(); e.pool = nil }()
+
+	// Every vertex computes at superstep 0.
+	e.wl.FillAll(e.verts)
+
 	master, hasMaster := e.prog.(Master)
 	pending := 0 // messages waiting in inboxes
 	capErr := false
@@ -270,24 +290,12 @@ func (e *Engine[V, M]) Run() (*Result[V], error) {
 			for v := range e.halted {
 				e.halted[v] = false
 			}
+			e.wl.FillAll(e.verts)
 		}
-		// A vertex computes if it is active or has mail.
-		anyActive := false
-		if e.superstep == 0 {
-			anyActive = n > 0
-		} else {
-			if pending > 0 {
-				anyActive = true
-			} else {
-				for v := 0; v < n; v++ {
-					if !e.halted[v] {
-						anyActive = true
-						break
-					}
-				}
-			}
-		}
-		if !anyActive {
+		// A vertex computes if it is active or has mail; the worklist
+		// holds exactly those vertices, so the old O(n) halt-flag scan
+		// is an O(P) counter read.
+		if e.wl.Pending() == 0 {
 			break
 		}
 		pending = e.runSuperstep()
@@ -325,94 +333,83 @@ func newSuperstepStats(workers int) bsp.SuperstepStats {
 func (e *Engine[V, M]) runSuperstep() int {
 	p := e.cfg.Workers
 	ss := newSuperstepStats(p)
-	type maxima struct {
-		state, compute, sent, recv float64
+	for w := range e.workerMax {
+		e.workerMax[w] = maxima{}
 	}
-	workerMax := make([]maxima, p)
 
-	var wg sync.WaitGroup
-	for w := 0; w < p; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			ctx := &Context[V, M]{engine: e, worker: w}
-			for _, vid := range e.verts[w] {
-				v := int(vid)
-				msgs := e.inbox[v]
-				raw := e.rawRecv[v]
-				if e.halted[v] && raw == 0 && e.superstep > 0 {
-					continue
-				}
-				if raw > 0 {
-					e.halted[v] = false
-				}
-				if e.cfg.MessageLess != nil && len(msgs) > 1 {
-					less := e.cfg.MessageLess
-					sort.SliceStable(msgs, func(i, j int) bool { return less(msgs[i], msgs[j]) })
-				}
-				ctx.id = vid
-				ctx.sent = 0
-				ctx.charge = 0
-				ctx.state = -1
-				ctx.halt = false
-				e.prog.Compute(ctx, msgs)
-				if ctx.halt {
-					e.halted[v] = true
-				}
-				e.inbox[v] = nil
-				e.rawRecv[v] = 0
-
-				work := 1 + raw + ctx.sent + ctx.charge
-				ss.Work[w] += work
-				ss.Sent[w] += ctx.sent
-				d := float64(e.deg[v] + 1)
-				mm := &workerMax[w]
-				if r := float64(work) / d; r > mm.compute {
-					mm.compute = r
-				}
-				if r := float64(ctx.sent) / d; r > mm.sent {
-					mm.sent = r
-				}
-				if r := float64(raw) / d; r > mm.recv {
-					mm.recv = r
-				}
-				if e.sizer != nil {
-					su := e.sizer.StateUnits(&e.values[v])
-					if r := float64(su) / d; r > mm.state {
-						mm.state = r
+	// Compute phase: each pool worker drains its worklist shard —
+	// only vertices that are active or have mail, in ascending vertex
+	// order (matching a full partition scan, so results are identical
+	// to the pre-worklist engine).
+	e.mbox.Advance() // invalidate last superstep's sender-combining slots
+	e.wl.Flip()
+	e.pool.Run(func(w int) {
+		e.wl.SortCur(w, e.verts[w])
+		ctx := &e.ctxs[w]
+		for _, vid := range e.wl.Cur(w) {
+			v := int(vid)
+			e.wl.Unmark(vid)
+			msgs := e.mbox.Inbox(vid)
+			raw := e.mbox.RawCount(vid)
+			if e.halted[v] && raw == 0 && e.superstep > 0 {
+				continue
+			}
+			if raw > 0 {
+				e.halted[v] = false
+			}
+			if e.cfg.MessageLess != nil && len(msgs) > 1 {
+				less := e.cfg.MessageLess
+				slices.SortStableFunc(msgs, func(a, b M) int {
+					switch {
+					case less(a, b):
+						return -1
+					case less(b, a):
+						return 1
 					}
+					return 0
+				})
+			}
+			ctx.id = vid
+			ctx.sent = 0
+			ctx.charge = 0
+			ctx.state = -1
+			ctx.halt = false
+			e.prog.Compute(ctx, msgs)
+			if ctx.halt {
+				e.halted[v] = true
+			} else {
+				e.wl.Add(w, vid)
+			}
+			e.mbox.ResetVertex(vid)
+
+			work := 1 + raw + ctx.sent + ctx.charge
+			ss.Work[w] += work
+			ss.Sent[w] += ctx.sent
+			d := float64(e.deg[v] + 1)
+			mm := &e.workerMax[w]
+			if r := float64(work) / d; r > mm.compute {
+				mm.compute = r
+			}
+			if r := float64(ctx.sent) / d; r > mm.sent {
+				mm.sent = r
+			}
+			if r := float64(raw) / d; r > mm.recv {
+				mm.recv = r
+			}
+			if e.sizer != nil {
+				su := e.sizer.StateUnits(&e.values[v])
+				if r := float64(su) / d; r > mm.state {
+					mm.state = r
 				}
 			}
-		}(w)
-	}
-	wg.Wait()
+		}
+	})
 
-	// Delivery: worker j drains every outbox addressed to it.
-	delivered := make([]int64, p)
-	combined := make([]int64, p)
-	for w := 0; w < p; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			comb := e.cfg.Combiner
-			for src := 0; src < p; src++ {
-				box := e.outbox[src][w]
-				for _, am := range box {
-					v := am.dst
-					e.rawRecv[v]++
-					delivered[w]++
-					if comb != nil && len(e.inbox[v]) == 1 {
-						e.inbox[v][0] = comb(e.inbox[v][0], am.m)
-					} else {
-						e.inbox[v] = append(e.inbox[v], am.m)
-						combined[w]++
-					}
-				}
-				e.outbox[src][w] = box[:0]
-			}
-		}(w)
-	}
-	wg.Wait()
+	// Delivery phase: worker j drains every mailbox lane addressed to
+	// it and queues vertices receiving their first message.
+	e.pool.Run(func(w int) {
+		e.delivered[w], e.placed[w] = e.mbox.Deliver(w, e.onMail[w])
+	})
 
 	// Finalize aggregators.
 	for name, a := range e.aggs {
@@ -428,10 +425,10 @@ func (e *Engine[V, M]) runSuperstep() int {
 
 	var pending int64
 	for w := 0; w < p; w++ {
-		ss.Recv[w] = delivered[w]
-		pending += delivered[w]
-		e.stats.CombinedDeliveries += combined[w]
-		m := workerMax[w]
+		ss.Recv[w] = e.delivered[w]
+		pending += e.delivered[w]
+		e.stats.InboxDeliveries += e.placed[w]
+		m := e.workerMax[w]
 		if m.state > e.stats.MaxStatePerDeg {
 			e.stats.MaxStatePerDeg = m.state
 		}
@@ -520,11 +517,12 @@ func (c *Context[V, M]) Degree() int { return c.engine.deg[c.id] }
 // itself may mutate its adjacency, which makes the operation race-free.
 func (c *Context[V, M]) SetOutEdges(edges []graph.Edge) { c.engine.adj[c.id] = edges }
 
-// SendTo sends m to vertex dst, delivered at the next superstep.
+// SendTo sends m to vertex dst, delivered at the next superstep. With
+// a combiner configured, messages to the same destination combine in
+// the sender's outbox lane (the raw count still reaches the Stats).
 func (c *Context[V, M]) SendTo(dst VertexID, m M) {
 	c.sent++
-	dw := c.engine.owner(dst)
-	c.engine.outbox[c.worker][dw] = append(c.engine.outbox[c.worker][dw], addrMsg[M]{dst: dst, m: m})
+	c.engine.mbox.Send(c.worker, dst, m)
 }
 
 // SendToNeighbors sends m along every current out-edge.

@@ -1,0 +1,136 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+)
+
+// Superstep dispatch: one compute phase + one delivery phase per
+// superstep. The persistent pool parks its goroutines between phases;
+// the baseline spawns fresh goroutines with a WaitGroup each phase,
+// which is what all four engines did before the runtime existed.
+
+func BenchmarkDispatchPool(b *testing.B) {
+	p := NewPool(4)
+	defer p.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Run(func(int) {})
+		p.Run(func(int) {})
+	}
+}
+
+func BenchmarkDispatchGoroutineChurn(b *testing.B) {
+	phase := func() {
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(int) { defer wg.Done() }(w)
+		}
+		wg.Wait()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		phase()
+		phase()
+	}
+}
+
+// Mailbox delivery: a steady-state superstep where every vertex sends
+// to a fixed fan-out of destinations. After warm-up the message path
+// should allocate nothing (lanes and inboxes keep capacity).
+
+func benchMailbox(b *testing.B, comb func(a, b int) int) {
+	const n, workers, fanout = 1024, 4, 8
+	owner := make([]int32, n)
+	for v := range owner {
+		owner[v] = int32(v % workers)
+	}
+	mb := NewMailbox[int](workers, owner, comb)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mb.Advance()
+		for v := 0; v < n; v++ {
+			src := int(owner[v])
+			for j := 1; j <= fanout; j++ {
+				mb.Send(src, VertexID((v+j)%n), v+j)
+			}
+		}
+		for w := 0; w < workers; w++ {
+			mb.Deliver(w, nil)
+		}
+		for v := 0; v < n; v++ {
+			mb.ResetVertex(VertexID(v))
+		}
+	}
+}
+
+func BenchmarkMailboxDeliver(b *testing.B) { benchMailbox(b, nil) }
+
+func BenchmarkMailboxDeliverCombining(b *testing.B) {
+	benchMailbox(b, func(a, c int) int {
+		if a < c {
+			return a
+		}
+		return c
+	})
+}
+
+// Worklist iteration: the per-superstep Flip/Sort/drain/re-add cycle
+// over a frontier that stays at n/4 vertices, versus the O(n) full
+// rescan it replaced.
+
+func BenchmarkWorklistIteration(b *testing.B) {
+	const n, workers = 8192, 4
+	wl := NewWorklists(workers, n)
+	for v := 0; v < n; v += 4 {
+		wl.Add(v%workers, VertexID(v))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wl.Flip()
+		for w := 0; w < workers; w++ {
+			wl.SortCur(w, nil)
+			for _, v := range wl.Cur(w) {
+				wl.Unmark(v)
+				wl.Add(w, v) // vertex stays active
+			}
+		}
+	}
+}
+
+func BenchmarkWorklistFullScanBaseline(b *testing.B) {
+	// What the engines did before: test every vertex's halt flag even
+	// when only n/4 are active.
+	const n = 8192
+	halted := make([]bool, n)
+	for v := 0; v < n; v++ {
+		halted[v] = v%4 != 0
+	}
+	b.ReportAllocs()
+	count := 0
+	for i := 0; i < b.N; i++ {
+		for v := 0; v < n; v++ {
+			if !halted[v] {
+				count++
+			}
+		}
+	}
+	_ = count
+}
+
+func BenchmarkFIFODrain(b *testing.B) {
+	const n = 4096
+	q := NewFIFO(n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for v := 0; v < n; v++ {
+			q.Push(VertexID(v))
+		}
+		for {
+			if _, ok := q.Pop(); !ok {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package runtime
+
+import "vcgraph/internal/graph"
+
+// VertexID aliases graph.VertexID.
+type VertexID = graph.VertexID
+
+// entry is one outbox lane slot: a destination vertex, the (possibly
+// sender-side combined) message, and the number of raw messages folded
+// into it. The raw count is what the BSP model's h charges — Stats are
+// always recorded pre-combining.
+type entry[M any] struct {
+	dst VertexID
+	m   M
+	raw int64
+}
+
+// lane is the outbox of one (src worker, dst worker) pair. The slice
+// keeps its capacity across supersteps.
+type lane[M any] struct {
+	entries []entry[M]
+}
+
+// Mailbox is a sharded message store for P workers over n vertices:
+// P×P outbox lanes plus a per-vertex inbox. The sharding makes both
+// phases race-free by construction: during compute, worker w appends
+// only to lanes[w][*]; during delivery, worker w drains only
+// lanes[*][w] and touches only inboxes of vertices it owns.
+//
+// All buffers (lanes, per-vertex inboxes, combiner indices) keep their
+// capacity across supersteps, so a steady-state superstep allocates
+// nothing on the message path.
+type Mailbox[M any] struct {
+	workers int
+	owner   []int32 // vertex -> owning worker
+	comb    func(a, b M) M
+
+	lanes   [][]lane[M] // [src][dst]
+	inbox   [][]M
+	rawRecv []int64 // raw (pre-combining) messages delivered per vertex
+
+	// Sender-side combining index (combiner installed only): slots[src][v]
+	// is the entry index of v in lane[src][owner[v]], valid while
+	// tags[src][v] == epoch. The epoch tag makes invalidation at the
+	// superstep barrier O(1) instead of an O(sent) map clear, and Send
+	// stays an array access instead of a hashed map probe.
+	slots [][]int32
+	tags  [][]uint32
+	epoch uint32
+}
+
+// NewMailbox builds a mailbox for len(owner) vertices sharded over
+// workers. comb, when non-nil, is applied sender-side in the outbox
+// lanes and receiver-side across lanes, exactly mirroring the result
+// of combining at delivery time (the combiner contract requires
+// associativity and commutativity).
+func NewMailbox[M any](workers int, owner []int32, comb func(a, b M) M) *Mailbox[M] {
+	n := len(owner)
+	mb := &Mailbox[M]{
+		workers: workers,
+		owner:   owner,
+		comb:    comb,
+		lanes:   make([][]lane[M], workers),
+		inbox:   make([][]M, n),
+		rawRecv: make([]int64, n),
+	}
+	for src := range mb.lanes {
+		mb.lanes[src] = make([]lane[M], workers)
+	}
+	if comb != nil {
+		mb.epoch = 1
+		mb.slots = make([][]int32, workers)
+		mb.tags = make([][]uint32, workers)
+		for src := 0; src < workers; src++ {
+			mb.slots[src] = make([]int32, n)
+			mb.tags[src] = make([]uint32, n)
+		}
+	}
+	return mb
+}
+
+// Advance invalidates the sender-side combining index. The engine must
+// call it once per superstep, single-threaded at the barrier, so that
+// sends of consecutive compute phases never combine into stale slots.
+func (mb *Mailbox[M]) Advance() {
+	if mb.comb == nil {
+		return
+	}
+	mb.epoch++
+	if mb.epoch == 0 { // wrapped: reset tags so stale slots cannot alias
+		for _, t := range mb.tags {
+			clear(t)
+		}
+		mb.epoch = 1
+	}
+}
+
+// Owner returns the worker owning vertex v.
+func (mb *Mailbox[M]) Owner(v VertexID) int { return int(mb.owner[v]) }
+
+// Send records one raw message from src worker to vertex dst. With a
+// combiner installed the message may fold into an existing lane slot
+// (sender-side combining); the slot's raw count still grows by one.
+func (mb *Mailbox[M]) Send(src int, dst VertexID, m M) {
+	ln := &mb.lanes[src][mb.owner[dst]]
+	if mb.comb != nil {
+		if mb.tags[src][dst] == mb.epoch {
+			e := &ln.entries[mb.slots[src][dst]]
+			e.m = mb.comb(e.m, m)
+			e.raw++
+			return
+		}
+		mb.tags[src][dst] = mb.epoch
+		mb.slots[src][dst] = int32(len(ln.entries))
+	}
+	ln.entries = append(ln.entries, entry[M]{dst: dst, m: m, raw: 1})
+}
+
+// Deliver drains every lane addressed to worker w, in source-worker
+// order, into the inboxes of w's vertices. onFirstMail, when non-nil,
+// fires once per vertex whose raw-received count transitions from
+// zero (its hook into the active-vertex worklist). It returns the raw
+// message count delivered and the number of inbox placements after
+// combining (placements == delivered when no combiner is installed).
+func (mb *Mailbox[M]) Deliver(w int, onFirstMail func(VertexID)) (delivered, placements int64) {
+	for src := 0; src < mb.workers; src++ {
+		ln := &mb.lanes[src][w]
+		for i := range ln.entries {
+			e := &ln.entries[i]
+			v := e.dst
+			if mb.rawRecv[v] == 0 && onFirstMail != nil {
+				onFirstMail(v)
+			}
+			mb.rawRecv[v] += e.raw
+			delivered += e.raw
+			if mb.comb != nil && len(mb.inbox[v]) == 1 {
+				mb.inbox[v][0] = mb.comb(mb.inbox[v][0], e.m)
+			} else {
+				mb.inbox[v] = append(mb.inbox[v], e.m)
+				placements++
+			}
+		}
+		ln.entries = ln.entries[:0]
+	}
+	return delivered, placements
+}
+
+// Inbox returns v's delivered messages. The slice is valid until v's
+// next ResetVertex/LoadVertex and must not be retained across
+// supersteps (its backing array is reused).
+func (mb *Mailbox[M]) Inbox(v VertexID) []M { return mb.inbox[v] }
+
+// RawCount returns the raw (pre-combining) number of messages
+// delivered to v in the last delivery phase.
+func (mb *Mailbox[M]) RawCount(v VertexID) int64 { return mb.rawRecv[v] }
+
+// ResetVertex empties v's inbox, keeping its capacity for reuse.
+func (mb *Mailbox[M]) ResetVertex(v VertexID) {
+	mb.inbox[v] = mb.inbox[v][:0]
+	mb.rawRecv[v] = 0
+}
+
+// LoadVertex replaces v's inbox contents and raw count (checkpoint
+// recovery), copying msgs into v's reusable buffer.
+func (mb *Mailbox[M]) LoadVertex(v VertexID, msgs []M, raw int64) {
+	mb.inbox[v] = append(mb.inbox[v][:0], msgs...)
+	mb.rawRecv[v] = raw
+}

@@ -1,0 +1,97 @@
+// Package runtime is the shared execution substrate under the four
+// processing engines (pregel, gas, async, blockcentric). It provides
+// three reusable primitives:
+//
+//   - Pool: a persistent worker pool whose goroutines are started once
+//     per engine run and parked on a phase barrier between supersteps,
+//     replacing the per-superstep `go func` + WaitGroup churn that
+//     previously dominated dispatch cost.
+//   - Mailbox[M]: generic sharded mailboxes with per-(src,dst)-worker
+//     lanes, optional sender-side combining, and buffer reuse across
+//     supersteps.
+//   - Worklists / FIFO: active-vertex worklists so a superstep (or an
+//     asynchronous drain) touches only vertices that are active or
+//     have mail, with O(P) pending counters replacing O(n) scans.
+//
+// None of the primitives change what the engines measure: the BSP
+// instrumentation (internal/bsp) still records raw, pre-combining
+// message counts and per-worker work, so Stats semantics are
+// byte-identical to the pre-runtime engines.
+package runtime
+
+import stdruntime "runtime"
+
+// DefaultWorkers returns the engines' default parallelism:
+// min(4, GOMAXPROCS). Four workers keep the BSP cost model's P small
+// and stable across machines while still exercising real parallelism.
+func DefaultWorkers() int {
+	w := 4
+	if p := stdruntime.GOMAXPROCS(0); p < w {
+		w = p
+	}
+	return w
+}
+
+// Pool is a persistent worker pool: P goroutines started once, woken
+// for each phase, and parked again at the phase barrier. Run returns
+// only after every worker has finished the phase, so phases are
+// totally ordered (the BSP barrier) and the memory effects of phase k
+// happen-before phase k+1 (channel send/receive pairs).
+//
+// A Pool is owned by a single orchestrating goroutine; Run and Close
+// must not be called concurrently. Close releases the goroutines.
+type Pool struct {
+	workers int
+	start   []chan func(worker int)
+	done    chan struct{}
+}
+
+// NewPool starts workers parked goroutines.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	p := &Pool{
+		workers: workers,
+		start:   make([]chan func(int), workers),
+		done:    make(chan struct{}, workers),
+	}
+	for w := 0; w < workers; w++ {
+		ch := make(chan func(int))
+		p.start[w] = ch
+		go func(w int, ch chan func(int)) {
+			for fn := range ch {
+				fn(w)
+				p.done <- struct{}{}
+			}
+		}(w, ch)
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes fn(w) on every worker w in [0, P) and waits for all of
+// them (the phase barrier).
+func (p *Pool) Run(fn func(worker int)) {
+	for _, ch := range p.start {
+		ch <- fn
+	}
+	for range p.start {
+		<-p.done
+	}
+}
+
+// Close parks the pool permanently, releasing its goroutines. The pool
+// must not be used afterwards. Close is idempotent.
+func (p *Pool) Close() {
+	for _, ch := range p.start {
+		if ch != nil {
+			close(ch)
+		}
+	}
+	for i := range p.start {
+		p.start[i] = nil
+	}
+}

@@ -1,9 +1,10 @@
 package seq
 
 import (
+	"cmp"
 	"container/heap"
 	"math"
-	"sort"
+	"slices"
 
 	"vcgraph/internal/graph"
 )
@@ -132,7 +133,7 @@ func BetweennessWeighted(g *graph.Graph, sources []VertexID, ops *Ops) []float64
 		}
 		// Accumulate in reverse settle order (non-increasing distance);
 		// w's predecessors v satisfy dist[v] + w(v,w) == dist[w].
-		sort.SliceStable(order, func(i, j int) bool { return dist[order[i]] > dist[order[j]] })
+		slices.SortStableFunc(order, func(a, b VertexID) int { return cmp.Compare(dist[b], dist[a]) })
 		for _, w := range order {
 			ops.Inc()
 			for _, e := range g.Out[w] {
