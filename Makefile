@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench table1 ext figures ablations examples clean
+.PHONY: all build vet test race cover fuzz-smoke bench table1 ext figures ablations examples clean
 
 all: build vet test
 
@@ -20,6 +20,20 @@ test:
 # of the verification checklist alongside build/vet/test.
 race:
 	$(GO) test -race ./internal/...
+
+# Statement coverage over the library packages, with a hard 70% floor.
+# Part of the tier-1 gate: a PR that drops total coverage below the
+# floor fails here.
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out -coverpkg=./internal/... ./...
+	@$(GO) tool cover -func=cover.out | awk '/^total:/ { pct = $$3; sub("%", "", pct); if (pct + 0 < 70) { printf "FAIL: total coverage %s below the 70%% floor\n", $$3; exit 1 } printf "total coverage %s (floor 70%%)\n", $$3 }'
+
+# Ten seconds of coverage-guided fuzzing per generator target. The
+# f.Add seed corpora also run on every plain `go test`.
+fuzz-smoke:
+	$(GO) test -fuzz='FuzzRandom$$' -fuzztime=10s -run='^$$' ./internal/graph
+	$(GO) test -fuzz='FuzzPreferentialAttachment$$' -fuzztime=10s -run='^$$' ./internal/graph
+	$(GO) test -fuzz='FuzzRandomTree$$' -fuzztime=10s -run='^$$' ./internal/graph
 
 bench:
 	$(GO) test -bench . -benchmem ./...

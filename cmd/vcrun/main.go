@@ -31,6 +31,7 @@ import (
 	"vcgraph/internal/bsp"
 	"vcgraph/internal/gas"
 	"vcgraph/internal/graph"
+	"vcgraph/internal/runtime"
 	"vcgraph/internal/vc"
 )
 
@@ -45,7 +46,17 @@ func main() {
 	load := flag.String("load", "", "load the graph from a vcgraph edge-list file instead of generating")
 	save := flag.String("save", "", "write the (generated or loaded) graph to an edge-list file and continue")
 	dot := flag.String("dot", "", "also write the graph in Graphviz DOT format to this file")
+	checkpoint := flag.Int("checkpoint", 0, "checkpoint every k supersteps (0 = off)")
+	faults := flag.Int64("faults", 0, "inject a seeded random fault plan (0 = none); implies -checkpoint 2 unless set")
 	flag.Parse()
+
+	var plan *runtime.FaultPlan
+	if *faults != 0 {
+		plan = runtime.NewFaultPlan(*faults)
+		if *checkpoint == 0 {
+			*checkpoint = 2
+		}
+	}
 
 	var g *graph.Graph
 	var err error
@@ -79,7 +90,7 @@ func main() {
 	if *load != "" {
 		source = "file:" + *load
 	}
-	cfg := vc.Config{Workers: *workers, Seed: *seed}
+	cfg := vc.Config{Workers: *workers, Seed: *seed, CheckpointEvery: *checkpoint, Faults: plan}
 	start := time.Now()
 	summary, stats, err := run(*algo, g, graph.VertexID(*src), cfg, *seed)
 	if err != nil {
@@ -100,6 +111,13 @@ func main() {
 	fmt.Printf("balance (per-vertex max / degree):\n")
 	fmt.Printf("  state %.2f  compute %.2f  sent %.2f  recv %.2f\n",
 		stats.MaxStatePerDeg, stats.MaxComputePerDeg, stats.MaxSentPerDeg, stats.MaxRecvPerDeg)
+	if rec := stats.Recovery; *checkpoint > 0 || rec.Faulted() {
+		fmt.Printf("fault tolerance:\n")
+		fmt.Printf("  checkpoints %d  rollbacks %d  redone supersteps %d\n",
+			rec.CheckpointsSaved, rec.Rollbacks, rec.RedoneSupersteps)
+		fmt.Printf("  corrupted checkpoints %d  dropped lanes %d  duplicated lanes %d\n",
+			rec.CorruptedCheckpoints, rec.DroppedLanes, rec.DuplicatedLanes)
+	}
 }
 
 func fail(err error) {
@@ -369,22 +387,22 @@ func run(algo string, g *graph.Graph, src graph.VertexID, cfg vc.Config, seed in
 		}
 		return fmt.Sprintf("top hub %d (%.4f)", bhv, bh), res.Stats, nil
 	case "asynccc":
-		labels, updates, err := async.ConnectedComponents(g, async.Config{})
+		labels, res, err := async.ConnectedComponents(g, async.Config{CheckpointEvery: cfg.CheckpointEvery, Faults: cfg.Faults})
 		if err != nil {
 			return "", nil, err
 		}
-		return fmt.Sprintf("%d components in %d async updates", countDistinct(labels), updates),
-			&bsp.Stats{Workers: 1, N: g.N()}, nil
+		return fmt.Sprintf("%d components in %d async updates", countDistinct(labels), res.Updates),
+			res.Stats, nil
 	case "asyncsssp":
 		graph.RandomWeights(g, seed+1)
-		_, updates, err := async.SSSP(g, src, async.Config{})
+		_, res, err := async.SSSP(g, src, async.Config{CheckpointEvery: cfg.CheckpointEvery, Faults: cfg.Faults})
 		if err != nil {
 			return "", nil, err
 		}
-		return fmt.Sprintf("shortest paths in %d async updates", updates),
-			&bsp.Stats{Workers: 1, N: g.N()}, nil
+		return fmt.Sprintf("shortest paths in %d async updates", res.Updates),
+			res.Stats, nil
 	case "gaspagerank":
-		_, res, err := gas.PageRank(g, 0.85, 1e-9, gas.Config{Workers: cfg.Workers})
+		_, res, err := gas.PageRank(g, 0.85, 1e-9, gas.Config{Workers: cfg.Workers, CheckpointEvery: cfg.CheckpointEvery, Faults: cfg.Faults})
 		if err != nil {
 			return "", nil, err
 		}
@@ -430,7 +448,7 @@ func run(algo string, g *graph.Graph, src graph.VertexID, cfg vc.Config, seed in
 		}
 		return fmt.Sprintf("%d communities, modularity %.3f", len(distinct), res.Modularity), res.Stats, nil
 	case "blockcc":
-		res, err := blockcentric.ConnectedComponents(g, blockcentric.Config{Blocks: cfg.Workers})
+		res, err := blockcentric.ConnectedComponents(g, blockcentric.Config{Blocks: cfg.Workers, CheckpointEvery: cfg.CheckpointEvery, Faults: cfg.Faults})
 		if err != nil {
 			return "", nil, err
 		}

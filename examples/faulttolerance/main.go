@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"vcgraph/internal/graph"
+	rt "vcgraph/internal/runtime"
 	"vcgraph/internal/vc"
 )
 
@@ -25,8 +26,8 @@ func main() {
 
 	recovered, err := vc.HashMinCC(g, vc.Config{
 		Workers:         4,
-		CheckpointEvery: 64,  // snapshot every 64 supersteps
-		FailAt:          300, // machine failure right before superstep 300
+		CheckpointEvery: 64,                        // snapshot every 64 supersteps
+		Faults:          rt.PlanOf(rt.Crash(300)), // machine failure right before superstep 300
 	})
 	if err != nil {
 		panic(err)

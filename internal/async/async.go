@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 
+	"vcgraph/internal/bsp"
 	"vcgraph/internal/graph"
 	rt "vcgraph/internal/runtime"
 )
@@ -46,9 +47,31 @@ type Config struct {
 	// Prioritized switches the scheduler from FIFO to a max-priority
 	// queue ordered by the program's Priority hook (GraphLab's
 	// residual scheduling). Programs that do not implement
-	// Prioritizer fall back to FIFO.
+	// Prioritizer fall back to FIFO. Incompatible with Faults: the
+	// heap order is not part of any snapshot, so a rollback could not
+	// reproduce the schedule.
 	Prioritized bool
+	// CheckpointEvery, when positive, snapshots the computation state
+	// (values, worklist, update count) every k updates — the
+	// asynchronous analogue of a superstep-interval checkpoint. It
+	// also sets the epoch length at which faults are detected.
+	CheckpointEvery int
+	// Faults, when non-nil, schedules deterministic fault injection
+	// (runtime.FaultPlan) at epoch boundaries: a crash or a lost
+	// activation batch rolls the run back to its newest readable
+	// snapshot (or a fresh restart); a duplicated batch is absorbed
+	// because the FIFO worklist deduplicates scheduled vertices.
+	// FaultEvent.Step counts epochs, not individual updates.
+	Faults *rt.FaultPlan
 }
+
+// ErrFaultsNeedFIFO rejects fault injection under the prioritized
+// scheduler, whose heap order a snapshot cannot reproduce.
+var ErrFaultsNeedFIFO = errors.New("async: fault injection requires the FIFO scheduler")
+
+// defaultEpoch is the fault-detection epoch length (in updates) used
+// when CheckpointEvery is unset.
+const defaultEpoch = 64
 
 // Prioritizer is the optional program extension priority scheduling
 // requires: Priority returns the urgency of updating v given the
@@ -63,7 +86,8 @@ var ErrUpdateCap = errors.New("async: update cap reached")
 // Result of an asynchronous run.
 type Result[V any] struct {
 	Values  []V
-	Updates int // total vertex update invocations (the model's work unit)
+	Updates int        // total vertex update invocations (the model's work unit)
+	Stats   *bsp.Stats // Workers = 1; Recovery itemizes fault-injection cost
 }
 
 // Context exposes the live computation state to Update.
@@ -97,6 +121,9 @@ func Run[V any](g *graph.Graph, prog Program[V], cfg Config) (*Result[V], error)
 	}
 	if cfg.Prioritized {
 		if pr, ok := prog.(Prioritizer[V]); ok {
+			if cfg.Faults.NewInjector(1) != nil {
+				return nil, ErrFaultsNeedFIFO
+			}
 			return runPrioritized(ctx, prog, pr, cfg)
 		}
 	}
@@ -107,14 +134,76 @@ func Run[V any](g *graph.Graph, prog Program[V], cfg Config) (*Result[V], error)
 	for v := 0; v < n; v++ {
 		queue.Push(VertexID(v))
 	}
+	stats := &bsp.Stats{Workers: 1, N: n}
+	inj := cfg.Faults.NewInjector(1)
+	var cks rt.Checkpoints[*asyncSnapshot[V]]
+	epochLen := cfg.CheckpointEvery
+	if epochLen <= 0 {
+		epochLen = defaultEpoch
+	}
+	finish := func() {
+		c := inj.Counts()
+		stats.Recovery.DroppedLanes = c.DroppedLanes
+		stats.Recovery.DuplicatedLanes = c.DuplicatedLanes
+	}
 	updates := 0
 	for {
+		// Epoch boundary: the asynchronous run's stand-in for a
+		// barrier. Faults are detected here and checkpoints taken here;
+		// FaultEvent.Step counts these epochs.
+		if (inj != nil || cfg.CheckpointEvery > 0) && updates%epochLen == 0 {
+			step := updates / epochLen
+			lost := false
+			switch inj.LaneFault(step, 0, 0) {
+			case rt.FaultDropLane:
+				// The pending activation batch is lost; the worklist
+				// cannot be reconstructed in place, so roll back.
+				lost = true
+			case rt.FaultDupLane:
+				// Redelivering the scheduled batch is a no-op: the
+				// FIFO worklist deduplicates by vertex.
+				for _, w := range queue.Snapshot() {
+					queue.Push(w)
+				}
+			}
+			if _, crashed := inj.CrashAt(step); crashed || lost {
+				stats.Recovery.Rollbacks++
+				snap, _, skipped, ok := cks.Recover()
+				stats.Recovery.CorruptedCheckpoints += skipped
+				if ok {
+					ctx.values = rt.CloneValues[V](prog, snap.values)
+					queue.Load(snap.queue)
+					stats.Recovery.RedoneSupersteps += updates - snap.updates
+					updates = snap.updates
+				} else {
+					for v := 0; v < n; v++ {
+						ctx.values[v] = prog.Init(g, VertexID(v))
+					}
+					queue.Load(nil)
+					for v := 0; v < n; v++ {
+						queue.Push(VertexID(v))
+					}
+					stats.Recovery.RedoneSupersteps += updates
+					updates = 0
+				}
+				continue
+			}
+			if cfg.CheckpointEvery > 0 && updates > 0 {
+				cks.Save(step, &asyncSnapshot[V]{
+					values:  rt.CloneValues[V](prog, ctx.values),
+					queue:   queue.Snapshot(),
+					updates: updates,
+				}, inj.CorruptSave(step))
+				stats.Recovery.CheckpointsSaved++
+			}
+		}
 		v, ok := queue.Pop()
 		if !ok {
 			break
 		}
 		if updates >= cfg.MaxUpdates {
-			return &Result[V]{Values: ctx.values, Updates: updates},
+			finish()
+			return &Result[V]{Values: ctx.values, Updates: updates, Stats: stats},
 				fmt.Errorf("%w (cap %d)", ErrUpdateCap, cfg.MaxUpdates)
 		}
 		updates++
@@ -122,7 +211,17 @@ func Run[V any](g *graph.Graph, prog Program[V], cfg Config) (*Result[V], error)
 			queue.Push(w)
 		}
 	}
-	return &Result[V]{Values: ctx.values, Updates: updates}, nil
+	finish()
+	return &Result[V]{Values: ctx.values, Updates: updates, Stats: stats}, nil
+}
+
+// asyncSnapshot is one checkpoint generation of an asynchronous run:
+// the values, the worklist (in arrival order), and the update count at
+// an epoch boundary.
+type asyncSnapshot[V any] struct {
+	values  []V
+	queue   []VertexID
+	updates int
 }
 
 // runPrioritized drains a lazy max-priority queue: every activation
@@ -142,10 +241,11 @@ func runPrioritized[V any](ctx *Context[V], prog Program[V], pr Prioritizer[V], 
 	for v := 0; v < n; v++ {
 		push(VertexID(v))
 	}
+	stats := &bsp.Stats{Workers: 1, N: n}
 	updates := 0
 	for pq.Len() > 0 {
 		if updates >= cfg.MaxUpdates {
-			return &Result[V]{Values: ctx.values, Updates: updates},
+			return &Result[V]{Values: ctx.values, Updates: updates, Stats: stats},
 				fmt.Errorf("%w (cap %d)", ErrUpdateCap, cfg.MaxUpdates)
 		}
 		it := heap.Pop(pq).(prioItem)
@@ -158,7 +258,7 @@ func runPrioritized[V any](ctx *Context[V], prog Program[V], pr Prioritizer[V], 
 			push(w)
 		}
 	}
-	return &Result[V]{Values: ctx.values, Updates: updates}, nil
+	return &Result[V]{Values: ctx.values, Updates: updates, Stats: stats}, nil
 }
 
 type prioItem struct {
@@ -234,12 +334,12 @@ func (p *ssspProgram) Priority(ctx *Context[float64], v VertexID) float64 {
 // SSSP computes single-source shortest paths asynchronously
 // (label-correcting over live values) on an undirected weighted graph.
 // With cfg.Prioritized the schedule is closest-first.
-func SSSP(g *graph.Graph, src VertexID, cfg Config) ([]float64, int, error) {
+func SSSP(g *graph.Graph, src VertexID, cfg Config) ([]float64, *Result[float64], error) {
 	res, err := Run[float64](g, &ssspProgram{src: src}, cfg)
 	if err != nil {
-		return nil, 0, err
+		return nil, res, err
 	}
-	return res.Values, res.Updates, nil
+	return res.Values, res, nil
 }
 
 // --- Async PageRank (Gauss–Seidel with delta scheduling) ---
@@ -277,7 +377,7 @@ func (p *prProgram) Update(ctx *Context[float64], v VertexID) []VertexID {
 // live values with delta-based rescheduling, converging to the same
 // fixpoint as synchronous power iteration but typically in fewer
 // updates (newer information propagates within a single drain).
-func PageRank(g *graph.Graph, alpha, eps float64, cfg Config) ([]float64, int, error) {
+func PageRank(g *graph.Graph, alpha, eps float64, cfg Config) ([]float64, *Result[float64], error) {
 	if g.Directed {
 		g.EnsureIn()
 	}
@@ -296,9 +396,9 @@ func PageRank(g *graph.Graph, alpha, eps float64, cfg Config) ([]float64, int, e
 	}
 	res, err := Run[float64](g, prog, cfg)
 	if err != nil {
-		return nil, 0, err
+		return nil, res, err
 	}
-	return res.Values, res.Updates, nil
+	return res.Values, res, nil
 }
 
 // --- Async connected components (min-label) ---
@@ -328,10 +428,10 @@ func (ccProgram) Update(ctx *Context[VertexID], v VertexID) []VertexID {
 
 // ConnectedComponents labels components with the minimum member ID via
 // asynchronous min-label propagation.
-func ConnectedComponents(g *graph.Graph, cfg Config) ([]VertexID, int, error) {
+func ConnectedComponents(g *graph.Graph, cfg Config) ([]VertexID, *Result[VertexID], error) {
 	res, err := Run[VertexID](g, ccProgram{}, cfg)
 	if err != nil {
-		return nil, 0, err
+		return nil, res, err
 	}
-	return res.Values, res.Updates, nil
+	return res.Values, res, nil
 }

@@ -63,7 +63,7 @@ func TestAsyncPropagatesWithinOneDrain(t *testing.T) {
 	// On a path, one FIFO drain moves a label the whole way: total
 	// updates stay O(n), versus Θ(n) supersteps of the BSP engine.
 	g := graph.Path(4096)
-	labels, updates, err := ConnectedComponents(g, Config{})
+	labels, ccRes, err := ConnectedComponents(g, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestAsyncPropagatesWithinOneDrain(t *testing.T) {
 			t.Fatalf("vertex %d label %d", v, l)
 		}
 	}
-	if updates > 5*g.N() {
+	if updates := ccRes.Updates; updates > 5*g.N() {
 		t.Fatalf("updates = %d; FIFO async should stay ~O(n) on a path", updates)
 	}
 	// Contrast: the synchronous engine needs Θ(n) supersteps.
@@ -93,8 +93,8 @@ func TestAsyncUpdateCap(t *testing.T) {
 }
 
 func TestAsyncEmptyAndSingleton(t *testing.T) {
-	if labels, updates, err := ConnectedComponents(graph.New(0, false), Config{}); err != nil || len(labels) != 0 || updates != 0 {
-		t.Fatalf("empty: %v %v %v", labels, updates, err)
+	if labels, res, err := ConnectedComponents(graph.New(0, false), Config{}); err != nil || len(labels) != 0 || res.Updates != 0 {
+		t.Fatalf("empty: %v %v %v", labels, res.Updates, err)
 	}
 	labels, _, err := ConnectedComponents(graph.New(1, false), Config{})
 	if err != nil || labels[0] != 0 {
@@ -113,8 +113,8 @@ func TestAsyncDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ua != ub {
-		t.Fatalf("update counts differ: %d vs %d", ua, ub)
+	if ua.Updates != ub.Updates {
+		t.Fatalf("update counts differ: %d vs %d", ua.Updates, ub.Updates)
 	}
 	for v := range a {
 		if a[v] != b[v] {
@@ -128,7 +128,7 @@ func TestAsyncPageRankMatchesPowerIteration(t *testing.T) {
 		graph.PreferentialAttachment(500, 3, 4),
 		graph.RandomDirected(300, 1200, 6),
 	} {
-		ranks, updates, err := PageRank(g, 0.85, 1e-12, Config{})
+		ranks, prRes, err := PageRank(g, 0.85, 1e-12, Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -139,7 +139,7 @@ func TestAsyncPageRankMatchesPowerIteration(t *testing.T) {
 				t.Fatalf("vertex %d: async=%v seq=%v", v, ranks[v], want[v])
 			}
 		}
-		if updates == 0 {
+		if prRes.Updates == 0 {
 			t.Fatal("no updates recorded")
 		}
 	}
@@ -152,7 +152,7 @@ func TestAsyncPageRankUpdateCountComparableToSync(t *testing.T) {
 	// show up on propagation problems like CC/SSSP — see
 	// TestAsyncPropagatesWithinOneDrain). Pin the "comparable" claim.
 	g := graph.PreferentialAttachment(2000, 3, 8)
-	_, updates, err := PageRank(g, 0.85, 1e-9, Config{})
+	_, prRes2, err := PageRank(g, 0.85, 1e-9, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +161,7 @@ func TestAsyncPageRankUpdateCountComparableToSync(t *testing.T) {
 		t.Fatal(err2)
 	}
 	syncWork := iters * g.N()
-	if updates > 2*syncWork || updates*4 < syncWork {
+	if updates := prRes2.Updates; updates > 2*syncWork || updates*4 < syncWork {
 		t.Fatalf("async updates %d implausibly far from sync %d", updates, syncWork)
 	}
 }
@@ -195,14 +195,15 @@ func TestPrioritizedSSSPBeatsFIFOOnCorrectionHeavyGraphs(t *testing.T) {
 	// nearly label-setting and does measurably fewer updates.
 	g := graph.Grid(30, 30)
 	graph.RandomWeights(g, 3)
-	_, fifoUpdates, err := SSSP(g, 0, Config{})
+	_, fifoRes, err := SSSP(g, 0, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, prioUpdates, err := SSSP(g, 0, Config{Prioritized: true})
+	_, prioRes, err := SSSP(g, 0, Config{Prioritized: true})
 	if err != nil {
 		t.Fatal(err)
 	}
+	prioUpdates, fifoUpdates := prioRes.Updates, fifoRes.Updates
 	if prioUpdates*5 > fifoUpdates*4 { // require ≥20% fewer updates
 		t.Fatalf("prioritized %d updates not clearly below FIFO %d", prioUpdates, fifoUpdates)
 	}

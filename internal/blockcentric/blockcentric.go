@@ -13,6 +13,7 @@ package blockcentric
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"vcgraph/internal/bsp"
 	"vcgraph/internal/graph"
@@ -43,6 +44,17 @@ type Config struct {
 	Partition pregel.Partitioner
 	// MaxSupersteps caps the run (default 1 + 10·(n+64)).
 	MaxSupersteps int
+	// CheckpointEvery, when positive, snapshots the computation state
+	// (values, halt flags, undelivered boundary messages) every k
+	// supersteps for rollback recovery.
+	CheckpointEvery int
+	// Faults, when non-nil, schedules deterministic fault injection
+	// (runtime.FaultPlan): a block crash or a dropped boundary-message
+	// batch rolls the run back to its newest readable snapshot; a
+	// duplicated batch is detected by its sequence number and
+	// discarded. FaultEvent.Worker/Lane address source/destination
+	// blocks.
+	Faults *rt.FaultPlan
 }
 
 // ErrSuperstepCap mirrors pregel.ErrSuperstepCap.
@@ -69,6 +81,20 @@ type Engine[V, M any] struct {
 	stats   *bsp.Stats
 	pool    *rt.Pool
 	current int
+
+	inj       *rt.Injector
+	cks       rt.Checkpoints[*bcSnapshot[V, M]]
+	lostBatch bool
+}
+
+// bcSnapshot is one checkpoint generation: the barrier state entering
+// superstep next (boundary messages already delivered to inboxes).
+type bcSnapshot[V, M any] struct {
+	next    int
+	pending int
+	values  []V
+	halted  []bool
+	inbox   []map[VertexID][]M
 }
 
 type addr[M any] struct {
@@ -126,12 +152,29 @@ func (e *Engine[V, M]) Run() (*Result[V], error) {
 		e.pool.Close()
 		e.pool = nil
 	}()
+	e.inj = e.cfg.Faults.NewInjector(e.cfg.Blocks)
+	finish := func() {
+		c := e.inj.Counts()
+		e.stats.Recovery.DroppedLanes = c.DroppedLanes
+		e.stats.Recovery.DuplicatedLanes = c.DuplicatedLanes
+	}
 	pending := 0
 	superstep := 0
 	for ; ; superstep++ {
 		if superstep >= e.cfg.MaxSupersteps {
+			finish()
 			return &Result[V]{Values: e.values, Stats: e.stats},
 				fmt.Errorf("%w (cap %d)", ErrSuperstepCap, e.cfg.MaxSupersteps)
+		}
+		// Failure detection happens at the barrier, before the
+		// quiescence check: a dropped boundary batch can masquerade as
+		// quiescence.
+		if _, crashed := e.inj.CrashAt(superstep); crashed || e.lostBatch {
+			e.lostBatch = false
+			e.stats.Recovery.Rollbacks++
+			resumed, p := e.recoverFromCheckpoint()
+			e.stats.Recovery.RedoneSupersteps += superstep - resumed
+			superstep, pending = resumed, p
 		}
 		if superstep > 0 && pending == 0 {
 			all := true
@@ -146,8 +189,69 @@ func (e *Engine[V, M]) Run() (*Result[V], error) {
 			}
 		}
 		pending = e.runSuperstep(superstep)
+		if e.lostBatch {
+			// The barrier state is incomplete; no checkpoint is taken
+			// and recovery runs at the next loop top.
+			continue
+		}
+		if k := e.cfg.CheckpointEvery; k > 0 && (superstep+1)%k == 0 {
+			e.saveCheckpoint(superstep+1, pending)
+		}
 	}
+	finish()
 	return &Result[V]{Values: e.values, Stats: e.stats}, nil
+}
+
+// saveCheckpoint snapshots the barrier state; nextSuperstep is the
+// superstep that would execute next.
+func (e *Engine[V, M]) saveCheckpoint(nextSuperstep, pending int) {
+	nb := e.cfg.Blocks
+	ck := &bcSnapshot[V, M]{
+		next:    nextSuperstep,
+		pending: pending,
+		values:  rt.CloneValues[V](e.prog, e.values),
+		halted:  append([]bool(nil), e.halted...),
+		inbox:   make([]map[VertexID][]M, nb),
+	}
+	for b := 0; b < nb; b++ {
+		ck.inbox[b] = make(map[VertexID][]M, len(e.inbox[b]))
+		for v, ms := range e.inbox[b] {
+			ck.inbox[b][v] = append([]M(nil), ms...)
+		}
+	}
+	// A scheduled FaultCorruptCheckpoint damages this snapshot
+	// silently; the store discovers it at recovery time.
+	e.cks.Save(nextSuperstep, ck, e.inj.CorruptSave(nextSuperstep))
+	e.stats.Recovery.CheckpointsSaved++
+}
+
+// recoverFromCheckpoint rolls the engine back to the newest readable
+// snapshot (or a fresh start) and returns the superstep and pending
+// count to resume from.
+func (e *Engine[V, M]) recoverFromCheckpoint() (nextSuperstep, pending int) {
+	ck, _, skipped, ok := e.cks.Recover()
+	e.stats.Recovery.CorruptedCheckpoints += skipped
+	if !ok {
+		for v := 0; v < e.g.N(); v++ {
+			e.values[v] = e.prog.Init(e.g, VertexID(v))
+		}
+		for b := range e.halted {
+			e.halted[b] = false
+			clear(e.inbox[b])
+			e.outbox[b] = e.outbox[b][:0]
+		}
+		return 0, 0
+	}
+	e.values = rt.CloneValues[V](e.prog, ck.values)
+	copy(e.halted, ck.halted)
+	for b := range e.inbox {
+		clear(e.inbox[b])
+		for v, ms := range ck.inbox[b] {
+			e.inbox[b][v] = append([]M(nil), ms...)
+		}
+		e.outbox[b] = e.outbox[b][:0]
+	}
+	return ck.next, ck.pending
 }
 
 func (e *Engine[V, M]) runSuperstep(superstep int) int {
@@ -181,8 +285,31 @@ func (e *Engine[V, M]) runSuperstep(superstep int) int {
 	// Deliver boundary messages.
 	pending := 0
 	for src := 0; src < nb; src++ {
+		var drop []bool
+		if e.inj != nil {
+			for dst := 0; dst < nb; dst++ {
+				switch e.inj.LaneFault(superstep, src, dst) {
+				case rt.FaultDropLane:
+					// This src->dst batch is lost in transit; its
+					// messages cannot be reconstructed, so the run
+					// rolls back at the next barrier.
+					if drop == nil {
+						drop = make([]bool, nb)
+					}
+					drop[dst] = true
+					e.lostBatch = true
+				case rt.FaultDupLane:
+					// The replayed batch carries a stale sequence
+					// number and is discarded; delivery stays
+					// exactly-once (counted by the injector).
+				}
+			}
+		}
 		for _, am := range e.outbox[src] {
 			dst := int(e.owner[am.dst])
+			if drop != nil && drop[dst] {
+				continue
+			}
 			e.inbox[dst][am.dst] = append(e.inbox[dst][am.dst], am.m)
 			pending++
 		}
@@ -313,4 +440,157 @@ func ConnectedComponents(g *graph.Graph, cfg Config) (*CCResult, error) {
 		return nil, err
 	}
 	return &CCResult{Color: res.Values, Stats: res.Stats}, nil
+}
+
+// --- Block-centric single-source shortest paths ---
+
+// ssspProgram: each block runs a sequential label-correcting
+// relaxation to a fixpoint inside the block per superstep, then offers
+// dist+w over boundary edges for vertices whose distance improved.
+// Min-relaxation is order-independent, so values are byte-identical
+// across schedules and fault plans.
+type ssspProgram struct{ src VertexID }
+
+func (p ssspProgram) Init(g *graph.Graph, id VertexID) float64 {
+	if id == p.src {
+		return 0
+	}
+	return math.Inf(1)
+}
+
+func (p ssspProgram) ComputeBlock(ctx *BlockContext[float64, float64], msgs map[VertexID][]float64) {
+	// Absorb boundary offers.
+	changed := map[VertexID]bool{}
+	dirty := make([]VertexID, 0, len(msgs))
+	for v, ms := range msgs {
+		for _, d := range ms {
+			ctx.Charge(1)
+			if d < *ctx.Value(v) {
+				*ctx.Value(v) = d
+				changed[v] = true
+			}
+		}
+		if changed[v] {
+			dirty = append(dirty, v)
+		}
+	}
+	if ctx.Superstep() == 0 {
+		// Seed: only the source has a finite distance to propagate.
+		for _, v := range ctx.Block() {
+			if v == p.src {
+				dirty = append(dirty, v)
+				changed[v] = true
+			}
+		}
+	}
+	// Relax to a block-local fixpoint.
+	queue := dirty
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		d := *ctx.Value(v)
+		for _, e := range ctx.OutEdges(v) {
+			ctx.Charge(1)
+			if !ctx.Local(e.Dst) {
+				continue
+			}
+			if nd := d + e.W; nd < *ctx.Value(e.Dst) {
+				*ctx.Value(e.Dst) = nd
+				changed[e.Dst] = true
+				queue = append(queue, e.Dst)
+			}
+		}
+	}
+	// Offer improved distances over boundary edges.
+	for v := range changed {
+		d := *ctx.Value(v)
+		for _, e := range ctx.OutEdges(v) {
+			if !ctx.Local(e.Dst) {
+				ctx.SendTo(e.Dst, d+e.W)
+			}
+		}
+	}
+	ctx.VoteToHalt()
+}
+
+// SSSPResult carries block-centric shortest-path distances.
+type SSSPResult struct {
+	Dist  []float64
+	Stats *bsp.Stats
+}
+
+// SSSP runs block-centric single-source shortest paths; unreachable
+// vertices keep +Inf, matching seq.Dijkstra.
+func SSSP(g *graph.Graph, src VertexID, cfg Config) (*SSSPResult, error) {
+	eng := NewEngine[float64, float64](g, ssspProgram{src: src}, cfg)
+	res, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &SSSPResult{Dist: res.Values, Stats: res.Stats}, nil
+}
+
+// --- Block-centric PageRank ---
+
+// prProgram runs K iterations of power iteration, Pregel-style over
+// the block abstraction: every superstep each block folds the rank
+// contributions addressed to its vertices and sends the next round of
+// shares (SendTo routes intra-block messages through the same inbox,
+// keeping the summation order deterministic: blocks iterate their
+// vertices in ascending order and inboxes accumulate in source-block
+// order). Matches seq.PageRank element-wise, including the dangling
+// leak.
+type prProgram struct {
+	n     int
+	k     int
+	alpha float64
+}
+
+func (p prProgram) Init(g *graph.Graph, id VertexID) float64 { return 1 / float64(p.n) }
+
+func (p prProgram) ComputeBlock(ctx *BlockContext[float64, float64], msgs map[VertexID][]float64) {
+	s := ctx.Superstep()
+	base := (1 - p.alpha) / float64(p.n)
+	for _, v := range ctx.Block() {
+		if s > 0 {
+			r := base
+			for _, m := range msgs[v] {
+				ctx.Charge(1)
+				r += m
+			}
+			*ctx.Value(v) = r
+		}
+		if s < p.k {
+			out := ctx.OutEdges(v)
+			if len(out) == 0 {
+				continue // dangling: rank leaks to the teleport term
+			}
+			share := p.alpha * *ctx.Value(v) / float64(len(out))
+			for _, e := range out {
+				ctx.Charge(1)
+				ctx.SendTo(e.Dst, share)
+			}
+		}
+	}
+	if s >= p.k {
+		ctx.VoteToHalt()
+	}
+}
+
+// PRResult carries block-centric PageRank scores.
+type PRResult struct {
+	Ranks []float64
+	Stats *bsp.Stats
+}
+
+// PageRank runs K iterations of block-centric power iteration with
+// teleport probability (1-alpha), comparable element-wise to
+// seq.PageRank.
+func PageRank(g *graph.Graph, alpha float64, k int, cfg Config) (*PRResult, error) {
+	eng := NewEngine[float64, float64](g, prProgram{n: g.N(), k: k, alpha: alpha}, cfg)
+	res, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &PRResult{Ranks: res.Values, Stats: res.Stats}, nil
 }

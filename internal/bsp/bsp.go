@@ -73,6 +73,53 @@ type Stats struct {
 	// model's h before delivery). The counter was previously named
 	// CombinedDeliveries, which misread as "number of combine calls".
 	InboxDeliveries int64
+
+	// Recovery reports the fault-tolerance cost of the run.
+	Recovery Recovery
+}
+
+// Recovery aggregates what checkpointing and failure recovery cost a
+// run: redone supersteps are real work a production cluster re-executes
+// after a rollback, and their count against the checkpoint interval is
+// the classic recovery-cost trade-off (frequent checkpoints cost
+// snapshot time, sparse ones cost redone work).
+type Recovery struct {
+	// CheckpointsSaved counts snapshots written at checkpoint barriers.
+	CheckpointsSaved int
+	// Rollbacks counts recoveries performed, whether triggered by a
+	// worker crash or by a lost (dropped) message batch.
+	Rollbacks int
+	// RedoneSupersteps counts supersteps re-executed after rollbacks
+	// (vertex updates, for the asynchronous engine). The redone work
+	// also stays in the Supersteps record, as it would on a cluster.
+	RedoneSupersteps int
+	// CorruptedCheckpoints counts snapshots that failed validation
+	// when a recovery tried to read them; each forces a fallback to
+	// the previous checkpoint generation or a fresh restart.
+	CorruptedCheckpoints int
+	// DroppedLanes counts message batches lost in transit; each forces
+	// a rollback.
+	DroppedLanes int
+	// DuplicatedLanes counts redelivered message batches detected via
+	// their sequence numbers and discarded (or absorbed, where
+	// delivery is idempotent) without affecting results.
+	DuplicatedLanes int
+}
+
+// Faulted reports whether any injected fault actually fired.
+func (r Recovery) Faulted() bool {
+	return r.Rollbacks > 0 || r.CorruptedCheckpoints > 0 || r.DroppedLanes > 0 || r.DuplicatedLanes > 0
+}
+
+// Add accumulates another run's recovery costs, for multi-stage
+// pipelines that merge per-stage stats.
+func (r *Recovery) Add(o Recovery) {
+	r.CheckpointsSaved += o.CheckpointsSaved
+	r.Rollbacks += o.Rollbacks
+	r.RedoneSupersteps += o.RedoneSupersteps
+	r.CorruptedCheckpoints += o.CorruptedCheckpoints
+	r.DroppedLanes += o.DroppedLanes
+	r.DuplicatedLanes += o.DuplicatedLanes
 }
 
 // NumSupersteps returns the number of executed supersteps.

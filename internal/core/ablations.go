@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"vcgraph/internal/gas"
 	"vcgraph/internal/graph"
 	"vcgraph/internal/pregel"
+	"vcgraph/internal/runtime"
 	"vcgraph/internal/seq"
 	"vcgraph/internal/vc"
 )
@@ -247,7 +249,7 @@ func ParadigmComparison(cfg vc.Config) (string, error) {
 	fmt.Fprintf(&out, "%-26s %12d %14d %14.0f\n", "vertex-centric S-V",
 		sv.Stats.NumSupersteps(), sv.Stats.TotalMessages, bsp.DefaultModel.TimeProcessor(sv.Stats))
 
-	asyncLabels, updates, err := async.ConnectedComponents(g, async.Config{})
+	asyncLabels, asyncRes, err := async.ConnectedComponents(g, async.Config{})
 	if err != nil {
 		return "", err
 	}
@@ -256,7 +258,7 @@ func ParadigmComparison(cfg vc.Config) (string, error) {
 			return "", fmt.Errorf("async CC disagrees at vertex %d", v)
 		}
 	}
-	fmt.Fprintf(&out, "%-26s %12s %14d %14d\n", "async (GraphLab-style)", "-", updates, updates)
+	fmt.Fprintf(&out, "%-26s %12s %14d %14d\n", "async (GraphLab-style)", "-", asyncRes.Updates, asyncRes.Updates)
 
 	for _, blocks := range []int{4, 16} {
 		bc, err := blockcentric.ConnectedComponents(g, blockcentric.Config{Blocks: blocks})
@@ -341,6 +343,63 @@ func SuperstepSharingAblation(cfg vc.Config) (string, error) {
 }
 
 // Ablations runs every ablation in order.
+// RecoveryCostSweep measures the classic fault-tolerance trade-off the
+// paper's cost model prices: frequent checkpoints cost snapshot writes,
+// sparse ones cost redone supersteps after a rollback. One crash is
+// injected mid-run and the checkpoint interval swept; every recovered
+// run must reproduce the fault-free result exactly.
+func RecoveryCostSweep(cfg vc.Config) (string, error) {
+	prGraph := graph.PreferentialAttachment(2000, 3, 8)
+	ssspGraph := graph.Grid(40, 40)
+	graph.RandomWeights(ssspGraph, 9)
+	workloads := []struct {
+		name string
+		run  func(c vc.Config) (any, *bsp.Stats, error)
+	}{
+		{"PageRank, powerlaw n=2000", func(c vc.Config) (any, *bsp.Stats, error) {
+			res, err := vc.PageRank(prGraph, 0.85, 30, c)
+			if err != nil {
+				return nil, nil, err
+			}
+			return res.Ranks, res.Stats, nil
+		}},
+		{"SSSP, weighted 40x40 grid", func(c vc.Config) (any, *bsp.Stats, error) {
+			res, err := vc.SSSP(ssspGraph, 0, c)
+			if err != nil {
+				return nil, nil, err
+			}
+			return res.Dist, res.Stats, nil
+		}},
+	}
+	const crashStep = 21
+	var out strings.Builder
+	fmt.Fprintf(&out, "Recovery cost — one crash at superstep %d, checkpoint interval swept\n", crashStep)
+	for _, w := range workloads {
+		clean, cleanStats, err := w.run(cfg)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&out, "%s (%d supersteps fault-free)\n", w.name, cleanStats.NumSupersteps())
+		fmt.Fprintf(&out, "  %-10s %12s %10s %18s\n", "interval", "checkpoints", "rollbacks", "redone supersteps")
+		for _, k := range []int{1, 2, 4, 8, 16} {
+			c := cfg
+			c.CheckpointEvery = k
+			c.Faults = runtime.PlanOf(runtime.Crash(crashStep))
+			got, stats, err := w.run(c)
+			if err != nil {
+				return "", err
+			}
+			if !reflect.DeepEqual(got, clean) {
+				return "", fmt.Errorf("recovery changed the %s result at interval %d", w.name, k)
+			}
+			rec := stats.Recovery
+			fmt.Fprintf(&out, "  %-10d %12d %10d %18d\n", k, rec.CheckpointsSaved, rec.Rollbacks, rec.RedoneSupersteps)
+		}
+	}
+	out.WriteString("results byte-identical to the fault-free run at every interval\n")
+	return out.String(), nil
+}
+
 func Ablations(cfg vc.Config) ([]string, error) {
 	var outs []string
 	s, err := CombinerAblation(2000, 20000, cfg)
@@ -377,6 +436,10 @@ func Ablations(cfg vc.Config) ([]string, error) {
 	}
 	outs = append(outs, s)
 	if s, err = ParadigmComparison(cfg); err != nil {
+		return outs, err
+	}
+	outs = append(outs, s)
+	if s, err = RecoveryCostSweep(cfg); err != nil {
 		return outs, err
 	}
 	outs = append(outs, s)

@@ -13,6 +13,7 @@ package gas
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"vcgraph/internal/bsp"
 	"vcgraph/internal/graph"
@@ -42,6 +43,16 @@ type Program[V, G any] interface {
 type Config struct {
 	Workers       int // default 4
 	MaxIterations int // default 10·(n+64)
+	// CheckpointEvery, when positive, snapshots the computation state
+	// (values, active set) every k iterations for rollback recovery.
+	CheckpointEvery int
+	// Faults, when non-nil, schedules deterministic fault injection
+	// (runtime.FaultPlan): worker crashes and corrupted checkpoints
+	// roll the engine back to its last readable snapshot; a dropped
+	// scatter batch (one worker's wake buffer lost in transit) forces
+	// the same rollback, while a duplicated batch is absorbed because
+	// activation delivery is idempotent (a set union).
+	Faults *rt.FaultPlan
 }
 
 // ErrIterationCap reports a run exceeding Config.MaxIterations.
@@ -90,11 +101,49 @@ func Run[V, G any](g *graph.Graph, prog Program[V, G], cfg Config) (*Result[V], 
 	defer pool.Close()
 	wake := make([][]VertexID, cfg.Workers)
 
+	inj := cfg.Faults.NewInjector(cfg.Workers)
+	var cks rt.Checkpoints[*gasSnapshot[V]]
+	lostBatch := false
+	finish := func() {
+		c := inj.Counts()
+		stats.Recovery.DroppedLanes = c.DroppedLanes
+		stats.Recovery.DuplicatedLanes = c.DuplicatedLanes
+	}
+
 	iter := 0
 	for ; ; iter++ {
 		if iter >= cfg.MaxIterations {
+			finish()
 			return &Result[V]{Values: cur, Iterations: iter, Stats: stats},
 				fmt.Errorf("%w (cap %d)", ErrIterationCap, cfg.MaxIterations)
+		}
+		// The iteration barrier doubles as the failure-detection point:
+		// a crashed worker or a scatter batch lost in transit rolls the
+		// engine back to its newest readable snapshot before the
+		// quiescence check (a lost batch can masquerade as quiescence).
+		if _, crashed := inj.CrashAt(iter); crashed || lostBatch {
+			lostBatch = false
+			stats.Recovery.Rollbacks++
+			snap, step, skipped, ok := cks.Recover()
+			stats.Recovery.CorruptedCheckpoints += skipped
+			if ok {
+				cur = rt.CloneValues[V](prog, snap.values)
+				copy(active, snap.active)
+				activeCount = snap.activeCount
+				stats.Recovery.RedoneSupersteps += iter - step
+				iter = step
+			} else {
+				for v := 0; v < n; v++ {
+					cur[v] = prog.Init(g, VertexID(v))
+					active[v] = true
+				}
+				activeCount = n
+				stats.Recovery.RedoneSupersteps += iter
+				iter = 0
+			}
+			for i := range nextActive {
+				nextActive[i] = false
+			}
 		}
 		if activeCount == 0 {
 			break
@@ -128,10 +177,25 @@ func Run[V, G any](g *graph.Graph, prog Program[V, G], cfg Config) (*Result[V], 
 		})
 		activeCount = 0
 		for w := 0; w < cfg.Workers; w++ {
-			for _, v := range wake[w] {
-				if !nextActive[v] {
-					nextActive[v] = true
-					activeCount++
+			passes := 1
+			switch inj.LaneFault(iter, w, 0) {
+			case rt.FaultDropLane:
+				// The worker's scatter batch is lost in transit; the
+				// activations are unrecoverable, so force a rollback at
+				// the next barrier.
+				passes = 0
+				lostBatch = true
+			case rt.FaultDupLane:
+				// A redelivered batch is absorbed: activation is a set
+				// union, so merging it twice is a no-op.
+				passes = 2
+			}
+			for p := 0; p < passes; p++ {
+				for _, v := range wake[w] {
+					if !nextActive[v] {
+						nextActive[v] = true
+						activeCount++
+					}
 				}
 			}
 			wake[w] = wake[w][:0]
@@ -146,8 +210,29 @@ func Run[V, G any](g *graph.Graph, prog Program[V, G], cfg Config) (*Result[V], 
 			stats.TotalMessages += ss.Sent[w]
 		}
 		stats.Supersteps = append(stats.Supersteps, ss)
+		if k := cfg.CheckpointEvery; k > 0 && !lostBatch && (iter+1)%k == 0 {
+			// A scheduled FaultCorruptCheckpoint damages this snapshot
+			// silently; the store discovers it at recovery time. When a
+			// batch was just dropped the barrier state is incomplete,
+			// so no snapshot is taken.
+			cks.Save(iter+1, &gasSnapshot[V]{
+				values:      rt.CloneValues[V](prog, cur),
+				active:      append([]bool(nil), active...),
+				activeCount: activeCount,
+			}, inj.CorruptSave(iter+1))
+			stats.Recovery.CheckpointsSaved++
+		}
 	}
+	finish()
 	return &Result[V]{Values: cur, Iterations: iter, Stats: stats}, nil
+}
+
+// gasSnapshot is one checkpoint generation of a GAS run: the barrier
+// state entering an iteration.
+type gasSnapshot[V any] struct {
+	values      []V
+	active      []bool
+	activeCount int
 }
 
 // --- GAS PageRank ---
@@ -201,4 +286,91 @@ func PageRank(g *graph.Graph, alpha, eps float64, cfg Config) ([]float64, *Resul
 		ranks[v] = val.rank
 	}
 	return ranks, res, nil
+}
+
+// --- GAS connected components (HashMin) ---
+
+type ccProgram struct{}
+
+func (ccProgram) Init(g *graph.Graph, id VertexID) VertexID { return id }
+
+func (ccProgram) Gather(e graph.Edge, uVal VertexID) VertexID { return uVal }
+
+// Zero is NoVertex, the identity of the min with "no contribution".
+func (ccProgram) Zero() VertexID { return graph.NoVertex }
+
+func (ccProgram) Sum(a, b VertexID) VertexID {
+	if a == graph.NoVertex {
+		return b
+	}
+	if b == graph.NoVertex {
+		return a
+	}
+	if b < a {
+		return b
+	}
+	return a
+}
+
+func (ccProgram) Apply(v *VertexID, total VertexID) bool {
+	if total != graph.NoVertex && total < *v {
+		*v = total
+		return true
+	}
+	return false
+}
+
+// ConnectedComponents labels every vertex with the smallest vertex ID
+// in its (weakly, pull-over-in-edges) connected component; on
+// undirected graphs this matches seq.Components. Min is associative
+// and order-independent, so the result is identical across worker
+// counts and fault schedules.
+func ConnectedComponents(g *graph.Graph, cfg Config) ([]VertexID, *Result[VertexID], error) {
+	res, err := Run[VertexID, VertexID](g, ccProgram{}, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Values, res, nil
+}
+
+// --- GAS single-source shortest paths ---
+
+type ssspProgram struct{ src VertexID }
+
+func (p ssspProgram) Init(g *graph.Graph, id VertexID) float64 {
+	if id == p.src {
+		return 0
+	}
+	return math.Inf(1)
+}
+
+// Gather offers a path to v through in-neighbor u: u's tentative
+// distance plus the (u -> v) edge weight.
+func (p ssspProgram) Gather(e graph.Edge, uDist float64) float64 { return uDist + e.W }
+
+func (p ssspProgram) Zero() float64 { return math.Inf(1) }
+
+func (p ssspProgram) Sum(a, b float64) float64 { return math.Min(a, b) }
+
+func (p ssspProgram) Apply(v *float64, total float64) bool {
+	if total < *v {
+		*v = total
+		return true
+	}
+	return false
+}
+
+// SSSP computes single-source shortest paths by pull-based distance
+// relaxation (Bellman-Ford style): every vertex starts active, so the
+// source's neighbors pick up their first finite distance in iteration
+// 0 without the source pushing anything. Unreachable vertices keep
+// +Inf, matching seq.Dijkstra. Min-relaxation is order-independent,
+// so results are byte-identical across worker counts and fault
+// schedules.
+func SSSP(g *graph.Graph, src VertexID, cfg Config) ([]float64, *Result[float64], error) {
+	res, err := Run[float64, float64](g, ssspProgram{src: src}, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Values, res, nil
 }

@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Fuzz targets for the random generators. Each clamps the fuzzed
+// parameters into the supported domain, builds the graph twice (same
+// seed must reproduce the same graph), and checks the structural
+// invariants the engines rely on: Validate passes, adjacency is
+// symmetric with no self-loops or duplicates, the degree sum matches
+// the edge count, and the shape-specific guarantees (tree = connected
+// with n-1 edges, preferential attachment = connected) hold.
+//
+// The f.Add corpora double as the seeded smoke suite: `go test` runs
+// them on every invocation, `make fuzz-smoke` explores further.
+
+func checkInvariants(t *testing.T, g *Graph) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	degSum := 0
+	for u := range g.Out {
+		seen := make(map[VertexID]bool, len(g.Out[u]))
+		for _, e := range g.Out[u] {
+			if e.Dst == VertexID(u) {
+				t.Fatalf("self-loop at vertex %d", u)
+			}
+			if seen[e.Dst] {
+				t.Fatalf("parallel edge %d-%d", u, e.Dst)
+			}
+			seen[e.Dst] = true
+		}
+		degSum += len(g.Out[u])
+	}
+	if !g.Directed && degSum != 2*g.M() {
+		t.Fatalf("degree sum %d != 2*M = %d", degSum, 2*g.M())
+	}
+}
+
+// components counts connected components with a plain BFS.
+func components(g *Graph) int {
+	n := g.N()
+	visited := make([]bool, n)
+	count := 0
+	for s := 0; s < n; s++ {
+		if visited[s] {
+			continue
+		}
+		count++
+		queue := []VertexID{VertexID(s)}
+		visited[s] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, e := range g.Out[u] {
+				if !visited[e.Dst] {
+					visited[e.Dst] = true
+					queue = append(queue, e.Dst)
+				}
+			}
+		}
+	}
+	return count
+}
+
+func clamp(v, mod int) int {
+	if v < 0 {
+		v = -v
+	}
+	if v < 0 { // math.MinInt
+		v = 0
+	}
+	return v % mod
+}
+
+func FuzzRandom(f *testing.F) {
+	f.Add(0, 0, int64(1))
+	f.Add(1, 5, int64(2))
+	f.Add(2, 1, int64(3))
+	f.Add(50, 120, int64(4))
+	f.Add(80, 10000, int64(5)) // m above the simple-graph maximum
+	f.Fuzz(func(t *testing.T, n, m int, seed int64) {
+		n, m = clamp(n, 200), clamp(m, 2000)
+		g := Random(n, m, seed)
+		checkInvariants(t, g)
+		if g.N() != n {
+			t.Fatalf("got %d vertices, want %d", g.N(), n)
+		}
+		maxM := n * (n - 1) / 2
+		wantM := m
+		if wantM > maxM {
+			wantM = maxM
+		}
+		if g.M() != wantM {
+			t.Fatalf("got %d edges, want %d", g.M(), wantM)
+		}
+		if !reflect.DeepEqual(g, Random(n, m, seed)) {
+			t.Fatal("same seed produced a different graph")
+		}
+	})
+}
+
+func FuzzPreferentialAttachment(f *testing.F) {
+	f.Add(0, 1, int64(1))
+	f.Add(1, 3, int64(2))
+	f.Add(2, 5, int64(3)) // k exceeding the vertex count
+	f.Add(60, 3, int64(4))
+	f.Add(100, 0, int64(5)) // k below the minimum
+	f.Fuzz(func(t *testing.T, n, k int, seed int64) {
+		n, k = clamp(n, 200), clamp(k, 10)
+		g := PreferentialAttachment(n, k, seed)
+		checkInvariants(t, g)
+		if g.N() != n {
+			t.Fatalf("got %d vertices, want %d", g.N(), n)
+		}
+		if n > 0 && components(g) != 1 {
+			t.Fatalf("preferential attachment graph has %d components", components(g))
+		}
+		if !reflect.DeepEqual(g, PreferentialAttachment(n, k, seed)) {
+			t.Fatal("same seed produced a different graph")
+		}
+	})
+}
+
+func FuzzRandomTree(f *testing.F) {
+	f.Add(0, int64(1))
+	f.Add(1, int64(2))
+	f.Add(2, int64(3))
+	f.Add(120, int64(17))
+	f.Fuzz(func(t *testing.T, n int, seed int64) {
+		n = clamp(n, 3000)
+		g := RandomTree(n, seed)
+		checkInvariants(t, g)
+		if g.N() != n {
+			t.Fatalf("got %d vertices, want %d", g.N(), n)
+		}
+		// Connected with n-1 edges <=> acyclic tree.
+		if n > 0 {
+			if g.M() != n-1 {
+				t.Fatalf("tree on %d vertices has %d edges", n, g.M())
+			}
+			if c := components(g); c != 1 {
+				t.Fatalf("tree has %d components", c)
+			}
+		}
+		if !reflect.DeepEqual(g, RandomTree(n, seed)) {
+			t.Fatal("same seed produced a different graph")
+		}
+	})
+}

@@ -1,22 +1,30 @@
 package pregel
 
-import "vcgraph/internal/graph"
+import (
+	"vcgraph/internal/graph"
+	rt "vcgraph/internal/runtime"
+)
 
 // Checkpointing: Pregel's fault-tolerance mechanism. When
 // Config.CheckpointEvery is set, the engine snapshots the complete
 // computation state (vertex values, halt flags, undelivered messages,
 // mutated adjacency, globals, and — via Snapshotter — master state) at
-// every k-th superstep barrier. A failure rolls the computation back to
-// the last checkpoint and re-executes from there; Config.FailAt injects
-// one such failure for testing and for measuring recovery cost (the
-// redone supersteps stay in the Stats, as they would on a real
-// cluster).
+// every k-th superstep barrier, retaining the last two generations
+// (runtime.Checkpoints). A failure — a crash or a lost message batch
+// scheduled by Config.Faults — rolls the computation back to the
+// newest checkpoint that passes validation: a corrupted snapshot is
+// detected at recovery time and skipped in favor of the previous
+// generation (or a fresh restart). The redone supersteps stay in the
+// Stats, as they would on a real cluster; Stats.Recovery itemizes the
+// recovery cost.
 //
 // Vertex values and messages are copied shallowly; programs whose V
 // carries reference types (slices, maps) must implement ValueCloner to
 // deep-copy them, or recovery would alias live state.
 
 // ValueCloner lets a program deep-copy vertex values for checkpoints.
+// It mirrors runtime.ValueCloner; a program implementing CloneValue
+// satisfies both.
 type ValueCloner[V any] interface {
 	CloneValue(v V) V
 }
@@ -42,15 +50,7 @@ type checkpoint[V, M any] struct {
 }
 
 func (e *Engine[V, M]) cloneValues(src []V) []V {
-	out := make([]V, len(src))
-	if cloner, ok := e.prog.(ValueCloner[V]); ok {
-		for i, v := range src {
-			out[i] = cloner.CloneValue(v)
-		}
-	} else {
-		copy(out, src)
-	}
-	return out
+	return rt.CloneValues(e.prog, src)
 }
 
 // saveCheckpoint snapshots the state reachable at the current barrier;
@@ -84,16 +84,20 @@ func (e *Engine[V, M]) saveCheckpoint(nextSuperstep, pending int) {
 	if s, ok := e.prog.(Snapshotter); ok {
 		ck.masterState = s.Snapshot()
 	}
-	e.lastCheckpoint = ck
+	// A scheduled FaultCorruptCheckpoint event damages this snapshot
+	// silently: the store only discovers it when a recovery reads it.
+	e.cks.Save(nextSuperstep, ck, e.inj.CorruptSave(nextSuperstep))
+	e.stats.Recovery.CheckpointsSaved++
 }
 
-// recover rolls the engine back to the last checkpoint (or to a fresh
-// start when none exists) and returns the superstep and pending count
-// to resume from.
+// recover rolls the engine back to the newest readable checkpoint (or
+// to a fresh start when none exists) and returns the superstep and
+// pending count to resume from.
 func (e *Engine[V, M]) recoverFromCheckpoint() (nextSuperstep, pending int) {
 	e.recoveries++
-	ck := e.lastCheckpoint
-	if ck == nil {
+	ck, _, skipped, ok := e.cks.Recover()
+	e.stats.Recovery.CorruptedCheckpoints += skipped
+	if !ok {
 		// No checkpoint yet: restart from scratch.
 		for v := 0; v < e.g.N(); v++ {
 			e.values[v] = e.prog.Init(e.g, VertexID(v))

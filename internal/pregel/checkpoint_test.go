@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"vcgraph/internal/graph"
+	rt "vcgraph/internal/runtime"
 )
 
 // ckProgram floods minimum IDs (hash-min style) and carries master
@@ -59,7 +60,7 @@ func TestCheckpointRecoveryMatchesCleanRun(t *testing.T) {
 		vals, ss, recov := runCK(t, g, Config[VertexID]{
 			Workers:         3,
 			CheckpointEvery: 8,
-			FailAt:          failAt,
+			Faults:          rt.PlanOf(rt.Crash(failAt)),
 		})
 		if recov != 1 {
 			t.Fatalf("failAt=%d: recoveries=%d, want 1", failAt, recov)
@@ -79,7 +80,7 @@ func TestCheckpointRecoveryMatchesCleanRun(t *testing.T) {
 func TestFailureWithoutCheckpointRestartsFromScratch(t *testing.T) {
 	g := graph.Path(32)
 	clean, _, _ := runCK(t, g, Config[VertexID]{Workers: 2})
-	vals, _, recov := runCK(t, g, Config[VertexID]{Workers: 2, FailAt: 9})
+	vals, _, recov := runCK(t, g, Config[VertexID]{Workers: 2, Faults: rt.PlanOf(rt.Crash(9))})
 	if recov != 1 {
 		t.Fatalf("recoveries=%d", recov)
 	}
@@ -128,7 +129,7 @@ func TestCheckpointDeepCopiesWithValueCloner(t *testing.T) {
 		return out
 	}
 	clean := run(Config[VertexID]{Workers: 2})
-	recovered := run(Config[VertexID]{Workers: 2, CheckpointEvery: 2, FailAt: 5})
+	recovered := run(Config[VertexID]{Workers: 2, CheckpointEvery: 2, Faults: rt.PlanOf(rt.Crash(5))})
 	for v := range clean {
 		if len(clean[v]) != len(recovered[v]) {
 			t.Fatalf("vertex %d: %d messages vs %d after recovery", v, len(clean[v]), len(recovered[v]))
@@ -143,7 +144,7 @@ func TestCheckpointWithMasterStateAndGlobals(t *testing.T) {
 	g := graph.Path(16)
 	prog := &ckProgram{}
 	eng := NewEngine[VertexID, VertexID](g, prog, Config[VertexID]{
-		Workers: 2, CheckpointEvery: 4, FailAt: 7,
+		Workers: 2, CheckpointEvery: 4, Faults: rt.PlanOf(rt.Crash(7)),
 	})
 	if _, err := eng.Run(); err != nil {
 		t.Fatal(err)

@@ -90,10 +90,12 @@ type Config[M any] struct {
 	// state every k supersteps (Pregel fault tolerance; see
 	// checkpoint.go for the deep-copy contract).
 	CheckpointEvery int
-	// FailAt, when positive, injects a simulated machine failure right
-	// before that superstep executes (once): the engine discards live
-	// state and recovers from the last checkpoint.
-	FailAt int
+	// Faults, when non-nil, schedules deterministic fault injection
+	// for the run: worker crashes at barriers, dropped/duplicated
+	// mailbox lanes, and corrupted checkpoints, all reproducible from
+	// the plan's seed (see runtime.FaultPlan). Crashes and dropped
+	// lanes roll the engine back to its last readable checkpoint.
+	Faults *rt.FaultPlan
 }
 
 // ErrSuperstepCap reports that the run exceeded Config.MaxSupersteps.
@@ -159,9 +161,11 @@ type Engine[V, M any] struct {
 	masterHalt  bool
 	activateAll bool
 
-	lastCheckpoint *checkpoint[V, M]
-	failArmed      bool
-	recoveries     int
+	cks        rt.Checkpoints[*checkpoint[V, M]]
+	inj        *rt.Injector
+	lostBatch  bool   // a delivery dropped a lane; roll back at the next barrier
+	dropScratch []bool // per-worker drop flags filled during delivery
+	recoveries int
 }
 
 // NewEngine builds an engine for prog over g. The graph's adjacency is
@@ -260,6 +264,9 @@ func (e *Engine[V, M]) Run() (*Result[V], error) {
 	e.pool = rt.NewPool(e.cfg.Workers)
 	defer func() { e.pool.Close(); e.pool = nil }()
 
+	e.inj = e.cfg.Faults.NewInjector(e.cfg.Workers)
+	e.dropScratch = make([]bool, e.cfg.Workers)
+
 	// Every vertex computes at superstep 0.
 	e.wl.FillAll(e.verts)
 
@@ -272,11 +279,15 @@ func (e *Engine[V, M]) Run() (*Result[V], error) {
 			capErr = true
 			break
 		}
-		if e.cfg.FailAt > 0 && e.superstep >= e.cfg.FailAt && !e.failArmed {
-			// Simulated machine failure: discard live state, roll back
-			// to the last checkpoint (or a fresh start) and resume.
-			e.failArmed = true
-			e.superstep, pending = e.recoverFromCheckpoint()
+		if _, crashed := e.inj.CrashAt(e.superstep); crashed || e.lostBatch {
+			// Machine failure (or a message batch lost in the previous
+			// delivery): discard live state, roll back to the last
+			// readable checkpoint (or a fresh start) and resume.
+			e.lostBatch = false
+			resumed, p := e.recoverFromCheckpoint()
+			e.stats.Recovery.Rollbacks++
+			e.stats.Recovery.RedoneSupersteps += e.superstep - resumed
+			e.superstep, pending = resumed, p
 		}
 		e.activateAll = false
 		if hasMaster {
@@ -299,6 +310,13 @@ func (e *Engine[V, M]) Run() (*Result[V], error) {
 			break
 		}
 		pending = e.runSuperstep()
+		if e.lostBatch {
+			// A lane batch was lost in this superstep's delivery: the
+			// barrier state is incomplete, so it must be neither
+			// checkpointed nor finished serially. Roll back at the top
+			// of the next iteration instead.
+			continue
+		}
 		if k := e.cfg.CheckpointEvery; k > 0 && (e.superstep+1)%k == 0 {
 			e.saveCheckpoint(e.superstep+1, pending)
 		}
@@ -308,6 +326,11 @@ func (e *Engine[V, M]) Run() (*Result[V], error) {
 		}
 	}
 
+	if e.inj != nil {
+		c := e.inj.Counts()
+		e.stats.Recovery.DroppedLanes = c.DroppedLanes
+		e.stats.Recovery.DuplicatedLanes = c.DuplicatedLanes
+	}
 	res := &Result[V]{
 		Values:     e.values,
 		Stats:      e.stats,
@@ -406,10 +429,18 @@ func (e *Engine[V, M]) runSuperstep() int {
 	})
 
 	// Delivery phase: worker j drains every mailbox lane addressed to
-	// it and queues vertices receiving their first message.
+	// it and queues vertices receiving their first message. Under
+	// fault injection a lane batch may be dropped (forcing a rollback
+	// at the next barrier) or redelivered (detected and discarded).
 	e.pool.Run(func(w int) {
-		e.delivered[w], e.placed[w] = e.mbox.Deliver(w, e.onMail[w])
+		e.delivered[w], e.placed[w], e.dropScratch[w] = e.mbox.DeliverFaulty(w, e.superstep, e.inj, e.onMail[w])
 	})
+	for w := 0; w < p; w++ {
+		if e.dropScratch[w] {
+			e.dropScratch[w] = false
+			e.lostBatch = true
+		}
+	}
 
 	// Finalize aggregators.
 	for name, a := range e.aggs {

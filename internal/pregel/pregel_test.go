@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"vcgraph/internal/graph"
+	rt "vcgraph/internal/runtime"
 )
 
 // echoProgram floods a counter k supersteps deep.
@@ -470,7 +471,7 @@ func TestCheckpointWithCustomPartition(t *testing.T) {
 	clean := run(Config[VertexID]{Workers: 3, Partition: PartitionDegreeBalanced})
 	rec := run(Config[VertexID]{
 		Workers: 3, Partition: PartitionDegreeBalanced,
-		CheckpointEvery: 8, FailAt: 20,
+		CheckpointEvery: 8, Faults: rt.PlanOf(rt.Crash(20)),
 	})
 	for v := range clean {
 		if clean[v] != rec[v] {

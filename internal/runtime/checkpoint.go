@@ -1,0 +1,80 @@
+package runtime
+
+// Checkpoints is the shared checkpoint store under the engines'
+// rollback recovery: it retains the last two snapshot generations
+// (current + previous, mirroring Pregel's write-then-retire checkpoint
+// files) together with a validity marker per generation. A snapshot
+// written while a FaultCorruptCheckpoint event is armed is stored with
+// its corrupt flag set — the damage stays silent until Recover reads
+// the generation, fails its validation, discards it, and falls back to
+// the previous one.
+//
+// The store is generic over the engine's snapshot type S; engines are
+// responsible for deep-copying their state into S (see ValueCloner).
+type Checkpoints[S any] struct {
+	snaps [2]ckGen[S] // [0] newest
+	saved int
+}
+
+type ckGen[S any] struct {
+	state   S
+	step    int
+	ok      bool
+	corrupt bool
+}
+
+// Save stores a snapshot taken at the given barrier as the newest
+// generation, retiring the oldest. corrupt marks the snapshot as
+// silently damaged (it will fail validation when read back).
+func (c *Checkpoints[S]) Save(step int, state S, corrupt bool) {
+	c.snaps[1] = c.snaps[0]
+	c.snaps[0] = ckGen[S]{state: state, step: step, ok: true, corrupt: corrupt}
+	c.saved++
+}
+
+// Recover returns the newest snapshot that passes validation, walking
+// back over corrupted generations (each is discarded and counted in
+// skipped). ok is false when no readable checkpoint exists — the
+// engine must restart from scratch.
+func (c *Checkpoints[S]) Recover() (state S, step int, skipped int, ok bool) {
+	for i := range c.snaps {
+		g := &c.snaps[i]
+		if !g.ok {
+			continue
+		}
+		if g.corrupt {
+			g.ok = false
+			skipped++
+			continue
+		}
+		return g.state, g.step, skipped, true
+	}
+	var zero S
+	return zero, 0, skipped, false
+}
+
+// Saved reports how many snapshots have been written over the store's
+// lifetime.
+func (c *Checkpoints[S]) Saved() int { return c.saved }
+
+// ValueCloner lets a program deep-copy vertex values for checkpoints.
+// Programs whose value type carries reference types (slices, maps)
+// must implement it, or a rollback would restore values aliasing live
+// state. All four engines check for it when snapshotting.
+type ValueCloner[V any] interface {
+	CloneValue(v V) V
+}
+
+// CloneValues snapshots a value slice, deep-copying each element when
+// the program implements ValueCloner[V].
+func CloneValues[V any](prog any, src []V) []V {
+	out := make([]V, len(src))
+	if cloner, ok := prog.(ValueCloner[V]); ok {
+		for i, v := range src {
+			out[i] = cloner.CloneValue(v)
+		}
+	} else {
+		copy(out, src)
+	}
+	return out
+}

@@ -1,0 +1,285 @@
+package runtime
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Fault injection: a seeded, deterministic schedule of simulated
+// failures that the engines consult at their barriers. The same
+// FaultPlan produces the same fault sequence on every run, so a
+// recovery bug reproduces from a single seed — and the differential
+// tests can assert that a faulted run ends byte-identical to the
+// fault-free one.
+//
+// The plan speaks in *barriers*: the pregel and block-centric engines
+// map a barrier to a superstep, the GAS engine to an iteration, and
+// the asynchronous engine to every k-th update (its checkpoint
+// cadence). Each event fires exactly once, at the first barrier whose
+// index reaches the event's Step — re-executed barriers after a
+// rollback never re-fire an event, which guarantees every run with a
+// finite plan terminates.
+
+// FaultKind enumerates the failures the injector can simulate.
+type FaultKind uint8
+
+const (
+	// FaultCrash kills a worker at a barrier: the engine loses its
+	// volatile state (values, inboxes, worklists) and must recover
+	// from its last readable checkpoint, or restart from scratch.
+	FaultCrash FaultKind = iota + 1
+	// FaultDropLane loses one mailbox lane's batch in transit during a
+	// delivery phase. The receiver detects the missing batch (a real
+	// system notices the unacknowledged transfer at the barrier) and
+	// the engine rolls back, exactly as for a crash.
+	FaultDropLane
+	// FaultDupLane redelivers one lane batch. Message batches carry
+	// per-lane sequence numbers, so the receiver detects the replay
+	// and discards it (or, for idempotent activation sets as in the
+	// GAS engine, absorbs it); either way results are unaffected.
+	FaultDupLane
+	// FaultCorruptCheckpoint flips bits in the checkpoint written at
+	// the next checkpoint barrier. The damage is silent until a
+	// recovery reads the snapshot, fails its validation, and falls
+	// back to the previous generation (or a fresh restart).
+	FaultCorruptCheckpoint
+)
+
+// String names the fault kind for logs and test failures.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultDropLane:
+		return "drop-lane"
+	case FaultDupLane:
+		return "dup-lane"
+	case FaultCorruptCheckpoint:
+		return "corrupt-checkpoint"
+	}
+	return "none"
+}
+
+// FaultEvent schedules one fault. Worker and Lane are reduced modulo
+// the engine's worker count when the injector is built, so one plan is
+// valid under any parallelism.
+type FaultEvent struct {
+	Step   int       // barrier index at which the event fires (>= semantics, one-shot)
+	Kind   FaultKind
+	Worker int       // crash: the crashed worker; lane faults: the source worker
+	Lane   int       // lane faults: the destination worker
+}
+
+// Crash schedules a worker crash at the given barrier.
+func Crash(step int) FaultEvent { return FaultEvent{Step: step, Kind: FaultCrash} }
+
+// DropLane schedules the loss of lane (src → dst)'s batch at the given
+// barrier's delivery phase.
+func DropLane(step, src, dst int) FaultEvent {
+	return FaultEvent{Step: step, Kind: FaultDropLane, Worker: src, Lane: dst}
+}
+
+// DupLane schedules the redelivery of lane (src → dst)'s batch at the
+// given barrier's delivery phase.
+func DupLane(step, src, dst int) FaultEvent {
+	return FaultEvent{Step: step, Kind: FaultDupLane, Worker: src, Lane: dst}
+}
+
+// CorruptCheckpoint schedules silent corruption of the first checkpoint
+// written at or after the given barrier.
+func CorruptCheckpoint(step int) FaultEvent {
+	return FaultEvent{Step: step, Kind: FaultCorruptCheckpoint}
+}
+
+// FaultPlan is a reproducible schedule of injected faults. Zero value =
+// no faults. Plans are immutable and safe to share across runs; every
+// run materializes its own Injector.
+type FaultPlan struct {
+	// Seed generates the schedule when Events is nil. Seed 0 with no
+	// explicit events means an empty plan.
+	Seed int64
+	// Horizon bounds the barrier indices of generated events
+	// (default 6 — early enough to fire on short runs).
+	Horizon int
+	// Events, when non-nil, is the explicit schedule and Seed is
+	// ignored.
+	Events []FaultEvent
+}
+
+// PlanOf builds a plan from explicit events.
+func PlanOf(events ...FaultEvent) *FaultPlan {
+	return &FaultPlan{Events: events}
+}
+
+// NewFaultPlan derives a deterministic mixed schedule from seed: one
+// to two crashes and, depending on the seed, a dropped lane, a
+// duplicated lane, and a corrupted checkpoint, all within the horizon.
+func NewFaultPlan(seed int64) *FaultPlan {
+	return &FaultPlan{Seed: seed}
+}
+
+// materialize expands the plan into concrete events for a run with the
+// given worker count.
+func (p *FaultPlan) materialize(workers int) []FaultEvent {
+	if p == nil {
+		return nil
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	events := p.Events
+	if events == nil && p.Seed != 0 {
+		horizon := p.Horizon
+		if horizon <= 0 {
+			horizon = 6
+		}
+		rng := rand.New(rand.NewSource(p.Seed))
+		step := func() int { return rng.Intn(horizon) + 1 }
+		events = append(events, FaultEvent{Step: step(), Kind: FaultCrash, Worker: rng.Intn(workers)})
+		if rng.Intn(2) == 0 {
+			events = append(events, FaultEvent{Step: step(), Kind: FaultDropLane, Worker: rng.Intn(workers), Lane: rng.Intn(workers)})
+		}
+		if rng.Intn(2) == 0 {
+			events = append(events, FaultEvent{Step: step(), Kind: FaultDupLane, Worker: rng.Intn(workers), Lane: rng.Intn(workers)})
+		}
+		if rng.Intn(2) == 0 {
+			// Corrupt a checkpoint written before a crash that follows
+			// it, so the corruption is actually read during recovery.
+			cs := step()
+			events = append(events, FaultEvent{Step: cs, Kind: FaultCorruptCheckpoint})
+			events = append(events, FaultEvent{Step: cs + 1 + rng.Intn(horizon), Kind: FaultCrash, Worker: rng.Intn(workers)})
+		}
+	}
+	out := make([]FaultEvent, len(events))
+	for i, ev := range events {
+		ev.Worker = ((ev.Worker % workers) + workers) % workers
+		ev.Lane = ((ev.Lane % workers) + workers) % workers
+		out[i] = ev
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Step < out[j].Step })
+	return out
+}
+
+// FaultCounts tallies the events an injector has fired.
+type FaultCounts struct {
+	Crashes              int
+	DroppedLanes         int
+	DuplicatedLanes      int
+	CorruptedCheckpoints int // checkpoints written corrupt (detected only when read back)
+}
+
+// Injector is one run's materialized fault schedule. Engines consult
+// it at barriers (CrashAt, CorruptSave) and during delivery phases
+// (LaneFault); the latter runs concurrently on all workers, so the
+// injector is internally locked.
+type Injector struct {
+	mu      sync.Mutex
+	pending []FaultEvent
+	fired   []FaultEvent
+	counts  FaultCounts
+}
+
+// NewInjector materializes the plan for a run with the given worker
+// count. A nil plan yields a nil injector, on which every method is a
+// safe no-op.
+func (p *FaultPlan) NewInjector(workers int) *Injector {
+	if p == nil {
+		return nil
+	}
+	evs := p.materialize(workers)
+	if len(evs) == 0 {
+		return nil
+	}
+	return &Injector{pending: evs}
+}
+
+// take removes and returns the first pending event matching pred with
+// Step <= step.
+func (in *Injector) take(step int, pred func(FaultEvent) bool) (FaultEvent, bool) {
+	for i, ev := range in.pending {
+		if ev.Step > step {
+			break // pending is sorted by Step
+		}
+		if pred(ev) {
+			in.pending = append(in.pending[:i], in.pending[i+1:]...)
+			in.fired = append(in.fired, ev)
+			return ev, true
+		}
+	}
+	return FaultEvent{}, false
+}
+
+// CrashAt reports whether a crash fault fires at the given barrier,
+// returning the crashed worker. One-shot per scheduled crash.
+func (in *Injector) CrashAt(step int) (worker int, ok bool) {
+	if in == nil {
+		return 0, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	ev, ok := in.take(step, func(e FaultEvent) bool { return e.Kind == FaultCrash })
+	if ok {
+		in.counts.Crashes++
+	}
+	return ev.Worker, ok
+}
+
+// LaneFault reports whether lane (src → dst)'s batch is dropped or
+// duplicated during the delivery phase of the given barrier. Returns
+// FaultDropLane, FaultDupLane, or 0. Safe to call concurrently from
+// delivery workers.
+func (in *Injector) LaneFault(step, src, dst int) FaultKind {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	ev, ok := in.take(step, func(e FaultEvent) bool {
+		return (e.Kind == FaultDropLane || e.Kind == FaultDupLane) && e.Worker == src && e.Lane == dst
+	})
+	if !ok {
+		return 0
+	}
+	if ev.Kind == FaultDropLane {
+		in.counts.DroppedLanes++
+	} else {
+		in.counts.DuplicatedLanes++
+	}
+	return ev.Kind
+}
+
+// CorruptSave reports whether the checkpoint being written at the given
+// barrier is silently corrupted. One-shot per scheduled corruption.
+func (in *Injector) CorruptSave(step int) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	_, ok := in.take(step, func(e FaultEvent) bool { return e.Kind == FaultCorruptCheckpoint })
+	if ok {
+		in.counts.CorruptedCheckpoints++
+	}
+	return ok
+}
+
+// Counts returns the tally of fired events so far.
+func (in *Injector) Counts() FaultCounts {
+	if in == nil {
+		return FaultCounts{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts
+}
+
+// Fired returns the events that have fired, in firing order.
+func (in *Injector) Fired() []FaultEvent {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]FaultEvent(nil), in.fired...)
+}

@@ -1,0 +1,183 @@
+package runtime
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFaultPlanDeterministicFromSeed(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		a := NewFaultPlan(seed).materialize(4)
+		b := NewFaultPlan(seed).materialize(4)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: plans differ: %v vs %v", seed, a, b)
+		}
+		if len(a) == 0 {
+			t.Fatalf("seed %d: empty schedule", seed)
+		}
+		for _, ev := range a {
+			if ev.Worker < 0 || ev.Worker >= 4 || ev.Lane < 0 || ev.Lane >= 4 {
+				t.Fatalf("seed %d: event out of worker range: %+v", seed, ev)
+			}
+		}
+	}
+}
+
+func TestFaultPlanScalesToWorkerCount(t *testing.T) {
+	p := PlanOf(DropLane(2, 7, 9), Crash(1))
+	evs := p.materialize(3)
+	if evs[0].Kind != FaultCrash || evs[0].Step != 1 {
+		t.Fatalf("events not sorted by step: %v", evs)
+	}
+	if evs[1].Worker != 7%3 || evs[1].Lane != 9%3 {
+		t.Fatalf("worker/lane not reduced modulo workers: %+v", evs[1])
+	}
+}
+
+func TestInjectorEventsFireOnce(t *testing.T) {
+	in := PlanOf(Crash(3), DropLane(2, 1, 0), DupLane(2, 0, 1), CorruptCheckpoint(1)).NewInjector(2)
+
+	// Crash fires at the first barrier >= its step, exactly once.
+	if _, ok := in.CrashAt(2); ok {
+		t.Fatal("crash fired early")
+	}
+	if _, ok := in.CrashAt(5); !ok {
+		t.Fatal("crash did not fire at step 5 (>= 3)")
+	}
+	if _, ok := in.CrashAt(5); ok {
+		t.Fatal("crash fired twice")
+	}
+
+	// Lane faults match (src, dst) and fire once.
+	if k := in.LaneFault(2, 0, 0); k != 0 {
+		t.Fatalf("unexpected lane fault on (0,0): %v", k)
+	}
+	if k := in.LaneFault(2, 1, 0); k != FaultDropLane {
+		t.Fatalf("want drop on (1,0), got %v", k)
+	}
+	if k := in.LaneFault(3, 1, 0); k != 0 {
+		t.Fatal("drop fired twice")
+	}
+	if k := in.LaneFault(4, 0, 1); k != FaultDupLane {
+		t.Fatalf("want dup on (0,1), got %v", k)
+	}
+
+	if !in.CorruptSave(1) {
+		t.Fatal("corrupt-save did not fire")
+	}
+	if in.CorruptSave(9) {
+		t.Fatal("corrupt-save fired twice")
+	}
+
+	c := in.Counts()
+	want := FaultCounts{Crashes: 1, DroppedLanes: 1, DuplicatedLanes: 1, CorruptedCheckpoints: 1}
+	if c != want {
+		t.Fatalf("counts %+v, want %+v", c, want)
+	}
+	if len(in.Fired()) != 4 {
+		t.Fatalf("fired %d events, want 4", len(in.Fired()))
+	}
+}
+
+func TestNilInjectorIsSafe(t *testing.T) {
+	var in *Injector
+	if _, ok := in.CrashAt(0); ok {
+		t.Fatal("nil injector crashed")
+	}
+	if in.LaneFault(0, 0, 0) != 0 || in.CorruptSave(0) {
+		t.Fatal("nil injector injected")
+	}
+	var p *FaultPlan
+	if p.NewInjector(4) != nil {
+		t.Fatal("nil plan produced an injector")
+	}
+	if (&FaultPlan{}).NewInjector(4) != nil {
+		t.Fatal("empty plan produced an injector")
+	}
+}
+
+func TestCheckpointsCorruptionFallback(t *testing.T) {
+	var cks Checkpoints[string]
+	cks.Save(2, "gen2", false)
+	cks.Save(4, "gen4", true) // written corrupt: silent until read
+
+	state, step, skipped, ok := cks.Recover()
+	if !ok || state != "gen2" || step != 2 || skipped != 1 {
+		t.Fatalf("Recover() = %q, %d, %d, %v; want gen2, 2, 1, true", state, step, skipped, ok)
+	}
+	if cks.Saved() != 2 {
+		t.Fatalf("Saved() = %d", cks.Saved())
+	}
+
+	// Both generations corrupt: fresh restart.
+	var bad Checkpoints[string]
+	bad.Save(2, "a", true)
+	bad.Save(4, "b", true)
+	if _, _, skipped, ok := bad.Recover(); ok || skipped != 2 {
+		t.Fatalf("corrupt store recovered (skipped=%d ok=%v)", skipped, ok)
+	}
+
+	// Empty store: nothing to recover.
+	var empty Checkpoints[int]
+	if _, _, _, ok := empty.Recover(); ok {
+		t.Fatal("empty store recovered")
+	}
+}
+
+func TestMailboxDeliverFaulty(t *testing.T) {
+	owner := []int32{0, 1}
+	mb := NewMailbox[int](2, owner, nil)
+	mb.Send(0, 1, 10)
+	mb.Send(1, 1, 20)
+
+	// Drop lane (0 -> 1): only worker 1's own lane arrives.
+	in := PlanOf(DropLane(0, 0, 1)).NewInjector(2)
+	delivered, _, dropped := mb.DeliverFaulty(1, 0, in, nil)
+	if !dropped {
+		t.Fatal("drop not reported")
+	}
+	if delivered != 1 || len(mb.Inbox(1)) != 1 || mb.Inbox(1)[0] != 20 {
+		t.Fatalf("inbox after drop: %v (delivered %d)", mb.Inbox(1), delivered)
+	}
+	mb.ResetVertex(1)
+
+	// Duplicate lane: the replayed batch is rejected, delivery stays
+	// exactly-once.
+	mb.Send(0, 1, 30)
+	in = PlanOf(DupLane(0, 0, 1)).NewInjector(2)
+	delivered, _, dropped = mb.DeliverFaulty(1, 0, in, nil)
+	if dropped || delivered != 1 || len(mb.Inbox(1)) != 1 {
+		t.Fatalf("dup changed delivery: inbox %v delivered %d dropped %v", mb.Inbox(1), delivered, dropped)
+	}
+	if c := in.Counts(); c.DuplicatedLanes != 1 {
+		t.Fatalf("dup not counted: %+v", c)
+	}
+}
+
+func TestFIFOSnapshotLoad(t *testing.T) {
+	q := NewFIFO(8)
+	q.Push(3)
+	q.Push(1)
+	q.Push(5)
+	if _, ok := q.Pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	snap := q.Snapshot()
+	if !reflect.DeepEqual(snap, []VertexID{1, 5}) {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	q.Push(7)
+	q.Load(snap)
+	if q.Len() != 2 {
+		t.Fatalf("len after load = %d", q.Len())
+	}
+	if v, _ := q.Pop(); v != 1 {
+		t.Fatalf("first after load = %d", v)
+	}
+	if v, _ := q.Pop(); v != 5 {
+		t.Fatalf("second after load = %d", v)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("queue not empty after load+pops")
+	}
+}

@@ -123,8 +123,37 @@ func (mb *Mailbox[M]) Send(src int, dst VertexID, m M) {
 // message count delivered and the number of inbox placements after
 // combining (placements == delivered when no combiner is installed).
 func (mb *Mailbox[M]) Deliver(w int, onFirstMail func(VertexID)) (delivered, placements int64) {
+	delivered, placements, _ = mb.DeliverFaulty(w, 0, nil, onFirstMail)
+	return delivered, placements
+}
+
+// DeliverFaulty is Deliver under fault injection: before draining each
+// lane (src → w) it consults the injector for a lane fault at the
+// given barrier. A dropped lane's batch is discarded in transit and
+// reported via dropped — the engine must roll back, because the
+// messages are unrecoverable. A duplicated lane's batch is redelivered
+// after the original; batches carry per-lane sequence numbers, so the
+// replay fails the receiver's sequence check and is discarded without
+// touching any inbox (the injector tallies the rejected duplicate). A
+// nil injector makes this identical to Deliver.
+func (mb *Mailbox[M]) DeliverFaulty(w, step int, inj *Injector, onFirstMail func(VertexID)) (delivered, placements int64, dropped bool) {
 	for src := 0; src < mb.workers; src++ {
 		ln := &mb.lanes[src][w]
+		if inj != nil {
+			switch inj.LaneFault(step, src, w) {
+			case FaultDropLane:
+				// The batch is lost in transit: the receiver notices
+				// the missing sequence number at the barrier and the
+				// engine rolls back to its last checkpoint.
+				ln.entries = ln.entries[:0]
+				dropped = true
+				continue
+			case FaultDupLane:
+				// The batch arrives twice. The first copy is delivered
+				// below; the replay carries an already-seen sequence
+				// number and is rejected, so delivery stays exactly-once.
+			}
+		}
 		for i := range ln.entries {
 			e := &ln.entries[i]
 			v := e.dst
@@ -142,7 +171,7 @@ func (mb *Mailbox[M]) Deliver(w int, onFirstMail func(VertexID)) (delivered, pla
 		}
 		ln.entries = ln.entries[:0]
 	}
-	return delivered, placements
+	return delivered, placements, dropped
 }
 
 // Inbox returns v's delivered messages. The slice is valid until v's

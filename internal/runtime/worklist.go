@@ -166,3 +166,21 @@ func (q *FIFO) Pop() (v VertexID, ok bool) {
 
 // Len returns the number of queued vertices.
 func (q *FIFO) Len() int { return len(q.buf) - q.head }
+
+// Snapshot returns the queued vertices in arrival order (checkpoint
+// support for the asynchronous engine). The copy is independent of the
+// live buffer.
+func (q *FIFO) Snapshot() []VertexID {
+	return append([]VertexID(nil), q.buf[q.head:]...)
+}
+
+// Load replaces the queue contents with vs, in order (checkpoint
+// recovery). The backing buffer and dedup flags are reused.
+func (q *FIFO) Load(vs []VertexID) {
+	clear(q.queued)
+	q.buf = q.buf[:0]
+	q.head = 0
+	for _, v := range vs {
+		q.Push(v)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"vcgraph/internal/graph"
+	rt "vcgraph/internal/runtime"
 	"vcgraph/internal/seq"
 )
 
@@ -189,7 +190,7 @@ func TestAlgorithmsSurviveInjectedFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	recovered, err := HashMinCC(g, Config{Workers: 3, CheckpointEvery: 16, FailAt: 40})
+	recovered, err := HashMinCC(g, Config{Workers: 3, CheckpointEvery: 16, Faults: rt.PlanOf(rt.Crash(40))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestSVSurvivesInjectedFailureWithMasterState(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := SSSP(g, 0, Config{Workers: 2, CheckpointEvery: 8, FailAt: 20})
+	rec, err := SSSP(g, 0, Config{Workers: 2, CheckpointEvery: 8, Faults: rt.PlanOf(rt.Crash(20))})
 	if err != nil {
 		t.Fatal(err)
 	}

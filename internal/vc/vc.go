@@ -11,6 +11,7 @@ import (
 	"vcgraph/internal/bsp"
 	"vcgraph/internal/graph"
 	"vcgraph/internal/pregel"
+	"vcgraph/internal/runtime"
 )
 
 // errNotDirected guards algorithms that require directed input.
@@ -38,10 +39,11 @@ type Config struct {
 	// one (Hash-Min, SSSP). Used by the combiner ablation to measure
 	// the network volume combiners save.
 	NoCombiner bool
-	// CheckpointEvery/FailAt pass through to the engine's fault
-	// tolerance (see pregel.Config).
+	// CheckpointEvery/Faults pass through to the engine's fault
+	// tolerance and fault injection (see pregel.Config and
+	// runtime.FaultPlan).
 	CheckpointEvery int
-	FailAt          int
+	Faults          *runtime.FaultPlan
 	// Partition picks the vertex-to-worker assignment (nil = hash).
 	Partition pregel.Partitioner
 	// FCS enables finishing-computations-serially with the given
@@ -55,7 +57,7 @@ func engineCfg[M any](c Config) pregel.Config[M] {
 		MaxSupersteps:   c.MaxSupersteps,
 		Seed:            c.Seed,
 		CheckpointEvery: c.CheckpointEvery,
-		FailAt:          c.FailAt,
+		Faults:          c.Faults,
 		Partition:       c.Partition,
 		FCSThreshold:    c.FCS,
 	}
@@ -91,6 +93,7 @@ func MergeStats(parts ...*bsp.Stats) *bsp.Stats {
 		}
 		out.TotalMessages += p.TotalMessages
 		out.TotalWork += p.TotalWork
+		out.Recovery.Add(p.Recovery)
 	}
 	return out
 }
