@@ -107,7 +107,7 @@ func main() {
 	fmt.Printf("messages:              %d\n", stats.TotalMessages)
 	fmt.Printf("local work units:      %d\n", stats.TotalWork)
 	fmt.Printf("time-processor product: %.0f (P=%d, g=%.0f, L=%.0f)\n",
-		bsp.DefaultModel.TimeProcessor(stats), stats.Workers, bsp.DefaultModel.G, bsp.DefaultModel.L)
+		stats.MeasuredTPP(), stats.Workers, bsp.DefaultModel.G, bsp.DefaultModel.L)
 	fmt.Printf("balance (per-vertex max / degree):\n")
 	fmt.Printf("  state %.2f  compute %.2f  sent %.2f  recv %.2f\n",
 		stats.MaxStatePerDeg, stats.MaxComputePerDeg, stats.MaxSentPerDeg, stats.MaxRecvPerDeg)

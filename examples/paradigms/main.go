@@ -58,12 +58,12 @@ func main() {
 	pr, iters, err := vc.PageRankConverge(pa, 0.85, 1e-9, vc.Config{Workers: 4})
 	must(err)
 	fmt.Printf("%-28s %12d %14d %14.0f\n", "Pregel (push, sync)",
-		iters, pr.Stats.TotalMessages, bsp.DefaultModel.TimeProcessor(pr.Stats))
+		iters, pr.Stats.TotalMessages, pr.Stats.MeasuredTPP())
 
 	_, gres, err := gas.PageRank(pa, 0.85, 1e-9, gas.Config{Workers: 4})
 	must(err)
 	fmt.Printf("%-28s %12d %14d %14.0f\n", "GAS (pull, delta-sched)",
-		gres.Iterations, gres.Stats.TotalWork, bsp.DefaultModel.TimeProcessor(gres.Stats))
+		gres.Iterations, gres.Stats.TotalWork, gres.Stats.MeasuredTPP())
 
 	fmt.Println("\nall models agree on the answers; they differ wildly in supersteps,")
 	fmt.Println("message volume, and time-processor product — the paper's point that")
@@ -72,7 +72,7 @@ func main() {
 
 func row(name string, st *bsp.Stats) {
 	fmt.Printf("%-28s %12d %14d %14.0f\n", name,
-		st.NumSupersteps(), st.TotalMessages, bsp.DefaultModel.TimeProcessor(st))
+		st.NumSupersteps(), st.TotalMessages, st.MeasuredTPP())
 }
 
 func must(err error) {

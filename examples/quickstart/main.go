@@ -6,7 +6,6 @@ package main
 import (
 	"fmt"
 
-	"vcgraph/internal/bsp"
 	"vcgraph/internal/graph"
 	"vcgraph/internal/vc"
 )
@@ -33,7 +32,7 @@ func main() {
 	st := res.Stats
 	fmt.Printf("supersteps: %d\n", st.NumSupersteps())
 	fmt.Printf("messages:   %d (about m per superstep: %d edges)\n", st.TotalMessages, g.M())
-	fmt.Printf("time-processor product (g=1, L=1): %.0f\n", bsp.DefaultModel.TimeProcessor(st))
+	fmt.Printf("time-processor product (g=1, L=1): %.0f\n", st.MeasuredTPP())
 	fmt.Printf("per-vertex balance (max/degree): compute %.2f, sent %.2f, recv %.2f\n",
 		st.MaxComputePerDeg, st.MaxSentPerDeg, st.MaxRecvPerDeg)
 	fmt.Println("\nPageRank is 'balanced' (per-vertex cost tracks degree) but runs")

@@ -78,7 +78,7 @@ func main() {
 
 func report(name string, st *bsp.Stats) {
 	fmt.Printf("  [%s] supersteps=%d messages=%d PT=%.0f recv/deg=%.1f\n\n",
-		name, st.NumSupersteps(), st.TotalMessages, bsp.DefaultModel.TimeProcessor(st), st.MaxRecvPerDeg)
+		name, st.NumSupersteps(), st.TotalMessages, st.MeasuredTPP(), st.MaxRecvPerDeg)
 }
 
 func maxVal(m map[graph.VertexID]int) int {

@@ -7,7 +7,6 @@ package main
 import (
 	"fmt"
 
-	"vcgraph/internal/bsp"
 	"vcgraph/internal/graph"
 	"vcgraph/internal/seq"
 	"vcgraph/internal/vc"
@@ -62,6 +61,6 @@ func main() {
 	fmt.Printf("pre/post-order: computed in %d supersteps; DFS agreement: %v\n",
 		tr.Stats.NumSupersteps(), agree)
 	fmt.Printf("  vertex-centric work (PT): %.0f vs sequential DFS ops: %d — the extra\n",
-		bsp.DefaultModel.TimeProcessor(tr.Stats), ops.N)
+		tr.Stats.MeasuredTPP(), ops.N)
 	fmt.Println("  factor is list-ranking's log n, exactly Table 1 row 9's verdict.")
 }

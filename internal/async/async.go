@@ -20,6 +20,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"math"
 
 	"vcgraph/internal/bsp"
 	"vcgraph/internal/graph"
@@ -80,8 +81,10 @@ type Prioritizer[V any] interface {
 	Priority(ctx *Context[V], v VertexID) float64
 }
 
-// ErrUpdateCap reports a run exceeding Config.MaxUpdates.
-var ErrUpdateCap = errors.New("async: update cap reached")
+// ErrUpdateCap reports a run exceeding Config.MaxUpdates. It aliases
+// bsp.ErrSuperstepCap, the sentinel shared by every engine, so
+// errors.Is works across engines.
+var ErrUpdateCap = bsp.ErrSuperstepCap
 
 // Result of an asynchronous run.
 type Result[V any] struct {
@@ -134,94 +137,133 @@ func Run[V any](g *graph.Graph, prog Program[V], cfg Config) (*Result[V], error)
 	for v := 0; v < n; v++ {
 		queue.Push(VertexID(v))
 	}
-	stats := &bsp.Stats{Workers: 1, N: n}
-	inj := cfg.Faults.NewInjector(1)
-	var cks rt.Checkpoints[*asyncSnapshot[V]]
 	epochLen := cfg.CheckpointEvery
 	if epochLen <= 0 {
 		epochLen = defaultEpoch
 	}
-	finish := func() {
-		c := inj.Counts()
-		stats.Recovery.DroppedLanes = c.DroppedLanes
-		stats.Recovery.DuplicatedLanes = c.DuplicatedLanes
-	}
-	updates := 0
-	for {
-		// Epoch boundary: the asynchronous run's stand-in for a
-		// barrier. Faults are detected here and checkpoints taken here;
-		// FaultEvent.Step counts these epochs.
-		if (inj != nil || cfg.CheckpointEvery > 0) && updates%epochLen == 0 {
-			step := updates / epochLen
-			lost := false
-			switch inj.LaneFault(step, 0, 0) {
-			case rt.FaultDropLane:
-				// The pending activation batch is lost; the worklist
-				// cannot be reconstructed in place, so roll back.
-				lost = true
-			case rt.FaultDupLane:
-				// Redelivering the scheduled batch is a no-op: the
-				// FIFO worklist deduplicates by vertex.
-				for _, w := range queue.Snapshot() {
-					queue.Push(w)
-				}
-			}
-			if _, crashed := inj.CrashAt(step); crashed || lost {
-				stats.Recovery.Rollbacks++
-				snap, _, skipped, ok := cks.Recover()
-				stats.Recovery.CorruptedCheckpoints += skipped
-				if ok {
-					ctx.values = rt.CloneValues[V](prog, snap.values)
-					queue.Load(snap.queue)
-					stats.Recovery.RedoneSupersteps += updates - snap.updates
-					updates = snap.updates
-				} else {
-					for v := 0; v < n; v++ {
-						ctx.values[v] = prog.Init(g, VertexID(v))
-					}
-					queue.Load(nil)
-					for v := 0; v < n; v++ {
-						queue.Push(VertexID(v))
-					}
-					stats.Recovery.RedoneSupersteps += updates
-					updates = 0
-				}
-				continue
-			}
-			if cfg.CheckpointEvery > 0 && updates > 0 {
-				cks.Save(step, &asyncSnapshot[V]{
-					values:  rt.CloneValues[V](prog, ctx.values),
-					queue:   queue.Snapshot(),
-					updates: updates,
-				}, inj.CorruptSave(step))
-				stats.Recovery.CheckpointsSaved++
-			}
+	stats := &bsp.Stats{Workers: 1, N: n}
+	// One driver step is one epoch of up to epochLen updates; the
+	// driver's barrier is the epoch boundary, where faults are detected
+	// and checkpoints taken (FaultEvent.Step counts epochs). EpochSaves
+	// selects the asynchronous checkpoint ordering: snapshot at the top
+	// of each boundary, after fault detection. The update cap is the
+	// policy's own (checked per update, not per epoch), so the driver's
+	// step cap is unreachable.
+	p := &policy[V]{ctx: ctx, g: g, prog: prog, cfg: cfg, queue: queue, epochLen: epochLen}
+	d := rt.NewDriver[*asyncSnapshot[V]](p, stats, rt.DriverConfig{
+		Name:            "async",
+		Workers:         1,
+		MaxSteps:        math.MaxInt,
+		CapErr:          ErrUpdateCap,
+		CheckpointEvery: cfg.CheckpointEvery,
+		Faults:          cfg.Faults,
+		EpochSaves:      true,
+	})
+	_, err := d.Run()
+	return &Result[V]{Values: ctx.values, Updates: p.updates, Stats: stats}, err
+}
+
+// policy is the FIFO scheduler as a runtime.Policy.
+type policy[V any] struct {
+	ctx      *Context[V]
+	g        *graph.Graph
+	prog     Program[V]
+	cfg      Config
+	queue    *rt.FIFO
+	epochLen int
+	updates  int
+}
+
+// Quiescent implements runtime.Policy: the worklist drained.
+func (p *policy[V]) Quiescent(step, pending int) bool { return p.queue.Len() == 0 }
+
+// Stopped implements runtime.EarlyStopper: the previous epoch ended
+// mid-stride with the worklist drained, so the run is over without
+// another boundary's fault/checkpoint processing.
+func (p *policy[V]) Stopped() bool {
+	return p.updates%p.epochLen != 0 && p.queue.Len() == 0
+}
+
+// BarrierFaults implements runtime.BarrierFaultPolicy: activation-batch
+// faults fire at the epoch boundary itself.
+func (p *policy[V]) BarrierFaults(inj *rt.Injector, step int) (lost bool) {
+	switch inj.LaneFault(step, 0, 0) {
+	case rt.FaultDropLane:
+		// The pending activation batch is lost; the worklist cannot be
+		// reconstructed in place, so roll back.
+		return true
+	case rt.FaultDupLane:
+		// Redelivering the scheduled batch is a no-op: the FIFO
+		// worklist deduplicates by vertex.
+		for _, w := range p.queue.Snapshot() {
+			p.queue.Push(w)
 		}
-		v, ok := queue.Pop()
+	}
+	return false
+}
+
+// RedoneUnits implements runtime.RollbackWeigher: the asynchronous
+// engine's recovery cost is counted in redone updates, not epochs.
+func (p *policy[V]) RedoneUnits(resumed, failed int) int {
+	return (failed - resumed) * p.epochLen
+}
+
+// Superstep implements runtime.Policy: drain up to one epoch of
+// updates, applying each immediately (the asynchronous semantics).
+func (p *policy[V]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) {
+	for i := 0; i < p.epochLen; i++ {
+		v, ok := p.queue.Pop()
 		if !ok {
 			break
 		}
-		if updates >= cfg.MaxUpdates {
-			finish()
-			return &Result[V]{Values: ctx.values, Updates: updates, Stats: stats},
-				fmt.Errorf("%w (cap %d)", ErrUpdateCap, cfg.MaxUpdates)
+		if p.updates >= p.cfg.MaxUpdates {
+			return p.queue.Len(), fmt.Errorf("async: %w (cap %d)", ErrUpdateCap, p.cfg.MaxUpdates)
 		}
-		updates++
-		for _, w := range prog.Update(ctx, v) {
-			queue.Push(w)
+		p.updates++
+		ss.Work[0]++
+		ss.Active[0]++
+		for _, w := range p.prog.Update(p.ctx, v) {
+			ss.Sent[0]++
+			p.queue.Push(w)
 		}
 	}
-	finish()
-	return &Result[V]{Values: ctx.values, Updates: updates, Stats: stats}, nil
+	return p.queue.Len(), nil
+}
+
+// Snapshot implements runtime.Policy: values plus the worklist in
+// arrival order. The update count is implied by the boundary step
+// (step · epochLen), so it is not stored.
+func (p *policy[V]) Snapshot() *asyncSnapshot[V] {
+	return &asyncSnapshot[V]{
+		values: rt.CloneValues[V](p.prog, p.ctx.values),
+		queue:  p.queue.Snapshot(),
+	}
+}
+
+// Restore implements runtime.Policy.
+func (p *policy[V]) Restore(snap *asyncSnapshot[V], step int, ok bool) {
+	if ok {
+		p.ctx.values = rt.CloneValues[V](p.prog, snap.values)
+		p.queue.Load(snap.queue)
+		p.updates = step * p.epochLen
+		return
+	}
+	n := p.g.N()
+	for v := 0; v < n; v++ {
+		p.ctx.values[v] = p.prog.Init(p.g, VertexID(v))
+	}
+	p.queue.Load(nil)
+	for v := 0; v < n; v++ {
+		p.queue.Push(VertexID(v))
+	}
+	p.updates = 0
 }
 
 // asyncSnapshot is one checkpoint generation of an asynchronous run:
-// the values, the worklist (in arrival order), and the update count at
-// an epoch boundary.
+// the values and the worklist (in arrival order) at an epoch boundary.
 type asyncSnapshot[V any] struct {
-	values  []V
-	queue   []VertexID
-	updates int
+	values []V
+	queue  []VertexID
 }
 
 // runPrioritized drains a lazy max-priority queue: every activation
@@ -246,7 +288,7 @@ func runPrioritized[V any](ctx *Context[V], prog Program[V], pr Prioritizer[V], 
 	for pq.Len() > 0 {
 		if updates >= cfg.MaxUpdates {
 			return &Result[V]{Values: ctx.values, Updates: updates, Stats: stats},
-				fmt.Errorf("%w (cap %d)", ErrUpdateCap, cfg.MaxUpdates)
+				fmt.Errorf("async: %w (cap %d)", ErrUpdateCap, cfg.MaxUpdates)
 		}
 		it := heap.Pop(pq).(prioItem)
 		if !scheduled[it.v] {

@@ -11,8 +11,6 @@
 package blockcentric
 
 import (
-	"errors"
-	"fmt"
 	"math"
 
 	"vcgraph/internal/bsp"
@@ -57,8 +55,10 @@ type Config struct {
 	Faults *rt.FaultPlan
 }
 
-// ErrSuperstepCap mirrors pregel.ErrSuperstepCap.
-var ErrSuperstepCap = errors.New("blockcentric: superstep cap reached")
+// ErrSuperstepCap mirrors pregel.ErrSuperstepCap. It aliases
+// bsp.ErrSuperstepCap, the sentinel shared by every engine, so
+// errors.Is works across engines.
+var ErrSuperstepCap = bsp.ErrSuperstepCap
 
 // Result of a block-centric run.
 type Result[V any] struct {
@@ -76,25 +76,18 @@ type Engine[V, M any] struct {
 	values []V
 	halted []bool // per block
 
-	inbox   []map[VertexID][]M // per block
-	outbox  [][]addr[M]        // per block (source)
-	stats   *bsp.Stats
-	pool    *rt.Pool
-	current int
-
-	inj       *rt.Injector
-	cks       rt.Checkpoints[*bcSnapshot[V, M]]
-	lostBatch bool
+	inbox  []map[VertexID][]M // per block
+	outbox [][]addr[M]        // per block (source)
+	stats  *bsp.Stats
+	driver *rt.Driver[*bcSnapshot[V, M]]
 }
 
 // bcSnapshot is one checkpoint generation: the barrier state entering
-// superstep next (boundary messages already delivered to inboxes).
+// a superstep (boundary messages already delivered to inboxes).
 type bcSnapshot[V, M any] struct {
-	next    int
-	pending int
-	values  []V
-	halted  []bool
-	inbox   []map[VertexID][]M
+	values []V
+	halted []bool
+	inbox  []map[VertexID][]M
 }
 
 type addr[M any] struct {
@@ -140,78 +133,49 @@ func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config) *Engine
 }
 
 // Run executes to quiescence: all blocks halted with no boundary
-// messages in flight.
+// messages in flight. The superstep lifecycle — one-goroutine-per-block
+// dispatch, fault firing, checkpoint cadence, rollback, halting, cost
+// accounting — is owned by the shared runtime.Driver; this engine
+// contributes the block-compute and boundary-delivery policy.
 func (e *Engine[V, M]) Run() (*Result[V], error) {
 	for v := 0; v < e.g.N(); v++ {
 		e.values[v] = e.prog.Init(e.g, VertexID(v))
 	}
-	// One block per persistent worker; goroutines park between
-	// supersteps instead of being respawned each barrier.
-	e.pool = rt.NewPool(e.cfg.Blocks)
-	defer func() {
-		e.pool.Close()
-		e.pool = nil
-	}()
-	e.inj = e.cfg.Faults.NewInjector(e.cfg.Blocks)
-	finish := func() {
-		c := e.inj.Counts()
-		e.stats.Recovery.DroppedLanes = c.DroppedLanes
-		e.stats.Recovery.DuplicatedLanes = c.DuplicatedLanes
-	}
-	pending := 0
-	superstep := 0
-	for ; ; superstep++ {
-		if superstep >= e.cfg.MaxSupersteps {
-			finish()
-			return &Result[V]{Values: e.values, Stats: e.stats},
-				fmt.Errorf("%w (cap %d)", ErrSuperstepCap, e.cfg.MaxSupersteps)
-		}
-		// Failure detection happens at the barrier, before the
-		// quiescence check: a dropped boundary batch can masquerade as
-		// quiescence.
-		if _, crashed := e.inj.CrashAt(superstep); crashed || e.lostBatch {
-			e.lostBatch = false
-			e.stats.Recovery.Rollbacks++
-			resumed, p := e.recoverFromCheckpoint()
-			e.stats.Recovery.RedoneSupersteps += superstep - resumed
-			superstep, pending = resumed, p
-		}
-		if superstep > 0 && pending == 0 {
-			all := true
-			for _, h := range e.halted {
-				if !h {
-					all = false
-					break
-				}
-			}
-			if all {
-				break
-			}
-		}
-		pending = e.runSuperstep(superstep)
-		if e.lostBatch {
-			// The barrier state is incomplete; no checkpoint is taken
-			// and recovery runs at the next loop top.
-			continue
-		}
-		if k := e.cfg.CheckpointEvery; k > 0 && (superstep+1)%k == 0 {
-			e.saveCheckpoint(superstep+1, pending)
-		}
-	}
-	finish()
-	return &Result[V]{Values: e.values, Stats: e.stats}, nil
+	e.driver = rt.NewDriver[*bcSnapshot[V, M]](e, e.stats, rt.DriverConfig{
+		Name:            "blockcentric",
+		Workers:         e.cfg.Blocks,
+		MaxSteps:        e.cfg.MaxSupersteps,
+		CapErr:          ErrSuperstepCap,
+		CheckpointEvery: e.cfg.CheckpointEvery,
+		Faults:          e.cfg.Faults,
+	})
+	_, err := e.driver.Run()
+	e.driver = nil
+	return &Result[V]{Values: e.values, Stats: e.stats}, err
 }
 
-// saveCheckpoint snapshots the barrier state; nextSuperstep is the
-// superstep that would execute next.
-func (e *Engine[V, M]) saveCheckpoint(nextSuperstep, pending int) {
+// Quiescent implements runtime.Policy: every block halted with no
+// boundary messages in flight.
+func (e *Engine[V, M]) Quiescent(step, pending int) bool {
+	if step == 0 || pending != 0 {
+		return false
+	}
+	for _, h := range e.halted {
+		if !h {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot implements runtime.Policy: it deep-copies the barrier state
+// (boundary messages already delivered to inboxes).
+func (e *Engine[V, M]) Snapshot() *bcSnapshot[V, M] {
 	nb := e.cfg.Blocks
 	ck := &bcSnapshot[V, M]{
-		next:    nextSuperstep,
-		pending: pending,
-		values:  rt.CloneValues[V](e.prog, e.values),
-		halted:  append([]bool(nil), e.halted...),
-		inbox:   make([]map[VertexID][]M, nb),
+		values: rt.CloneValues[V](e.prog, e.values),
+		halted: append([]bool(nil), e.halted...),
+		inbox:  make([]map[VertexID][]M, nb),
 	}
 	for b := 0; b < nb; b++ {
 		ck.inbox[b] = make(map[VertexID][]M, len(e.inbox[b]))
@@ -219,18 +183,13 @@ func (e *Engine[V, M]) saveCheckpoint(nextSuperstep, pending int) {
 			ck.inbox[b][v] = append([]M(nil), ms...)
 		}
 	}
-	// A scheduled FaultCorruptCheckpoint damages this snapshot
-	// silently; the store discovers it at recovery time.
-	e.cks.Save(nextSuperstep, ck, e.inj.CorruptSave(nextSuperstep))
-	e.stats.Recovery.CheckpointsSaved++
+	return ck
 }
 
-// recoverFromCheckpoint rolls the engine back to the newest readable
-// snapshot (or a fresh start) and returns the superstep and pending
-// count to resume from.
-func (e *Engine[V, M]) recoverFromCheckpoint() (nextSuperstep, pending int) {
-	ck, _, skipped, ok := e.cks.Recover()
-	e.stats.Recovery.CorruptedCheckpoints += skipped
+// Restore implements runtime.Policy: it rolls the engine back to a
+// checkpoint read by the driver's store (ok), or to a fresh start when
+// no readable checkpoint exists (!ok).
+func (e *Engine[V, M]) Restore(ck *bcSnapshot[V, M], step int, ok bool) {
 	if !ok {
 		for v := 0; v < e.g.N(); v++ {
 			e.values[v] = e.prog.Init(e.g, VertexID(v))
@@ -240,7 +199,7 @@ func (e *Engine[V, M]) recoverFromCheckpoint() (nextSuperstep, pending int) {
 			clear(e.inbox[b])
 			e.outbox[b] = e.outbox[b][:0]
 		}
-		return 0, 0
+		return
 	}
 	e.values = rt.CloneValues[V](e.prog, ck.values)
 	copy(e.halted, ck.halted)
@@ -251,22 +210,21 @@ func (e *Engine[V, M]) recoverFromCheckpoint() (nextSuperstep, pending int) {
 		}
 		e.outbox[b] = e.outbox[b][:0]
 	}
-	return ck.next, ck.pending
 }
 
-func (e *Engine[V, M]) runSuperstep(superstep int) int {
+// Superstep implements runtime.Policy: compute every awake block in
+// parallel (one persistent goroutine per block), then deliver boundary
+// messages sequentially — where a src->dst batch can be lost in transit
+// or redelivered.
+func (e *Engine[V, M]) Superstep(superstep int, ss *bsp.SuperstepStats) (int, error) {
 	nb := e.cfg.Blocks
-	ss := bsp.SuperstepStats{
-		Work: make([]int64, nb),
-		Sent: make([]int64, nb),
-		Recv: make([]int64, nb),
-	}
-	e.pool.Run(func(b int) {
+	e.driver.Pool().Run(func(b int) {
 		msgs := e.inbox[b]
 		if e.halted[b] && len(msgs) == 0 && superstep > 0 {
 			return
 		}
 		e.halted[b] = false
+		ss.Active[b] = int64(len(e.blocks[b]))
 		for _, ms := range msgs {
 			ss.Recv[b] += int64(len(ms))
 		}
@@ -283,12 +241,13 @@ func (e *Engine[V, M]) runSuperstep(superstep int) int {
 	})
 
 	// Deliver boundary messages.
+	inj := e.driver.Injector()
 	pending := 0
 	for src := 0; src < nb; src++ {
 		var drop []bool
-		if e.inj != nil {
+		if inj != nil {
 			for dst := 0; dst < nb; dst++ {
-				switch e.inj.LaneFault(superstep, src, dst) {
+				switch inj.LaneFault(superstep, src, dst) {
 				case rt.FaultDropLane:
 					// This src->dst batch is lost in transit; its
 					// messages cannot be reconstructed, so the run
@@ -297,7 +256,7 @@ func (e *Engine[V, M]) runSuperstep(superstep int) int {
 						drop = make([]bool, nb)
 					}
 					drop[dst] = true
-					e.lostBatch = true
+					e.driver.LoseBatch()
 				case rt.FaultDupLane:
 					// The replayed batch carries a stale sequence
 					// number and is discarded; delivery stays
@@ -313,12 +272,9 @@ func (e *Engine[V, M]) runSuperstep(superstep int) int {
 			e.inbox[dst][am.dst] = append(e.inbox[dst][am.dst], am.m)
 			pending++
 		}
-		e.stats.TotalMessages += ss.Sent[src]
-		e.stats.TotalWork += ss.Work[src]
 		e.outbox[src] = e.outbox[src][:0]
 	}
-	e.stats.Supersteps = append(e.stats.Supersteps, ss)
-	return pending
+	return pending, nil
 }
 
 // BlockContext is the per-block view handed to ComputeBlock.

@@ -17,13 +17,60 @@
 // MoreWork and CheckBPPA.
 package bsp
 
-import "math"
+import (
+	"errors"
+	"math"
+)
+
+// ErrSuperstepCap is the shared sentinel for a run that exceeded its
+// superstep / iteration / update cap without quiescing. Every engine
+// re-exports it (pregel.ErrSuperstepCap, gas.ErrIterationCap, ...), so
+// errors.Is(err, bsp.ErrSuperstepCap) works across engines.
+var ErrSuperstepCap = errors.New("superstep cap reached")
 
 // SuperstepStats records the per-processor load of one superstep.
+// Work/Sent/Recv are filled by the engine policy while the superstep
+// runs; the measured fields below are computed once by the shared
+// superstep driver at the barrier, so every engine prices supersteps
+// through the same code path.
 type SuperstepStats struct {
 	Work []int64 // local work units per processor
 	Sent []int64 // messages sent per processor
 	Recv []int64 // messages received per processor
+	// Active counts the units computed per processor: vertices for the
+	// pregel/gas engines, block members for blockcentric, updates for
+	// the async engine's epochs.
+	Active []int64
+
+	// Measured accounting, populated by the driver at the barrier:
+	// MaxWork is w = max_i Work[i], MaxComm is h = max_i max(Sent[i],
+	// Recv[i]), and Cost is max(w, g·h, L) under the run's cost model.
+	MaxWork int64
+	MaxComm int64
+	Cost    float64
+}
+
+// NewSuperstepStats returns a SuperstepStats with per-processor slices
+// sized for p processors. The four slices share one allocation (they
+// are fixed-length views, never appended to), keeping the per-superstep
+// fixed cost at one allocation.
+func NewSuperstepStats(p int) SuperstepStats {
+	buf := make([]int64, 4*p)
+	return SuperstepStats{
+		Work:   buf[0*p : 1*p : 1*p],
+		Sent:   buf[1*p : 2*p : 2*p],
+		Recv:   buf[2*p : 3*p : 3*p],
+		Active: buf[3*p : 4*p : 4*p],
+	}
+}
+
+// ActiveVertices returns the total units computed in this superstep.
+func (s SuperstepStats) ActiveVertices() int64 {
+	var n int64
+	for _, a := range s.Active {
+		n += a
+	}
+	return n
 }
 
 func maxOf(xs []int64) int64 {
@@ -74,8 +121,22 @@ type Stats struct {
 	// CombinedDeliveries, which misread as "number of combine calls".
 	InboxDeliveries int64
 
+	// MeasuredTime is T(n) as measured by the shared superstep driver:
+	// the running sum of the per-superstep Cost fields. For a run priced
+	// under DefaultModel it equals DefaultModel.Time exactly (superstep
+	// costs are integers, so float64 summation is exact and
+	// order-independent at these magnitudes).
+	MeasuredTime float64
+
 	// Recovery reports the fault-tolerance cost of the run.
 	Recovery Recovery
+}
+
+// MeasuredTPP returns the time-processor product P(n)·T(n) from the
+// driver-measured per-superstep costs. This is the single accounting
+// path cmd/table1 and cmd/ablations consume.
+func (s *Stats) MeasuredTPP() float64 {
+	return float64(s.Workers) * s.MeasuredTime
 }
 
 // Recovery aggregates what checkpointing and failure recovery cost a

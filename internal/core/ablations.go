@@ -104,7 +104,7 @@ func WorkerSweep() (string, error) {
 			return "", err
 		}
 		el := time.Since(start)
-		fmt.Fprintf(&out, "%-8d %14.0f %12s\n", w, bsp.DefaultModel.TimeProcessor(res.Stats), el.Round(time.Millisecond))
+		fmt.Fprintf(&out, "%-8d %14.0f %12s\n", w, res.Stats.MeasuredTPP(), el.Round(time.Millisecond))
 	}
 	fmt.Fprintf(&out, "P·T rises with P (skewed degrees imbalance the per-worker max) while wall time\n")
 	fmt.Fprintf(&out, "barely moves: synchronization overhead offsets the parallelism at this scale —\n")
@@ -185,7 +185,7 @@ func PartitionAblation(cfg vc.Config) (string, error) {
 				}
 			}
 		}
-		fmt.Fprintf(&out, "%-18s %14.0f %16d\n", s.name, bsp.DefaultModel.TimeProcessor(res.Stats), bestV)
+		fmt.Fprintf(&out, "%-18s %14.0f %16d\n", s.name, res.Stats.MeasuredTPP(), bestV)
 	}
 	fmt.Fprintf(&out, "identical results; range partitioning piles the low-ID hubs onto one worker\n")
 	fmt.Fprintf(&out, "and pays for it in the per-superstep maxima\n")
@@ -217,8 +217,8 @@ func FCSAblation(cfg vc.Config) (string, error) {
 	var out strings.Builder
 	fmt.Fprintf(&out, "FCS ablation — Hash-Min on a permuted-ID path (n=%d), threshold 64\n", g.N())
 	fmt.Fprintf(&out, "%-12s %12s %14s %14s\n", "", "supersteps", "messages", "P·T")
-	fmt.Fprintf(&out, "%-12s %12d %14d %14.0f\n", "plain", a.Stats.NumSupersteps(), a.Stats.TotalMessages, bsp.DefaultModel.TimeProcessor(a.Stats))
-	fmt.Fprintf(&out, "%-12s %12d %14d %14.0f\n", "with FCS", b.Stats.NumSupersteps(), b.Stats.TotalMessages, bsp.DefaultModel.TimeProcessor(b.Stats))
+	fmt.Fprintf(&out, "%-12s %12d %14d %14.0f\n", "plain", a.Stats.NumSupersteps(), a.Stats.TotalMessages, a.Stats.MeasuredTPP())
+	fmt.Fprintf(&out, "%-12s %12d %14d %14.0f\n", "with FCS", b.Stats.NumSupersteps(), b.Stats.TotalMessages, b.Stats.MeasuredTPP())
 	fmt.Fprintf(&out, "identical results; FCS collapses the long single-wavefront tail into one serial step\n")
 	return out.String(), nil
 }
@@ -240,14 +240,14 @@ func ParadigmComparison(cfg vc.Config) (string, error) {
 		return "", err
 	}
 	fmt.Fprintf(&out, "%-26s %12d %14d %14.0f\n", "vertex-centric Hash-Min",
-		hm.Stats.NumSupersteps(), hm.Stats.TotalMessages, bsp.DefaultModel.TimeProcessor(hm.Stats))
+		hm.Stats.NumSupersteps(), hm.Stats.TotalMessages, hm.Stats.MeasuredTPP())
 
 	sv, err := vc.SVCC(g, cfg)
 	if err != nil {
 		return "", err
 	}
 	fmt.Fprintf(&out, "%-26s %12d %14d %14.0f\n", "vertex-centric S-V",
-		sv.Stats.NumSupersteps(), sv.Stats.TotalMessages, bsp.DefaultModel.TimeProcessor(sv.Stats))
+		sv.Stats.NumSupersteps(), sv.Stats.TotalMessages, sv.Stats.MeasuredTPP())
 
 	asyncLabels, asyncRes, err := async.ConnectedComponents(g, async.Config{})
 	if err != nil {
@@ -266,7 +266,7 @@ func ParadigmComparison(cfg vc.Config) (string, error) {
 			return "", err
 		}
 		fmt.Fprintf(&out, "block-centric (B=%-3d)       %12d %14d %14.0f\n", blocks,
-			bc.Stats.NumSupersteps(), bc.Stats.TotalMessages, bsp.DefaultModel.TimeProcessor(bc.Stats))
+			bc.Stats.NumSupersteps(), bc.Stats.TotalMessages, bc.Stats.MeasuredTPP())
 		for v := range hm.Color {
 			if bc.Color[v] != hm.Color[v] {
 				return "", fmt.Errorf("paradigms disagree at vertex %d", v)
@@ -335,9 +335,9 @@ func SuperstepSharingAblation(cfg vc.Config) (string, error) {
 	fmt.Fprintf(&out, "Superstep sharing — betweenness from %d sources on a 24x24 grid\n", len(sources))
 	fmt.Fprintf(&out, "%-22s %12s %14s %14s\n", "", "supersteps", "messages", "P·T")
 	fmt.Fprintf(&out, "%-22s %12d %14d %14.0f\n", "one run per source",
-		per.Stats.NumSupersteps(), per.Stats.TotalMessages, bsp.DefaultModel.TimeProcessor(per.Stats))
+		per.Stats.NumSupersteps(), per.Stats.TotalMessages, per.Stats.MeasuredTPP())
 	fmt.Fprintf(&out, "%-22s %12d %14d %14.0f\n", "shared supersteps",
-		shared.Stats.NumSupersteps(), shared.Stats.TotalMessages, bsp.DefaultModel.TimeProcessor(shared.Stats))
+		shared.Stats.NumSupersteps(), shared.Stats.TotalMessages, shared.Stats.MeasuredTPP())
 	fmt.Fprintf(&out, "identical centralities; sharing trades K-fold vertex state for Σδ -> maxδ latency\n")
 	return out.String(), nil
 }

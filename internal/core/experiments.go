@@ -18,7 +18,7 @@ func measurement(sc Scale, m int, stats *bsp.Stats, ops *seq.Ops) bsp.Measuremen
 	return bsp.Measurement{
 		N:       sc.N,
 		M:       m,
-		PT:      bsp.DefaultModel.TimeProcessor(stats),
+		PT:      stats.MeasuredTPP(),
 		SeqOps:  float64(ops.N),
 		VCStats: stats,
 	}

@@ -11,8 +11,6 @@
 package gas
 
 import (
-	"errors"
-	"fmt"
 	"math"
 
 	"vcgraph/internal/bsp"
@@ -55,8 +53,10 @@ type Config struct {
 	Faults *rt.FaultPlan
 }
 
-// ErrIterationCap reports a run exceeding Config.MaxIterations.
-var ErrIterationCap = errors.New("gas: iteration cap reached")
+// ErrIterationCap reports a run exceeding Config.MaxIterations. It
+// aliases bsp.ErrSuperstepCap, the sentinel shared by every engine, so
+// errors.Is works across engines.
+var ErrIterationCap = bsp.ErrSuperstepCap
 
 // Result of a GAS run.
 type Result[V any] struct {
@@ -66,7 +66,10 @@ type Result[V any] struct {
 }
 
 // Run executes prog on g to quiescence. The graph must be directed
-// with in-adjacency built, or undirected (in = out).
+// with in-adjacency built, or undirected (in = out). The iteration
+// lifecycle — dispatch, fault firing, checkpoint cadence, rollback,
+// halting, cost accounting — is owned by the shared runtime.Driver;
+// this package contributes the gather/apply/scatter policy.
 func Run[V, G any](g *graph.Graph, prog Program[V, G], cfg Config) (*Result[V], error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
@@ -82,149 +85,147 @@ func Run[V, G any](g *graph.Graph, prog Program[V, G], cfg Config) (*Result[V], 
 		in = g.Out
 	}
 	n := g.N()
-	cur := make([]V, n)
-	next := make([]V, n)
+	p := &policy[V, G]{
+		g:          g,
+		prog:       prog,
+		cfg:        cfg,
+		in:         in,
+		n:          n,
+		cur:        make([]V, n),
+		next:       make([]V, n),
+		active:     make([]bool, n),
+		nextActive: make([]bool, n),
+		wake:       make([][]VertexID, cfg.Workers),
+	}
 	for v := 0; v < n; v++ {
-		cur[v] = prog.Init(g, VertexID(v))
+		p.cur[v] = prog.Init(g, VertexID(v))
 	}
-	active := make([]bool, n)
-	nextActive := make([]bool, n)
-	for i := range active {
-		active[i] = true
+	for i := range p.active {
+		p.active[i] = true
 	}
-	activeCount := n // O(1) quiescence check instead of an O(n) scan
+	p.activeCount = n // O(1) quiescence check instead of an O(n) scan
+
 	stats := &bsp.Stats{Workers: cfg.Workers, N: n}
+	p.driver = rt.NewDriver[*gasSnapshot[V]](p, stats, rt.DriverConfig{
+		Name:            "gas",
+		Workers:         cfg.Workers,
+		MaxSteps:        cfg.MaxIterations,
+		CapErr:          ErrIterationCap,
+		CheckpointEvery: cfg.CheckpointEvery,
+		Faults:          cfg.Faults,
+	})
+	iters, err := p.driver.Run()
+	return &Result[V]{Values: p.cur, Iterations: iters, Stats: stats}, err
+}
 
-	// Persistent workers, parked on the phase barrier between
-	// iterations; per-worker wake buffers are reused across iterations.
-	pool := rt.NewPool(cfg.Workers)
-	defer pool.Close()
-	wake := make([][]VertexID, cfg.Workers)
+// policy is the GAS engine as a runtime.Policy: double-buffered values,
+// an active set maintained by scatter-side wake buffers, and strided
+// vertex-to-worker assignment.
+type policy[V, G any] struct {
+	g      *graph.Graph
+	prog   Program[V, G]
+	cfg    Config
+	in     [][]graph.Edge
+	n      int
+	driver *rt.Driver[*gasSnapshot[V]]
 
-	inj := cfg.Faults.NewInjector(cfg.Workers)
-	var cks rt.Checkpoints[*gasSnapshot[V]]
-	lostBatch := false
-	finish := func() {
-		c := inj.Counts()
-		stats.Recovery.DroppedLanes = c.DroppedLanes
-		stats.Recovery.DuplicatedLanes = c.DuplicatedLanes
-	}
+	cur, next          []V
+	active, nextActive []bool
+	activeCount        int
+	wake               [][]VertexID // per-worker scatter buffers, reused
+}
 
-	iter := 0
-	for ; ; iter++ {
-		if iter >= cfg.MaxIterations {
-			finish()
-			return &Result[V]{Values: cur, Iterations: iter, Stats: stats},
-				fmt.Errorf("%w (cap %d)", ErrIterationCap, cfg.MaxIterations)
-		}
-		// The iteration barrier doubles as the failure-detection point:
-		// a crashed worker or a scatter batch lost in transit rolls the
-		// engine back to its newest readable snapshot before the
-		// quiescence check (a lost batch can masquerade as quiescence).
-		if _, crashed := inj.CrashAt(iter); crashed || lostBatch {
-			lostBatch = false
-			stats.Recovery.Rollbacks++
-			snap, step, skipped, ok := cks.Recover()
-			stats.Recovery.CorruptedCheckpoints += skipped
-			if ok {
-				cur = rt.CloneValues[V](prog, snap.values)
-				copy(active, snap.active)
-				activeCount = snap.activeCount
-				stats.Recovery.RedoneSupersteps += iter - step
-				iter = step
-			} else {
-				for v := 0; v < n; v++ {
-					cur[v] = prog.Init(g, VertexID(v))
-					active[v] = true
-				}
-				activeCount = n
-				stats.Recovery.RedoneSupersteps += iter
-				iter = 0
+// Quiescent implements runtime.Policy.
+func (p *policy[V, G]) Quiescent(step, pending int) bool { return p.activeCount == 0 }
+
+// Superstep implements runtime.Policy: one gather/apply/scatter
+// iteration over the active set, then the single-threaded wake-buffer
+// merge (where a scatter batch can be lost or redelivered in transit).
+func (p *policy[V, G]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) {
+	prog, g, in, n := p.prog, p.g, p.in, p.n
+	workers := p.cfg.Workers
+	p.driver.Pool().Run(func(w int) {
+		for v := w; v < n; v += workers {
+			p.next[v] = p.cur[v]
+			if !p.active[v] {
+				continue
 			}
-			for i := range nextActive {
-				nextActive[i] = false
-			}
-		}
-		if activeCount == 0 {
-			break
-		}
-		ss := bsp.SuperstepStats{
-			Work: make([]int64, cfg.Workers),
-			Sent: make([]int64, cfg.Workers),
-			Recv: make([]int64, cfg.Workers),
-		}
-		pool.Run(func(w int) {
-			for v := w; v < n; v += cfg.Workers {
-				next[v] = cur[v]
-				if !active[v] {
-					continue
-				}
-				total := prog.Zero()
-				for _, e := range in[v] {
-					ss.Work[w]++
-					total = prog.Sum(total, prog.Gather(e, cur[e.Dst]))
-				}
-				if prog.Apply(&next[v], total) {
-					// Scatter: wake out-neighbors (buffered per
-					// worker; merged after the barrier).
-					for _, e := range g.Out[v] {
-						ss.Sent[w]++
-						wake[w] = append(wake[w], e.Dst)
-					}
-				}
+			total := prog.Zero()
+			for _, e := range in[v] {
 				ss.Work[w]++
+				total = prog.Sum(total, prog.Gather(e, p.cur[e.Dst]))
 			}
-		})
-		activeCount = 0
-		for w := 0; w < cfg.Workers; w++ {
-			passes := 1
-			switch inj.LaneFault(iter, w, 0) {
-			case rt.FaultDropLane:
-				// The worker's scatter batch is lost in transit; the
-				// activations are unrecoverable, so force a rollback at
-				// the next barrier.
-				passes = 0
-				lostBatch = true
-			case rt.FaultDupLane:
-				// A redelivered batch is absorbed: activation is a set
-				// union, so merging it twice is a no-op.
-				passes = 2
-			}
-			for p := 0; p < passes; p++ {
-				for _, v := range wake[w] {
-					if !nextActive[v] {
-						nextActive[v] = true
-						activeCount++
-					}
+			if prog.Apply(&p.next[v], total) {
+				// Scatter: wake out-neighbors (buffered per
+				// worker; merged after the barrier).
+				for _, e := range g.Out[v] {
+					ss.Sent[w]++
+					p.wake[w] = append(p.wake[w], e.Dst)
 				}
 			}
-			wake[w] = wake[w][:0]
+			ss.Work[w]++
+			ss.Active[w]++
 		}
-		cur, next = next, cur
-		active, nextActive = nextActive, active
-		for i := range nextActive {
-			nextActive[i] = false
+	})
+	inj := p.driver.Injector()
+	p.activeCount = 0
+	for w := 0; w < workers; w++ {
+		passes := 1
+		switch inj.LaneFault(step, w, 0) {
+		case rt.FaultDropLane:
+			// The worker's scatter batch is lost in transit; the
+			// activations are unrecoverable, so force a rollback at
+			// the next barrier.
+			passes = 0
+			p.driver.LoseBatch()
+		case rt.FaultDupLane:
+			// A redelivered batch is absorbed: activation is a set
+			// union, so merging it twice is a no-op.
+			passes = 2
 		}
-		for w := 0; w < cfg.Workers; w++ {
-			stats.TotalWork += ss.Work[w]
-			stats.TotalMessages += ss.Sent[w]
+		for pass := 0; pass < passes; pass++ {
+			for _, v := range p.wake[w] {
+				if !p.nextActive[v] {
+					p.nextActive[v] = true
+					p.activeCount++
+				}
+			}
 		}
-		stats.Supersteps = append(stats.Supersteps, ss)
-		if k := cfg.CheckpointEvery; k > 0 && !lostBatch && (iter+1)%k == 0 {
-			// A scheduled FaultCorruptCheckpoint damages this snapshot
-			// silently; the store discovers it at recovery time. When a
-			// batch was just dropped the barrier state is incomplete,
-			// so no snapshot is taken.
-			cks.Save(iter+1, &gasSnapshot[V]{
-				values:      rt.CloneValues[V](prog, cur),
-				active:      append([]bool(nil), active...),
-				activeCount: activeCount,
-			}, inj.CorruptSave(iter+1))
-			stats.Recovery.CheckpointsSaved++
-		}
+		p.wake[w] = p.wake[w][:0]
 	}
-	finish()
-	return &Result[V]{Values: cur, Iterations: iter, Stats: stats}, nil
+	p.cur, p.next = p.next, p.cur
+	p.active, p.nextActive = p.nextActive, p.active
+	for i := range p.nextActive {
+		p.nextActive[i] = false
+	}
+	return p.activeCount, nil
+}
+
+// Snapshot implements runtime.Policy.
+func (p *policy[V, G]) Snapshot() *gasSnapshot[V] {
+	return &gasSnapshot[V]{
+		values:      rt.CloneValues[V](p.prog, p.cur),
+		active:      append([]bool(nil), p.active...),
+		activeCount: p.activeCount,
+	}
+}
+
+// Restore implements runtime.Policy.
+func (p *policy[V, G]) Restore(snap *gasSnapshot[V], step int, ok bool) {
+	if ok {
+		p.cur = rt.CloneValues[V](p.prog, snap.values)
+		copy(p.active, snap.active)
+		p.activeCount = snap.activeCount
+	} else {
+		for v := 0; v < p.n; v++ {
+			p.cur[v] = p.prog.Init(p.g, VertexID(v))
+			p.active[v] = true
+		}
+		p.activeCount = p.n
+	}
+	for i := range p.nextActive {
+		p.nextActive[i] = false
+	}
 }
 
 // gasSnapshot is one checkpoint generation of a GAS run: the barrier

@@ -37,36 +37,33 @@ type Snapshotter interface {
 }
 
 type checkpoint[V, M any] struct {
-	nextSuperstep int
-	pending       int
-	values        []V
-	halted        []bool
-	inbox         [][]M
-	rawRecv       []int64
-	adj           [][]graph.Edge
-	globals       map[string]any
-	aggCurrent    map[string]any
-	masterState   any
+	values      []V
+	halted      []bool
+	inbox       [][]M
+	rawRecv     []int64
+	adj         [][]graph.Edge
+	globals     map[string]any
+	aggCurrent  map[string]any
+	masterState any
 }
 
 func (e *Engine[V, M]) cloneValues(src []V) []V {
 	return rt.CloneValues(e.prog, src)
 }
 
-// saveCheckpoint snapshots the state reachable at the current barrier;
-// nextSuperstep is the superstep that would execute next.
-func (e *Engine[V, M]) saveCheckpoint(nextSuperstep, pending int) {
+// Snapshot implements runtime.Policy: it deep-copies the state
+// reachable at the current barrier. The driver owns the checkpoint
+// store, the save cadence, and the corruption injection.
+func (e *Engine[V, M]) Snapshot() *checkpoint[V, M] {
 	n := e.g.N()
 	ck := &checkpoint[V, M]{
-		nextSuperstep: nextSuperstep,
-		pending:       pending,
-		values:        e.cloneValues(e.values),
-		halted:        append([]bool(nil), e.halted...),
-		inbox:         make([][]M, n),
-		rawRecv:       make([]int64, n),
-		adj:           make([][]graph.Edge, len(e.adj)),
-		globals:       make(map[string]any, len(e.globals)),
-		aggCurrent:    make(map[string]any, len(e.aggCurrent)),
+		values:     e.cloneValues(e.values),
+		halted:     append([]bool(nil), e.halted...),
+		inbox:      make([][]M, n),
+		rawRecv:    make([]int64, n),
+		adj:        make([][]graph.Edge, len(e.adj)),
+		globals:    make(map[string]any, len(e.globals)),
+		aggCurrent: make(map[string]any, len(e.aggCurrent)),
 	}
 	for v := 0; v < n; v++ {
 		ck.inbox[v] = append([]M(nil), e.mbox.Inbox(VertexID(v))...)
@@ -84,19 +81,14 @@ func (e *Engine[V, M]) saveCheckpoint(nextSuperstep, pending int) {
 	if s, ok := e.prog.(Snapshotter); ok {
 		ck.masterState = s.Snapshot()
 	}
-	// A scheduled FaultCorruptCheckpoint event damages this snapshot
-	// silently: the store only discovers it when a recovery reads it.
-	e.cks.Save(nextSuperstep, ck, e.inj.CorruptSave(nextSuperstep))
-	e.stats.Recovery.CheckpointsSaved++
+	return ck
 }
 
-// recover rolls the engine back to the newest readable checkpoint (or
-// to a fresh start when none exists) and returns the superstep and
-// pending count to resume from.
-func (e *Engine[V, M]) recoverFromCheckpoint() (nextSuperstep, pending int) {
+// Restore implements runtime.Policy: it rolls the engine back to a
+// checkpoint read by the driver's store (ok), or to a fresh start when
+// no readable checkpoint exists (!ok).
+func (e *Engine[V, M]) Restore(ck *checkpoint[V, M], step int, ok bool) {
 	e.recoveries++
-	ck, _, skipped, ok := e.cks.Recover()
-	e.stats.Recovery.CorruptedCheckpoints += skipped
 	if !ok {
 		// No checkpoint yet: restart from scratch.
 		for v := 0; v < e.g.N(); v++ {
@@ -109,11 +101,11 @@ func (e *Engine[V, M]) recoverFromCheckpoint() (nextSuperstep, pending int) {
 			e.aggCurrent[name] = a.Zero()
 		}
 		e.globals = make(map[string]any)
-		if s, ok := e.prog.(Snapshotter); ok {
+		if s, hasState := e.prog.(Snapshotter); hasState {
 			s.Restore(nil)
 		}
 		e.rebuildWorklists()
-		return 0, 0
+		return
 	}
 	e.values = e.cloneValues(ck.values)
 	copy(e.halted, ck.halted)
@@ -130,11 +122,10 @@ func (e *Engine[V, M]) recoverFromCheckpoint() (nextSuperstep, pending int) {
 	for k, v := range ck.aggCurrent {
 		e.aggCurrent[k] = v
 	}
-	if s, ok := e.prog.(Snapshotter); ok {
+	if s, hasState := e.prog.(Snapshotter); hasState {
 		s.Restore(ck.masterState)
 	}
 	e.rebuildWorklists()
-	return ck.nextSuperstep, ck.pending
 }
 
 // rebuildWorklists reconstructs the active-vertex worklists from the

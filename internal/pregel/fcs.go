@@ -48,37 +48,35 @@ func (fc *FinishContext[V, M]) Value(v VertexID) *V { return &fc.engine.values[v
 // OutEdges returns v's current (possibly mutated) adjacency.
 func (fc *FinishContext[V, M]) OutEdges(v VertexID) []graph.Edge { return fc.engine.adj[v] }
 
-// maybeFinishSerially checks the FCS trigger after a superstep; it
-// returns true when the serial finisher ran (the computation is done).
-func (e *Engine[V, M]) maybeFinishSerially(pending int) bool {
+// FinishSerially implements runtime.SerialFinishPolicy: it checks the
+// FCS trigger after a superstep and, when the frontier is narrow
+// enough, hands the remaining computation to the program's serial
+// finisher. The driver records the returned work as one final,
+// single-worker superstep.
+func (e *Engine[V, M]) FinishSerially(pending int) (work, active int64, done bool) {
 	threshold := e.cfg.FCSThreshold
 	finisher, ok := e.prog.(SerialFinisher[V, M])
 	if threshold <= 0 || !ok {
-		return false
+		return 0, 0, false
 	}
 	// The worklist holds exactly the vertices that would run next
 	// superstep (active or holding mail), so the trigger check is a
 	// counter read instead of an O(n) halt-flag scan.
 	count := e.wl.Pending()
 	if count == 0 || count > threshold {
-		return false // regular termination / frontier still too wide
+		return 0, 0, false // regular termination / frontier still too wide
 	}
-	active := make([]VertexID, 0, count)
+	frontier := make([]VertexID, 0, count)
 	for w := 0; w < e.cfg.Workers; w++ {
-		active = append(active, e.wl.Next(w)...)
+		frontier = append(frontier, e.wl.Next(w)...)
 	}
-	slices.Sort(active)
-	fc := &FinishContext[V, M]{engine: e, active: active}
-	work := finisher.FinishSerially(fc)
-	// One final, single-worker superstep carrying the serial work.
-	ss := newSuperstepStats(e.cfg.Workers)
-	ss.Work[0] = work
-	e.stats.Supersteps = append(e.stats.Supersteps, ss)
-	e.stats.TotalWork += work
+	slices.Sort(frontier)
+	fc := &FinishContext[V, M]{engine: e, active: frontier}
+	work = finisher.FinishSerially(fc)
 	for v := 0; v < e.g.N(); v++ {
 		e.mbox.ResetVertex(VertexID(v))
 		e.halted[v] = true
 	}
 	e.wl.Clear()
-	return true
+	return work, int64(len(frontier)), true
 }

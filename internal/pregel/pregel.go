@@ -15,8 +15,6 @@
 package pregel
 
 import (
-	"errors"
-	"fmt"
 	"math/rand"
 	"slices"
 
@@ -99,7 +97,9 @@ type Config[M any] struct {
 }
 
 // ErrSuperstepCap reports that the run exceeded Config.MaxSupersteps.
-var ErrSuperstepCap = errors.New("pregel: superstep cap reached")
+// It aliases bsp.ErrSuperstepCap, the sentinel shared by every engine,
+// so errors.Is works across engines.
+var ErrSuperstepCap = bsp.ErrSuperstepCap
 
 // Result is the outcome of a run.
 type Result[V any] struct {
@@ -137,9 +137,9 @@ type Engine[V, M any] struct {
 	ownerOf []int32      // vertex -> worker
 	verts   [][]VertexID // worker -> owned vertices
 
-	mbox *rt.Mailbox[M] // sharded outbox lanes + per-vertex inboxes
-	wl   *rt.Worklists  // vertices to compute next superstep
-	pool *rt.Pool       // persistent workers, live for one Run
+	mbox   *rt.Mailbox[M]                   // sharded outbox lanes + per-vertex inboxes
+	wl     *rt.Worklists                    // vertices to compute next superstep
+	driver *rt.Driver[*checkpoint[V, M]]    // shared superstep kernel, live for one Run
 
 	// Per-superstep scratch, allocated once per engine.
 	ctxs      []Context[V, M]
@@ -161,11 +161,8 @@ type Engine[V, M any] struct {
 	masterHalt  bool
 	activateAll bool
 
-	cks        rt.Checkpoints[*checkpoint[V, M]]
-	inj        *rt.Injector
-	lostBatch  bool   // a delivery dropped a lane; roll back at the next barrier
 	dropScratch []bool // per-worker drop flags filled during delivery
-	recoveries int
+	recoveries  int
 }
 
 // NewEngine builds an engine for prog over g. The graph's adjacency is
@@ -249,6 +246,9 @@ func (e *Engine[V, M]) owner(v VertexID) int { return int(e.ownerOf[v]) }
 // Run executes the program to termination: when every vertex has voted
 // to halt and no messages are in flight, or when the master halts. It
 // returns ErrSuperstepCap (with the partial Result) if the cap is hit.
+// The superstep lifecycle — dispatch, fault firing, checkpoint cadence,
+// rollback, halting, cost accounting — is owned by the shared
+// runtime.Driver; the engine contributes the pregel policy below.
 func (e *Engine[V, M]) Run() (*Result[V], error) {
 	n := e.g.N()
 	for v := 0; v < n; v++ {
@@ -258,107 +258,67 @@ func (e *Engine[V, M]) Run() (*Result[V], error) {
 	for name, a := range e.aggs {
 		e.aggCurrent[name] = a.Zero()
 	}
-
-	// The worker pool lives for the whole run: goroutines start once
-	// here and park on the phase barrier between supersteps.
-	e.pool = rt.NewPool(e.cfg.Workers)
-	defer func() { e.pool.Close(); e.pool = nil }()
-
-	e.inj = e.cfg.Faults.NewInjector(e.cfg.Workers)
 	e.dropScratch = make([]bool, e.cfg.Workers)
 
 	// Every vertex computes at superstep 0.
 	e.wl.FillAll(e.verts)
 
-	master, hasMaster := e.prog.(Master)
-	pending := 0 // messages waiting in inboxes
-	capErr := false
-
-	for e.superstep = 0; ; e.superstep++ {
-		if e.superstep >= e.cfg.MaxSupersteps {
-			capErr = true
-			break
-		}
-		if _, crashed := e.inj.CrashAt(e.superstep); crashed || e.lostBatch {
-			// Machine failure (or a message batch lost in the previous
-			// delivery): discard live state, roll back to the last
-			// readable checkpoint (or a fresh start) and resume.
-			e.lostBatch = false
-			resumed, p := e.recoverFromCheckpoint()
-			e.stats.Recovery.Rollbacks++
-			e.stats.Recovery.RedoneSupersteps += e.superstep - resumed
-			e.superstep, pending = resumed, p
-		}
-		e.activateAll = false
-		if hasMaster {
-			mc := &MasterContext{engine: anyEngine{setGlobal: e.setGlobal, agg: e.aggValue, activate: func() { e.activateAll = true }, halt: func() { e.masterHalt = true }}, superstep: e.superstep, pending: pending}
-			master.BeforeSuperstep(mc)
-			if e.masterHalt {
-				break
-			}
-		}
-		if e.activateAll {
-			for v := range e.halted {
-				e.halted[v] = false
-			}
-			e.wl.FillAll(e.verts)
-		}
-		// A vertex computes if it is active or has mail; the worklist
-		// holds exactly those vertices, so the old O(n) halt-flag scan
-		// is an O(P) counter read.
-		if e.wl.Pending() == 0 {
-			break
-		}
-		pending = e.runSuperstep()
-		if e.lostBatch {
-			// A lane batch was lost in this superstep's delivery: the
-			// barrier state is incomplete, so it must be neither
-			// checkpointed nor finished serially. Roll back at the top
-			// of the next iteration instead.
-			continue
-		}
-		if k := e.cfg.CheckpointEvery; k > 0 && (e.superstep+1)%k == 0 {
-			e.saveCheckpoint(e.superstep+1, pending)
-		}
-		if e.maybeFinishSerially(pending) {
-			e.superstep++ // count the serial step
-			break
-		}
-	}
-
-	if e.inj != nil {
-		c := e.inj.Counts()
-		e.stats.Recovery.DroppedLanes = c.DroppedLanes
-		e.stats.Recovery.DuplicatedLanes = c.DuplicatedLanes
-	}
-	res := &Result[V]{
+	e.driver = rt.NewDriver[*checkpoint[V, M]](e, e.stats, rt.DriverConfig{
+		Name:            "pregel",
+		Workers:         e.cfg.Workers,
+		MaxSteps:        e.cfg.MaxSupersteps,
+		CapErr:          ErrSuperstepCap,
+		CheckpointEvery: e.cfg.CheckpointEvery,
+		Faults:          e.cfg.Faults,
+	})
+	steps, err := e.driver.Run()
+	e.driver = nil
+	e.superstep = steps
+	return &Result[V]{
 		Values:     e.values,
 		Stats:      e.stats,
 		Aggregates: e.aggCurrent,
-		Supersteps: e.superstep,
-	}
-	if capErr {
-		return res, fmt.Errorf("%w (cap %d)", ErrSuperstepCap, e.cfg.MaxSupersteps)
-	}
-	return res, nil
+		Supersteps: steps,
+	}, err
 }
 
-// runSuperstep executes one superstep and returns the number of raw
-// messages delivered for the next superstep.
-func newSuperstepStats(workers int) bsp.SuperstepStats {
-	return bsp.SuperstepStats{
-		Work: make([]int64, workers),
-		Sent: make([]int64, workers),
-		Recv: make([]int64, workers),
+// BeforeSuperstep implements runtime.MasterPolicy: the single-threaded
+// master-compute hook, which can publish globals, re-activate every
+// vertex, or halt the run.
+func (e *Engine[V, M]) BeforeSuperstep(step, pending int) (halt bool) {
+	e.superstep = step
+	e.activateAll = false
+	if master, hasMaster := e.prog.(Master); hasMaster {
+		mc := &MasterContext{engine: anyEngine{setGlobal: e.setGlobal, agg: e.aggValue, activate: func() { e.activateAll = true }, halt: func() { e.masterHalt = true }}, superstep: step, pending: pending}
+		master.BeforeSuperstep(mc)
+		if e.masterHalt {
+			return true
+		}
 	}
+	if e.activateAll {
+		for v := range e.halted {
+			e.halted[v] = false
+		}
+		e.wl.FillAll(e.verts)
+	}
+	return false
 }
 
-func (e *Engine[V, M]) runSuperstep() int {
+// Quiescent implements runtime.Policy: a vertex computes if it is
+// active or has mail; the worklist holds exactly those vertices, so the
+// check is an O(P) counter read instead of an O(n) halt-flag scan.
+func (e *Engine[V, M]) Quiescent(step, pending int) bool { return e.wl.Pending() == 0 }
+
+// Superstep implements runtime.Policy: one compute + delivery round,
+// returning the number of raw messages delivered for the next
+// superstep.
+func (e *Engine[V, M]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) {
+	e.superstep = step
 	p := e.cfg.Workers
-	ss := newSuperstepStats(p)
 	for w := range e.workerMax {
 		e.workerMax[w] = maxima{}
 	}
+	inj := e.driver.Injector()
 
 	// Compute phase: each pool worker drains its worklist shard —
 	// only vertices that are active or have mail, in ascending vertex
@@ -366,7 +326,7 @@ func (e *Engine[V, M]) runSuperstep() int {
 	// to the pre-worklist engine).
 	e.mbox.Advance() // invalidate last superstep's sender-combining slots
 	e.wl.Flip()
-	e.pool.Run(func(w int) {
+	e.driver.Pool().Run(func(w int) {
 		e.wl.SortCur(w, e.verts[w])
 		ctx := &e.ctxs[w]
 		for _, vid := range e.wl.Cur(w) {
@@ -374,7 +334,7 @@ func (e *Engine[V, M]) runSuperstep() int {
 			e.wl.Unmark(vid)
 			msgs := e.mbox.Inbox(vid)
 			raw := e.mbox.RawCount(vid)
-			if e.halted[v] && raw == 0 && e.superstep > 0 {
+			if e.halted[v] && raw == 0 && step > 0 {
 				continue
 			}
 			if raw > 0 {
@@ -408,6 +368,7 @@ func (e *Engine[V, M]) runSuperstep() int {
 			work := 1 + raw + ctx.sent + ctx.charge
 			ss.Work[w] += work
 			ss.Sent[w] += ctx.sent
+			ss.Active[w]++
 			d := float64(e.deg[v] + 1)
 			mm := &e.workerMax[w]
 			if r := float64(work) / d; r > mm.compute {
@@ -432,13 +393,13 @@ func (e *Engine[V, M]) runSuperstep() int {
 	// it and queues vertices receiving their first message. Under
 	// fault injection a lane batch may be dropped (forcing a rollback
 	// at the next barrier) or redelivered (detected and discarded).
-	e.pool.Run(func(w int) {
-		e.delivered[w], e.placed[w], e.dropScratch[w] = e.mbox.DeliverFaulty(w, e.superstep, e.inj, e.onMail[w])
+	e.driver.Pool().Run(func(w int) {
+		e.delivered[w], e.placed[w], e.dropScratch[w] = e.mbox.DeliverFaulty(w, step, inj, e.onMail[w])
 	})
 	for w := 0; w < p; w++ {
 		if e.dropScratch[w] {
 			e.dropScratch[w] = false
-			e.lostBatch = true
+			e.driver.LoseBatch()
 		}
 	}
 
@@ -472,11 +433,8 @@ func (e *Engine[V, M]) runSuperstep() int {
 		if m.recv > e.stats.MaxRecvPerDeg {
 			e.stats.MaxRecvPerDeg = m.recv
 		}
-		e.stats.TotalWork += ss.Work[w]
-		e.stats.TotalMessages += ss.Sent[w]
 	}
-	e.stats.Supersteps = append(e.stats.Supersteps, ss)
-	return int(pending)
+	return int(pending), nil
 }
 
 func (e *Engine[V, M]) setGlobal(name string, v any) { e.globals[name] = v }

@@ -1,0 +1,290 @@
+package runtime
+
+import (
+	"fmt"
+
+	"vcgraph/internal/bsp"
+)
+
+// Driver is the shared superstep kernel under all four engines. It owns
+// the full per-barrier lifecycle — worker-pool dispatch, fault-plan
+// firing (crashes at barriers, lost message batches), checkpoint cadence
+// and rollback, cap and halting — and the measured cost accounting: one
+// instrumented path computes each superstep's w (max local work over
+// workers), h (max messages sent/received per partition), and
+// max(w, g·h, L) into bsp.SuperstepStats, so every engine reports the
+// time-processor product identically.
+//
+// An engine is a Policy: it fills the per-worker Work/Sent/Recv/Active
+// slices while a superstep runs and defines what quiescence, a
+// snapshot, and a restore mean for its model. Optional extensions
+// (MasterPolicy, SerialFinishPolicy, BarrierFaultPolicy, EarlyStopper,
+// RollbackWeigher) are discovered by type assertion.
+type Policy[S any] interface {
+	// Quiescent reports whether the computation has converged at the
+	// barrier entering step, after fault detection and rollback.
+	// pending is the superstep's in-flight message count as returned by
+	// the previous Superstep (or restored from a checkpoint).
+	Quiescent(step, pending int) bool
+	// Superstep executes one superstep's phases, charging per-worker
+	// load into ss, and returns the number of messages pending for the
+	// next superstep. A policy whose delivery loses a message batch in
+	// transit must call Driver.LoseBatch; a policy that enforces its
+	// own cap returns a non-nil error, which aborts the run verbatim.
+	Superstep(step int, ss *bsp.SuperstepStats) (pending int, err error)
+	// Snapshot deep-copies the barrier state for a checkpoint.
+	Snapshot() S
+	// Restore reloads a snapshot taken at barrier step (ok), or
+	// reinitializes the computation from scratch (!ok, step 0).
+	Restore(snap S, step int, ok bool)
+}
+
+// MasterPolicy is an optional Policy extension: BeforeSuperstep runs
+// single-threaded before each superstep, after fault detection but
+// before the quiescence check (pregel's master compute). Returning
+// halt=true terminates the run at this barrier.
+type MasterPolicy interface {
+	BeforeSuperstep(step, pending int) (halt bool)
+}
+
+// SerialFinishPolicy is an optional Policy extension for "finishing
+// computations serially": after a clean superstep the driver offers the
+// policy the chance to complete the run in one sequential step.
+// Returning done=true ends the run; the driver records one final
+// superstep charging work (and active units) to worker 0.
+type SerialFinishPolicy interface {
+	FinishSerially(pending int) (work, active int64, done bool)
+}
+
+// BarrierFaultPolicy is an optional Policy extension for engines whose
+// message-lane faults fire at the barrier itself rather than inside a
+// delivery phase (the async engine's epoch boundaries): BarrierFaults
+// runs before crash detection and reports whether a batch was lost.
+type BarrierFaultPolicy interface {
+	BarrierFaults(inj *Injector, step int) (lost bool)
+}
+
+// EarlyStopper is an optional Policy extension checked at the top of
+// each barrier, before fault detection: a policy whose previous
+// superstep ended mid-stride (the async engine draining its worklist
+// partway through an epoch) returns true to end the run without
+// another barrier's fault/checkpoint processing.
+type EarlyStopper interface {
+	Stopped() bool
+}
+
+// RollbackWeigher is an optional Policy extension that converts redone
+// barriers into the engine's work unit for Recovery.RedoneSupersteps
+// (the async engine counts redone updates, not epochs). Without it the
+// driver charges failed - resumed.
+type RollbackWeigher interface {
+	RedoneUnits(resumed, failed int) int
+}
+
+// DriverConfig parameterizes a Driver run.
+type DriverConfig struct {
+	// Name prefixes the cap error ("pregel: superstep cap reached ...").
+	Name string
+	// Workers sizes the pool and the per-superstep stat slices.
+	Workers int
+	// MaxSteps caps the run; exceeding it returns CapErr wrapped.
+	MaxSteps int
+	// CapErr is the engine's sentinel (normally bsp.ErrSuperstepCap).
+	CapErr error
+	// CheckpointEvery > 0 snapshots the barrier state every k steps.
+	CheckpointEvery int
+	// Faults schedules deterministic fault injection (nil = none).
+	Faults *FaultPlan
+	// EpochSaves selects the async engine's checkpoint ordering: the
+	// snapshot is taken at the top of every barrier, after fault
+	// detection — instead of at the end of every k-th superstep, before
+	// the next barrier's fault check.
+	EpochSaves bool
+	// Model prices each superstep; zero value means bsp.DefaultModel.
+	Model bsp.CostModel
+}
+
+// Driver runs a Policy to termination. One Driver serves one Run.
+type Driver[S any] struct {
+	cfg   DriverConfig
+	pol   Policy[S]
+	stats *bsp.Stats
+	model bsp.CostModel
+
+	pool *Pool
+	inj  *Injector
+	cks  Checkpoints[ckFrame[S]]
+	lost bool
+	step int
+	// scratch holds the superstep being measured; a field rather than a
+	// local so passing its address through the Policy interface does not
+	// heap-allocate a struct per superstep.
+	scratch bsp.SuperstepStats
+}
+
+// ckFrame pairs a policy snapshot with the driver-owned pending count,
+// so engine snapshot types carry only engine state.
+type ckFrame[S any] struct {
+	snap    S
+	pending int
+}
+
+// NewDriver builds a driver for pol, charging instrumentation into
+// stats.
+func NewDriver[S any](pol Policy[S], stats *bsp.Stats, cfg DriverConfig) *Driver[S] {
+	model := cfg.Model
+	if model == (bsp.CostModel{}) {
+		model = bsp.DefaultModel
+	}
+	return &Driver[S]{cfg: cfg, pol: pol, stats: stats, model: model}
+}
+
+// Pool returns the run's worker pool (valid during Run).
+func (d *Driver[S]) Pool() *Pool { return d.pool }
+
+// Injector returns the run's fault injector (nil without faults; all
+// Injector methods are nil-safe).
+func (d *Driver[S]) Injector() *Injector { return d.inj }
+
+// LoseBatch marks the running superstep's barrier state incomplete: a
+// message batch was dropped in transit. The driver skips the
+// checkpoint and serial finish for this step and rolls back at the next
+// barrier. Call it only from single-threaded policy code (between pool
+// phases), not from pool workers.
+func (d *Driver[S]) LoseBatch() { d.lost = true }
+
+// Run executes the policy to termination: quiescence, a master halt, a
+// serial finish, the step cap, or a policy error. It returns the number
+// of steps executed (the barrier index at which the run stopped).
+func (d *Driver[S]) Run() (steps int, err error) {
+	d.pool = NewPool(d.cfg.Workers)
+	defer func() { d.pool.Close(); d.pool = nil }()
+	d.inj = d.cfg.Faults.NewInjector(d.cfg.Workers)
+
+	master, hasMaster := d.pol.(MasterPolicy)
+	finisher, hasFinisher := d.pol.(SerialFinishPolicy)
+	barrier, hasBarrier := d.pol.(BarrierFaultPolicy)
+	stopper, hasStopper := d.pol.(EarlyStopper)
+
+	pending := 0
+	capHit := false
+	var polErr error
+	for d.step = 0; ; d.step++ {
+		if d.step >= d.cfg.MaxSteps {
+			capHit = true
+			break
+		}
+		if hasStopper && stopper.Stopped() {
+			break
+		}
+		// The barrier doubles as the failure-detection point: a crashed
+		// worker or a batch lost in the previous delivery rolls the run
+		// back to its newest readable checkpoint before the quiescence
+		// check (a lost batch can masquerade as quiescence).
+		if hasBarrier && barrier.BarrierFaults(d.inj, d.step) {
+			d.lost = true
+		}
+		if _, crashed := d.inj.CrashAt(d.step); crashed || d.lost {
+			d.lost = false
+			d.step, pending = d.rollback()
+		}
+		if d.cfg.EpochSaves && d.cfg.CheckpointEvery > 0 && d.step > 0 {
+			d.save(d.step, pending)
+		}
+		if hasMaster && master.BeforeSuperstep(d.step, pending) {
+			break
+		}
+		if d.pol.Quiescent(d.step, pending) {
+			break
+		}
+		pending, polErr = d.runSuperstep()
+		if polErr != nil {
+			break
+		}
+		if d.lost {
+			// The barrier state is incomplete: neither checkpointed nor
+			// finished serially. Roll back at the top of the next step.
+			continue
+		}
+		if k := d.cfg.CheckpointEvery; !d.cfg.EpochSaves && k > 0 && (d.step+1)%k == 0 {
+			d.save(d.step+1, pending)
+		}
+		if hasFinisher {
+			if work, active, done := finisher.FinishSerially(pending); done {
+				d.recordSerialStep(work, active)
+				d.step++ // count the serial step
+				break
+			}
+		}
+	}
+
+	if d.inj != nil {
+		c := d.inj.Counts()
+		d.stats.Recovery.DroppedLanes = c.DroppedLanes
+		d.stats.Recovery.DuplicatedLanes = c.DuplicatedLanes
+	}
+	if polErr != nil {
+		return d.step, polErr
+	}
+	if capHit {
+		return d.step, fmt.Errorf("%s: %w (cap %d)", d.cfg.Name, d.cfg.CapErr, d.cfg.MaxSteps)
+	}
+	return d.step, nil
+}
+
+// runSuperstep executes one superstep through the policy and finalizes
+// the measured accounting at the barrier: w, h, and max(w, g·h, L) per
+// superstep, plus the run totals.
+func (d *Driver[S]) runSuperstep() (int, error) {
+	d.scratch = bsp.NewSuperstepStats(d.cfg.Workers)
+	pending, err := d.pol.Superstep(d.step, &d.scratch)
+	d.record(d.scratch)
+	return pending, err
+}
+
+// recordSerialStep appends the one single-worker superstep a serial
+// finish is charged as.
+func (d *Driver[S]) recordSerialStep(work, active int64) {
+	ss := bsp.NewSuperstepStats(d.cfg.Workers)
+	ss.Work[0] = work
+	ss.Active[0] = active
+	d.record(ss)
+}
+
+func (d *Driver[S]) record(ss bsp.SuperstepStats) {
+	ss.MaxWork = ss.W()
+	ss.MaxComm = ss.H()
+	ss.Cost = d.model.SuperstepTime(ss)
+	for w := range ss.Work {
+		d.stats.TotalWork += ss.Work[w]
+		d.stats.TotalMessages += ss.Sent[w]
+	}
+	d.stats.MeasuredTime += ss.Cost
+	d.stats.Supersteps = append(d.stats.Supersteps, ss)
+}
+
+// save checkpoints the barrier state entering step. A scheduled
+// FaultCorruptCheckpoint damages the snapshot silently; the store only
+// discovers it when a recovery reads the generation back.
+func (d *Driver[S]) save(step, pending int) {
+	d.cks.Save(step, ckFrame[S]{snap: d.pol.Snapshot(), pending: pending}, d.inj.CorruptSave(step))
+	d.stats.Recovery.CheckpointsSaved++
+}
+
+// rollback restores the newest readable checkpoint (or a fresh start)
+// and returns the barrier position to resume from.
+func (d *Driver[S]) rollback() (resumed, pending int) {
+	d.stats.Recovery.Rollbacks++
+	frame, step, skipped, ok := d.cks.Recover()
+	d.stats.Recovery.CorruptedCheckpoints += skipped
+	if !ok {
+		step, frame.pending = 0, 0
+	}
+	d.pol.Restore(frame.snap, step, ok)
+	redone := d.step - step
+	if w, isWeigher := d.pol.(RollbackWeigher); isWeigher {
+		redone = w.RedoneUnits(step, d.step)
+	}
+	d.stats.Recovery.RedoneSupersteps += redone
+	return step, frame.pending
+}

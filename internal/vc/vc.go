@@ -93,6 +93,7 @@ func MergeStats(parts ...*bsp.Stats) *bsp.Stats {
 		}
 		out.TotalMessages += p.TotalMessages
 		out.TotalWork += p.TotalWork
+		out.MeasuredTime += p.MeasuredTime
 		out.Recovery.Add(p.Recovery)
 	}
 	return out
