@@ -11,7 +11,7 @@ COVERDIR := /tmp
 endif
 COVERPROFILE ?= $(COVERDIR)/vcgraph-cover.out
 
-.PHONY: all build vet test race cover fuzz-smoke bench table1 ext figures ablations examples clean
+.PHONY: all build vet test race cover fuzz-smoke bench bench-csr table1 ext figures ablations examples clean
 
 all: build vet test
 
@@ -43,9 +43,16 @@ fuzz-smoke:
 	$(GO) test -fuzz='FuzzRandom$$' -fuzztime=10s -run='^$$' ./internal/graph
 	$(GO) test -fuzz='FuzzPreferentialAttachment$$' -fuzztime=10s -run='^$$' ./internal/graph
 	$(GO) test -fuzz='FuzzRandomTree$$' -fuzztime=10s -run='^$$' ./internal/graph
+	$(GO) test -fuzz='FuzzCSRBuild$$' -fuzztime=10s -run='^$$' ./internal/graph
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# CSR benchmark suite: PageRank/SSSP under every engine plus the
+# partitioner balance sweep, with allocation counts. Raw output lands in
+# /tmp; the committed record of before/after numbers is BENCH_csr.json.
+bench-csr:
+	$(GO) test -run='^$$' -bench='^BenchmarkCSR' -benchmem -benchtime=2x -count=1 . | tee /tmp/bench_csr.txt
 
 table1:
 	$(GO) run ./cmd/table1 -details

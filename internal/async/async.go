@@ -96,6 +96,7 @@ type Result[V any] struct {
 // Context exposes the live computation state to Update.
 type Context[V any] struct {
 	g      *graph.Graph
+	csr    *graph.CSR
 	values []V
 	work   int64
 }
@@ -107,8 +108,20 @@ func (c *Context[V]) Graph() *graph.Graph { return c.g }
 // neighbors see the latest state — the asynchronous semantics).
 func (c *Context[V]) Value(v VertexID) *V { return &c.values[v] }
 
-// OutEdges returns v's adjacency.
+// OutEdges returns v's adjacency as []Edge. Hot update loops should
+// prefer the CSR spans (Out/OutWeights), which avoid the 32-byte Edge
+// layout and let a program return the span as its activation list
+// without allocating.
 func (c *Context[V]) OutEdges(v VertexID) []graph.Edge { return c.g.Out[v] }
+
+// Out returns v's out-neighbor span from the CSR snapshot. The slice
+// aliases the snapshot and must not be modified; returning it from
+// Update as the activation list is allocation-free.
+func (c *Context[V]) Out(v VertexID) []VertexID { return c.csr.Out(v) }
+
+// OutWeights returns v's out-edge weight span aligned with Out(v), or
+// nil when the graph is unweighted.
+func (c *Context[V]) OutWeights(v VertexID) []float64 { return c.csr.OutWeights(v) }
 
 // Run executes prog to quiescence under the FIFO scheduler (or the
 // priority scheduler when Config.Prioritized is set and the program
@@ -118,7 +131,7 @@ func Run[V any](g *graph.Graph, prog Program[V], cfg Config) (*Result[V], error)
 	if cfg.MaxUpdates <= 0 {
 		cfg.MaxUpdates = 200 * (n + 64)
 	}
-	ctx := &Context[V]{g: g, values: make([]V, n)}
+	ctx := &Context[V]{g: g, csr: g.CSR(), values: make([]V, n)}
 	for v := 0; v < n; v++ {
 		ctx.values[v] = prog.Init(g, VertexID(v))
 	}
@@ -342,19 +355,23 @@ func (p *ssspProgram) Update(ctx *Context[float64], v VertexID) []VertexID {
 	if v == p.src {
 		d = 0
 	}
-	for _, e := range ctx.OutEdges(v) {
-		if nd := *ctx.Value(e.Dst) + e.W; nd < d {
-			d = nd
+	dsts := ctx.Out(v)
+	if ws := ctx.OutWeights(v); ws == nil {
+		for _, u := range dsts {
+			if nd := *ctx.Value(u) + 1; nd < d {
+				d = nd
+			}
+		}
+	} else {
+		for i, u := range dsts {
+			if nd := *ctx.Value(u) + ws[i]; nd < d {
+				d = nd
+			}
 		}
 	}
 	if d < *ctx.Value(v) {
 		*ctx.Value(v) = d
-		out := ctx.OutEdges(v)
-		next := make([]VertexID, 0, len(out))
-		for _, e := range out {
-			next = append(next, e.Dst)
-		}
-		return next
+		return dsts
 	}
 	return nil
 }
@@ -365,9 +382,18 @@ func (p *ssspProgram) Update(ctx *Context[float64], v VertexID) []VertexID {
 // Dijkstra-style — most vertices update exactly once.
 func (p *ssspProgram) Priority(ctx *Context[float64], v VertexID) float64 {
 	best := *ctx.Value(v)
-	for _, e := range ctx.OutEdges(v) {
-		if cand := *ctx.Value(e.Dst) + e.W; cand < best {
-			best = cand
+	dsts := ctx.Out(v)
+	if ws := ctx.OutWeights(v); ws == nil {
+		for _, u := range dsts {
+			if cand := *ctx.Value(u) + 1; cand < best {
+				best = cand
+			}
+		}
+	} else {
+		for i, u := range dsts {
+			if cand := *ctx.Value(u) + ws[i]; cand < best {
+				best = cand
+			}
 		}
 	}
 	return -best
@@ -391,26 +417,21 @@ type prProgram struct {
 	alpha  float64
 	eps    float64
 	outDeg []float64
-	in     [][]graph.Edge
+	csr    *graph.CSR
 }
 
 func (p *prProgram) Init(g *graph.Graph, id VertexID) float64 { return 1 / float64(p.n) }
 
 func (p *prProgram) Update(ctx *Context[float64], v VertexID) []VertexID {
 	var sum float64
-	for _, e := range p.in[v] {
-		sum += *ctx.Value(e.Dst) / p.outDeg[e.Dst]
+	for _, u := range p.csr.In(v) {
+		sum += *ctx.Value(u) / p.outDeg[u]
 	}
 	nr := (1-p.alpha)/float64(p.n) + p.alpha*sum
 	old := *ctx.Value(v)
 	*ctx.Value(v) = nr
 	if d := nr - old; d > p.eps || d < -p.eps {
-		out := ctx.OutEdges(v)
-		next := make([]VertexID, 0, len(out))
-		for _, e := range out {
-			next = append(next, e.Dst)
-		}
-		return next
+		return ctx.Out(v)
 	}
 	return nil
 }
@@ -420,17 +441,12 @@ func (p *prProgram) Update(ctx *Context[float64], v VertexID) []VertexID {
 // fixpoint as synchronous power iteration but typically in fewer
 // updates (newer information propagates within a single drain).
 func PageRank(g *graph.Graph, alpha, eps float64, cfg Config) ([]float64, *Result[float64], error) {
-	if g.Directed {
-		g.EnsureIn()
-	}
-	in := g.In
-	if !g.Directed {
-		in = g.Out
-	}
-	prog := &prProgram{n: g.N(), alpha: alpha, eps: eps, in: in}
+	csr := g.CSR()
+	csr.EnsureIn() // the Gauss–Seidel sweep pulls over the transpose
+	prog := &prProgram{n: g.N(), alpha: alpha, eps: eps, csr: csr}
 	prog.outDeg = make([]float64, g.N())
 	for v := 0; v < g.N(); v++ {
-		d := len(g.Out[v])
+		d := csr.OutDegree(VertexID(v))
 		if d == 0 {
 			d = 1
 		}
@@ -451,19 +467,15 @@ func (ccProgram) Init(g *graph.Graph, id VertexID) VertexID { return id }
 
 func (ccProgram) Update(ctx *Context[VertexID], v VertexID) []VertexID {
 	min := *ctx.Value(v)
-	for _, e := range ctx.OutEdges(v) {
-		if l := *ctx.Value(e.Dst); l < min {
+	dsts := ctx.Out(v)
+	for _, u := range dsts {
+		if l := *ctx.Value(u); l < min {
 			min = l
 		}
 	}
 	if min < *ctx.Value(v) {
 		*ctx.Value(v) = min
-		out := ctx.OutEdges(v)
-		next := make([]VertexID, 0, len(out))
-		for _, e := range out {
-			next = append(next, e.Dst)
-		}
-		return next
+		return dsts
 	}
 	return nil
 }

@@ -69,6 +69,7 @@ type Result[V any] struct {
 // Engine executes a block Program.
 type Engine[V, M any] struct {
 	g      *graph.Graph
+	csr    *graph.CSR
 	prog   Program[V, M]
 	cfg    Config
 	owner  []int32
@@ -109,23 +110,17 @@ func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config) *Engine
 	}
 	e := &Engine[V, M]{
 		g:      g,
+		csr:    g.CSR(),
 		prog:   prog,
 		cfg:    cfg,
 		owner:  part(g, cfg.Blocks),
-		blocks: make([][]VertexID, cfg.Blocks),
 		values: make([]V, g.N()),
 		halted: make([]bool, cfg.Blocks),
 		inbox:  make([]map[VertexID][]M, cfg.Blocks),
 		outbox: make([][]addr[M], cfg.Blocks),
 		stats:  &bsp.Stats{Workers: cfg.Blocks, N: g.N()},
 	}
-	for v := 0; v < g.N(); v++ {
-		b := e.owner[v]
-		if b < 0 || int(b) >= cfg.Blocks {
-			panic("blockcentric: partitioner assigned vertex out of range")
-		}
-		e.blocks[b] = append(e.blocks[b], VertexID(v))
-	}
+	e.blocks = rt.GroupByOwner("blockcentric", e.owner, cfg.Blocks)
 	for b := range e.inbox {
 		e.inbox[b] = map[VertexID][]M{}
 	}
@@ -302,8 +297,27 @@ func (c *BlockContext[V, M]) Value(v VertexID) *V { return &c.engine.values[v] }
 // Local reports whether v belongs to this block.
 func (c *BlockContext[V, M]) Local(v VertexID) bool { return int(c.engine.owner[v]) == c.block }
 
-// OutEdges returns v's adjacency in the input graph.
+// OutEdges returns v's adjacency in the input graph as []Edge. Block
+// programs' sequential sweeps should prefer the CSR spans below, which
+// avoid the 32-byte Edge layout.
 func (c *BlockContext[V, M]) OutEdges(v VertexID) []graph.Edge { return c.engine.g.Out[v] }
+
+// Out returns v's out-neighbor span from the CSR snapshot. The slice
+// aliases the snapshot and must not be modified.
+func (c *BlockContext[V, M]) Out(v VertexID) []VertexID { return c.engine.csr.Out(v) }
+
+// OutWeights returns v's out-edge weight span aligned with Out(v), or
+// nil when the graph is unweighted.
+func (c *BlockContext[V, M]) OutWeights(v VertexID) []float64 { return c.engine.csr.OutWeights(v) }
+
+// OutDegree returns v's out-degree.
+func (c *BlockContext[V, M]) OutDegree(v VertexID) int { return c.engine.csr.OutDegree(v) }
+
+// ForEachOut calls f for every out-edge of v in adjacency order,
+// without allocating.
+func (c *BlockContext[V, M]) ForEachOut(v VertexID, f func(dst VertexID, w float64)) {
+	c.engine.csr.ForEachOut(v, f)
+}
 
 // SendTo sends m to a (typically remote) vertex for the next superstep.
 func (c *BlockContext[V, M]) SendTo(dst VertexID, m M) {
@@ -351,15 +365,15 @@ func (ccProgram) ComputeBlock(ctx *BlockContext[VertexID, VertexID], msgs map[Ve
 		v := queue[0]
 		queue = queue[1:]
 		label := *ctx.Value(v)
-		for _, e := range ctx.OutEdges(v) {
+		for _, u := range ctx.Out(v) {
 			ctx.Charge(1)
-			if !ctx.Local(e.Dst) {
+			if !ctx.Local(u) {
 				continue
 			}
-			if label < *ctx.Value(e.Dst) {
-				*ctx.Value(e.Dst) = label
-				queue = append(queue, e.Dst)
-				changed[e.Dst] = true
+			if label < *ctx.Value(u) {
+				*ctx.Value(u) = label
+				queue = append(queue, u)
+				changed[u] = true
 			}
 		}
 		if ctx.Superstep() == 0 {
@@ -372,9 +386,9 @@ func (ccProgram) ComputeBlock(ctx *BlockContext[VertexID, VertexID], msgs map[Ve
 	// Push labels over boundary edges for every changed vertex.
 	for v := range changed {
 		label := *ctx.Value(v)
-		for _, e := range ctx.OutEdges(v) {
-			if !ctx.Local(e.Dst) {
-				ctx.SendTo(e.Dst, label)
+		for _, u := range ctx.Out(v) {
+			if !ctx.Local(u) {
+				ctx.SendTo(u, label)
 			}
 		}
 	}
@@ -445,24 +459,36 @@ func (p ssspProgram) ComputeBlock(ctx *BlockContext[float64, float64], msgs map[
 		v := queue[0]
 		queue = queue[1:]
 		d := *ctx.Value(v)
-		for _, e := range ctx.OutEdges(v) {
+		dsts := ctx.Out(v)
+		ws := ctx.OutWeights(v)
+		for i, u := range dsts {
 			ctx.Charge(1)
-			if !ctx.Local(e.Dst) {
+			if !ctx.Local(u) {
 				continue
 			}
-			if nd := d + e.W; nd < *ctx.Value(e.Dst) {
-				*ctx.Value(e.Dst) = nd
-				changed[e.Dst] = true
-				queue = append(queue, e.Dst)
+			w := 1.0
+			if ws != nil {
+				w = ws[i]
+			}
+			if nd := d + w; nd < *ctx.Value(u) {
+				*ctx.Value(u) = nd
+				changed[u] = true
+				queue = append(queue, u)
 			}
 		}
 	}
 	// Offer improved distances over boundary edges.
 	for v := range changed {
 		d := *ctx.Value(v)
-		for _, e := range ctx.OutEdges(v) {
-			if !ctx.Local(e.Dst) {
-				ctx.SendTo(e.Dst, d+e.W)
+		dsts := ctx.Out(v)
+		ws := ctx.OutWeights(v)
+		for i, u := range dsts {
+			if !ctx.Local(u) {
+				w := 1.0
+				if ws != nil {
+					w = ws[i]
+				}
+				ctx.SendTo(u, d+w)
 			}
 		}
 	}
@@ -517,14 +543,14 @@ func (p prProgram) ComputeBlock(ctx *BlockContext[float64, float64], msgs map[Ve
 			*ctx.Value(v) = r
 		}
 		if s < p.k {
-			out := ctx.OutEdges(v)
+			out := ctx.Out(v)
 			if len(out) == 0 {
 				continue // dangling: rank leaks to the teleport term
 			}
 			share := p.alpha * *ctx.Value(v) / float64(len(out))
-			for _, e := range out {
+			for _, u := range out {
 				ctx.Charge(1)
-				ctx.SendTo(e.Dst, share)
+				ctx.SendTo(u, share)
 			}
 		}
 	}

@@ -25,9 +25,11 @@ type VertexID = graph.VertexID
 type Program[V, G any] interface {
 	// Init seeds vertex values; every vertex starts active.
 	Init(g *graph.Graph, id VertexID) V
-	// Gather produces u's contribution to v along edge (u -> v), given
-	// u's value from the previous iteration.
-	Gather(e graph.Edge, uVal V) G
+	// Gather produces u's contribution to v along edge (u -> v) of
+	// weight w, given u's value from the previous iteration. The engine
+	// feeds it straight from CSR transpose spans, so no Edge value is
+	// materialized on the gather path.
+	Gather(u VertexID, w float64, uVal V) G
 	// Zero is the identity of Sum.
 	Zero() G
 	// Sum combines gather contributions (associative, commutative).
@@ -41,6 +43,12 @@ type Program[V, G any] interface {
 type Config struct {
 	Workers       int // default 4
 	MaxIterations int // default 10·(n+64)
+	// Partition assigns vertices to workers; nil means the hash
+	// (round-robin) assignment. Partitioning changes per-worker load
+	// (and hence the measured BSP superstep costs) but never results:
+	// gathers read a double-buffered snapshot, so vertex placement is
+	// invisible to the values.
+	Partition rt.Partitioner
 	// CheckpointEvery, when positive, snapshots the computation state
 	// (values, active set) every k iterations for rollback recovery.
 	CheckpointEvery int
@@ -77,19 +85,19 @@ func Run[V, G any](g *graph.Graph, prog Program[V, G], cfg Config) (*Result[V], 
 	if cfg.MaxIterations <= 0 {
 		cfg.MaxIterations = 10 * (g.N() + 64)
 	}
-	if g.Directed {
-		g.EnsureIn()
-	}
-	in := g.In
-	if !g.Directed {
-		in = g.Out
+	csr := g.CSR()
+	csr.EnsureIn() // pull model gathers over the transpose
+	part := cfg.Partition
+	if part == nil {
+		part = rt.PartitionHash
 	}
 	n := g.N()
 	p := &policy[V, G]{
 		g:          g,
 		prog:       prog,
 		cfg:        cfg,
-		in:         in,
+		csr:        csr,
+		verts:      rt.GroupByOwner("gas", part(g, cfg.Workers), cfg.Workers),
 		n:          n,
 		cur:        make([]V, n),
 		next:       make([]V, n),
@@ -119,13 +127,15 @@ func Run[V, G any](g *graph.Graph, prog Program[V, G], cfg Config) (*Result[V], 
 }
 
 // policy is the GAS engine as a runtime.Policy: double-buffered values,
-// an active set maintained by scatter-side wake buffers, and strided
-// vertex-to-worker assignment.
+// an active set maintained by scatter-side wake buffers, and
+// partitioned vertex-to-worker assignment (hash by default, matching
+// the historical strided schedule).
 type policy[V, G any] struct {
 	g      *graph.Graph
 	prog   Program[V, G]
 	cfg    Config
-	in     [][]graph.Edge
+	csr    *graph.CSR
+	verts  [][]VertexID // worker -> owned vertices, ascending
 	n      int
 	driver *rt.Driver[*gasSnapshot[V]]
 
@@ -142,30 +152,41 @@ func (p *policy[V, G]) Quiescent(step, pending int) bool { return p.activeCount 
 // iteration over the active set, then the single-threaded wake-buffer
 // merge (where a scatter batch can be lost or redelivered in transit).
 func (p *policy[V, G]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) {
-	prog, g, in, n := p.prog, p.g, p.in, p.n
+	prog, csr := p.prog, p.csr
 	workers := p.cfg.Workers
 	p.driver.Pool().Run(func(w int) {
-		for v := w; v < n; v += workers {
+		var workW, sentW, activeW int64
+		for _, vid := range p.verts[w] {
+			v := int(vid)
 			p.next[v] = p.cur[v]
 			if !p.active[v] {
 				continue
 			}
 			total := prog.Zero()
-			for _, e := range in[v] {
-				ss.Work[w]++
-				total = prog.Sum(total, prog.Gather(e, p.cur[e.Dst]))
+			srcs := csr.In(vid)
+			if ws := csr.InWeights(vid); ws == nil {
+				for _, u := range srcs {
+					total = prog.Sum(total, prog.Gather(u, 1, p.cur[u]))
+				}
+			} else {
+				for i, u := range srcs {
+					total = prog.Sum(total, prog.Gather(u, ws[i], p.cur[u]))
+				}
 			}
+			workW += int64(len(srcs))
 			if prog.Apply(&p.next[v], total) {
 				// Scatter: wake out-neighbors (buffered per
 				// worker; merged after the barrier).
-				for _, e := range g.Out[v] {
-					ss.Sent[w]++
-					p.wake[w] = append(p.wake[w], e.Dst)
-				}
+				out := csr.Out(vid)
+				sentW += int64(len(out))
+				p.wake[w] = append(p.wake[w], out...)
 			}
-			ss.Work[w]++
-			ss.Active[w]++
+			workW++
+			activeW++
 		}
+		ss.Work[w] = workW
+		ss.Sent[w] = sentW
+		ss.Active[w] = activeW
 	})
 	inj := p.driver.Injector()
 	p.activeCount = 0
@@ -251,9 +272,9 @@ func (p *prProgram) Init(g *graph.Graph, id VertexID) prVal {
 	return prVal{rank: 1 / float64(p.n)}
 }
 
-func (p *prProgram) Gather(e graph.Edge, uVal prVal) float64 {
-	// e.Dst is the in-neighbor u; its rank spreads over its out-degree.
-	return uVal.rank / p.outDeg[e.Dst]
+func (p *prProgram) Gather(u VertexID, w float64, uVal prVal) float64 {
+	// u is the in-neighbor; its rank spreads over its out-degree.
+	return uVal.rank / p.outDeg[u]
 }
 
 func (p *prProgram) Zero() float64            { return 0 }
@@ -295,7 +316,7 @@ type ccProgram struct{}
 
 func (ccProgram) Init(g *graph.Graph, id VertexID) VertexID { return id }
 
-func (ccProgram) Gather(e graph.Edge, uVal VertexID) VertexID { return uVal }
+func (ccProgram) Gather(u VertexID, w float64, uVal VertexID) VertexID { return uVal }
 
 // Zero is NoVertex, the identity of the min with "no contribution".
 func (ccProgram) Zero() VertexID { return graph.NoVertex }
@@ -347,7 +368,7 @@ func (p ssspProgram) Init(g *graph.Graph, id VertexID) float64 {
 
 // Gather offers a path to v through in-neighbor u: u's tentative
 // distance plus the (u -> v) edge weight.
-func (p ssspProgram) Gather(e graph.Edge, uDist float64) float64 { return uDist + e.W }
+func (p ssspProgram) Gather(u VertexID, w float64, uDist float64) float64 { return uDist + w }
 
 func (p ssspProgram) Zero() float64 { return math.Inf(1) }
 

@@ -103,11 +103,11 @@ func TestGASIterationCap(t *testing.T) {
 
 type neverConverge struct{}
 
-func (neverConverge) Init(g *graph.Graph, id VertexID) int { return 0 }
-func (neverConverge) Gather(e graph.Edge, uVal int) int    { return uVal }
-func (neverConverge) Zero() int                            { return 0 }
-func (neverConverge) Sum(a, b int) int                     { return a + b }
-func (neverConverge) Apply(v *int, total int) bool         { *v++; return true }
+func (neverConverge) Init(g *graph.Graph, id VertexID) int       { return 0 }
+func (neverConverge) Gather(u VertexID, w float64, uVal int) int { return uVal }
+func (neverConverge) Zero() int                                  { return 0 }
+func (neverConverge) Sum(a, b int) int                           { return a + b }
+func (neverConverge) Apply(v *int, total int) bool               { *v++; return true }
 
 func TestGASEmptyGraph(t *testing.T) {
 	g := graph.New(0, false)

@@ -1,0 +1,327 @@
+package graph
+
+// CSR is an immutable compressed-sparse-row snapshot of a Graph: the
+// flat adjacency layout every engine's hot loop iterates instead of the
+// mutable [][]Edge builder. Where an Edge costs 32 bytes per adjacency
+// entry (a 16-byte label-string header even on unlabeled graphs) and a
+// pointer dereference per vertex, the snapshot packs destinations into
+// one contiguous []VertexID (4 bytes per entry) with side arrays for
+// weights and interned labels that are simply absent (nil) when the
+// graph is unweighted or unlabeled.
+//
+// Layout:
+//
+//	Offsets  [n+1]int32   — out-adjacency of v is the index range
+//	                        [Offsets[v], Offsets[v+1])
+//	Dsts     [e]VertexID  — destination of each entry, builder order
+//	Weights  [e]float64   — nil when every weight is 1
+//	LabelIDs [e]int32     — nil when every label is ""; indexes Labels
+//	Labels   [k]string    — interned label table (Labels[0] == "")
+//
+// The transpose (in-CSR) shares the same shape (reached through the In
+// accessors) and is built on demand by EnsureIn with an O(m)
+// counting sort — never a comparison sort. For undirected graphs the
+// transpose aliases the out arrays (in-adjacency == out-adjacency).
+//
+// A CSR is immutable after construction: engines may share one snapshot
+// across concurrent runs. Obtain the per-graph cached snapshot with
+// Graph.CSR.
+type CSR struct {
+	Directed bool
+
+	Offsets  []int32
+	Dsts     []VertexID
+	Weights  []float64
+	LabelIDs []int32
+	Labels   []string
+
+	numEdges int
+
+	// Transpose, nil until EnsureIn (aliases the out arrays for
+	// undirected graphs); reached through the In accessors. inSrcs is
+	// ordered by source ascending within each vertex's span, matching
+	// Graph.EnsureIn's iteration order.
+	inOffsets  []int32
+	inSrcs     []VertexID
+	inWeights  []float64
+	inLabelIDs []int32
+}
+
+// BuildCSR builds a CSR snapshot of g. Adjacency order is preserved
+// exactly (entry i of g.Out[v] becomes entry Offsets[v]+i), so engines
+// that migrate from [][]Edge iteration to CSR spans keep byte-identical
+// message and float-summation order. Prefer Graph.CSR, which caches the
+// snapshot on the graph and rebuilds it only after mutations.
+func BuildCSR(g *Graph) *CSR {
+	n := g.N()
+	c := &CSR{
+		Directed: g.Directed,
+		Offsets:  make([]int32, n+1),
+		numEdges: g.M(),
+	}
+	total := 0
+	hasW, hasL := false, false
+	for v := 0; v < n; v++ {
+		total += len(g.Out[v])
+		c.Offsets[v+1] = int32(total)
+		for i := range g.Out[v] {
+			e := &g.Out[v][i]
+			if e.W != 1 {
+				hasW = true
+			}
+			if e.L != "" {
+				hasL = true
+			}
+		}
+	}
+	c.Dsts = make([]VertexID, total)
+	if hasW {
+		c.Weights = make([]float64, total)
+	}
+	var intern map[string]int32
+	if hasL {
+		c.LabelIDs = make([]int32, total)
+		c.Labels = []string{""}
+		intern = map[string]int32{"": 0}
+	}
+	idx := 0
+	for v := 0; v < n; v++ {
+		for i := range g.Out[v] {
+			e := &g.Out[v][i]
+			c.Dsts[idx] = e.Dst
+			if hasW {
+				c.Weights[idx] = e.W
+			}
+			if hasL {
+				id, ok := intern[e.L]
+				if !ok {
+					id = int32(len(c.Labels))
+					c.Labels = append(c.Labels, e.L)
+					intern[e.L] = id
+				}
+				c.LabelIDs[idx] = id
+			}
+			idx++
+		}
+	}
+	return c
+}
+
+// N returns the number of vertices.
+func (c *CSR) N() int { return len(c.Offsets) - 1 }
+
+// M returns the number of edges (undirected edges counted once,
+// matching Graph.M).
+func (c *CSR) M() int { return c.numEdges }
+
+// NumEntries returns the number of adjacency entries (directed edges,
+// or 2·M minus self-loops for undirected graphs).
+func (c *CSR) NumEntries() int { return len(c.Dsts) }
+
+// OutDegree returns the out-degree of v.
+func (c *CSR) OutDegree(v VertexID) int { return int(c.Offsets[v+1] - c.Offsets[v]) }
+
+// Out returns v's out-neighbor span in adjacency order. The slice
+// aliases the snapshot and must not be modified.
+func (c *CSR) Out(v VertexID) []VertexID { return c.Dsts[c.Offsets[v]:c.Offsets[v+1]] }
+
+// OutWeights returns v's out-edge weight span, aligned with Out(v), or
+// nil when the graph is unweighted (every weight 1).
+func (c *CSR) OutWeights(v VertexID) []float64 {
+	if c.Weights == nil {
+		return nil
+	}
+	return c.Weights[c.Offsets[v]:c.Offsets[v+1]]
+}
+
+// OutRange returns the [lo, hi) index range of v's out-entries in
+// Dsts/Weights/LabelIDs, for callers indexing the flat arrays directly.
+func (c *CSR) OutRange(v VertexID) (lo, hi int32) { return c.Offsets[v], c.Offsets[v+1] }
+
+// Weight returns the weight of the adjacency entry at flat index i.
+func (c *CSR) Weight(i int32) float64 {
+	if c.Weights == nil {
+		return 1
+	}
+	return c.Weights[i]
+}
+
+// EdgeLabel returns the label of the adjacency entry at flat index i.
+func (c *CSR) EdgeLabel(i int32) string {
+	if c.LabelIDs == nil {
+		return ""
+	}
+	return c.Labels[c.LabelIDs[i]]
+}
+
+// ForEachOut calls f for every out-edge of v in adjacency order,
+// without allocating: the allocation-free replacement for iterating
+// Graph.Out[v] or copying Neighbors.
+func (c *CSR) ForEachOut(v VertexID, f func(dst VertexID, w float64)) {
+	lo, hi := c.Offsets[v], c.Offsets[v+1]
+	if c.Weights == nil {
+		for _, d := range c.Dsts[lo:hi] {
+			f(d, 1)
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		f(c.Dsts[i], c.Weights[i])
+	}
+}
+
+// AppendOutEdges appends v's out-adjacency to buf as Edge values
+// (materializing weights and interned labels) and returns the extended
+// slice. Cold paths that still want []Edge use this; hot paths iterate
+// the spans directly.
+func (c *CSR) AppendOutEdges(buf []Edge, v VertexID) []Edge {
+	lo, hi := c.Offsets[v], c.Offsets[v+1]
+	for i := lo; i < hi; i++ {
+		buf = append(buf, Edge{Dst: c.Dsts[i], W: c.Weight(i), L: c.EdgeLabel(i)})
+	}
+	return buf
+}
+
+// EnsureIn builds the transpose (in-CSR) with an O(n+m) counting sort:
+// in-degrees are histogrammed into offsets, then one pass over the
+// out-entries in source order scatters each entry into its slot — so
+// every vertex's in-span is ordered by source ascending, matching the
+// order Graph.EnsureIn produces. For undirected graphs the transpose
+// aliases the out arrays. EnsureIn is idempotent; call it before any
+// concurrent use of the In accessors.
+func (c *CSR) EnsureIn() {
+	if c.inOffsets != nil {
+		return
+	}
+	if !c.Directed {
+		c.inOffsets = c.Offsets
+		c.inSrcs = c.Dsts
+		c.inWeights = c.Weights
+		c.inLabelIDs = c.LabelIDs
+		return
+	}
+	n := c.N()
+	off := make([]int32, n+1)
+	for _, d := range c.Dsts {
+		off[d+1]++
+	}
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
+	}
+	srcs := make([]VertexID, len(c.Dsts))
+	var ws []float64
+	if c.Weights != nil {
+		ws = make([]float64, len(c.Weights))
+	}
+	var ls []int32
+	if c.LabelIDs != nil {
+		ls = make([]int32, len(c.LabelIDs))
+	}
+	pos := make([]int32, n)
+	copy(pos, off[:n])
+	for u := 0; u < n; u++ {
+		lo, hi := c.Offsets[u], c.Offsets[u+1]
+		for i := lo; i < hi; i++ {
+			d := c.Dsts[i]
+			p := pos[d]
+			pos[d] = p + 1
+			srcs[p] = VertexID(u)
+			if ws != nil {
+				ws[p] = c.Weights[i]
+			}
+			if ls != nil {
+				ls[p] = c.LabelIDs[i]
+			}
+		}
+	}
+	c.inOffsets = off
+	c.inSrcs = srcs
+	c.inWeights = ws
+	c.inLabelIDs = ls
+}
+
+// InDegree returns the in-degree of v (the degree, for undirected
+// graphs). EnsureIn must have been called for directed graphs.
+func (c *CSR) InDegree(v VertexID) int {
+	if !c.Directed {
+		return c.OutDegree(v)
+	}
+	if c.inOffsets == nil {
+		panic("graph: CSR.InDegree on directed graph before EnsureIn")
+	}
+	return int(c.inOffsets[v+1] - c.inOffsets[v])
+}
+
+// TotalDegree returns d(v) for undirected graphs and d_in(v)+d_out(v)
+// for directed graphs, building the transpose if needed.
+func (c *CSR) TotalDegree(v VertexID) int {
+	if !c.Directed {
+		return c.OutDegree(v)
+	}
+	c.EnsureIn()
+	return c.OutDegree(v) + c.InDegree(v)
+}
+
+// In returns v's in-neighbor (source) span, ordered by source
+// ascending. EnsureIn must have been called for directed graphs; for
+// undirected graphs it returns Out(v).
+func (c *CSR) In(v VertexID) []VertexID {
+	if !c.Directed {
+		return c.Out(v)
+	}
+	return c.inSrcs[c.inOffsets[v]:c.inOffsets[v+1]]
+}
+
+// InWeights returns v's in-edge weight span aligned with In(v), or nil
+// when the graph is unweighted.
+func (c *CSR) InWeights(v VertexID) []float64 {
+	if !c.Directed {
+		return c.OutWeights(v)
+	}
+	if c.inWeights == nil {
+		return nil
+	}
+	return c.inWeights[c.inOffsets[v]:c.inOffsets[v+1]]
+}
+
+// ForEachIn calls f for every in-edge (src -> v) without allocating.
+// EnsureIn must have been called for directed graphs.
+func (c *CSR) ForEachIn(v VertexID, f func(src VertexID, w float64)) {
+	if !c.Directed {
+		c.ForEachOut(v, f)
+		return
+	}
+	lo, hi := c.inOffsets[v], c.inOffsets[v+1]
+	if c.inWeights == nil {
+		for _, s := range c.inSrcs[lo:hi] {
+			f(s, 1)
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		f(c.inSrcs[i], c.inWeights[i])
+	}
+}
+
+// AppendInEdges appends v's in-adjacency to buf as Edge values with
+// Dst holding the *source* vertex (mirroring Graph.In's convention) and
+// returns the extended slice. EnsureIn must have been called for
+// directed graphs.
+func (c *CSR) AppendInEdges(buf []Edge, v VertexID) []Edge {
+	if !c.Directed {
+		return c.AppendOutEdges(buf, v)
+	}
+	lo, hi := c.inOffsets[v], c.inOffsets[v+1]
+	for i := lo; i < hi; i++ {
+		w := 1.0
+		if c.inWeights != nil {
+			w = c.inWeights[i]
+		}
+		l := ""
+		if c.inLabelIDs != nil {
+			l = c.Labels[c.inLabelIDs[i]]
+		}
+		buf = append(buf, Edge{Dst: c.inSrcs[i], W: w, L: l})
+	}
+	return buf
+}

@@ -395,6 +395,7 @@ func RandomBipartite(nl, nr, m int, seed int64) *Graph {
 // undirected edge (both directions get the same weight). Distinctness
 // makes minimum spanning trees unique, which simplifies verification.
 func RandomWeights(g *Graph, seed int64) {
+	g.Invalidate()
 	rng := rand.New(rand.NewSource(seed))
 	if g.Directed {
 		for u := range g.Out {
@@ -436,6 +437,7 @@ func RandomWeights(g *Graph, seed int64) {
 // RandomLabels assigns each vertex a label drawn uniformly from the
 // given alphabet.
 func RandomLabels(g *Graph, alphabet []string, seed int64) {
+	g.Invalidate()
 	rng := rand.New(rand.NewSource(seed))
 	g.Labels = make([]string, g.N())
 	for i := range g.Labels {

@@ -35,6 +35,13 @@ type Graph struct {
 	In       [][]Edge // directed only; nil until EnsureIn
 	Labels   []string // optional vertex labels; nil if unlabeled
 	numEdges int
+
+	// CSR snapshot cache: csr is valid while csrVersion == version.
+	// Every mutation through the Graph API bumps version; code that
+	// rewrites adjacency slices directly must call Invalidate.
+	version    int64
+	csrVersion int64
+	csr        *CSR
 }
 
 // New returns an empty graph with n vertices.
@@ -66,8 +73,15 @@ func (g *Graph) AddWeightedEdge(u, v VertexID, w float64) {
 }
 
 // AddLabeledEdge adds an edge u->v (and v->u when undirected) with
-// weight w and label l.
+// weight w and label l. Both endpoints must be in [0, N): an
+// out-of-range source used to panic deep inside append and an
+// out-of-range destination was silently accepted until Validate, so the
+// boundary is checked here.
 func (g *Graph) AddLabeledEdge(u, v VertexID, w float64, l string) {
+	if n := VertexID(g.N()); u < 0 || u >= n || v < 0 || v >= n {
+		panic(fmt.Sprintf("graph: AddLabeledEdge(%d, %d): vertex out of range [0,%d)", u, v, n))
+	}
+	g.Invalidate()
 	g.Out[u] = append(g.Out[u], Edge{Dst: v, W: w, L: l})
 	if !g.Directed {
 		if u != v {
@@ -105,6 +119,11 @@ func (g *Graph) TotalDegree(v VertexID) int {
 }
 
 // Neighbors returns the out-neighbor IDs of v in adjacency order.
+//
+// Each call allocates a fresh slice, so Neighbors is for tests, cold
+// paths, and callers that retain the result. Hot loops should iterate
+// CSR().Out(v) (an alias into the snapshot, allocation-free) or use
+// CSR().ForEachOut instead.
 func (g *Graph) Neighbors(v VertexID) []VertexID {
 	out := make([]VertexID, len(g.Out[v]))
 	for i, e := range g.Out[v] {
@@ -128,10 +147,31 @@ func (g *Graph) EnsureIn() {
 	g.In = in
 }
 
+// CSR returns the cached immutable CSR snapshot of the graph, building
+// it on first use and rebuilding after mutations made through the Graph
+// API. The snapshot preserves adjacency order exactly, so iterating its
+// spans is interchangeable with iterating Out.
+func (g *Graph) CSR() *CSR {
+	if g.csr == nil || g.csrVersion != g.version {
+		g.csr = BuildCSR(g)
+		g.csrVersion = g.version
+	}
+	return g.csr
+}
+
+// Invalidate discards the cached CSR snapshot. Mutators in this package
+// call it automatically; call it manually after rewriting Out/Labels
+// slices directly.
+func (g *Graph) Invalidate() {
+	g.version++
+	g.csr = nil
+}
+
 // SortAdjacency sorts every adjacency list by destination ID. Several
 // algorithms (Euler tour, deterministic traversals) assume sorted
 // adjacency.
 func (g *Graph) SortAdjacency() {
+	g.Invalidate()
 	for v := range g.Out {
 		sort.Slice(g.Out[v], func(i, j int) bool { return g.Out[v][i].Dst < g.Out[v][j].Dst })
 	}

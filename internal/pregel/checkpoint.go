@@ -37,11 +37,15 @@ type Snapshotter interface {
 }
 
 type checkpoint[V, M any] struct {
-	values      []V
-	halted      []bool
-	inbox       [][]M
-	rawRecv     []int64
-	adj         [][]graph.Edge
+	values  []V
+	halted  []bool
+	inbox   [][]M
+	rawRecv []int64
+	// adj records only the vertices whose adjacency diverged from the
+	// CSR snapshot (SetOutEdges); everything else restores to the
+	// immutable snapshot for free, so a checkpoint is O(mutations)
+	// instead of O(m) in adjacency.
+	adj         map[VertexID][]graph.Edge
 	globals     map[string]any
 	aggCurrent  map[string]any
 	masterState any
@@ -61,7 +65,7 @@ func (e *Engine[V, M]) Snapshot() *checkpoint[V, M] {
 		halted:     append([]bool(nil), e.halted...),
 		inbox:      make([][]M, n),
 		rawRecv:    make([]int64, n),
-		adj:        make([][]graph.Edge, len(e.adj)),
+		adj:        make(map[VertexID][]graph.Edge),
 		globals:    make(map[string]any, len(e.globals)),
 		aggCurrent: make(map[string]any, len(e.aggCurrent)),
 	}
@@ -69,8 +73,10 @@ func (e *Engine[V, M]) Snapshot() *checkpoint[V, M] {
 		ck.inbox[v] = append([]M(nil), e.mbox.Inbox(VertexID(v))...)
 		ck.rawRecv[v] = e.mbox.RawCount(VertexID(v))
 	}
-	for v := range e.adj {
-		ck.adj[v] = append([]graph.Edge(nil), e.adj[v]...)
+	for v, isMut := range e.mutated {
+		if isMut {
+			ck.adj[VertexID(v)] = append([]graph.Edge(nil), e.adj[v]...)
+		}
 	}
 	for k, v := range e.globals {
 		ck.globals[k] = v
@@ -95,8 +101,8 @@ func (e *Engine[V, M]) Restore(ck *checkpoint[V, M], step int, ok bool) {
 			e.values[v] = e.prog.Init(e.g, VertexID(v))
 			e.halted[v] = false
 			e.mbox.ResetVertex(VertexID(v))
-			e.adj[v] = append(e.adj[v][:0], e.g.Out[v]...)
 		}
+		e.resetAdjacency()
 		for name, a := range e.aggs {
 			e.aggCurrent[name] = a.Zero()
 		}
@@ -112,8 +118,10 @@ func (e *Engine[V, M]) Restore(ck *checkpoint[V, M], step int, ok bool) {
 	for v := 0; v < e.g.N(); v++ {
 		e.mbox.LoadVertex(VertexID(v), ck.inbox[v], ck.rawRecv[v])
 	}
-	for v := range e.adj {
-		e.adj[v] = append([]graph.Edge(nil), ck.adj[v]...)
+	e.resetAdjacency()
+	for v, a := range ck.adj {
+		e.adj[v] = append([]graph.Edge(nil), a...)
+		e.mutated[v] = true
 	}
 	e.globals = make(map[string]any, len(ck.globals))
 	for k, v := range ck.globals {
@@ -126,6 +134,18 @@ func (e *Engine[V, M]) Restore(ck *checkpoint[V, M], step int, ok bool) {
 		s.Restore(ck.masterState)
 	}
 	e.rebuildWorklists()
+}
+
+// resetAdjacency drops every mutated adjacency override, returning all
+// vertices to the CSR snapshot. Materialized-but-unmutated caches are
+// kept — their content equals the snapshot.
+func (e *Engine[V, M]) resetAdjacency() {
+	for v, isMut := range e.mutated {
+		if isMut {
+			e.adj[v] = nil
+			e.mutated[v] = false
+		}
+	}
 }
 
 // rebuildWorklists reconstructs the active-vertex worklists from the

@@ -45,8 +45,32 @@ func (fc *FinishContext[V, M]) Inbox(v VertexID) []M { return fc.engine.mbox.Inb
 // Value returns a pointer to v's value.
 func (fc *FinishContext[V, M]) Value(v VertexID) *V { return &fc.engine.values[v] }
 
-// OutEdges returns v's current (possibly mutated) adjacency.
-func (fc *FinishContext[V, M]) OutEdges(v VertexID) []graph.Edge { return fc.engine.adj[v] }
+// OutEdges returns v's current (possibly mutated) adjacency,
+// materializing it from the CSR snapshot on first request. Finishers
+// that only need destinations should prefer ForEachOut.
+func (fc *FinishContext[V, M]) OutEdges(v VertexID) []graph.Edge { return fc.engine.outEdges(v) }
+
+// OutDegree returns v's current out-degree without materializing the
+// adjacency.
+func (fc *FinishContext[V, M]) OutDegree(v VertexID) int {
+	if fc.engine.mutated[v] {
+		return len(fc.engine.adj[v])
+	}
+	return fc.engine.csr.OutDegree(v)
+}
+
+// ForEachOut calls f for every current out-edge of v in adjacency
+// order, without allocating for unmutated vertices.
+func (fc *FinishContext[V, M]) ForEachOut(v VertexID, f func(dst VertexID, w float64)) {
+	e := fc.engine
+	if e.mutated[v] {
+		for _, ed := range e.adj[v] {
+			f(ed.Dst, ed.W)
+		}
+		return
+	}
+	e.csr.ForEachOut(v, f)
+}
 
 // FinishSerially implements runtime.SerialFinishPolicy: it checks the
 // FCS trigger after a superstep and, when the frontier is narrow

@@ -1,84 +1,23 @@
 package pregel
 
-import "vcgraph/internal/graph"
+import rt "vcgraph/internal/runtime"
 
-// Graph partitioning: how vertices map to workers. The paper's §1
-// names partitioning among the key system-level optimizations for
-// vertex-centric frameworks; the choice changes the per-worker load
-// maxima (w_i, s_i, r_i) and therefore the measured superstep cost
-// max(w, g·h, L), while never changing results. The engine exposes the
-// three standard strategies plus custom assignment.
+// Partitioning lives in the shared runtime kernel (see
+// internal/runtime/partition.go); the pregel package re-exports the
+// type and the standard strategies under their historical names, which
+// every engine config and the vc layer reference.
 
 // Partitioner assigns each vertex to a worker in [0, workers).
-type Partitioner func(g *graph.Graph, workers int) []int32
+type Partitioner = rt.Partitioner
 
-// PartitionHash spreads vertices round-robin by ID (the Pregel
-// default, good for ID-uncorrelated load).
-func PartitionHash(g *graph.Graph, workers int) []int32 {
-	owner := make([]int32, g.N())
-	for v := range owner {
-		owner[v] = int32(v % workers)
-	}
-	return owner
-}
-
-// PartitionRange gives each worker a contiguous ID range (locality for
-// ID-correlated graphs, but prone to imbalance when degree correlates
-// with ID, as in preferential-attachment graphs).
-func PartitionRange(g *graph.Graph, workers int) []int32 {
-	n := g.N()
-	owner := make([]int32, n)
-	if n == 0 {
-		return owner
-	}
-	for v := range owner {
-		owner[v] = int32(v * workers / n)
-		if owner[v] >= int32(workers) {
-			owner[v] = int32(workers) - 1
-		}
-	}
-	return owner
-}
-
-// PartitionDegreeBalanced greedily assigns vertices in decreasing
-// degree order to the currently lightest worker (longest-processing-
-// time heuristic), balancing total adjacent-edge load.
-func PartitionDegreeBalanced(g *graph.Graph, workers int) []int32 {
-	n := g.N()
-	owner := make([]int32, n)
-	order := make([]VertexID, n)
-	for i := range order {
-		order[i] = VertexID(i)
-	}
-	// Counting sort by degree, descending.
-	maxDeg := 0
-	for v := 0; v < n; v++ {
-		if d := g.TotalDegree(VertexID(v)); d > maxDeg {
-			maxDeg = d
-		}
-	}
-	buckets := make([][]VertexID, maxDeg+1)
-	for v := 0; v < n; v++ {
-		d := g.TotalDegree(VertexID(v))
-		buckets[d] = append(buckets[d], VertexID(v))
-	}
-	idx := 0
-	for d := maxDeg; d >= 0; d-- {
-		for _, v := range buckets[d] {
-			order[idx] = v
-			idx++
-		}
-	}
-	load := make([]int64, workers)
-	for _, v := range order {
-		best := 0
-		for w := 1; w < workers; w++ {
-			if load[w] < load[best] {
-				best = w
-			}
-		}
-		owner[v] = int32(best)
-		load[best] += int64(g.TotalDegree(v) + 1)
-	}
-	return owner
-}
+var (
+	// PartitionHash spreads vertices round-robin by ID (the Pregel
+	// default).
+	PartitionHash Partitioner = rt.PartitionHash
+	// PartitionRange gives each worker a contiguous ID range.
+	PartitionRange Partitioner = rt.PartitionRange
+	// PartitionDegreeBalanced balances total adjacent-edge load with a
+	// greedy longest-processing-time pass over vertices in decreasing
+	// degree order.
+	PartitionDegreeBalanced Partitioner = rt.PartitionDegreeBalanced
+)

@@ -130,7 +130,9 @@ type Engine[V, M any] struct {
 
 	values []V
 	halted []bool
-	adj    [][]graph.Edge // mutable copy of g.Out
+	csr    *graph.CSR     // immutable adjacency snapshot, the hot-loop view
+	adj    [][]graph.Edge // per-vertex materialized/mutated out-edges; nil = read the CSR
+	mutated []bool        // adj[v] diverges from the snapshot (SetOutEdges)
 	inadj  [][]graph.Edge // view of g.In (directed graphs), immutable
 	deg    []int          // original total degree, for BPPA ratios
 
@@ -165,8 +167,10 @@ type Engine[V, M any] struct {
 	recoveries  int
 }
 
-// NewEngine builds an engine for prog over g. The graph's adjacency is
-// copied so programs may mutate it freely via Context.SetOutEdges.
+// NewEngine builds an engine for prog over g. Programs read adjacency
+// through the graph's immutable CSR snapshot; a vertex that mutates its
+// out-edges via Context.SetOutEdges gets a private materialized copy,
+// so the input graph is never modified.
 func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[M]) *Engine[V, M] {
 	n := g.N()
 	if cfg.Workers <= 0 {
@@ -184,7 +188,9 @@ func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[M]) *Eng
 		cfg:     cfg,
 		values:  make([]V, n),
 		halted:  make([]bool, n),
+		csr:     g.CSR(),
 		adj:     make([][]graph.Edge, n),
+		mutated: make([]bool, n),
 		deg:     make([]int, n),
 		aggs:    make(map[string]Aggregator),
 		globals: make(map[string]any),
@@ -195,7 +201,6 @@ func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[M]) *Eng
 		e.inadj = g.In
 	}
 	for v := 0; v < n; v++ {
-		e.adj[v] = append([]graph.Edge(nil), g.Out[v]...)
 		e.deg[v] = g.TotalDegree(VertexID(v))
 	}
 	part := cfg.Partition
@@ -203,14 +208,7 @@ func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[M]) *Eng
 		part = PartitionHash
 	}
 	e.ownerOf = part(g, cfg.Workers)
-	e.verts = make([][]VertexID, cfg.Workers)
-	for v := 0; v < n; v++ {
-		w := e.ownerOf[v]
-		if w < 0 || int(w) >= cfg.Workers {
-			panic("pregel: partitioner assigned vertex to an out-of-range worker")
-		}
-		e.verts[w] = append(e.verts[w], VertexID(v))
-	}
+	e.verts = rt.GroupByOwner("pregel", e.ownerOf, cfg.Workers)
 	e.mbox = rt.NewMailbox[M](cfg.Workers, e.ownerOf, cfg.Combiner)
 	e.wl = rt.NewWorklists(cfg.Workers, n)
 	e.ctxs = make([]Context[V, M], cfg.Workers)
@@ -242,6 +240,24 @@ func (e *Engine[V, M]) RegisterAggregator(name string, a Aggregator) {
 func (e *Engine[V, M]) Graph() *graph.Graph { return e.g }
 
 func (e *Engine[V, M]) owner(v VertexID) int { return int(e.ownerOf[v]) }
+
+// outEdges returns v's current out-adjacency as []Edge, materializing
+// it from the CSR snapshot on first request and caching the copy. Only
+// v's owner worker touches adj[v] during parallel phases, so the lazy
+// fill is race-free. Hot paths that don't need Edge values use
+// Context.ForEachOut / Context.OutDegree and never materialize.
+func (e *Engine[V, M]) outEdges(v VertexID) []graph.Edge {
+	if a := e.adj[v]; a != nil || e.mutated[v] {
+		return a
+	}
+	d := e.csr.OutDegree(v)
+	if d == 0 {
+		return nil
+	}
+	a := e.csr.AppendOutEdges(make([]graph.Edge, 0, d), v)
+	e.adj[v] = a
+	return a
+}
 
 // Run executes the program to termination: when every vertex has voted
 // to halt and no messages are in flight, or when the master halts. It
@@ -484,10 +500,35 @@ func (c *Context[V, M]) Value() *V { return &c.engine.values[c.id] }
 // vertices' values).
 func (c *Context[V, M]) ValueOfUnsafe(v VertexID) *V { return &c.engine.values[v] }
 
-// OutEdges returns the vertex's current (possibly mutated) out-edges.
-// The returned slice must not be retained across supersteps if
-// SetOutEdges is used.
-func (c *Context[V, M]) OutEdges() []graph.Edge { return c.engine.adj[c.id] }
+// OutEdges returns the vertex's current (possibly mutated) out-edges,
+// materializing them from the CSR snapshot on first request. The
+// returned slice must not be retained across supersteps if SetOutEdges
+// is used. Programs that only need destinations and weights should
+// prefer ForEachOut/OutDegree, which never materialize.
+func (c *Context[V, M]) OutEdges() []graph.Edge { return c.engine.outEdges(c.id) }
+
+// OutDegree returns the vertex's current out-degree without
+// materializing the adjacency.
+func (c *Context[V, M]) OutDegree() int {
+	if c.engine.mutated[c.id] {
+		return len(c.engine.adj[c.id])
+	}
+	return c.engine.csr.OutDegree(c.id)
+}
+
+// ForEachOut calls f for every current out-edge in adjacency order.
+// For unmutated vertices it iterates the CSR snapshot without
+// allocating.
+func (c *Context[V, M]) ForEachOut(f func(dst VertexID, w float64)) {
+	e := c.engine
+	if e.mutated[c.id] {
+		for _, ed := range e.adj[c.id] {
+			f(ed.Dst, ed.W)
+		}
+		return
+	}
+	e.csr.ForEachOut(c.id, f)
+}
 
 // InEdges returns the vertex's in-edges for directed graphs (immutable
 // view of the input graph) and the out-edges for undirected graphs.
@@ -495,7 +536,7 @@ func (c *Context[V, M]) InEdges() []graph.Edge {
 	if c.engine.inadj != nil {
 		return c.engine.inadj[c.id]
 	}
-	return c.engine.adj[c.id]
+	return c.engine.outEdges(c.id)
 }
 
 // Degree returns the vertex's original total degree in the input graph
@@ -504,7 +545,12 @@ func (c *Context[V, M]) Degree() int { return c.engine.deg[c.id] }
 
 // SetOutEdges replaces this vertex's out-adjacency. Only the vertex
 // itself may mutate its adjacency, which makes the operation race-free.
-func (c *Context[V, M]) SetOutEdges(edges []graph.Edge) { c.engine.adj[c.id] = edges }
+// The vertex's adjacency diverges from the CSR snapshot from here on;
+// the input graph is untouched.
+func (c *Context[V, M]) SetOutEdges(edges []graph.Edge) {
+	c.engine.adj[c.id] = edges
+	c.engine.mutated[c.id] = true
+}
 
 // SendTo sends m to vertex dst, delivered at the next superstep. With
 // a combiner configured, messages to the same destination combine in
@@ -514,11 +560,20 @@ func (c *Context[V, M]) SendTo(dst VertexID, m M) {
 	c.engine.mbox.Send(c.worker, dst, m)
 }
 
-// SendToNeighbors sends m along every current out-edge.
+// SendToNeighbors sends m along every current out-edge. For unmutated
+// vertices the destinations come straight from the CSR span and the
+// mailbox broadcast path, skipping per-edge Edge materialization.
 func (c *Context[V, M]) SendToNeighbors(m M) {
-	for _, e := range c.engine.adj[c.id] {
-		c.SendTo(e.Dst, m)
+	e := c.engine
+	if e.mutated[c.id] {
+		for _, ed := range e.adj[c.id] {
+			c.SendTo(ed.Dst, m)
+		}
+		return
 	}
+	dsts := e.csr.Out(c.id)
+	c.sent += int64(len(dsts))
+	e.mbox.SendAll(c.worker, dsts, m)
 }
 
 // VoteToHalt deactivates the vertex; an incoming message reactivates it.

@@ -116,6 +116,36 @@ func (mb *Mailbox[M]) Send(src int, dst VertexID, m M) {
 	ln.entries = append(ln.entries, entry[M]{dst: dst, m: m, raw: 1})
 }
 
+// SendAll records one raw message from src worker to each vertex in
+// dsts — the broadcast a vertex program's send-to-all-neighbors issues,
+// with dsts typically a CSR adjacency span. Semantically identical to
+// calling Send per destination; the per-send lane/tag/slot lookups are
+// hoisted out of the loop.
+func (mb *Mailbox[M]) SendAll(src int, dsts []VertexID, m M) {
+	lanes := mb.lanes[src]
+	owner := mb.owner
+	if mb.comb == nil {
+		for _, dst := range dsts {
+			ln := &lanes[owner[dst]]
+			ln.entries = append(ln.entries, entry[M]{dst: dst, m: m, raw: 1})
+		}
+		return
+	}
+	tags, slots, epoch := mb.tags[src], mb.slots[src], mb.epoch
+	for _, dst := range dsts {
+		ln := &lanes[owner[dst]]
+		if tags[dst] == epoch {
+			e := &ln.entries[slots[dst]]
+			e.m = mb.comb(e.m, m)
+			e.raw++
+			continue
+		}
+		tags[dst] = epoch
+		slots[dst] = int32(len(ln.entries))
+		ln.entries = append(ln.entries, entry[M]{dst: dst, m: m, raw: 1})
+	}
+}
+
 // Deliver drains every lane addressed to worker w, in source-worker
 // order, into the inboxes of w's vertices. onFirstMail, when non-nil,
 // fires once per vertex whose raw-received count transitions from

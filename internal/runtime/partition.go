@@ -1,0 +1,107 @@
+package runtime
+
+import (
+	"fmt"
+
+	"vcgraph/internal/graph"
+)
+
+// Graph partitioning: how vertices map to workers. The paper's §1
+// names partitioning among the key system-level optimizations for
+// vertex-centric frameworks; the choice changes the per-worker load
+// maxima (w_i, s_i, r_i) and therefore the measured superstep cost
+// max(w, g·h, L), while never changing results. The runtime owns the
+// three standard strategies — hash (vertex-balanced), range, and
+// degree-balanced (edge-balanced, the PowerGraph-family answer to
+// power-law skew) — shared by every engine's config.
+
+// Partitioner assigns each vertex to a worker in [0, workers).
+type Partitioner func(g *graph.Graph, workers int) []int32
+
+// PartitionHash spreads vertices round-robin by ID (the Pregel
+// default, good for ID-uncorrelated load).
+func PartitionHash(g *graph.Graph, workers int) []int32 {
+	owner := make([]int32, g.N())
+	for v := range owner {
+		owner[v] = int32(v % workers)
+	}
+	return owner
+}
+
+// PartitionRange gives each worker a contiguous ID range (locality for
+// ID-correlated graphs, but prone to imbalance when degree correlates
+// with ID, as in preferential-attachment graphs).
+func PartitionRange(g *graph.Graph, workers int) []int32 {
+	n := g.N()
+	owner := make([]int32, n)
+	if n == 0 {
+		return owner
+	}
+	for v := range owner {
+		owner[v] = int32(v * workers / n)
+		if owner[v] >= int32(workers) {
+			owner[v] = int32(workers) - 1
+		}
+	}
+	return owner
+}
+
+// PartitionDegreeBalanced greedily assigns vertices in decreasing
+// degree order to the currently lightest worker (longest-processing-
+// time heuristic), balancing total adjacent-edge load rather than
+// vertex count. Degrees come from the graph's CSR snapshot (building
+// the transpose for directed graphs), so no EnsureIn call is required
+// beforehand.
+func PartitionDegreeBalanced(g *graph.Graph, workers int) []int32 {
+	n := g.N()
+	c := g.CSR()
+	c.EnsureIn()
+	owner := make([]int32, n)
+	order := make([]graph.VertexID, n)
+	// Counting sort by degree, descending.
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		if d := c.TotalDegree(graph.VertexID(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	buckets := make([][]graph.VertexID, maxDeg+1)
+	for v := 0; v < n; v++ {
+		d := c.TotalDegree(graph.VertexID(v))
+		buckets[d] = append(buckets[d], graph.VertexID(v))
+	}
+	idx := 0
+	for d := maxDeg; d >= 0; d-- {
+		for _, v := range buckets[d] {
+			order[idx] = v
+			idx++
+		}
+	}
+	load := make([]int64, workers)
+	for _, v := range order {
+		best := 0
+		for w := 1; w < workers; w++ {
+			if load[w] < load[best] {
+				best = w
+			}
+		}
+		owner[v] = int32(best)
+		load[best] += int64(c.TotalDegree(v) + 1)
+	}
+	return owner
+}
+
+// GroupByOwner buckets vertices by owning worker, ascending within each
+// bucket — the worker -> owned-vertices view every engine derives from
+// a Partitioner's output. It panics (prefixed with name, the engine)
+// when the assignment maps a vertex outside [0, workers).
+func GroupByOwner(name string, owner []int32, workers int) [][]graph.VertexID {
+	verts := make([][]graph.VertexID, workers)
+	for v, w := range owner {
+		if w < 0 || int(w) >= workers {
+			panic(fmt.Sprintf("%s: partitioner assigned vertex %d to out-of-range worker %d (of %d)", name, v, w, workers))
+		}
+		verts[w] = append(verts[w], graph.VertexID(v))
+	}
+	return verts
+}

@@ -88,7 +88,7 @@ func (p *colProgram) Compute(ctx *pregel.Context[colValue, colMsg], msgs []colMs
 		if v.blockedPhase == c {
 			return
 		}
-		d := len(ctx.OutEdges())
+		d := ctx.OutDegree()
 		if d == 0 {
 			v.color = c // trivial MIS: isolated (or everything around is colored)
 			return

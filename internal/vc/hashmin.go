@@ -25,12 +25,12 @@ func (hashMinProgram) Compute(ctx *pregel.Context[hashMinValue, VertexID], msgs 
 	v := ctx.Value()
 	if ctx.Superstep() == 0 {
 		// min over {v} ∪ neighbors(v), then broadcast.
-		for _, e := range ctx.OutEdges() {
+		ctx.ForEachOut(func(dst VertexID, w float64) {
 			ctx.Charge(1)
-			if e.Dst < v.min {
-				v.min = e.Dst
+			if dst < v.min {
+				v.min = dst
 			}
-		}
+		})
 		ctx.SendToNeighbors(v.min)
 		ctx.VoteToHalt()
 		return
@@ -70,13 +70,13 @@ func (hashMinProgram) FinishSerially(fc *pregel.FinishContext[hashMinValue, Vert
 		v := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		label := fc.Value(v).min
-		for _, e := range fc.OutEdges(v) {
+		fc.ForEachOut(v, func(dst VertexID, _ float64) {
 			work++
-			if w := fc.Value(e.Dst); label < w.min {
+			if w := fc.Value(dst); label < w.min {
 				w.min = label
-				queue = append(queue, e.Dst)
+				queue = append(queue, dst)
 			}
-		}
+		})
 	}
 	return work
 }

@@ -64,11 +64,12 @@ func hIndex(own int32, ests map[VertexID]int32) int32 {
 func (kcoreProgram) Compute(ctx *pregel.Context[kcoreValue, kcoreMsg], msgs []kcoreMsg) {
 	v := ctx.Value()
 	if ctx.Superstep() == 0 {
-		v.nbrEst = make(map[VertexID]int32, len(ctx.OutEdges()))
+		v.nbrEst = make(map[VertexID]int32, ctx.OutDegree())
 		// Until a neighbor reports, assume the most optimistic bound.
-		for _, e := range ctx.OutEdges() {
-			v.nbrEst[e.Dst] = int32(ctx.Degree())
-		}
+		deg := int32(ctx.Degree())
+		ctx.ForEachOut(func(dst VertexID, _ float64) {
+			v.nbrEst[dst] = deg
+		})
 		ctx.SendToNeighbors(kcoreMsg{From: ctx.ID(), Est: v.est})
 		return // everyone re-evaluates at superstep 1
 	}

@@ -62,7 +62,7 @@ func (p *misProgram) Compute(ctx *pregel.Context[misValue, colMsg], msgs []colMs
 	switch ctx.Global("phase").(int) {
 	case colTent:
 		v.tentative = false
-		d := len(ctx.OutEdges())
+		d := ctx.OutDegree()
 		if d == 0 {
 			v.state = misIn // isolated: trivially in the MIS
 			return

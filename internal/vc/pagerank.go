@@ -34,9 +34,8 @@ func (p *prProgram) Compute(ctx *pregel.Context[prValue, float64], msgs []float6
 		ctx.Value().rank = (1-p.alpha)/float64(p.n) + p.alpha*sum
 	}
 	if s < p.k {
-		out := ctx.OutEdges()
-		if len(out) > 0 {
-			share := ctx.Value().rank / float64(len(out))
+		if d := ctx.OutDegree(); d > 0 {
+			share := ctx.Value().rank / float64(d)
 			ctx.SendToNeighbors(share)
 		}
 		return
@@ -86,8 +85,8 @@ func (p *prConvergeProgram) Compute(ctx *pregel.Context[prValue, float64], msgs 
 		ctx.Aggregate("delta", diff)
 		v.rank = next
 	}
-	if out := ctx.OutEdges(); len(out) > 0 {
-		ctx.SendToNeighbors(v.rank / float64(len(out)))
+	if d := ctx.OutDegree(); d > 0 {
+		ctx.SendToNeighbors(v.rank / float64(d))
 	}
 }
 

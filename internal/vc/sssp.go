@@ -36,9 +36,9 @@ func (p *ssspProgram) Compute(ctx *pregel.Context[ssspValue, float64], msgs []fl
 		}
 	}
 	if improved {
-		for _, e := range ctx.OutEdges() {
-			ctx.SendTo(e.Dst, v.dist+e.W)
-		}
+		ctx.ForEachOut(func(dst VertexID, w float64) {
+			ctx.SendTo(dst, v.dist+w)
+		})
 	}
 	ctx.VoteToHalt()
 }

@@ -10,6 +10,7 @@ import (
 	"vcgraph/internal/bsp"
 	"vcgraph/internal/gas"
 	"vcgraph/internal/graph"
+	"vcgraph/internal/pregel"
 )
 
 // Cross-engine stats parity: all four engines now price supersteps
@@ -142,6 +143,112 @@ func TestStatsParitySSSP(t *testing.T) {
 		t.Fatal(err)
 	}
 	check(t, "gas w1 vs w4", g1.Stats, g4.Stats)
+}
+
+// TestStatsParityPartitioners checks that partitioning is
+// results-invisible: for every partitioner in {hash, range,
+// degree-balanced} and several worker counts, a synchronous engine must
+// produce identical verdicts (output values), identical superstep
+// counts, and identical per-superstep active/sent/work totals — the
+// schedule is a property of the graph and algorithm, not of vertex
+// placement. Only the per-worker balance (MaxWork) may differ, which is
+// the whole point of choosing a partitioner.
+func TestStatsParityPartitioners(t *testing.T) {
+	g := parityGraph(t)
+
+	parts := []struct {
+		name string
+		p    pregel.Partitioner
+	}{
+		{"hash", pregel.PartitionHash},
+		{"range", pregel.PartitionRange},
+		{"degree", pregel.PartitionDegreeBalanced},
+	}
+
+	checkTotals := func(t *testing.T, name string, ref, got *bsp.Stats) {
+		t.Helper()
+		if ref.NumSupersteps() != got.NumSupersteps() {
+			t.Fatalf("%s: supersteps %d, want %d", name, got.NumSupersteps(), ref.NumSupersteps())
+		}
+		for _, dim := range []struct {
+			what string
+			f    func(bsp.SuperstepStats) int64
+		}{
+			{"active", func(ss bsp.SuperstepStats) int64 { return ss.ActiveVertices() }},
+			{"sent", func(ss bsp.SuperstepStats) int64 { return sumOf(ss.Sent) }},
+			{"work", func(ss bsp.SuperstepStats) int64 { return sumOf(ss.Work) }},
+		} {
+			pr, pg := perStep(ref, dim.f), perStep(got, dim.f)
+			for i := range pr {
+				if pg[i] != pr[i] {
+					t.Errorf("%s: superstep %d total %s = %d, want %d", name, i, dim.what, pg[i], pr[i])
+				}
+			}
+		}
+	}
+
+	t.Run("pregel/sssp", func(t *testing.T) {
+		ref, err := SSSP(g, 0, Config{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pt := range parts {
+			for _, w := range []int{2, 4} {
+				res, err := SSSP(g, 0, Config{Workers: w, Partition: pt.p})
+				if err != nil {
+					t.Fatalf("%s/w%d: %v", pt.name, w, err)
+				}
+				name := fmt.Sprintf("%s/w%d", pt.name, w)
+				for v := range res.Dist {
+					if res.Dist[v] != ref.Dist[v] {
+						t.Fatalf("%s: dist[%d] = %v, want %v", name, v, res.Dist[v], ref.Dist[v])
+					}
+				}
+				checkTotals(t, name, ref.Stats, res.Stats)
+			}
+		}
+	})
+
+	t.Run("pregel/hashmin", func(t *testing.T) {
+		ref, err := HashMinCC(g, Config{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pt := range parts {
+			res, err := HashMinCC(g, Config{Workers: 3, Partition: pt.p})
+			if err != nil {
+				t.Fatalf("%s: %v", pt.name, err)
+			}
+			for v := range res.Color {
+				if res.Color[v] != ref.Color[v] {
+					t.Fatalf("%s: component[%d] = %v, want %v", pt.name, v, res.Color[v], ref.Color[v])
+				}
+			}
+			checkTotals(t, pt.name, ref.Stats, res.Stats)
+		}
+	})
+
+	t.Run("gas/sssp", func(t *testing.T) {
+		refDist, refStats, err := gas.SSSP(g, 0, gas.Config{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pt := range parts {
+			for _, w := range []int{2, 4} {
+				dist, st, err := gas.SSSP(g, 0, gas.Config{Workers: w, Partition: pt.p})
+				if err != nil {
+					t.Fatalf("%s/w%d: %v", pt.name, w, err)
+				}
+				name := fmt.Sprintf("%s/w%d", pt.name, w)
+				for v := range dist {
+					if dist[v] != refDist[v] {
+						t.Fatalf("%s: dist[%d] = %v, want %v", name, v, dist[v], refDist[v])
+					}
+				}
+				checkTotals(t, name, refStats.Stats, st.Stats)
+			}
+		}
+	})
 }
 
 // TestDriverMeasuredAccounting checks the driver-populated measured

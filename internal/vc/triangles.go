@@ -55,9 +55,9 @@ func (p *triProgram) less(a, b VertexID) bool { return p.rank[a] < p.rank[b] }
 
 func (p *triProgram) Init(g *graph.Graph, id VertexID) triValue {
 	var higher []VertexID
-	for _, e := range g.Out[id] {
-		if p.less(id, e.Dst) {
-			higher = append(higher, e.Dst)
+	for _, dst := range g.CSR().Out(id) {
+		if p.less(id, dst) {
+			higher = append(higher, dst)
 		}
 	}
 	sort.Slice(higher, func(i, j int) bool { return higher[i] < higher[j] })
