@@ -11,7 +11,7 @@ COVERDIR := /tmp
 endif
 COVERPROFILE ?= $(COVERDIR)/vcgraph-cover.out
 
-.PHONY: all build vet test race cover fuzz-smoke bench bench-csr table1 ext figures ablations examples clean
+.PHONY: all build vet test race cover fuzz-smoke bench bench-csr bench-direction bench-guard table1 ext figures ablations examples clean
 
 all: build vet test
 
@@ -53,6 +53,18 @@ bench:
 # /tmp; the committed record of before/after numbers is BENCH_csr.json.
 bench-csr:
 	$(GO) test -run='^$$' -bench='^BenchmarkCSR' -benchmem -benchtime=2x -count=1 . | tee /tmp/bench_csr.txt
+
+# Direction-optimizing execution suite: PageRank/Hash-Min/k-core across
+# push/pull/auto and worker counts. Raw output lands in /tmp; the
+# committed record is BENCH_direction.json, whose headline ratios
+# bench-guard enforces.
+bench-direction:
+	$(GO) test -run='^$$' -bench='^BenchmarkDirection' -benchmem -benchtime=3x -count=1 . | tee /tmp/bench_direction.txt
+
+# Re-measure every headline ratio declared in BENCH_*.json and fail if
+# any regressed beyond its tolerance/floor. Runs in CI after tier-1.
+bench-guard:
+	$(GO) run ./cmd/benchguard
 
 table1:
 	$(GO) run ./cmd/table1 -details

@@ -11,13 +11,20 @@ import (
 	"os"
 
 	"vcgraph/internal/core"
+	"vcgraph/internal/runtime"
 	"vcgraph/internal/vc"
 )
 
 func main() {
 	workers := flag.Int("workers", 4, "BSP workers")
+	modeFlag := flag.String("mode", "auto", "message direction for the vertex-centric runs: push, pull, or auto")
 	flag.Parse()
-	outs, err := core.Ablations(vc.Config{Workers: *workers})
+	mode, err := runtime.ParseDirectionMode(*modeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ablations:", err)
+		os.Exit(1)
+	}
+	outs, err := core.Ablations(vc.Config{Workers: *workers, Mode: mode})
 	for _, s := range outs {
 		fmt.Println(s)
 	}

@@ -1,0 +1,229 @@
+// Command benchguard enforces the committed benchmark headlines: every
+// BENCH_*.json may declare a "headlines" object mapping a name to a
+// {baseline, bench, metric, ratio} record, where baseline and bench are
+// benchmark names runnable at HEAD and ratio is the committed
+// baseline/bench improvement. The guard re-measures each pair and fails
+// (exit 1) when a fresh ratio falls below the committed one by more
+// than the tolerance (default 15%) — i.e. when a change erodes a
+// headline speedup the repository advertises.
+//
+// Historical before/after records (BENCH files whose "before" side no
+// longer exists at HEAD) simply declare no headlines and are skipped.
+//
+// Usage:
+//
+//	go run ./cmd/benchguard [-dir .] [-benchtime 3x] [-tolerance 0.85]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type headline struct {
+	Baseline string  `json:"baseline"`
+	Bench    string  `json:"bench"`
+	Metric   string  `json:"metric"` // ns_op, bytes_op, or allocs_op
+	Ratio    float64 `json:"ratio"`
+	// Floor, when set, replaces ratio x tolerance as the enforced
+	// minimum. Wall-clock headlines measured on crowded runners declare
+	// an explicit floor wide enough to absorb scheduler noise while
+	// still catching a speedup that collapses toward parity;
+	// deterministic metrics (bytes_op, allocs_op) leave it unset.
+	Floor float64 `json:"floor"`
+}
+
+type benchFile struct {
+	Headlines map[string]headline `json:"headlines"`
+}
+
+func main() {
+	dir := flag.String("dir", ".", "repository root holding the BENCH_*.json files")
+	benchtime := flag.String("benchtime", "3x", "-benchtime passed to go test")
+	tolerance := flag.Float64("tolerance", 0.85, "fail when fresh ratio < committed ratio x tolerance")
+	flag.Parse()
+
+	headlines, err := loadHeadlines(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	if len(headlines) == 0 {
+		fmt.Println("benchguard: no headlines declared in any BENCH_*.json, nothing to enforce")
+		return
+	}
+	names := map[string]bool{}
+	for _, h := range headlines {
+		names[h.Baseline] = true
+		names[h.Bench] = true
+	}
+	results, err := measure(*dir, *benchtime, names)
+	if err != nil {
+		fatal(err)
+	}
+
+	keys := make([]string, 0, len(headlines))
+	for k := range headlines {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	failed := false
+	for _, k := range keys {
+		h := headlines[k]
+		base, okB := results[h.Baseline]
+		bench, okN := results[h.Bench]
+		if !okB || !okN {
+			fmt.Printf("FAIL %-40s missing benchmark output (baseline %v, bench %v)\n", k, okB, okN)
+			failed = true
+			continue
+		}
+		bv, nv := base.metric(h.Metric), bench.metric(h.Metric)
+		if bv <= 0 || nv <= 0 {
+			fmt.Printf("FAIL %-40s metric %s not reported\n", k, h.Metric)
+			failed = true
+			continue
+		}
+		fresh := bv / nv
+		floor := h.Ratio * *tolerance
+		if h.Floor > 0 {
+			floor = h.Floor
+		}
+		status := "ok  "
+		if fresh < floor {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-40s %-9s committed %.2fx  fresh %.2fx  floor %.2fx\n",
+			status, k, h.Metric, h.Ratio, fresh, floor)
+	}
+	if failed {
+		fmt.Println("benchguard: headline ratio regressed beyond tolerance")
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}
+
+func loadHeadlines(dir string) (map[string]headline, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]headline{}
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var f benchFile
+		if err := json.Unmarshal(b, &f); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		for name, h := range f.Headlines {
+			if h.Baseline == "" || h.Bench == "" || h.Ratio <= 0 {
+				return nil, fmt.Errorf("%s: headline %q is incomplete", p, name)
+			}
+			if h.Metric == "" {
+				h.Metric = "ns_op"
+			}
+			out[filepath.Base(p)+":"+name] = h
+		}
+	}
+	return out, nil
+}
+
+type measurement struct {
+	nsOp     float64
+	bytesOp  float64
+	allocsOp float64
+}
+
+func (m measurement) metric(name string) float64 {
+	switch name {
+	case "bytes_op":
+		return m.bytesOp
+	case "allocs_op":
+		return m.allocsOp
+	}
+	return m.nsOp
+}
+
+// measure runs exactly the needed sub-benchmarks in one `go test`
+// invocation: the -bench regex matches path segments, so the union of
+// alternatives per segment position selects a (possibly slightly
+// larger) cross product containing every requested name.
+func measure(dir, benchtime string, names map[string]bool) (map[string]measurement, error) {
+	bySegments := map[int][][]string{}
+	for name := range names {
+		segs := strings.Split(name, "/")
+		bySegments[len(segs)] = append(bySegments[len(segs)], segs)
+	}
+	var patterns []string
+	for n, group := range bySegments {
+		parts := make([]string, n)
+		for i := 0; i < n; i++ {
+			alts := map[string]bool{}
+			for _, segs := range group {
+				alts[regexp.QuoteMeta(segs[i])] = true
+			}
+			sorted := make([]string, 0, len(alts))
+			for a := range alts {
+				sorted = append(sorted, a)
+			}
+			sort.Strings(sorted)
+			parts[i] = "^(" + strings.Join(sorted, "|") + ")$"
+		}
+		patterns = append(patterns, strings.Join(parts, "/"))
+	}
+	sort.Strings(patterns)
+	results := map[string]measurement{}
+	for _, pat := range patterns {
+		cmd := exec.Command("go", "test", "-run=^$", "-bench="+pat,
+			"-benchmem", "-benchtime="+benchtime, "-count=1", ".")
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			return nil, fmt.Errorf("go test -bench=%s: %w\n%s", pat, err, out)
+		}
+		parseBenchOutput(string(out), results)
+	}
+	return results, nil
+}
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func parseBenchOutput(out string, results map[string]measurement) {
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		var m measurement
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.nsOp = v
+			case "B/op":
+				m.bytesOp = v
+			case "allocs/op":
+				m.allocsOp = v
+			}
+		}
+		results[name] = m
+	}
+}

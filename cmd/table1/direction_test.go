@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+
+	"vcgraph/internal/core"
+	"vcgraph/internal/runtime"
+	"vcgraph/internal/vc"
+)
+
+// TestTable1GoldenAcrossModes renders the full Table 1 CSV under forced
+// push and forced pull and requires both byte-identical to the stored
+// golden (which TestTable1Golden already pins under the default auto
+// mode). Direction-optimizing execution must be invisible to every
+// reported metric: verdicts, superstep counts, local work, and the
+// time-processor products — pulled dense supersteps are work-dominated
+// under the default cost model, so collapsing their message volume
+// cannot move max(w, g·h, L).
+func TestTable1GoldenAcrossModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full Table 1 runs in -short mode")
+	}
+	want := readGolden(t)
+	for _, mode := range []runtime.DirectionMode{runtime.DirectionPush, runtime.DirectionPull} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
+			outs, err := core.RunAll(vc.Config{Workers: 4, Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := core.RenderCSV(outs); got != want {
+				t.Errorf("mode %s: Table 1 CSV differs from the golden file", mode)
+			}
+		})
+	}
+}

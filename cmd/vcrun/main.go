@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	vcrun -algo pagerank -gen powerlaw -n 10000 -m 3 [-workers 4] [-seed 1]
+//	vcrun -algo pagerank -gen powerlaw -n 10000 -m 3 [-workers 4] [-seed 1] [-mode push|pull|auto]
 //
 // Algorithms: pagerank, prconverge, sssp, hashmin, sv, wcc, scc, bcc,
 // diameter, doublesweep, euler, traversal, spanning, mcst, coloring,
@@ -48,7 +48,13 @@ func main() {
 	dot := flag.String("dot", "", "also write the graph in Graphviz DOT format to this file")
 	checkpoint := flag.Int("checkpoint", 0, "checkpoint every k supersteps (0 = off)")
 	faults := flag.Int64("faults", 0, "inject a seeded random fault plan (0 = none); implies -checkpoint 2 unless set")
+	modeFlag := flag.String("mode", "auto", "message direction: push, pull, or auto (pull dense supersteps when the algorithm has a combiner)")
 	flag.Parse()
+
+	mode, err := runtime.ParseDirectionMode(*modeFlag)
+	if err != nil {
+		fail(err)
+	}
 
 	var plan *runtime.FaultPlan
 	if *faults != 0 {
@@ -59,7 +65,6 @@ func main() {
 	}
 
 	var g *graph.Graph
-	var err error
 	if *load != "" {
 		g, err = loadGraph(*load)
 	} else {
@@ -90,7 +95,7 @@ func main() {
 	if *load != "" {
 		source = "file:" + *load
 	}
-	cfg := vc.Config{Workers: *workers, Seed: *seed, CheckpointEvery: *checkpoint, Faults: plan}
+	cfg := vc.Config{Workers: *workers, Seed: *seed, CheckpointEvery: *checkpoint, Faults: plan, Mode: mode}
 	start := time.Now()
 	summary, stats, err := run(*algo, g, graph.VertexID(*src), cfg, *seed)
 	if err != nil {
@@ -103,7 +108,8 @@ func main() {
 	fmt.Printf("result:     %s\n", summary)
 	fmt.Printf("wall time:  %v\n", elapsed.Round(time.Microsecond))
 	fmt.Println()
-	fmt.Printf("supersteps:            %d\n", stats.NumSupersteps())
+	fmt.Printf("supersteps:            %d (mode %s, %d pulled)\n",
+		stats.NumSupersteps(), mode, stats.PulledSupersteps())
 	fmt.Printf("messages:              %d\n", stats.TotalMessages)
 	fmt.Printf("local work units:      %d\n", stats.TotalWork)
 	fmt.Printf("time-processor product: %.0f (P=%d, g=%.0f, L=%.0f)\n",

@@ -223,7 +223,14 @@ func (p *policy[V]) RedoneUnits(resumed, failed int) int {
 
 // Superstep implements runtime.Policy: drain up to one epoch of
 // updates, applying each immediately (the asynchronous semantics).
+// Update functions gather from live neighbor values, so the engine is
+// pull-based by construction; an epoch that starts with a dense
+// worklist is marked Pulled — the asynchronous analogue of a
+// dense-frontier superstep — and its activations take the bulk
+// FIFO.PushAll path (identical order and dedup to per-vertex pushes,
+// with the queue bookkeeping hoisted out of the loop).
 func (p *policy[V]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) {
+	ss.Pulled = rt.ChoosePull(rt.DirectionAuto, true, p.queue.Len(), p.g.N(), 0)
 	for i := 0; i < p.epochLen; i++ {
 		v, ok := p.queue.Pop()
 		if !ok {
@@ -235,10 +242,9 @@ func (p *policy[V]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) {
 		p.updates++
 		ss.Work[0]++
 		ss.Active[0]++
-		for _, w := range p.prog.Update(p.ctx, v) {
-			ss.Sent[0]++
-			p.queue.Push(w)
-		}
+		acts := p.prog.Update(p.ctx, v)
+		ss.Sent[0] += int64(len(acts))
+		p.queue.PushAll(acts)
 	}
 	return p.queue.Len(), nil
 }

@@ -53,6 +53,16 @@ type Config struct {
 	// discarded. FaultEvent.Worker/Lane address source/destination
 	// blocks.
 	Faults *rt.FaultPlan
+	// Mode opts into block-local pull (runtime.DirectionPull): messages
+	// whose destination lives in the sending block bypass the shared
+	// outbox and the sequential boundary exchange entirely — each block
+	// folds them into its own inbox during the parallel phase, before
+	// the boundary push. Sent/Recv then count boundary traffic only
+	// (the quantity the BSP h term models), and such supersteps are
+	// marked Pulled. Block-centric has no frontier heuristic, so
+	// DirectionAuto (the zero value) behaves like DirectionPush here;
+	// the optimization is strictly opt-in.
+	Mode rt.DirectionMode
 }
 
 // ErrSuperstepCap mirrors pregel.ErrSuperstepCap. It aliases
@@ -81,14 +91,25 @@ type Engine[V, M any] struct {
 	outbox [][]addr[M]        // per block (source)
 	stats  *bsp.Stats
 	driver *rt.Driver[*bcSnapshot[V, M]]
+
+	// Block-local pull state (Config.Mode == DirectionPull). localOut
+	// buffers a block's sends to its own vertices during ComputeBlock;
+	// they are folded into the block's inbox in the parallel phase, so
+	// localOut is always empty at the barrier. inboxLocal counts how
+	// many of the messages sitting in each inbox arrived locally, so
+	// Recv can be reported boundary-only.
+	pullLocal  bool
+	localOut   [][]addr[M]
+	inboxLocal []int64
 }
 
 // bcSnapshot is one checkpoint generation: the barrier state entering
 // a superstep (boundary messages already delivered to inboxes).
 type bcSnapshot[V, M any] struct {
-	values []V
-	halted []bool
-	inbox  []map[VertexID][]M
+	values     []V
+	halted     []bool
+	inbox      []map[VertexID][]M
+	inboxLocal []int64
 }
 
 type addr[M any] struct {
@@ -120,6 +141,11 @@ func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config) *Engine
 		outbox: make([][]addr[M], cfg.Blocks),
 		stats:  &bsp.Stats{Workers: cfg.Blocks, N: g.N()},
 	}
+	e.pullLocal = cfg.Mode == rt.DirectionPull
+	if e.pullLocal {
+		e.localOut = make([][]addr[M], cfg.Blocks)
+	}
+	e.inboxLocal = make([]int64, cfg.Blocks)
 	e.blocks = rt.GroupByOwner("blockcentric", e.owner, cfg.Blocks)
 	for b := range e.inbox {
 		e.inbox[b] = map[VertexID][]M{}
@@ -168,9 +194,10 @@ func (e *Engine[V, M]) Quiescent(step, pending int) bool {
 func (e *Engine[V, M]) Snapshot() *bcSnapshot[V, M] {
 	nb := e.cfg.Blocks
 	ck := &bcSnapshot[V, M]{
-		values: rt.CloneValues[V](e.prog, e.values),
-		halted: append([]bool(nil), e.halted...),
-		inbox:  make([]map[VertexID][]M, nb),
+		values:     rt.CloneValues[V](e.prog, e.values),
+		halted:     append([]bool(nil), e.halted...),
+		inbox:      make([]map[VertexID][]M, nb),
+		inboxLocal: append([]int64(nil), e.inboxLocal...),
 	}
 	for b := 0; b < nb; b++ {
 		ck.inbox[b] = make(map[VertexID][]M, len(e.inbox[b]))
@@ -193,17 +220,25 @@ func (e *Engine[V, M]) Restore(ck *bcSnapshot[V, M], step int, ok bool) {
 			e.halted[b] = false
 			clear(e.inbox[b])
 			e.outbox[b] = e.outbox[b][:0]
+			e.inboxLocal[b] = 0
+			if e.pullLocal {
+				e.localOut[b] = e.localOut[b][:0]
+			}
 		}
 		return
 	}
 	e.values = rt.CloneValues[V](e.prog, ck.values)
 	copy(e.halted, ck.halted)
+	copy(e.inboxLocal, ck.inboxLocal)
 	for b := range e.inbox {
 		clear(e.inbox[b])
 		for v, ms := range ck.inbox[b] {
 			e.inbox[b][v] = append([]M(nil), ms...)
 		}
 		e.outbox[b] = e.outbox[b][:0]
+		if e.pullLocal {
+			e.localOut[b] = e.localOut[b][:0]
+		}
 	}
 }
 
@@ -213,6 +248,7 @@ func (e *Engine[V, M]) Restore(ck *bcSnapshot[V, M], step int, ok bool) {
 // or redelivered.
 func (e *Engine[V, M]) Superstep(superstep int, ss *bsp.SuperstepStats) (int, error) {
 	nb := e.cfg.Blocks
+	ss.Pulled = e.pullLocal
 	e.driver.Pool().Run(func(b int) {
 		msgs := e.inbox[b]
 		if e.halted[b] && len(msgs) == 0 && superstep > 0 {
@@ -223,6 +259,11 @@ func (e *Engine[V, M]) Superstep(superstep int, ss *bsp.SuperstepStats) (int, er
 		for _, ms := range msgs {
 			ss.Recv[b] += int64(len(ms))
 		}
+		// Locally-pulled messages never crossed a block boundary; Recv
+		// reports boundary traffic only (the h term the cost model
+		// charges). inboxLocal is zero when pull is off.
+		ss.Recv[b] -= e.inboxLocal[b]
+		e.inboxLocal[b] = 0
 		ctx := &BlockContext[V, M]{engine: e, block: b, superstep: superstep}
 		e.prog.ComputeBlock(ctx, msgs)
 		// Reuse the inbox map's buckets across supersteps instead of
@@ -233,11 +274,29 @@ func (e *Engine[V, M]) Superstep(superstep int, ss *bsp.SuperstepStats) (int, er
 		}
 		ss.Work[b] = ctx.work + 1
 		ss.Sent[b] = ctx.sent
+		if e.pullLocal {
+			// Block-local pull: fold this block's sends to itself into
+			// its own (just-cleared) inbox right here in the parallel
+			// phase — no shared outbox, no boundary exchange, no
+			// in-transit window for fault injection. Each block touches
+			// only inbox[b], so the concurrent folds are race-free.
+			for _, am := range e.localOut[b] {
+				msgs[am.dst] = append(msgs[am.dst], am.m)
+			}
+			e.inboxLocal[b] = int64(len(e.localOut[b]))
+			e.localOut[b] = e.localOut[b][:0]
+		}
 	})
 
-	// Deliver boundary messages.
+	// Deliver boundary messages. Locally-pulled deliveries still count
+	// toward pending — a halted block with fresh local mail must wake,
+	// and Quiescent must not declare the run drained while any inbox
+	// holds messages.
 	inj := e.driver.Injector()
 	pending := 0
+	for b := 0; b < nb; b++ {
+		pending += int(e.inboxLocal[b])
+	}
 	for src := 0; src < nb; src++ {
 		var drop []bool
 		if inj != nil {
@@ -320,9 +379,23 @@ func (c *BlockContext[V, M]) ForEachOut(v VertexID, f func(dst VertexID, w float
 }
 
 // SendTo sends m to a (typically remote) vertex for the next superstep.
+// Under block-local pull (Config.Mode == DirectionPull) a message to a
+// vertex of the sending block is buffered locally and folded into the
+// block's own inbox in the parallel phase; it is not counted in Sent,
+// which then reports boundary traffic only. Within one destination
+// vertex all same-source-block messages are either all local or all
+// boundary, so each slice's internal order matches push mode — only the
+// local-before-boundary interleaving differs (visible solely to
+// order-sensitive float folds such as PageRank's sum, which stays
+// deterministic and equal up to rounding).
 func (c *BlockContext[V, M]) SendTo(dst VertexID, m M) {
+	e := c.engine
+	if e.pullLocal && int(e.owner[dst]) == c.block {
+		e.localOut[c.block] = append(e.localOut[c.block], addr[M]{dst: dst, m: m})
+		return
+	}
 	c.sent++
-	c.engine.outbox[c.block] = append(c.engine.outbox[c.block], addr[M]{dst: dst, m: m})
+	e.outbox[c.block] = append(e.outbox[c.block], addr[M]{dst: dst, m: m})
 }
 
 // Charge records units of sequential work done inside the block.

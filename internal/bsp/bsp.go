@@ -48,6 +48,13 @@ type SuperstepStats struct {
 	MaxWork int64
 	MaxComm int64
 	Cost    float64
+
+	// Pulled marks a superstep that ran the pull-mode message path
+	// (direction-optimizing execution): broadcasts were gathered over
+	// transpose spans instead of materialized through the mailbox, so
+	// Sent/Recv count only the boundary messages that actually crossed
+	// the wire (0 for a fully-pulled superstep).
+	Pulled bool
 }
 
 // NewSuperstepStats returns a SuperstepStats with per-processor slices
@@ -185,6 +192,18 @@ func (r *Recovery) Add(o Recovery) {
 
 // NumSupersteps returns the number of executed supersteps.
 func (s *Stats) NumSupersteps() int { return len(s.Supersteps) }
+
+// PulledSupersteps returns how many supersteps ran the pull-mode
+// message path.
+func (s *Stats) PulledSupersteps() int {
+	n := 0
+	for _, ss := range s.Supersteps {
+		if ss.Pulled {
+			n++
+		}
+	}
+	return n
+}
 
 // CostModel holds the BSP machine parameters. The paper's analysis
 // takes g = O(1); DefaultModel matches that with unit latency.

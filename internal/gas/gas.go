@@ -59,6 +59,17 @@ type Config struct {
 	// the same rollback, while a duplicated batch is absorbed because
 	// activation delivery is idempotent (a set union).
 	Faults *rt.FaultPlan
+	// Mode selects the scatter direction (gathers always pull): push
+	// materializes per-edge wake buffers; pull has changed vertices
+	// mark a broadcast bit that destinations scan over their transpose
+	// spans — zero scatter traffic, so dense iterations price h = 0;
+	// auto (the default) pulls iterations whose active set is dense.
+	// The activation set is identical either way (v wakes iff some
+	// in-neighbor changed), so results never depend on the mode.
+	Mode rt.DirectionMode
+	// PullThreshold overrides the auto-mode active-set density
+	// threshold (fraction of n; <= 0 means rt.DefaultPullThreshold).
+	PullThreshold float64
 }
 
 // ErrIterationCap reports a run exceeding Config.MaxIterations. It
@@ -105,6 +116,10 @@ func Run[V, G any](g *graph.Graph, prog Program[V, G], cfg Config) (*Result[V], 
 		nextActive: make([]bool, n),
 		wake:       make([][]VertexID, cfg.Workers),
 	}
+	if cfg.Mode != rt.DirectionPush {
+		p.bcast = rt.NewBroadcasts[struct{}](n)
+		p.wakeCount = make([]int64, cfg.Workers)
+	}
 	for v := 0; v < n; v++ {
 		p.cur[v] = prog.Init(g, VertexID(v))
 	}
@@ -143,6 +158,12 @@ type policy[V, G any] struct {
 	active, nextActive []bool
 	activeCount        int
 	wake               [][]VertexID // per-worker scatter buffers, reused
+
+	// Pull-mode scatter (Mode pull/auto): changed vertices mark their
+	// broadcast bit; the activation pass scans transpose spans for
+	// marked in-neighbors instead of merging wake buffers.
+	bcast     *rt.Broadcasts[struct{}]
+	wakeCount []int64 // per-worker activation counts for the pull pass
 }
 
 // Quiescent implements runtime.Policy.
@@ -154,6 +175,13 @@ func (p *policy[V, G]) Quiescent(step, pending int) bool { return p.activeCount 
 func (p *policy[V, G]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) {
 	prog, csr := p.prog, p.csr
 	workers := p.cfg.Workers
+	// Direction choice for the scatter half: GAS Sum is associative and
+	// commutative by contract, so pull is always legal when enabled.
+	pull := rt.ChoosePull(p.cfg.Mode, p.bcast != nil, p.activeCount, p.n, p.cfg.PullThreshold)
+	ss.Pulled = pull
+	if pull {
+		p.bcast.Advance()
+	}
 	p.driver.Pool().Run(func(w int) {
 		var workW, sentW, activeW int64
 		for _, vid := range p.verts[w] {
@@ -175,11 +203,19 @@ func (p *policy[V, G]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) 
 			}
 			workW += int64(len(srcs))
 			if prog.Apply(&p.next[v], total) {
-				// Scatter: wake out-neighbors (buffered per
-				// worker; merged after the barrier).
-				out := csr.Out(vid)
-				sentW += int64(len(out))
-				p.wake[w] = append(p.wake[w], out...)
+				if pull {
+					// Pulled scatter: mark the change; destinations
+					// find it on their transpose spans below. No
+					// wake traffic crosses workers, so Sent stays at
+					// the boundary count (0).
+					p.bcast.Set(vid, struct{}{}, nil)
+				} else {
+					// Scatter: wake out-neighbors (buffered per
+					// worker; merged after the barrier).
+					out := csr.Out(vid)
+					sentW += int64(len(out))
+					p.wake[w] = append(p.wake[w], out...)
+				}
 			}
 			workW++
 			activeW++
@@ -188,31 +224,58 @@ func (p *policy[V, G]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) 
 		ss.Sent[w] = sentW
 		ss.Active[w] = activeW
 	})
-	inj := p.driver.Injector()
 	p.activeCount = 0
-	for w := 0; w < workers; w++ {
-		passes := 1
-		switch inj.LaneFault(step, w, 0) {
-		case rt.FaultDropLane:
-			// The worker's scatter batch is lost in transit; the
-			// activations are unrecoverable, so force a rollback at
-			// the next barrier.
-			passes = 0
-			p.driver.LoseBatch()
-		case rt.FaultDupLane:
-			// A redelivered batch is absorbed: activation is a set
-			// union, so merging it twice is a no-op.
-			passes = 2
-		}
-		for pass := 0; pass < passes; pass++ {
-			for _, v := range p.wake[w] {
-				if !p.nextActive[v] {
-					p.nextActive[v] = true
-					p.activeCount++
+	if pull {
+		// Pull-mode activation: each worker scans its owned vertices'
+		// transpose spans for a marked in-neighbor. The set computed is
+		// exactly ∪ Out(changed) — identical to the wake-buffer merge —
+		// and the writes are sharded by owner, so the pass is race-free
+		// and runs in parallel (the single-threaded merge below is the
+		// push path's serialization point). Nothing is in transit, so
+		// scatter-batch faults have nothing to drop on a pulled
+		// iteration.
+		p.driver.Pool().Run(func(w int) {
+			var cnt int64
+			for _, vid := range p.verts[w] {
+				for _, u := range csr.In(vid) {
+					if p.bcast.Has(u) {
+						p.nextActive[vid] = true
+						cnt++
+						break
+					}
 				}
 			}
+			p.wakeCount[w] = cnt
+		})
+		for w := 0; w < workers; w++ {
+			p.activeCount += int(p.wakeCount[w])
 		}
-		p.wake[w] = p.wake[w][:0]
+	} else {
+		inj := p.driver.Injector()
+		for w := 0; w < workers; w++ {
+			passes := 1
+			switch inj.LaneFault(step, w, 0) {
+			case rt.FaultDropLane:
+				// The worker's scatter batch is lost in transit; the
+				// activations are unrecoverable, so force a rollback at
+				// the next barrier.
+				passes = 0
+				p.driver.LoseBatch()
+			case rt.FaultDupLane:
+				// A redelivered batch is absorbed: activation is a set
+				// union, so merging it twice is a no-op.
+				passes = 2
+			}
+			for pass := 0; pass < passes; pass++ {
+				for _, v := range p.wake[w] {
+					if !p.nextActive[v] {
+						p.nextActive[v] = true
+						p.activeCount++
+					}
+				}
+			}
+			p.wake[w] = p.wake[w][:0]
+		}
 	}
 	p.cur, p.next = p.next, p.cur
 	p.active, p.nextActive = p.nextActive, p.active

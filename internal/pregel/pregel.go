@@ -94,6 +94,16 @@ type Config[M any] struct {
 	// the plan's seed (see runtime.FaultPlan). Crashes and dropped
 	// lanes roll the engine back to its last readable checkpoint.
 	Faults *rt.FaultPlan
+	// Mode selects the message path direction: push (every message is
+	// materialized through the mailbox), pull (supersteps with a
+	// combiner gather broadcasts over CSR transpose spans), or auto
+	// (the default: pull when the active frontier is dense). Pull
+	// requires a Combiner; without one every superstep pushes.
+	Mode rt.DirectionMode
+	// PullThreshold overrides the auto-mode frontier density above
+	// which a superstep is pulled, as a fraction of n
+	// (<= 0 means runtime.DefaultPullThreshold, 1/20).
+	PullThreshold float64
 }
 
 // ErrSuperstepCap reports that the run exceeded Config.MaxSupersteps.
@@ -143,11 +153,20 @@ type Engine[V, M any] struct {
 	wl     *rt.Worklists                    // vertices to compute next superstep
 	driver *rt.Driver[*checkpoint[V, M]]    // shared superstep kernel, live for one Run
 
+	// Direction-optimizing execution (nil/false unless a combiner is
+	// registered and Mode permits pull): per-vertex broadcast slots
+	// written during pulled compute phases and per-worker gather
+	// scratch that folds transpose spans in push-identical order.
+	bcast    *rt.Broadcasts[M]
+	gather   []*rt.Gatherer[M]
+	pullStep bool // current superstep runs the pull path
+
 	// Per-superstep scratch, allocated once per engine.
 	ctxs      []Context[V, M]
 	workerMax []maxima
 	delivered []int64
 	placed    []int64
+	pulledRaw []int64          // raw messages gathered per worker (pull steps)
 	onMail    []func(VertexID) // per-worker worklist hook for delivery
 
 	aggs        map[string]Aggregator
@@ -211,10 +230,23 @@ func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[M]) *Eng
 	e.verts = rt.GroupByOwner("pregel", e.ownerOf, cfg.Workers)
 	e.mbox = rt.NewMailbox[M](cfg.Workers, e.ownerOf, cfg.Combiner)
 	e.wl = rt.NewWorklists(cfg.Workers, n)
+	if cfg.Combiner != nil && cfg.Mode != rt.DirectionPush {
+		// Pull path: broadcast slots plus per-worker gather scratch
+		// over the CSR transpose (shared with the out-CSR for
+		// undirected graphs, built once with a counting sort for
+		// directed ones).
+		e.csr.EnsureIn()
+		e.bcast = rt.NewBroadcasts[M](n)
+		e.gather = make([]*rt.Gatherer[M], cfg.Workers)
+		for w := range e.gather {
+			e.gather[w] = rt.NewGatherer[M](cfg.Workers)
+		}
+	}
 	e.ctxs = make([]Context[V, M], cfg.Workers)
 	e.workerMax = make([]maxima, cfg.Workers)
 	e.delivered = make([]int64, cfg.Workers)
 	e.placed = make([]int64, cfg.Workers)
+	e.pulledRaw = make([]int64, cfg.Workers)
 	e.onMail = make([]func(VertexID), cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		e.ctxs[w] = Context[V, M]{engine: e, worker: w}
@@ -305,7 +337,7 @@ func (e *Engine[V, M]) BeforeSuperstep(step, pending int) (halt bool) {
 	e.superstep = step
 	e.activateAll = false
 	if master, hasMaster := e.prog.(Master); hasMaster {
-		mc := &MasterContext{engine: anyEngine{setGlobal: e.setGlobal, agg: e.aggValue, activate: func() { e.activateAll = true }, halt: func() { e.masterHalt = true }}, superstep: step, pending: pending}
+		mc := &MasterContext{engine: anyEngine{setGlobal: e.setGlobal, agg: e.aggValue, activate: func() { e.activateAll = true }, halt: func() { e.masterHalt = true }}, superstep: step, pending: pending, frontier: e.wl.Pending()}
 		master.BeforeSuperstep(mc)
 		if e.masterHalt {
 			return true
@@ -336,11 +368,23 @@ func (e *Engine[V, M]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) 
 	}
 	inj := e.driver.Injector()
 
+	// Direction choice: pull this superstep when a combiner exists and
+	// the frontier about to compute is dense enough (worklist size is
+	// rebuilt identically after a rollback, so replay re-picks the same
+	// mode). In a pulled superstep SendToNeighbors publishes a
+	// broadcast slot instead of materializing per-edge mailbox
+	// messages; destinations gather over their transpose spans below.
+	e.pullStep = rt.ChoosePull(e.cfg.Mode, e.bcast != nil, e.wl.Pending(), e.g.N(), e.cfg.PullThreshold)
+	ss.Pulled = e.pullStep
+
 	// Compute phase: each pool worker drains its worklist shard —
 	// only vertices that are active or have mail, in ascending vertex
 	// order (matching a full partition scan, so results are identical
 	// to the pre-worklist engine).
 	e.mbox.Advance() // invalidate last superstep's sender-combining slots
+	if e.bcast != nil {
+		e.bcast.Advance()
+	}
 	e.wl.Flip()
 	e.driver.Pool().Run(func(w int) {
 		e.wl.SortCur(w, e.verts[w])
@@ -370,6 +414,7 @@ func (e *Engine[V, M]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) 
 			}
 			ctx.id = vid
 			ctx.sent = 0
+			ctx.wire = 0
 			ctx.charge = 0
 			ctx.state = -1
 			ctx.halt = false
@@ -381,9 +426,14 @@ func (e *Engine[V, M]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) 
 			}
 			e.mbox.ResetVertex(vid)
 
+			// Work and the BPPA ratios charge logical sends (ctx.sent,
+			// what the algorithm asked for, identical in either mode);
+			// the superstep's h charges only wire messages (ctx.wire,
+			// what actually crossed the mailbox — equal to ctx.sent in
+			// push mode, boundary-only in pull mode).
 			work := 1 + raw + ctx.sent + ctx.charge
 			ss.Work[w] += work
-			ss.Sent[w] += ctx.sent
+			ss.Sent[w] += ctx.wire
 			ss.Active[w]++
 			d := float64(e.deg[v] + 1)
 			mm := &e.workerMax[w]
@@ -409,8 +459,22 @@ func (e *Engine[V, M]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) 
 	// it and queues vertices receiving their first message. Under
 	// fault injection a lane batch may be dropped (forcing a rollback
 	// at the next barrier) or redelivered (detected and discarded).
+	// In a pulled superstep the same pass then gathers broadcasts over
+	// each owned vertex's transpose span into its inbox — after the
+	// lane drain, so the combined accumulator lands exactly where a
+	// delivered lane entry would. Deposits complete before the
+	// barrier, which keeps checkpoints and rollback replay
+	// mode-oblivious: a snapshot always sees fully-materialized
+	// inboxes.
 	e.driver.Pool().Run(func(w int) {
 		e.delivered[w], e.placed[w], e.dropScratch[w] = e.mbox.DeliverFaulty(w, step, inj, e.onMail[w])
+		if e.pullStep {
+			raw, placed := e.gatherPulled(w)
+			e.pulledRaw[w] = raw
+			e.placed[w] += placed
+		} else {
+			e.pulledRaw[w] = 0
+		}
 	})
 	for w := 0; w < p; w++ {
 		if e.dropScratch[w] {
@@ -431,10 +495,15 @@ func (e *Engine[V, M]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) 
 		e.aggCurrent[name] = val
 	}
 
+	// ss.Recv charges only wire messages (boundary pushes; every raw
+	// message in push mode), so a fully-pulled superstep prices h = 0.
+	// Gathered messages still count toward pending — the master's
+	// PendingMessages and the next superstep's per-vertex work see the
+	// same raw counts in either mode.
 	var pending int64
 	for w := 0; w < p; w++ {
 		ss.Recv[w] = e.delivered[w]
-		pending += e.delivered[w]
+		pending += e.delivered[w] + e.pulledRaw[w]
 		e.stats.InboxDeliveries += e.placed[w]
 		m := e.workerMax[w]
 		if m.state > e.stats.MaxStatePerDeg {
@@ -451,6 +520,28 @@ func (e *Engine[V, M]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) 
 		}
 	}
 	return int(pending), nil
+}
+
+// gatherPulled runs worker w's half of a pulled superstep's delivery:
+// every owned vertex folds the broadcast slots of its transpose span
+// into one accumulator (in push-identical order, see runtime.Gatherer)
+// and deposits it into its own inbox, waking exactly as first mail
+// would. Zero mailbox traffic, zero allocation: the span is a CSR
+// view, the scratch is per-worker, and the deposit reuses the inbox
+// slot the combiner keeps at length one.
+func (e *Engine[V, M]) gatherPulled(w int) (raw, placed int64) {
+	g := e.gather[w]
+	comb := e.cfg.Combiner
+	onMail := e.onMail[w]
+	for _, v := range e.verts[w] {
+		acc, r, ok := g.Gather(e.bcast, e.ownerOf, e.csr.In(v), comb)
+		if !ok {
+			continue
+		}
+		raw += r
+		placed += e.mbox.DepositPulled(v, acc, r, onMail)
+	}
+	return raw, placed
 }
 
 func (e *Engine[V, M]) setGlobal(name string, v any) { e.globals[name] = v }
@@ -476,7 +567,8 @@ type Context[V, M any] struct {
 	engine *Engine[V, M]
 	worker int
 	id     VertexID
-	sent   int64
+	sent   int64 // logical messages the program asked to send
+	wire   int64 // messages actually materialized through the mailbox
 	charge int64
 	state  int64
 	halt   bool
@@ -557,12 +649,19 @@ func (c *Context[V, M]) SetOutEdges(edges []graph.Edge) {
 // the sender's outbox lane (the raw count still reaches the Stats).
 func (c *Context[V, M]) SendTo(dst VertexID, m M) {
 	c.sent++
+	c.wire++
 	c.engine.mbox.Send(c.worker, dst, m)
 }
 
 // SendToNeighbors sends m along every current out-edge. For unmutated
 // vertices the destinations come straight from the CSR span and the
-// mailbox broadcast path, skipping per-edge Edge materialization.
+// mailbox broadcast path, skipping per-edge Edge materialization. In a
+// pulled superstep the broadcast is not materialized at all: the
+// message lands in the vertex's broadcast slot and every destination
+// gathers it over its transpose span during delivery. A vertex whose
+// adjacency diverged from the CSR snapshot (SetOutEdges) always
+// pushes per edge — its transpose spans are stale, and the explicit
+// sends keep it correct in either mode.
 func (c *Context[V, M]) SendToNeighbors(m M) {
 	e := c.engine
 	if e.mutated[c.id] {
@@ -571,8 +670,14 @@ func (c *Context[V, M]) SendToNeighbors(m M) {
 		}
 		return
 	}
+	if e.pullStep {
+		c.sent += int64(e.csr.OutDegree(c.id))
+		e.bcast.Set(c.id, m, e.cfg.Combiner)
+		return
+	}
 	dsts := e.csr.Out(c.id)
 	c.sent += int64(len(dsts))
+	c.wire += int64(len(dsts))
 	e.mbox.SendAll(c.worker, dsts, m)
 }
 
@@ -616,6 +721,7 @@ type MasterContext struct {
 	engine    anyEngine
 	superstep int
 	pending   int
+	frontier  int
 }
 
 // Superstep returns the superstep about to execute (0-based).
@@ -624,6 +730,13 @@ func (mc *MasterContext) Superstep() int { return mc.superstep }
 // PendingMessages returns the number of messages awaiting delivery in
 // the superstep about to execute.
 func (mc *MasterContext) PendingMessages() int { return mc.pending }
+
+// ActiveFrontier returns the number of vertices queued to compute in
+// the superstep about to execute — active vertices plus vertices with
+// mail, straight off the runtime worklists (an O(P) counter read).
+// Multi-phase programs can use it for phase-switch decisions instead
+// of maintaining a hand-rolled counting aggregator.
+func (mc *MasterContext) ActiveFrontier() int { return mc.frontier }
 
 // Agg returns the named aggregator's value finalized at the end of the
 // previous superstep.

@@ -204,6 +204,27 @@ func (mb *Mailbox[M]) DeliverFaulty(w, step int, inj *Injector, onFirstMail func
 	return delivered, placements, dropped
 }
 
+// DepositPulled merges one gathered accumulator value into v's inbox,
+// exactly as delivering a single combined lane entry carrying raw
+// pre-combining messages would: the first-mail hook fires on the
+// zero→nonzero raw transition, the raw count reaches RawCount, and
+// with a combiner the value folds into the existing inbox slot. It
+// returns the number of inbox placements (0 when the value was folded
+// into an occupied slot). Only v's owning worker may call it, during
+// the delivery phase — the same sharding discipline as DeliverFaulty.
+func (mb *Mailbox[M]) DepositPulled(v VertexID, m M, raw int64, onFirstMail func(VertexID)) (placements int64) {
+	if mb.rawRecv[v] == 0 && onFirstMail != nil {
+		onFirstMail(v)
+	}
+	mb.rawRecv[v] += raw
+	if mb.comb != nil && len(mb.inbox[v]) == 1 {
+		mb.inbox[v][0] = mb.comb(mb.inbox[v][0], m)
+		return 0
+	}
+	mb.inbox[v] = append(mb.inbox[v], m)
+	return 1
+}
+
 // Inbox returns v's delivered messages. The slice is valid until v's
 // next ResetVertex/LoadVertex and must not be retained across
 // supersteps (its backing array is reused).

@@ -149,6 +149,22 @@ func (q *FIFO) Push(v VertexID) {
 	q.buf = append(q.buf, v)
 }
 
+// PushAll enqueues each vertex of vs in order, skipping already-queued
+// ones — semantically identical to calling Push per element, with the
+// dedup-flag and buffer lookups kept in registers across the batch
+// (the bulk activation path of the asynchronous engine's dense rounds).
+func (q *FIFO) PushAll(vs []VertexID) {
+	buf, queued := q.buf, q.queued
+	for _, v := range vs {
+		if queued[v] {
+			continue
+		}
+		queued[v] = true
+		buf = append(buf, v)
+	}
+	q.buf = buf
+}
+
 // Pop dequeues the oldest vertex; ok is false when the list is empty.
 func (q *FIFO) Pop() (v VertexID, ok bool) {
 	if q.head >= len(q.buf) {

@@ -57,15 +57,15 @@ func (p *bcProgram) Init(g *graph.Graph, id VertexID) bcValue {
 }
 
 func (p *bcProgram) BeforeSuperstep(mc *pregel.MasterContext) {
-	if p.mode == bcForward && mc.Superstep() > 0 {
-		if frontier, _ := mc.Agg("frontier").(int64); frontier == 0 {
-			// The wave has died out. Switch to backward accumulation and
-			// wake everyone once so the BFS leaves (pending == 0) can
-			// fire; everything after that is message-driven, and the
-			// engine stops when the deltas have drained into the source.
-			p.mode = bcBackward
-			mc.ActivateAll()
-		}
+	if p.mode == bcForward && mc.Superstep() > 0 && mc.ActiveFrontier() == 0 {
+		// No vertex is queued to compute: the wave has died out (every
+		// settler broadcasts, so an empty worklist means nothing
+		// settled last superstep). Switch to backward accumulation and
+		// wake everyone once so the BFS leaves (pending == 0) can
+		// fire; everything after that is message-driven, and the
+		// engine stops when the deltas have drained into the source.
+		p.mode = bcBackward
+		mc.ActivateAll()
 	}
 	mc.SetGlobal("mode", p.mode)
 }
@@ -77,7 +77,6 @@ func (p *bcProgram) Compute(ctx *pregel.Context[bcValue, bcMsg], msgs []bcMsg) {
 		s := int32(ctx.Superstep())
 		if s == 0 {
 			if ctx.ID() == p.src {
-				ctx.Aggregate("frontier", int64(1))
 				ctx.SendToNeighbors(bcMsg{Level: 0, Sigma: 1})
 			}
 			return
@@ -94,7 +93,6 @@ func (p *bcProgram) Compute(ctx *pregel.Context[bcValue, bcMsg], msgs []bcMsg) {
 			}
 			v.dist = s
 			v.sigma = sigma
-			ctx.Aggregate("frontier", int64(1))
 			ctx.SendToNeighbors(bcMsg{Level: s, Sigma: sigma})
 			return
 		}
@@ -177,11 +175,11 @@ func (p *bcBatchProgram) Init(g *graph.Graph, id VertexID) bcBatchValue {
 }
 
 func (p *bcBatchProgram) BeforeSuperstep(mc *pregel.MasterContext) {
-	if p.mode == bcForward && mc.Superstep() > 0 {
-		if frontier, _ := mc.Agg("frontier").(int64); frontier == 0 {
-			p.mode = bcBackward
-			mc.ActivateAll()
-		}
+	// Same worklist-driven switch as bcProgram: an empty frontier means
+	// every one of the K shared waves died out last superstep.
+	if p.mode == bcForward && mc.Superstep() > 0 && mc.ActiveFrontier() == 0 {
+		p.mode = bcBackward
+		mc.ActivateAll()
 	}
 	mc.SetGlobal("mode", p.mode)
 }
@@ -194,7 +192,6 @@ func (p *bcBatchProgram) Compute(ctx *pregel.Context[bcBatchValue, bcBatchMsg], 
 		if s == 0 {
 			for i := range p.sources {
 				if v.dist[i] == 0 {
-					ctx.Aggregate("frontier", int64(1))
 					ctx.SendToNeighbors(bcBatchMsg{Src: int16(i), Level: 0, Sigma: 1})
 				}
 			}
@@ -215,7 +212,6 @@ func (p *bcBatchProgram) Compute(ctx *pregel.Context[bcBatchValue, bcBatchMsg], 
 			if sigma[i] > 0 {
 				v.dist[i] = s
 				v.sigma[i] = sigma[i]
-				ctx.Aggregate("frontier", int64(1))
 				ctx.SendToNeighbors(bcBatchMsg{Src: int16(i), Level: s, Sigma: sigma[i]})
 			}
 		}
@@ -256,7 +252,6 @@ func BetweennessShared(g *graph.Graph, sources []VertexID, cfg Config) (*Between
 	}
 	prog := &bcBatchProgram{sources: sources}
 	eng := pregel.NewEngine[bcBatchValue, bcBatchMsg](g, prog, engineCfg[bcBatchMsg](cfg))
-	eng.RegisterAggregator("frontier", pregel.SumInt64())
 	res, err := eng.Run()
 	if err != nil {
 		return nil, err
@@ -288,7 +283,6 @@ func Betweenness(g *graph.Graph, sources []VertexID, cfg Config) (*BetweennessRe
 	for _, s := range sources {
 		prog := &bcProgram{src: s}
 		eng := pregel.NewEngine[bcValue, bcMsg](g, prog, engineCfg[bcMsg](cfg))
-		eng.RegisterAggregator("frontier", pregel.SumInt64())
 		res, err := eng.Run()
 		if err != nil {
 			return nil, err

@@ -6,6 +6,7 @@ import (
 
 	"vcgraph/internal/graph"
 	"vcgraph/internal/pregel"
+	"vcgraph/internal/runtime"
 )
 
 // Combiner equivalence: a combiner is a pure network optimization — it
@@ -15,6 +16,12 @@ import (
 // admit one, across worker counts and both partitioners, so a
 // regression in sender-side combining (grouping, lane order, raw-count
 // bookkeeping) shows up as a result or superstep-count difference.
+//
+// Every run pins Mode=push: a combiner also unlocks the pull path,
+// whose whole point is to change the wire-level accounting (broadcasts
+// stop being materialized as messages), which would trip the raw-count
+// comparisons below. Push/pull equivalence has its own suite in
+// direction_test.go.
 
 var equivCases = []struct {
 	name    string
@@ -64,11 +71,11 @@ func TestCombinerEquivalenceHashMin(t *testing.T) {
 	g := graph.WattsStrogatz(400, 2, 0.1, 9)
 	for _, tc := range equivCases {
 		t.Run(tc.name, func(t *testing.T) {
-			with, err := HashMinCC(g, Config{Workers: tc.workers, Partition: tc.part})
+			with, err := HashMinCC(g, Config{Workers: tc.workers, Partition: tc.part, Mode: runtime.DirectionPush})
 			if err != nil {
 				t.Fatal(err)
 			}
-			without, err := HashMinCC(g, Config{Workers: tc.workers, Partition: tc.part, NoCombiner: true})
+			without, err := HashMinCC(g, Config{Workers: tc.workers, Partition: tc.part, NoCombiner: true, Mode: runtime.DirectionPush})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -87,16 +94,14 @@ func TestCombinerEquivalenceHashMin(t *testing.T) {
 	}
 }
 
-// PageRank's production entry point deliberately runs without a
-// combiner (float summation order is part of its reproducible output),
-// so the equivalence check drives the engine directly with an explicit
-// sum combiner. Sum over float64 is associative only up to rounding;
-// combining regroups the additions, so ranks are compared within an
+// PageRank's sum combiner regroups float64 additions (sum is
+// associative only up to rounding), so ranks are compared within an
 // epsilon while superstep counts and raw message totals stay exact.
+// The check drives the engine directly to control the combiner.
 func TestCombinerEquivalencePageRank(t *testing.T) {
 	g := graph.PreferentialAttachment(300, 3, 5)
 	run := func(workers int, part pregel.Partitioner, combine bool) (*pregel.Result[prValue], error) {
-		cfg := pregel.Config[float64]{Workers: workers, Partition: part}
+		cfg := pregel.Config[float64]{Workers: workers, Partition: part, Mode: runtime.DirectionPush}
 		if combine {
 			cfg.Combiner = func(a, b float64) float64 { return a + b }
 		}

@@ -311,7 +311,13 @@ func TestDifferentialPageRank(t *testing.T) {
 		cells = append(cells, engineCell{
 			name: fmt.Sprintf("gas/w%d", w),
 			run: func(ck int, plan *rt.FaultPlan) (any, *bsp.Stats, error) {
-				ranks, res, err := gas.PageRank(g, alpha, 1e-10, gas.Config{Workers: w, CheckpointEvery: ck, Faults: plan})
+				// Pin push: this matrix asserts that scatter-batch
+				// transit faults fire, and adaptive PageRank's
+				// iterations are dense enough that auto mode would
+				// pull every one of them, leaving no batch in transit
+				// to drop. Pull-mode fault replay is covered in
+				// direction_test.go.
+				ranks, res, err := gas.PageRank(g, alpha, 1e-10, gas.Config{Workers: w, CheckpointEvery: ck, Faults: plan, Mode: rt.DirectionPush})
 				if err != nil {
 					return nil, nil, err
 				}

@@ -112,10 +112,18 @@ func PageRankConverge(g *graph.Graph, alpha, eps float64, cfg Config) (*PageRank
 
 // PageRank runs the Pregel-paper PageRank for k iterations with
 // damping factor alpha (Table 1 row 2: O(mK) messages, balanced but
-// not BPPA because K typically exceeds log n).
+// not BPPA because K typically exceeds log n). The rank contributions
+// sum through a combiner, which also makes every dense superstep
+// pull-eligible; the pull gather folds contributions in push-identical
+// order, so the ranks are bit-identical in either mode (see
+// runtime.Gatherer).
 func PageRank(g *graph.Graph, alpha float64, k int, cfg Config) (*PageRankResult, error) {
 	prog := &prProgram{n: g.N(), alpha: alpha, k: k}
-	eng := pregel.NewEngine[prValue, float64](g, prog, engineCfg[float64](cfg))
+	ecfg := engineCfg[float64](cfg)
+	if !cfg.NoCombiner {
+		ecfg.Combiner = func(a, b float64) float64 { return a + b }
+	}
+	eng := pregel.NewEngine[prValue, float64](g, prog, ecfg)
 	res, err := eng.Run()
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"vcgraph/internal/bsp"
 	"vcgraph/internal/graph"
 	"vcgraph/internal/pregel"
+	"vcgraph/internal/runtime"
 )
 
 // SSSPResult holds the vertex-centric single-source shortest path
@@ -51,6 +52,10 @@ func (p *ssspProgram) StateUnits(v *ssspValue) int64 { return 1 }
 func SSSP(g *graph.Graph, src VertexID, cfg Config) (*SSSPResult, error) {
 	prog := &ssspProgram{src: src}
 	ecfg := engineCfg[float64](cfg)
+	// SSSP sends a distinct distance per edge (SendTo, never a
+	// broadcast), so a pulled superstep would find no broadcast slots
+	// and waste an O(n+m) transpose scan. Pin the push path.
+	ecfg.Mode = runtime.DirectionPush
 	if !cfg.NoCombiner {
 		ecfg.Combiner = func(a, b float64) float64 {
 			if a < b {

@@ -11,6 +11,7 @@ import (
 	"vcgraph/internal/gas"
 	"vcgraph/internal/graph"
 	"vcgraph/internal/pregel"
+	"vcgraph/internal/runtime"
 )
 
 // Cross-engine stats parity: all four engines now price supersteps
@@ -56,7 +57,11 @@ func TestStatsParityPageRank(t *testing.T) {
 
 	runs := map[string]*bsp.Stats{}
 	for _, w := range []int{1, 4} {
-		res, err := PageRank(g, 0.85, k, Config{Workers: w})
+		// Pin push: under auto, pregel's dense PageRank supersteps pull
+		// and stop materializing broadcasts, so the wire-level Sent
+		// totals this parity check compares against blockcentric would
+		// (correctly) drop to the boundary-only count.
+		res, err := PageRank(g, 0.85, k, Config{Workers: w, Mode: runtime.DirectionPush})
 		if err != nil {
 			t.Fatalf("pregel workers=%d: %v", w, err)
 		}

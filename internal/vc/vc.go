@@ -36,9 +36,17 @@ type Config struct {
 	// matching). 0 = 1.
 	Seed int64
 	// NoCombiner disables message combiners in the algorithms that use
-	// one (Hash-Min, SSSP). Used by the combiner ablation to measure
-	// the network volume combiners save.
+	// one (Hash-Min, SSSP, fixed-K PageRank, double sweep). Used by the
+	// combiner ablation to measure the network volume combiners save.
+	// It also disables the pull path, which requires a combiner.
 	NoCombiner bool
+	// Mode selects the direction-optimizing message path: push, pull,
+	// or auto (the zero value; pull dense supersteps when the
+	// algorithm has a combiner). See pregel.Config.Mode.
+	Mode runtime.DirectionMode
+	// PullThreshold overrides the auto-mode frontier density threshold
+	// (fraction of n; <= 0 means runtime.DefaultPullThreshold).
+	PullThreshold float64
 	// CheckpointEvery/Faults pass through to the engine's fault
 	// tolerance and fault injection (see pregel.Config and
 	// runtime.FaultPlan).
@@ -60,6 +68,8 @@ func engineCfg[M any](c Config) pregel.Config[M] {
 		Faults:          c.Faults,
 		Partition:       c.Partition,
 		FCSThreshold:    c.FCS,
+		Mode:            c.Mode,
+		PullThreshold:   c.PullThreshold,
 	}
 }
 
