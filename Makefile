@@ -11,7 +11,7 @@ COVERDIR := /tmp
 endif
 COVERPROFILE ?= $(COVERDIR)/vcgraph-cover.out
 
-.PHONY: all build vet test race cover fuzz-smoke bench bench-csr bench-direction bench-guard table1 ext figures ablations examples clean
+.PHONY: all build vet test race cover fuzz-smoke bench bench-csr bench-direction bench-service bench-guard table1 ext figures ablations examples clean
 
 all: build vet test
 
@@ -60,6 +60,13 @@ bench-csr:
 # bench-guard enforces.
 bench-direction:
 	$(GO) test -run='^$$' -bench='^BenchmarkDirection' -benchmem -benchtime=3x -count=1 . | tee /tmp/bench_direction.txt
+
+# Job-layer suite: driver setup cost (fresh pool vs shared-pool lease)
+# and serving throughput at admission widths 1/4/16. Raw output lands
+# in /tmp; the committed record is BENCH_service.json, whose setup-cost
+# headline bench-guard enforces.
+bench-service:
+	$(GO) test -run='^$$' -bench='^BenchmarkJobSetup|^BenchmarkServiceJobs' -benchmem -benchtime=3x -count=1 . | tee /tmp/bench_service.txt
 
 # Re-measure every headline ratio declared in BENCH_*.json and fail if
 # any regressed beyond its tolerance/floor. Runs in CI after tier-1.

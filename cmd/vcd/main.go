@@ -1,0 +1,45 @@
+// Command vcd is the vertex-centric serving daemon: a JSON/HTTP front
+// end over the library's job-scoped runtime. It registers named
+// graphs, admits concurrent jobs (PageRank, SSSP, connected
+// components, k-core on any of the four engines) through one shared
+// worker pool, streams per-superstep statistics from live runs, and
+// answers point queries against finished results. See
+// internal/service for the API and DESIGN.md for the concurrency
+// contract.
+//
+// Usage:
+//
+//	vcd [-addr :8080] [-workers 0] [-max-jobs 4]
+//
+// workers = 0 sizes the shared pool to GOMAXPROCS; max-jobs bounds the
+// jobs running concurrently (the rest queue FIFO).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"vcgraph/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "shared pool width (0 = GOMAXPROCS)")
+	maxJobs := flag.Int("max-jobs", 4, "maximum concurrently running jobs")
+	flag.Parse()
+
+	srv := service.New(*workers, *maxJobs)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vcd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("vcd: listening on %s (max %d concurrent jobs)\n", ln.Addr(), *maxJobs)
+	if err := http.Serve(ln, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "vcd:", err)
+		os.Exit(1)
+	}
+}

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +50,7 @@ func main() {
 	checkpoint := flag.Int("checkpoint", 0, "checkpoint every k supersteps (0 = off)")
 	faults := flag.Int64("faults", 0, "inject a seeded random fault plan (0 = none); implies -checkpoint 2 unless set")
 	modeFlag := flag.String("mode", "auto", "message direction: push, pull, or auto (pull dense supersteps when the algorithm has a combiner)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	flag.Parse()
 
 	mode, err := runtime.ParseDirectionMode(*modeFlag)
@@ -95,10 +97,31 @@ func main() {
 	if *load != "" {
 		source = "file:" + *load
 	}
-	cfg := vc.Config{Workers: *workers, Seed: *seed, CheckpointEvery: *checkpoint, Faults: plan, Mode: mode}
+	// The run goes through the job-scoped runtime: one scheduler over a
+	// shared pool, the run submitted as a job so -timeout cancellation
+	// aborts it at a superstep barrier instead of killing the process.
+	sched := runtime.NewScheduler(*workers, 1)
+	defer sched.Close()
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	share := *workers
+	if strings.HasPrefix(*algo, "async") {
+		share = 1 // the asynchronous engine is sequential
+	}
+	var summary string
+	var stats *bsp.Stats
 	start := time.Now()
-	summary, stats, err := run(*algo, g, graph.VertexID(*src), cfg, *seed)
-	if err != nil {
+	job := sched.Submit(ctx, *algo, share, func(j *runtime.Job) error {
+		cfg := vc.Config{Workers: *workers, Seed: *seed, CheckpointEvery: *checkpoint, Faults: plan, Mode: mode, Job: j}
+		var err error
+		summary, stats, err = run(*algo, g, graph.VertexID(*src), cfg, *seed)
+		return err
+	})
+	if err := job.Wait(); err != nil {
 		fail(err)
 	}
 	elapsed := time.Since(start)
@@ -393,7 +416,7 @@ func run(algo string, g *graph.Graph, src graph.VertexID, cfg vc.Config, seed in
 		}
 		return fmt.Sprintf("top hub %d (%.4f)", bhv, bh), res.Stats, nil
 	case "asynccc":
-		labels, res, err := async.ConnectedComponents(g, async.Config{CheckpointEvery: cfg.CheckpointEvery, Faults: cfg.Faults})
+		labels, res, err := async.ConnectedComponents(g, async.Config{CheckpointEvery: cfg.CheckpointEvery, Faults: cfg.Faults, Job: cfg.Job})
 		if err != nil {
 			return "", nil, err
 		}
@@ -401,14 +424,14 @@ func run(algo string, g *graph.Graph, src graph.VertexID, cfg vc.Config, seed in
 			res.Stats, nil
 	case "asyncsssp":
 		graph.RandomWeights(g, seed+1)
-		_, res, err := async.SSSP(g, src, async.Config{CheckpointEvery: cfg.CheckpointEvery, Faults: cfg.Faults})
+		_, res, err := async.SSSP(g, src, async.Config{CheckpointEvery: cfg.CheckpointEvery, Faults: cfg.Faults, Job: cfg.Job})
 		if err != nil {
 			return "", nil, err
 		}
 		return fmt.Sprintf("shortest paths in %d async updates", res.Updates),
 			res.Stats, nil
 	case "gaspagerank":
-		_, res, err := gas.PageRank(g, 0.85, 1e-9, gas.Config{Workers: cfg.Workers, CheckpointEvery: cfg.CheckpointEvery, Faults: cfg.Faults})
+		_, res, err := gas.PageRank(g, 0.85, 1e-9, gas.Config{Workers: cfg.Workers, CheckpointEvery: cfg.CheckpointEvery, Faults: cfg.Faults, Job: cfg.Job})
 		if err != nil {
 			return "", nil, err
 		}
@@ -454,7 +477,7 @@ func run(algo string, g *graph.Graph, src graph.VertexID, cfg vc.Config, seed in
 		}
 		return fmt.Sprintf("%d communities, modularity %.3f", len(distinct), res.Modularity), res.Stats, nil
 	case "blockcc":
-		res, err := blockcentric.ConnectedComponents(g, blockcentric.Config{Blocks: cfg.Workers, CheckpointEvery: cfg.CheckpointEvery, Faults: cfg.Faults})
+		res, err := blockcentric.ConnectedComponents(g, blockcentric.Config{Blocks: cfg.Workers, CheckpointEvery: cfg.CheckpointEvery, Faults: cfg.Faults, Job: cfg.Job})
 		if err != nil {
 			return "", nil, err
 		}

@@ -26,7 +26,7 @@ func main() {
 
 	recovered, err := vc.HashMinCC(g, vc.Config{
 		Workers:         4,
-		CheckpointEvery: 64,                        // snapshot every 64 supersteps
+		CheckpointEvery: 64,                       // snapshot every 64 supersteps
 		Faults:          rt.PlanOf(rt.Crash(300)), // machine failure right before superstep 300
 	})
 	if err != nil {

@@ -18,6 +18,7 @@ package async
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -64,6 +65,16 @@ type Config struct {
 	// because the FIFO worklist deduplicates scheduled vertices.
 	// FaultEvent.Step counts epochs, not individual updates.
 	Faults *rt.FaultPlan
+	// Ctx, when non-nil, aborts the run at the next epoch boundary (or
+	// between prioritized updates) once cancelled or past its deadline.
+	Ctx context.Context
+	// Pool, when non-nil, is a shared worker pool to lease the engine's
+	// single worker from instead of building a private pool.
+	Pool *rt.Pool
+	// Job, when non-nil, binds the run to a scheduler-admitted job. The
+	// engine is sequential, so the job must be submitted with a worker
+	// share of 1.
+	Job *rt.Job
 }
 
 // ErrFaultsNeedFIFO rejects fault injection under the prioritized
@@ -101,18 +112,28 @@ type Context[V any] struct {
 	work   int64
 }
 
-// Graph returns the input graph.
+// Graph returns the input graph. Only its construction-immutable
+// properties (N, Directed) are safe to read from Update when a writer
+// may be mutating adjacency between jobs; structural reads must go
+// through the snapshot accessors (Out, OutWeights, OutEdges).
 func (c *Context[V]) Graph() *graph.Graph { return c.g }
 
 // Value returns a pointer to any vertex's current value (reads of
 // neighbors see the latest state — the asynchronous semantics).
 func (c *Context[V]) Value(v VertexID) *V { return &c.values[v] }
 
-// OutEdges returns v's adjacency as []Edge. Hot update loops should
-// prefer the CSR spans (Out/OutWeights), which avoid the 32-byte Edge
-// layout and let a program return the span as its activation list
-// without allocating.
-func (c *Context[V]) OutEdges(v VertexID) []graph.Edge { return c.g.Out[v] }
+// OutEdges returns v's adjacency as []Edge, materialized fresh from
+// the pinned CSR snapshot (never the live graph). Hot update loops
+// should prefer the CSR spans (Out/OutWeights), which avoid the
+// per-call allocation and the 32-byte Edge layout and let a program
+// return the span as its activation list without allocating.
+func (c *Context[V]) OutEdges(v VertexID) []graph.Edge {
+	d := c.csr.OutDegree(v)
+	if d == 0 {
+		return nil
+	}
+	return c.csr.AppendOutEdges(make([]graph.Edge, 0, d), v)
+}
 
 // Out returns v's out-neighbor span from the CSR snapshot. The slice
 // aliases the snapshot and must not be modified; returning it from
@@ -123,24 +144,48 @@ func (c *Context[V]) Out(v VertexID) []VertexID { return c.csr.Out(v) }
 // nil when the graph is unweighted.
 func (c *Context[V]) OutWeights(v VertexID) []float64 { return c.csr.OutWeights(v) }
 
+// Preparer is the optional program hook invoked during Prepare with
+// the pinned CSR snapshot. Programs that read graph structure outside
+// Update (precomputed degrees, a transpose) must do it here, so the
+// run closure returned by Prepare never touches the mutable graph.
+type Preparer interface {
+	PrepareAsync(csr *graph.CSR)
+}
+
 // Run executes prog to quiescence under the FIFO scheduler (or the
 // priority scheduler when Config.Prioritized is set and the program
-// implements Prioritizer).
+// implements Prioritizer). Run is Prepare(g, prog, cfg)().
 func Run[V any](g *graph.Graph, prog Program[V], cfg Config) (*Result[V], error) {
+	return Prepare(g, prog, cfg)()
+}
+
+// Prepare splits a run in two: every read of the mutable graph —
+// snapshot pinning, the Preparer hook, Init, worklist seeding —
+// happens inside Prepare, so a caller serving concurrent jobs can
+// bracket it with its graph lock and invoke the returned closure
+// lock-free. The closure unpins the snapshot when it returns.
+func Prepare[V any](g *graph.Graph, prog Program[V], cfg Config) func() (*Result[V], error) {
 	n := g.N()
 	if cfg.MaxUpdates <= 0 {
 		cfg.MaxUpdates = 200 * (n + 64)
 	}
-	ctx := &Context[V]{g: g, csr: g.CSR(), values: make([]V, n)}
+	csr := g.Pin()
+	if prep, ok := any(prog).(Preparer); ok {
+		prep.PrepareAsync(csr)
+	}
+	ctx := &Context[V]{g: g, csr: csr, values: make([]V, n)}
 	for v := 0; v < n; v++ {
 		ctx.values[v] = prog.Init(g, VertexID(v))
 	}
 	if cfg.Prioritized {
 		if pr, ok := prog.(Prioritizer[V]); ok {
-			if cfg.Faults.NewInjector(1) != nil {
-				return nil, ErrFaultsNeedFIFO
+			return func() (*Result[V], error) {
+				defer g.Unpin(csr)
+				if cfg.Faults.NewInjector(1) != nil {
+					return nil, ErrFaultsNeedFIFO
+				}
+				return runPrioritized(ctx, prog, pr, cfg)
 			}
-			return runPrioritized(ctx, prog, pr, cfg)
 		}
 	}
 	// The deduplicating FIFO worklist from the shared runtime replaces
@@ -163,6 +208,11 @@ func Run[V any](g *graph.Graph, prog Program[V], cfg Config) (*Result[V], error)
 	// policy's own (checked per update, not per epoch), so the driver's
 	// step cap is unreachable.
 	p := &policy[V]{ctx: ctx, g: g, prog: prog, cfg: cfg, queue: queue, epochLen: epochLen}
+	if cfg.Faults != nil {
+		// Checkpoint-free restarts restore these pristine Init-time
+		// values instead of re-running Init mid-run.
+		p.pristine = rt.CloneValues[V](prog, ctx.values)
+	}
 	d := rt.NewDriver[*asyncSnapshot[V]](p, stats, rt.DriverConfig{
 		Name:            "async",
 		Workers:         1,
@@ -171,9 +221,15 @@ func Run[V any](g *graph.Graph, prog Program[V], cfg Config) (*Result[V], error)
 		CheckpointEvery: cfg.CheckpointEvery,
 		Faults:          cfg.Faults,
 		EpochSaves:      true,
+		Ctx:             cfg.Ctx,
+		Pool:            cfg.Pool,
+		Job:             cfg.Job,
 	})
-	_, err := d.Run()
-	return &Result[V]{Values: ctx.values, Updates: p.updates, Stats: stats}, err
+	return func() (*Result[V], error) {
+		defer g.Unpin(csr)
+		_, err := d.Run()
+		return &Result[V]{Values: ctx.values, Updates: p.updates, Stats: stats}, err
+	}
 }
 
 // policy is the FIFO scheduler as a runtime.Policy.
@@ -185,6 +241,7 @@ type policy[V any] struct {
 	queue    *rt.FIFO
 	epochLen int
 	updates  int
+	pristine []V // Init-time values for checkpoint-free restarts (set when Faults != nil)
 }
 
 // Quiescent implements runtime.Policy: the worklist drained.
@@ -267,12 +324,12 @@ func (p *policy[V]) Restore(snap *asyncSnapshot[V], step int, ok bool) {
 		p.updates = step * p.epochLen
 		return
 	}
-	n := p.g.N()
-	for v := 0; v < n; v++ {
-		p.ctx.values[v] = p.prog.Init(p.g, VertexID(v))
-	}
+	// No checkpoint yet: restart from the pristine Init-time values
+	// kept by Prepare — re-running Init here would read the mutable
+	// graph mid-run.
+	p.ctx.values = rt.CloneValues[V](p.prog, p.pristine)
 	p.queue.Load(nil)
-	for v := 0; v < n; v++ {
+	for v := 0; v < p.g.N(); v++ {
 		p.queue.Push(VertexID(v))
 	}
 	p.updates = 0
@@ -289,6 +346,13 @@ type asyncSnapshot[V any] struct {
 // pushes (v, current priority); stale entries (v re-updated since the
 // push) are skipped at pop time.
 func runPrioritized[V any](ctx *Context[V], prog Program[V], pr Prioritizer[V], cfg Config) (*Result[V], error) {
+	goCtx := cfg.Ctx
+	if cfg.Job != nil {
+		goCtx = cfg.Job.Context()
+	}
+	if goCtx == nil {
+		goCtx = context.Background()
+	}
 	n := ctx.g.N()
 	pq := &prioQueue{}
 	scheduled := make([]bool, n)
@@ -305,6 +369,12 @@ func runPrioritized[V any](ctx *Context[V], prog Program[V], pr Prioritizer[V], 
 	stats := &bsp.Stats{Workers: 1, N: n}
 	updates := 0
 	for pq.Len() > 0 {
+		// This loop bypasses the superstep driver (there are no epoch
+		// boundaries), so cancellation is checked between updates.
+		if goCtx.Err() != nil {
+			return &Result[V]{Values: ctx.values, Updates: updates, Stats: stats},
+				fmt.Errorf("async: %w", context.Cause(goCtx))
+		}
 		if updates >= cfg.MaxUpdates {
 			return &Result[V]{Values: ctx.values, Updates: updates, Stats: stats},
 				fmt.Errorf("async: %w (cap %d)", ErrUpdateCap, cfg.MaxUpdates)
@@ -409,11 +479,20 @@ func (p *ssspProgram) Priority(ctx *Context[float64], v VertexID) float64 {
 // (label-correcting over live values) on an undirected weighted graph.
 // With cfg.Prioritized the schedule is closest-first.
 func SSSP(g *graph.Graph, src VertexID, cfg Config) ([]float64, *Result[float64], error) {
-	res, err := Run[float64](g, &ssspProgram{src: src}, cfg)
-	if err != nil {
-		return nil, res, err
+	return PrepareSSSP(g, src, cfg)()
+}
+
+// PrepareSSSP is the job-scoped form of SSSP: graph reads happen now,
+// the returned closure runs against the pinned snapshot.
+func PrepareSSSP(g *graph.Graph, src VertexID, cfg Config) func() ([]float64, *Result[float64], error) {
+	run := Prepare[float64](g, &ssspProgram{src: src}, cfg)
+	return func() ([]float64, *Result[float64], error) {
+		res, err := run()
+		if err != nil {
+			return nil, res, err
+		}
+		return res.Values, res, nil
 	}
-	return res.Values, res, nil
 }
 
 // --- Async PageRank (Gauss–Seidel with delta scheduling) ---
@@ -427,6 +506,21 @@ type prProgram struct {
 }
 
 func (p *prProgram) Init(g *graph.Graph, id VertexID) float64 { return 1 / float64(p.n) }
+
+// PrepareAsync caches the pinned snapshot, its transpose, and the
+// out-degrees (dangling vertices count 1) before the run starts.
+func (p *prProgram) PrepareAsync(csr *graph.CSR) {
+	csr.EnsureIn() // the Gauss–Seidel sweep pulls over the transpose
+	p.csr = csr
+	p.outDeg = make([]float64, p.n)
+	for v := 0; v < p.n; v++ {
+		d := csr.OutDegree(VertexID(v))
+		if d == 0 {
+			d = 1
+		}
+		p.outDeg[v] = float64(d)
+	}
+}
 
 func (p *prProgram) Update(ctx *Context[float64], v VertexID) []VertexID {
 	var sum float64
@@ -447,22 +541,21 @@ func (p *prProgram) Update(ctx *Context[float64], v VertexID) []VertexID {
 // fixpoint as synchronous power iteration but typically in fewer
 // updates (newer information propagates within a single drain).
 func PageRank(g *graph.Graph, alpha, eps float64, cfg Config) ([]float64, *Result[float64], error) {
-	csr := g.CSR()
-	csr.EnsureIn() // the Gauss–Seidel sweep pulls over the transpose
-	prog := &prProgram{n: g.N(), alpha: alpha, eps: eps, csr: csr}
-	prog.outDeg = make([]float64, g.N())
-	for v := 0; v < g.N(); v++ {
-		d := csr.OutDegree(VertexID(v))
-		if d == 0 {
-			d = 1
+	return PreparePageRank(g, alpha, eps, cfg)()
+}
+
+// PreparePageRank is the job-scoped form of PageRank: the transpose
+// and out-degrees are captured from the pinned snapshot now, the
+// returned closure runs lock-free.
+func PreparePageRank(g *graph.Graph, alpha, eps float64, cfg Config) func() ([]float64, *Result[float64], error) {
+	run := Prepare[float64](g, &prProgram{n: g.N(), alpha: alpha, eps: eps}, cfg)
+	return func() ([]float64, *Result[float64], error) {
+		res, err := run()
+		if err != nil {
+			return nil, res, err
 		}
-		prog.outDeg[v] = float64(d)
+		return res.Values, res, nil
 	}
-	res, err := Run[float64](g, prog, cfg)
-	if err != nil {
-		return nil, res, err
-	}
-	return res.Values, res, nil
 }
 
 // --- Async connected components (min-label) ---
@@ -489,9 +582,18 @@ func (ccProgram) Update(ctx *Context[VertexID], v VertexID) []VertexID {
 // ConnectedComponents labels components with the minimum member ID via
 // asynchronous min-label propagation.
 func ConnectedComponents(g *graph.Graph, cfg Config) ([]VertexID, *Result[VertexID], error) {
-	res, err := Run[VertexID](g, ccProgram{}, cfg)
-	if err != nil {
-		return nil, res, err
+	return PrepareConnectedComponents(g, cfg)()
+}
+
+// PrepareConnectedComponents is the job-scoped form of
+// ConnectedComponents.
+func PrepareConnectedComponents(g *graph.Graph, cfg Config) func() ([]VertexID, *Result[VertexID], error) {
+	run := Prepare[VertexID](g, ccProgram{}, cfg)
+	return func() ([]VertexID, *Result[VertexID], error) {
+		res, err := run()
+		if err != nil {
+			return nil, res, err
+		}
+		return res.Values, res, nil
 	}
-	return res.Values, res, nil
 }

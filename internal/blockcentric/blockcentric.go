@@ -11,6 +11,7 @@
 package blockcentric
 
 import (
+	"context"
 	"math"
 
 	"vcgraph/internal/bsp"
@@ -63,6 +64,16 @@ type Config struct {
 	// DirectionAuto (the zero value) behaves like DirectionPush here;
 	// the optimization is strictly opt-in.
 	Mode rt.DirectionMode
+	// Ctx, when non-nil, aborts the run at the next superstep barrier
+	// once cancelled or past its deadline (see runtime.DriverConfig).
+	Ctx context.Context
+	// Pool, when non-nil, is a shared worker pool to lease block
+	// goroutines from instead of building a private pool for the run.
+	Pool *rt.Pool
+	// Job, when non-nil, binds the run to a scheduler-admitted job:
+	// Blocks is taken from the job's lease, the run executes under the
+	// job's context, and superstep records stream to the handle.
+	Job *rt.Job
 }
 
 // ErrSuperstepCap mirrors pregel.ErrSuperstepCap. It aliases
@@ -78,14 +89,15 @@ type Result[V any] struct {
 
 // Engine executes a block Program.
 type Engine[V, M any] struct {
-	g      *graph.Graph
-	csr    *graph.CSR
-	prog   Program[V, M]
-	cfg    Config
-	owner  []int32
-	blocks [][]VertexID
-	values []V
-	halted []bool // per block
+	g        *graph.Graph
+	csr      *graph.CSR
+	prog     Program[V, M]
+	cfg      Config
+	owner    []int32
+	blocks   [][]VertexID
+	values   []V
+	pristine []V    // Init-time copy for checkpoint-free restarts (faults only)
+	halted   []bool // per block
 
 	inbox  []map[VertexID][]M // per block
 	outbox [][]addr[M]        // per block (source)
@@ -117,8 +129,15 @@ type addr[M any] struct {
 	m   M
 }
 
-// NewEngine builds the engine and materializes the block partition.
+// NewEngine builds the engine and materializes the block partition:
+// the prepare phase. It pins the graph's CSR snapshot and seeds every
+// vertex value with prog.Init — every read of the mutable graph
+// happens here, so a serving layer can construct engines under a graph
+// read lock and Run them lock-free while writers mutate and republish.
 func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config) *Engine[V, M] {
+	if cfg.Job != nil {
+		cfg.Blocks = cfg.Job.Workers()
+	}
 	if cfg.Blocks <= 0 {
 		cfg.Blocks = 4
 	}
@@ -131,7 +150,7 @@ func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config) *Engine
 	}
 	e := &Engine[V, M]{
 		g:      g,
-		csr:    g.CSR(),
+		csr:    g.Pin(),
 		prog:   prog,
 		cfg:    cfg,
 		owner:  part(g, cfg.Blocks),
@@ -150,6 +169,14 @@ func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config) *Engine
 	for b := range e.inbox {
 		e.inbox[b] = map[VertexID][]M{}
 	}
+	for v := 0; v < g.N(); v++ {
+		e.values[v] = prog.Init(g, VertexID(v))
+	}
+	if cfg.Faults != nil {
+		// A rollback with no readable checkpoint restarts from scratch;
+		// keep a pristine copy so the restart never re-reads the graph.
+		e.pristine = rt.CloneValues[V](prog, e.values)
+	}
 	return e
 }
 
@@ -159,9 +186,7 @@ func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config) *Engine
 // accounting — is owned by the shared runtime.Driver; this engine
 // contributes the block-compute and boundary-delivery policy.
 func (e *Engine[V, M]) Run() (*Result[V], error) {
-	for v := 0; v < e.g.N(); v++ {
-		e.values[v] = e.prog.Init(e.g, VertexID(v))
-	}
+	defer e.g.Unpin(e.csr)
 	e.driver = rt.NewDriver[*bcSnapshot[V, M]](e, e.stats, rt.DriverConfig{
 		Name:            "blockcentric",
 		Workers:         e.cfg.Blocks,
@@ -169,6 +194,9 @@ func (e *Engine[V, M]) Run() (*Result[V], error) {
 		CapErr:          ErrSuperstepCap,
 		CheckpointEvery: e.cfg.CheckpointEvery,
 		Faults:          e.cfg.Faults,
+		Ctx:             e.cfg.Ctx,
+		Pool:            e.cfg.Pool,
+		Job:             e.cfg.Job,
 	})
 	_, err := e.driver.Run()
 	e.driver = nil
@@ -213,9 +241,9 @@ func (e *Engine[V, M]) Snapshot() *bcSnapshot[V, M] {
 // no readable checkpoint exists (!ok).
 func (e *Engine[V, M]) Restore(ck *bcSnapshot[V, M], step int, ok bool) {
 	if !ok {
-		for v := 0; v < e.g.N(); v++ {
-			e.values[v] = e.prog.Init(e.g, VertexID(v))
-		}
+		// Restart from the pristine Init-time values: re-running Init
+		// here would read the mutable graph mid-run.
+		e.values = rt.CloneValues[V](e.prog, e.pristine)
 		for b := range e.halted {
 			e.halted[b] = false
 			clear(e.inbox[b])
@@ -249,7 +277,7 @@ func (e *Engine[V, M]) Restore(ck *bcSnapshot[V, M], step int, ok bool) {
 func (e *Engine[V, M]) Superstep(superstep int, ss *bsp.SuperstepStats) (int, error) {
 	nb := e.cfg.Blocks
 	ss.Pulled = e.pullLocal
-	e.driver.Pool().Run(func(b int) {
+	e.driver.Lease().Run(func(b int) {
 		msgs := e.inbox[b]
 		if e.halted[b] && len(msgs) == 0 && superstep > 0 {
 			return
@@ -356,10 +384,18 @@ func (c *BlockContext[V, M]) Value(v VertexID) *V { return &c.engine.values[v] }
 // Local reports whether v belongs to this block.
 func (c *BlockContext[V, M]) Local(v VertexID) bool { return int(c.engine.owner[v]) == c.block }
 
-// OutEdges returns v's adjacency in the input graph as []Edge. Block
-// programs' sequential sweeps should prefer the CSR spans below, which
-// avoid the 32-byte Edge layout.
-func (c *BlockContext[V, M]) OutEdges(v VertexID) []graph.Edge { return c.engine.g.Out[v] }
+// OutEdges returns v's adjacency as []Edge, materialized fresh from
+// the pinned CSR snapshot (never the live graph). Block programs'
+// sequential sweeps should prefer the CSR spans below, which avoid the
+// per-call allocation and the 32-byte Edge layout.
+func (c *BlockContext[V, M]) OutEdges(v VertexID) []graph.Edge {
+	csr := c.engine.csr
+	d := csr.OutDegree(v)
+	if d == 0 {
+		return nil
+	}
+	return csr.AppendOutEdges(make([]graph.Edge, 0, d), v)
+}
 
 // Out returns v's out-neighbor span from the CSR snapshot. The slice
 // aliases the snapshot and must not be modified.
@@ -477,12 +513,21 @@ type CCResult struct {
 // ConnectedComponents runs block-centric min-label connected
 // components.
 func ConnectedComponents(g *graph.Graph, cfg Config) (*CCResult, error) {
+	return PrepareConnectedComponents(g, cfg)()
+}
+
+// PrepareConnectedComponents is the two-phase form: graph reads happen
+// now (NewEngine), the returned closure runs lock-free on the pinned
+// snapshot.
+func PrepareConnectedComponents(g *graph.Graph, cfg Config) func() (*CCResult, error) {
 	eng := NewEngine[VertexID, VertexID](g, ccProgram{}, cfg)
-	res, err := eng.Run()
-	if err != nil {
-		return nil, err
+	return func() (*CCResult, error) {
+		res, err := eng.Run()
+		if err != nil {
+			return nil, err
+		}
+		return &CCResult{Color: res.Values, Stats: res.Stats}, nil
 	}
-	return &CCResult{Color: res.Values, Stats: res.Stats}, nil
 }
 
 // --- Block-centric single-source shortest paths ---
@@ -577,12 +622,20 @@ type SSSPResult struct {
 // SSSP runs block-centric single-source shortest paths; unreachable
 // vertices keep +Inf, matching seq.Dijkstra.
 func SSSP(g *graph.Graph, src VertexID, cfg Config) (*SSSPResult, error) {
+	return PrepareSSSP(g, src, cfg)()
+}
+
+// PrepareSSSP is the two-phase form of SSSP (see
+// PrepareConnectedComponents).
+func PrepareSSSP(g *graph.Graph, src VertexID, cfg Config) func() (*SSSPResult, error) {
 	eng := NewEngine[float64, float64](g, ssspProgram{src: src}, cfg)
-	res, err := eng.Run()
-	if err != nil {
-		return nil, err
+	return func() (*SSSPResult, error) {
+		res, err := eng.Run()
+		if err != nil {
+			return nil, err
+		}
+		return &SSSPResult{Dist: res.Values, Stats: res.Stats}, nil
 	}
-	return &SSSPResult{Dist: res.Values, Stats: res.Stats}, nil
 }
 
 // --- Block-centric PageRank ---
@@ -642,10 +695,18 @@ type PRResult struct {
 // teleport probability (1-alpha), comparable element-wise to
 // seq.PageRank.
 func PageRank(g *graph.Graph, alpha float64, k int, cfg Config) (*PRResult, error) {
+	return PreparePageRank(g, alpha, k, cfg)()
+}
+
+// PreparePageRank is the two-phase form of PageRank (see
+// PrepareConnectedComponents).
+func PreparePageRank(g *graph.Graph, alpha float64, k int, cfg Config) func() (*PRResult, error) {
 	eng := NewEngine[float64, float64](g, prProgram{n: g.N(), k: k, alpha: alpha}, cfg)
-	res, err := eng.Run()
-	if err != nil {
-		return nil, err
+	return func() (*PRResult, error) {
+		res, err := eng.Run()
+		if err != nil {
+			return nil, err
+		}
+		return &PRResult{Ranks: res.Values, Stats: res.Stats}, nil
 	}
-	return &PRResult{Ranks: res.Values, Stats: res.Stats}, nil
 }

@@ -11,6 +11,7 @@
 package gas
 
 import (
+	"context"
 	"math"
 
 	"vcgraph/internal/bsp"
@@ -70,6 +71,16 @@ type Config struct {
 	// PullThreshold overrides the auto-mode active-set density
 	// threshold (fraction of n; <= 0 means rt.DefaultPullThreshold).
 	PullThreshold float64
+	// Ctx, when non-nil, aborts the run at the next iteration barrier
+	// once cancelled or past its deadline (see runtime.DriverConfig).
+	Ctx context.Context
+	// Pool, when non-nil, is a shared worker pool to lease workers from
+	// instead of building a private pool for the run.
+	Pool *rt.Pool
+	// Job, when non-nil, binds the run to a scheduler-admitted job:
+	// Workers is taken from the job's lease, the run executes under the
+	// job's context, and superstep records stream to the handle.
+	Job *rt.Job
 }
 
 // ErrIterationCap reports a run exceeding Config.MaxIterations. It
@@ -84,19 +95,40 @@ type Result[V any] struct {
 	Stats      *bsp.Stats // Work = gather ops; Sent/Recv = activations
 }
 
+// Preparer is an optional Program extension: PrepareGAS runs once at
+// engine construction with the run's pinned CSR snapshot — the place
+// to precompute graph-derived tables (degrees) so the run phase never
+// reads the mutable graph.
+type Preparer interface {
+	PrepareGAS(csr *graph.CSR)
+}
+
 // Run executes prog on g to quiescence. The graph must be directed
 // with in-adjacency built, or undirected (in = out). The iteration
 // lifecycle — dispatch, fault firing, checkpoint cadence, rollback,
 // halting, cost accounting — is owned by the shared runtime.Driver;
 // this package contributes the gather/apply/scatter policy.
 func Run[V, G any](g *graph.Graph, prog Program[V, G], cfg Config) (*Result[V], error) {
+	return Prepare(g, prog, cfg)()
+}
+
+// Prepare builds the engine for prog over g — pinning the CSR
+// snapshot, partitioning, and seeding every vertex value — and returns
+// the run. Every read of the mutable graph happens inside Prepare; the
+// returned closure touches only the snapshot and engine-private state,
+// so a serving layer can construct jobs under a graph read lock and
+// execute them lock-free while writers mutate and republish.
+func Prepare[V, G any](g *graph.Graph, prog Program[V, G], cfg Config) func() (*Result[V], error) {
+	if cfg.Job != nil {
+		cfg.Workers = cfg.Job.Workers()
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
 	}
 	if cfg.MaxIterations <= 0 {
 		cfg.MaxIterations = 10 * (g.N() + 64)
 	}
-	csr := g.CSR()
+	csr := g.Pin()
 	csr.EnsureIn() // pull model gathers over the transpose
 	part := cfg.Partition
 	if part == nil {
@@ -120,8 +152,16 @@ func Run[V, G any](g *graph.Graph, prog Program[V, G], cfg Config) (*Result[V], 
 		p.bcast = rt.NewBroadcasts[struct{}](n)
 		p.wakeCount = make([]int64, cfg.Workers)
 	}
+	if prep, ok := any(prog).(Preparer); ok {
+		prep.PrepareGAS(csr)
+	}
 	for v := 0; v < n; v++ {
 		p.cur[v] = prog.Init(g, VertexID(v))
+	}
+	if cfg.Faults != nil {
+		// A rollback with no readable checkpoint restarts from scratch;
+		// keep a pristine copy so the restart never re-reads the graph.
+		p.pristine = rt.CloneValues[V](prog, p.cur)
 	}
 	for i := range p.active {
 		p.active[i] = true
@@ -136,9 +176,15 @@ func Run[V, G any](g *graph.Graph, prog Program[V, G], cfg Config) (*Result[V], 
 		CapErr:          ErrIterationCap,
 		CheckpointEvery: cfg.CheckpointEvery,
 		Faults:          cfg.Faults,
+		Ctx:             cfg.Ctx,
+		Pool:            cfg.Pool,
+		Job:             cfg.Job,
 	})
-	iters, err := p.driver.Run()
-	return &Result[V]{Values: p.cur, Iterations: iters, Stats: stats}, err
+	return func() (*Result[V], error) {
+		defer g.Unpin(csr)
+		iters, err := p.driver.Run()
+		return &Result[V]{Values: p.cur, Iterations: iters, Stats: stats}, err
+	}
 }
 
 // policy is the GAS engine as a runtime.Policy: double-buffered values,
@@ -155,6 +201,7 @@ type policy[V, G any] struct {
 	driver *rt.Driver[*gasSnapshot[V]]
 
 	cur, next          []V
+	pristine           []V // Init-time copy for checkpoint-free restarts (faults only)
 	active, nextActive []bool
 	activeCount        int
 	wake               [][]VertexID // per-worker scatter buffers, reused
@@ -182,7 +229,7 @@ func (p *policy[V, G]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) 
 	if pull {
 		p.bcast.Advance()
 	}
-	p.driver.Pool().Run(func(w int) {
+	p.driver.Lease().Run(func(w int) {
 		var workW, sentW, activeW int64
 		for _, vid := range p.verts[w] {
 			v := int(vid)
@@ -234,7 +281,7 @@ func (p *policy[V, G]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) 
 		// push path's serialization point). Nothing is in transit, so
 		// scatter-batch faults have nothing to drop on a pulled
 		// iteration.
-		p.driver.Pool().Run(func(w int) {
+		p.driver.Lease().Run(func(w int) {
 			var cnt int64
 			for _, vid := range p.verts[w] {
 				for _, u := range csr.In(vid) {
@@ -301,8 +348,10 @@ func (p *policy[V, G]) Restore(snap *gasSnapshot[V], step int, ok bool) {
 		copy(p.active, snap.active)
 		p.activeCount = snap.activeCount
 	} else {
+		// Restart from the pristine Init-time values: re-running Init
+		// here would read the mutable graph mid-run.
+		p.cur = rt.CloneValues[V](p.prog, p.pristine)
 		for v := 0; v < p.n; v++ {
-			p.cur[v] = p.prog.Init(p.g, VertexID(v))
 			p.active[v] = true
 		}
 		p.activeCount = p.n
@@ -335,6 +384,19 @@ func (p *prProgram) Init(g *graph.Graph, id VertexID) prVal {
 	return prVal{rank: 1 / float64(p.n)}
 }
 
+// PrepareGAS precomputes out-degrees from the pinned snapshot, so
+// Gather never touches the mutable graph during the run.
+func (p *prProgram) PrepareGAS(csr *graph.CSR) {
+	p.outDeg = make([]float64, p.n)
+	for v := 0; v < p.n; v++ {
+		d := csr.OutDegree(VertexID(v))
+		if d == 0 {
+			d = 1 // dangling: rank leaks, matching the Pregel variant
+		}
+		p.outDeg[v] = float64(d)
+	}
+}
+
 func (p *prProgram) Gather(u VertexID, w float64, uVal prVal) float64 {
 	// u is the in-neighbor; its rank spreads over its out-degree.
 	return uVal.rank / p.outDeg[u]
@@ -353,24 +415,27 @@ func (p *prProgram) Apply(v *prVal, total float64) bool {
 // PageRank runs adaptive (delta-scheduled) PageRank in the GAS model
 // until every vertex's rank moves less than eps in an iteration.
 func PageRank(g *graph.Graph, alpha, eps float64, cfg Config) ([]float64, *Result[prVal], error) {
-	prog := &prProgram{n: g.N(), alpha: alpha, eps: eps}
-	prog.outDeg = make([]float64, g.N())
-	for v := 0; v < g.N(); v++ {
-		d := len(g.Out[v])
-		if d == 0 {
-			d = 1 // dangling: rank leaks, matching the Pregel variant
+	return PreparePageRank(g, alpha, eps, cfg)()
+}
+
+// PreparePageRank is the two-phase form of PageRank: graph reads
+// happen now, the returned closure runs lock-free on the pinned
+// snapshot (see Prepare).
+func PreparePageRank(g *graph.Graph, alpha, eps float64, cfg Config) func() ([]float64, *Result[prVal], error) {
+	n := g.N()
+	prog := &prProgram{n: n, alpha: alpha, eps: eps}
+	run := Prepare[prVal, float64](g, prog, cfg)
+	return func() ([]float64, *Result[prVal], error) {
+		res, err := run()
+		if err != nil {
+			return nil, nil, err
 		}
-		prog.outDeg[v] = float64(d)
+		ranks := make([]float64, n)
+		for v, val := range res.Values {
+			ranks[v] = val.rank
+		}
+		return ranks, res, nil
 	}
-	res, err := Run[prVal, float64](g, prog, cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	ranks := make([]float64, g.N())
-	for v, val := range res.Values {
-		ranks[v] = val.rank
-	}
-	return ranks, res, nil
 }
 
 // --- GAS connected components (HashMin) ---
@@ -411,11 +476,20 @@ func (ccProgram) Apply(v *VertexID, total VertexID) bool {
 // and order-independent, so the result is identical across worker
 // counts and fault schedules.
 func ConnectedComponents(g *graph.Graph, cfg Config) ([]VertexID, *Result[VertexID], error) {
-	res, err := Run[VertexID, VertexID](g, ccProgram{}, cfg)
-	if err != nil {
-		return nil, nil, err
+	return PrepareConnectedComponents(g, cfg)()
+}
+
+// PrepareConnectedComponents is the two-phase form of
+// ConnectedComponents (see Prepare).
+func PrepareConnectedComponents(g *graph.Graph, cfg Config) func() ([]VertexID, *Result[VertexID], error) {
+	run := Prepare[VertexID, VertexID](g, ccProgram{}, cfg)
+	return func() ([]VertexID, *Result[VertexID], error) {
+		res, err := run()
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Values, res, nil
 	}
-	return res.Values, res, nil
 }
 
 // --- GAS single-source shortest paths ---
@@ -453,9 +527,17 @@ func (p ssspProgram) Apply(v *float64, total float64) bool {
 // so results are byte-identical across worker counts and fault
 // schedules.
 func SSSP(g *graph.Graph, src VertexID, cfg Config) ([]float64, *Result[float64], error) {
-	res, err := Run[float64, float64](g, ssspProgram{src: src}, cfg)
-	if err != nil {
-		return nil, nil, err
+	return PrepareSSSP(g, src, cfg)()
+}
+
+// PrepareSSSP is the two-phase form of SSSP (see Prepare).
+func PrepareSSSP(g *graph.Graph, src VertexID, cfg Config) func() ([]float64, *Result[float64], error) {
+	run := Prepare[float64, float64](g, ssspProgram{src: src}, cfg)
+	return func() ([]float64, *Result[float64], error) {
+		res, err := run()
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Values, res, nil
 	}
-	return res.Values, res, nil
 }

@@ -1,5 +1,7 @@
 package graph
 
+import "sync"
+
 // CSR is an immutable compressed-sparse-row snapshot of a Graph: the
 // flat adjacency layout every engine's hot loop iterates instead of the
 // mutable [][]Edge builder. Where an Edge costs 32 bytes per adjacency
@@ -40,7 +42,9 @@ type CSR struct {
 	// Transpose, nil until EnsureIn (aliases the out arrays for
 	// undirected graphs); reached through the In accessors. inSrcs is
 	// ordered by source ascending within each vertex's span, matching
-	// Graph.EnsureIn's iteration order.
+	// Graph.EnsureIn's iteration order. inOnce makes the lazy build
+	// safe when concurrent jobs share one pinned snapshot.
+	inOnce     sync.Once
 	inOffsets  []int32
 	inSrcs     []VertexID
 	inWeights  []float64
@@ -187,12 +191,12 @@ func (c *CSR) AppendOutEdges(buf []Edge, v VertexID) []Edge {
 // out-entries in source order scatters each entry into its slot — so
 // every vertex's in-span is ordered by source ascending, matching the
 // order Graph.EnsureIn produces. For undirected graphs the transpose
-// aliases the out arrays. EnsureIn is idempotent; call it before any
-// concurrent use of the In accessors.
-func (c *CSR) EnsureIn() {
-	if c.inOffsets != nil {
-		return
-	}
+// aliases the out arrays. EnsureIn is idempotent and safe to call from
+// concurrent jobs sharing one pinned snapshot; the In accessors are
+// safe once the caller's EnsureIn has returned.
+func (c *CSR) EnsureIn() { c.inOnce.Do(c.buildIn) }
+
+func (c *CSR) buildIn() {
 	if !c.Directed {
 		c.inOffsets = c.Offsets
 		c.inSrcs = c.Dsts

@@ -10,6 +10,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // VertexID identifies a vertex. IDs are dense: 0..N()-1.
@@ -36,12 +37,24 @@ type Graph struct {
 	Labels   []string // optional vertex labels; nil if unlabeled
 	numEdges int
 
-	// CSR snapshot cache: csr is valid while csrVersion == version.
-	// Every mutation through the Graph API bumps version; code that
-	// rewrites adjacency slices directly must call Invalidate.
+	// CSR snapshot cache and pin table: csr is valid while
+	// csrVersion == version. Every mutation through the Graph API bumps
+	// version; code that rewrites adjacency slices directly must call
+	// Invalidate. Pinned snapshots (Pin/Unpin) outlive invalidation —
+	// a writer mutating and republishing never disturbs a running
+	// job's pinned view; pins counts them for leak checks.
+	//
+	// mu guards the snapshot bookkeeping (version, csr, pins) so
+	// Pin/Unpin/CSR/Invalidate are safe to call concurrently. The
+	// adjacency slices themselves are NOT guarded: mutators
+	// (AddEdge & co.) must still be serialized against each other and
+	// against snapshot builds by the caller — the serving layer does so
+	// with a per-graph write lock held across mutate-and-republish.
+	mu         sync.Mutex
 	version    int64
 	csrVersion int64
 	csr        *CSR
+	pins       map[*CSR]int
 }
 
 // New returns an empty graph with n vertices.
@@ -152,6 +165,12 @@ func (g *Graph) EnsureIn() {
 // API. The snapshot preserves adjacency order exactly, so iterating its
 // spans is interchangeable with iterating Out.
 func (g *Graph) CSR() *CSR {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.csrLocked()
+}
+
+func (g *Graph) csrLocked() *CSR {
 	if g.csr == nil || g.csrVersion != g.version {
 		g.csr = BuildCSR(g)
 		g.csrVersion = g.version
@@ -159,12 +178,56 @@ func (g *Graph) CSR() *CSR {
 	return g.csr
 }
 
-// Invalidate discards the cached CSR snapshot. Mutators in this package
-// call it automatically; call it manually after rewriting Out/Labels
-// slices directly.
+// Pin returns the current CSR snapshot with a reference held on it:
+// the snapshot stays consistent (it is immutable) no matter how the
+// graph is mutated and republished afterwards. Every Pin must be paired
+// with an Unpin of the same snapshot; Pins reports the outstanding
+// count so tests and the serving layer can verify that finished jobs
+// released their views.
+func (g *Graph) Pin() *CSR {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c := g.csrLocked()
+	if g.pins == nil {
+		g.pins = make(map[*CSR]int)
+	}
+	g.pins[c]++
+	return c
+}
+
+// Unpin releases one reference on a snapshot returned by Pin.
+func (g *Graph) Unpin(c *CSR) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.pins[c] == 0 {
+		panic("graph: Unpin of a snapshot that is not pinned")
+	}
+	if g.pins[c]--; g.pins[c] == 0 {
+		delete(g.pins, c)
+	}
+}
+
+// Pins returns the total number of outstanding pinned references
+// across all snapshot generations.
+func (g *Graph) Pins() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	total := 0
+	for _, n := range g.pins {
+		total += n
+	}
+	return total
+}
+
+// Invalidate discards the cached CSR snapshot (pinned references keep
+// their generation alive and untouched). Mutators in this package call
+// it automatically; call it manually after rewriting Out/Labels slices
+// directly.
 func (g *Graph) Invalidate() {
+	g.mu.Lock()
 	g.version++
 	g.csr = nil
+	g.mu.Unlock()
 }
 
 // SortAdjacency sorts every adjacency list by destination ID. Several

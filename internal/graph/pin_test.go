@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPinRefcountsAcrossGenerations(t *testing.T) {
+	g := Path(8)
+	a1 := g.Pin()
+	a2 := g.Pin()
+	if a1 != a2 {
+		t.Fatal("two pins of an unchanged graph returned different snapshots")
+	}
+	if got := g.Pins(); got != 2 {
+		t.Fatalf("pins = %d, want 2", got)
+	}
+
+	// Mutating republishes: new pins see the new generation, old pins
+	// keep the old one alive and untouched.
+	oldM := a1.M()
+	g.AddEdge(0, 5)
+	b := g.Pin()
+	if b == a1 {
+		t.Fatal("pin after mutation returned the stale snapshot")
+	}
+	if a1.M() != oldM {
+		t.Fatalf("pinned snapshot changed under mutation: m %d -> %d", oldM, a1.M())
+	}
+	if b.M() != oldM+1 {
+		t.Fatalf("fresh snapshot m = %d, want %d", b.M(), oldM+1)
+	}
+	if got := g.Pins(); got != 3 {
+		t.Fatalf("pins across generations = %d, want 3", got)
+	}
+
+	g.Unpin(a1)
+	g.Unpin(b)
+	if got := g.Pins(); got != 1 {
+		t.Fatalf("pins = %d, want 1", got)
+	}
+	g.Unpin(a2)
+	if got := g.Pins(); got != 0 {
+		t.Fatalf("pins = %d, want 0", got)
+	}
+}
+
+func TestPinSurvivesInvalidate(t *testing.T) {
+	g := Cycle(6)
+	c := g.Pin()
+	g.Invalidate()
+	// The pinned generation is still readable and still counted.
+	if c.N() != 6 || g.Pins() != 1 {
+		t.Fatalf("pinned snapshot lost after Invalidate (n=%d pins=%d)", c.N(), g.Pins())
+	}
+	// A pin after invalidation is a rebuilt snapshot; unpinning both in
+	// either order drains the count.
+	d := g.Pin()
+	if d == c {
+		t.Fatal("Invalidate did not republish the snapshot")
+	}
+	g.Unpin(c)
+	g.Unpin(d)
+	if g.Pins() != 0 {
+		t.Fatalf("pins = %d, want 0", g.Pins())
+	}
+}
+
+func TestUnpinUnpinnedPanics(t *testing.T) {
+	g := Path(4)
+	c := g.Pin()
+	g.Unpin(c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Unpin did not panic")
+		}
+	}()
+	g.Unpin(c)
+}
+
+func TestUnpinForeignSnapshotPanics(t *testing.T) {
+	g := Path(4)
+	other := Path(4).Pin()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unpin of a foreign snapshot did not panic")
+		}
+	}()
+	g.Unpin(other)
+}
+
+// TestPinConcurrentWithMutation drives Pin/Unpin from many goroutines
+// racing a mutator under the documented bracketing discipline (readers
+// hold an RWMutex read lock only for the Pin call, the writer holds
+// the write lock across mutate-and-republish — exactly what the
+// serving layer does). Under -race this checks that a pinned view can
+// be read lock-free while the graph moves, and that it stays
+// self-consistent.
+func TestPinConcurrentWithMutation(t *testing.T) {
+	g := Cycle(64)
+	var bracket sync.RWMutex
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				bracket.RLock()
+				c := g.Pin()
+				bracket.RUnlock()
+				// A CSR is immutable: its edge count and spans must
+				// agree no matter what the mutator is doing.
+				total := 0
+				for v := VertexID(0); int(v) < c.N(); v++ {
+					total += c.OutDegree(v)
+				}
+				if total != 2*c.M() {
+					t.Errorf("snapshot inconsistent: degree sum %d != 2m %d", total, 2*c.M())
+				}
+				g.Unpin(c)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			bracket.Lock()
+			g.AddEdge(VertexID(j%64), VertexID((j*7+3)%64))
+			bracket.Unlock()
+		}
+	}()
+	wg.Wait()
+	if g.Pins() != 0 {
+		t.Fatalf("pins = %d after drain, want 0", g.Pins())
+	}
+}

@@ -96,9 +96,11 @@ func (e *Engine[V, M]) Snapshot() *checkpoint[V, M] {
 func (e *Engine[V, M]) Restore(ck *checkpoint[V, M], step int, ok bool) {
 	e.recoveries++
 	if !ok {
-		// No checkpoint yet: restart from scratch.
+		// No checkpoint yet: restart from the pristine Init-time values
+		// kept by NewEngine — re-running Init here would read the
+		// mutable graph mid-run.
+		e.values = rt.CloneValues[V](e.prog, e.pristine)
 		for v := 0; v < e.g.N(); v++ {
-			e.values[v] = e.prog.Init(e.g, VertexID(v))
 			e.halted[v] = false
 			e.mbox.ResetVertex(VertexID(v))
 		}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"vcgraph/internal/graph"
+	rt "vcgraph/internal/runtime"
 )
 
 // fcsProgram is hash-min with a serial finisher, self-contained for the
@@ -123,6 +124,81 @@ func TestFCSTriggersOnlyBelowThreshold(t *testing.T) {
 		if val != 0 {
 			t.Fatalf("vertex %d label %d", v, val)
 		}
+	}
+}
+
+// TestFCSPinsPushOnTinyFrontierUnderAutoPull checks the FCS × auto
+// interaction: with a vanishing pull threshold auto mode pulls every
+// superstep, but once the frontier is at or below the FCS threshold a
+// pulled superstep would scan all n broadcast slots to serve a
+// frontier the serial finisher is about to absorb — so the engine pins
+// push there. Results must not change.
+func TestFCSPinsPushOnTinyFrontierUnderAutoPull(t *testing.T) {
+	g := permutedPath(512, 11)
+	minC := func(a, b graph.VertexID) graph.VertexID {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	run := func(fcs int) ([]VertexID, []struct {
+		frontier int
+		pulled   bool
+	}) {
+		eng := NewEngine[VertexID, VertexID](g, fcsProgram{}, Config[VertexID]{
+			Workers: 3, Mode: rt.DirectionAuto, PullThreshold: 1e-9,
+			Combiner: minC, FCSThreshold: fcs,
+		})
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps := make([]struct {
+			frontier int
+			pulled   bool
+		}, len(res.Stats.Supersteps))
+		for i, ss := range res.Stats.Supersteps {
+			var active int64
+			for _, a := range ss.Active {
+				active += a
+			}
+			steps[i] = struct {
+				frontier int
+				pulled   bool
+			}{int(active), ss.Pulled}
+		}
+		return res.Values, steps
+	}
+
+	clean, cleanSteps := run(0)
+	for i, st := range cleanSteps {
+		if st.frontier > 0 && !st.pulled {
+			t.Fatalf("no-FCS superstep %d (frontier %d) pushed under a vanishing pull threshold", i, st.frontier)
+		}
+	}
+
+	fcs, fcsSteps := run(32)
+	for v := range clean {
+		if clean[v] != fcs[v] {
+			t.Fatalf("vertex %d: clean=%d fcs=%d", v, clean[v], fcs[v])
+		}
+	}
+	sawPull, sawPinnedPush := false, false
+	for i, st := range fcsSteps {
+		if st.frontier > 32 {
+			if !st.pulled {
+				t.Fatalf("dense superstep %d (frontier %d) was not pulled", i, st.frontier)
+			}
+			sawPull = true
+		} else if st.frontier > 0 {
+			if st.pulled {
+				t.Fatalf("tiny-frontier superstep %d (frontier %d) pulled despite the FCS pin", i, st.frontier)
+			}
+			sawPinnedPush = true
+		}
+	}
+	if !sawPull || !sawPinnedPush {
+		t.Fatalf("run exercised pull=%v pinned-push=%v; want both", sawPull, sawPinnedPush)
 	}
 }
 

@@ -15,6 +15,7 @@
 package pregel
 
 import (
+	"context"
 	"math/rand"
 	"slices"
 
@@ -104,6 +105,16 @@ type Config[M any] struct {
 	// which a superstep is pulled, as a fraction of n
 	// (<= 0 means runtime.DefaultPullThreshold, 1/20).
 	PullThreshold float64
+	// Ctx, when non-nil, aborts the run at the next superstep barrier
+	// once cancelled or past its deadline (see runtime.DriverConfig).
+	Ctx context.Context
+	// Pool, when non-nil, is a shared worker pool to lease workers from
+	// instead of building a private pool for the run.
+	Pool *rt.Pool
+	// Job, when non-nil, binds the run to a scheduler-admitted job:
+	// Workers is taken from the job's lease, the run executes under the
+	// job's context, and superstep records stream to the handle.
+	Job *rt.Job
 }
 
 // ErrSuperstepCap reports that the run exceeded Config.MaxSupersteps.
@@ -138,20 +149,21 @@ type Engine[V, M any] struct {
 	prog Program[V, M]
 	cfg  Config[M]
 
-	values []V
-	halted []bool
-	csr    *graph.CSR     // immutable adjacency snapshot, the hot-loop view
-	adj    [][]graph.Edge // per-vertex materialized/mutated out-edges; nil = read the CSR
-	mutated []bool        // adj[v] diverges from the snapshot (SetOutEdges)
-	inadj  [][]graph.Edge // view of g.In (directed graphs), immutable
-	deg    []int          // original total degree, for BPPA ratios
+	values   []V
+	pristine []V // Init-time copy for checkpoint-free restarts (faults only)
+	halted   []bool
+	csr      *graph.CSR     // pinned immutable adjacency snapshot, the hot-loop view
+	adj      [][]graph.Edge // per-vertex materialized/mutated out-edges; nil = read the CSR
+	mutated  []bool         // adj[v] diverges from the snapshot (SetOutEdges)
+	inadj    [][]graph.Edge // per-vertex lazily materialized in-edges (CSR transpose)
+	deg      []int          // original total degree, for BPPA ratios
 
 	ownerOf []int32      // vertex -> worker
 	verts   [][]VertexID // worker -> owned vertices
 
-	mbox   *rt.Mailbox[M]                   // sharded outbox lanes + per-vertex inboxes
-	wl     *rt.Worklists                    // vertices to compute next superstep
-	driver *rt.Driver[*checkpoint[V, M]]    // shared superstep kernel, live for one Run
+	mbox   *rt.Mailbox[M]                // sharded outbox lanes + per-vertex inboxes
+	wl     *rt.Worklists                 // vertices to compute next superstep
+	driver *rt.Driver[*checkpoint[V, M]] // shared superstep kernel, live for one Run
 
 	// Direction-optimizing execution (nil/false unless a combiner is
 	// registered and Mode permits pull): per-vertex broadcast slots
@@ -186,12 +198,19 @@ type Engine[V, M any] struct {
 	recoveries  int
 }
 
-// NewEngine builds an engine for prog over g. Programs read adjacency
-// through the graph's immutable CSR snapshot; a vertex that mutates its
+// NewEngine builds an engine for prog over g: the prepare phase. It
+// pins the graph's CSR snapshot, partitions, and seeds every vertex
+// value with prog.Init — every read of the mutable graph happens here,
+// so a serving layer can construct engines under a graph read lock and
+// Run them lock-free while writers mutate and republish. Programs read
+// adjacency through the pinned snapshot; a vertex that mutates its
 // out-edges via Context.SetOutEdges gets a private materialized copy,
 // so the input graph is never modified.
 func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[M]) *Engine[V, M] {
 	n := g.N()
+	if cfg.Job != nil {
+		cfg.Workers = cfg.Job.Workers()
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = rt.DefaultWorkers()
 	}
@@ -207,7 +226,7 @@ func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[M]) *Eng
 		cfg:     cfg,
 		values:  make([]V, n),
 		halted:  make([]bool, n),
-		csr:     g.CSR(),
+		csr:     g.Pin(),
 		adj:     make([][]graph.Edge, n),
 		mutated: make([]bool, n),
 		deg:     make([]int, n),
@@ -216,11 +235,21 @@ func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[M]) *Eng
 		stats:   &bsp.Stats{Workers: cfg.Workers, N: n},
 	}
 	if g.Directed {
-		g.EnsureIn()
-		e.inadj = g.In
+		// In-edge reads (Context.InEdges, degree ratios) come from the
+		// snapshot's transpose, never from the live graph.
+		e.csr.EnsureIn()
+		e.inadj = make([][]graph.Edge, n)
 	}
 	for v := 0; v < n; v++ {
-		e.deg[v] = g.TotalDegree(VertexID(v))
+		e.deg[v] = e.csr.TotalDegree(VertexID(v))
+	}
+	for v := 0; v < n; v++ {
+		e.values[v] = prog.Init(g, VertexID(v))
+	}
+	if cfg.Faults != nil {
+		// A rollback with no readable checkpoint restarts from scratch;
+		// keep a pristine copy so the restart never re-reads the graph.
+		e.pristine = rt.CloneValues[V](prog, e.values)
 	}
 	part := cfg.Partition
 	if part == nil {
@@ -291,6 +320,23 @@ func (e *Engine[V, M]) outEdges(v VertexID) []graph.Edge {
 	return a
 }
 
+// inEdges returns v's in-adjacency as []Edge (directed graphs),
+// materializing it from the CSR transpose on first request and caching
+// the copy. Only v's owner worker requests it during parallel phases
+// (Compute runs on owned vertices), so the lazy fill is race-free.
+func (e *Engine[V, M]) inEdges(v VertexID) []graph.Edge {
+	if a := e.inadj[v]; a != nil {
+		return a
+	}
+	d := e.csr.InDegree(v)
+	if d == 0 {
+		return nil
+	}
+	a := e.csr.AppendInEdges(make([]graph.Edge, 0, d), v)
+	e.inadj[v] = a
+	return a
+}
+
 // Run executes the program to termination: when every vertex has voted
 // to halt and no messages are in flight, or when the master halts. It
 // returns ErrSuperstepCap (with the partial Result) if the cap is hit.
@@ -298,17 +344,15 @@ func (e *Engine[V, M]) outEdges(v VertexID) []graph.Edge {
 // rollback, halting, cost accounting — is owned by the shared
 // runtime.Driver; the engine contributes the pregel policy below.
 func (e *Engine[V, M]) Run() (*Result[V], error) {
-	n := e.g.N()
-	for v := 0; v < n; v++ {
-		e.values[v] = e.prog.Init(e.g, VertexID(v))
-	}
+	defer e.g.Unpin(e.csr)
 	e.aggCurrent = make(map[string]any, len(e.aggs))
 	for name, a := range e.aggs {
 		e.aggCurrent[name] = a.Zero()
 	}
 	e.dropScratch = make([]bool, e.cfg.Workers)
 
-	// Every vertex computes at superstep 0.
+	// Every vertex computes at superstep 0 (values were seeded by
+	// NewEngine; Run itself never reads the mutable graph).
 	e.wl.FillAll(e.verts)
 
 	e.driver = rt.NewDriver[*checkpoint[V, M]](e, e.stats, rt.DriverConfig{
@@ -318,6 +362,9 @@ func (e *Engine[V, M]) Run() (*Result[V], error) {
 		CapErr:          ErrSuperstepCap,
 		CheckpointEvery: e.cfg.CheckpointEvery,
 		Faults:          e.cfg.Faults,
+		Ctx:             e.cfg.Ctx,
+		Pool:            e.cfg.Pool,
+		Job:             e.cfg.Job,
 	})
 	steps, err := e.driver.Run()
 	e.driver = nil
@@ -375,6 +422,13 @@ func (e *Engine[V, M]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) 
 	// broadcast slot instead of materializing per-edge mailbox
 	// messages; destinations gather over their transpose spans below.
 	e.pullStep = rt.ChoosePull(e.cfg.Mode, e.bcast != nil, e.wl.Pending(), e.g.N(), e.cfg.PullThreshold)
+	if e.pullStep && e.cfg.FCSThreshold > 0 && e.wl.Pending() <= e.cfg.FCSThreshold {
+		// FCS regime: the frontier is already small enough for the
+		// serial finisher, so a pulled superstep would scan every
+		// vertex's transpose span to gather a handful of broadcasts —
+		// exactly the straggler tail FCS exists to avoid. Pin push.
+		e.pullStep = false
+	}
 	ss.Pulled = e.pullStep
 
 	// Compute phase: each pool worker drains its worklist shard —
@@ -386,7 +440,7 @@ func (e *Engine[V, M]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) 
 		e.bcast.Advance()
 	}
 	e.wl.Flip()
-	e.driver.Pool().Run(func(w int) {
+	e.driver.Lease().Run(func(w int) {
 		e.wl.SortCur(w, e.verts[w])
 		ctx := &e.ctxs[w]
 		for _, vid := range e.wl.Cur(w) {
@@ -466,7 +520,7 @@ func (e *Engine[V, M]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) 
 	// barrier, which keeps checkpoints and rollback replay
 	// mode-oblivious: a snapshot always sees fully-materialized
 	// inboxes.
-	e.driver.Pool().Run(func(w int) {
+	e.driver.Lease().Run(func(w int) {
 		e.delivered[w], e.placed[w], e.dropScratch[w] = e.mbox.DeliverFaulty(w, step, inj, e.onMail[w])
 		if e.pullStep {
 			raw, placed := e.gatherPulled(w)
@@ -622,11 +676,12 @@ func (c *Context[V, M]) ForEachOut(f func(dst VertexID, w float64)) {
 	e.csr.ForEachOut(c.id, f)
 }
 
-// InEdges returns the vertex's in-edges for directed graphs (immutable
-// view of the input graph) and the out-edges for undirected graphs.
+// InEdges returns the vertex's in-edges for directed graphs
+// (materialized from the pinned snapshot's transpose, immutable) and
+// the out-edges for undirected graphs.
 func (c *Context[V, M]) InEdges() []graph.Edge {
 	if c.engine.inadj != nil {
-		return c.engine.inadj[c.id]
+		return c.engine.inEdges(c.id)
 	}
 	return c.engine.outEdges(c.id)
 }

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 
 	"vcgraph/internal/bsp"
@@ -102,6 +103,23 @@ type DriverConfig struct {
 	EpochSaves bool
 	// Model prices each superstep; zero value means bsp.DefaultModel.
 	Model bsp.CostModel
+	// Ctx, when non-nil, gates every superstep barrier: once it is
+	// cancelled or past its deadline the run aborts at the next barrier
+	// — before fault firing and rollback, so an abort never replays
+	// work — and Run returns the context's cause. nil = never aborted.
+	Ctx context.Context
+	// Pool, when non-nil, is a caller-owned shared worker pool: the
+	// driver leases Workers virtual workers from it for the run instead
+	// of building (and tearing down) a private pool. The pool outlives
+	// the run and may serve other runs concurrently.
+	Pool *Pool
+	// Job, when non-nil, binds the run to a scheduler-admitted job
+	// handle: the run executes on the job's lease, under the job's
+	// context (overriding Ctx), and publishes each superstep record to
+	// the handle for streaming. The job's admitted share must equal
+	// Workers — engines derive Workers from Job.Workers() to guarantee
+	// it.
+	Job *Job
 }
 
 // Driver runs a Policy to termination. One Driver serves one Run.
@@ -111,11 +129,11 @@ type Driver[S any] struct {
 	stats *bsp.Stats
 	model bsp.CostModel
 
-	pool *Pool
-	inj  *Injector
-	cks  Checkpoints[ckFrame[S]]
-	lost bool
-	step int
+	lease *Lease
+	inj   *Injector
+	cks   Checkpoints[ckFrame[S]]
+	lost  bool
+	step  int
 	// scratch holds the superstep being measured; a field rather than a
 	// local so passing its address through the Policy interface does not
 	// heap-allocate a struct per superstep.
@@ -139,8 +157,9 @@ func NewDriver[S any](pol Policy[S], stats *bsp.Stats, cfg DriverConfig) *Driver
 	return &Driver[S]{cfg: cfg, pol: pol, stats: stats, model: model}
 }
 
-// Pool returns the run's worker pool (valid during Run).
-func (d *Driver[S]) Pool() *Pool { return d.pool }
+// Lease returns the run's worker lease (valid during Run): the view
+// through which the policy dispatches its parallel phases.
+func (d *Driver[S]) Lease() *Lease { return d.lease }
 
 // Injector returns the run's fault injector (nil without faults; all
 // Injector methods are nil-safe).
@@ -157,8 +176,34 @@ func (d *Driver[S]) LoseBatch() { d.lost = true }
 // serial finish, the step cap, or a policy error. It returns the number
 // of steps executed (the barrier index at which the run stopped).
 func (d *Driver[S]) Run() (steps int, err error) {
-	d.pool = NewPool(d.cfg.Workers)
-	defer func() { d.pool.Close(); d.pool = nil }()
+	ctx := d.cfg.Ctx
+	if d.cfg.Job != nil {
+		ctx = d.cfg.Job.Context()
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Worker substrate, by preference: the job's admitted lease, a
+	// lease on a caller-shared pool, or — the legacy fallback — a
+	// private pool built for this run alone.
+	switch {
+	case d.cfg.Job != nil:
+		l := d.cfg.Job.leaseHandle()
+		if l == nil {
+			panic("runtime: Driver run under a job with no lease (jobs must come from Scheduler.Submit)")
+		}
+		if l.Workers() != d.cfg.Workers {
+			panic(fmt.Sprintf("runtime: job lease share %d != driver workers %d", l.Workers(), d.cfg.Workers))
+		}
+		d.lease = l
+	case d.cfg.Pool != nil:
+		d.lease = d.cfg.Pool.Lease(d.cfg.Workers)
+	default:
+		pool := NewPool(d.cfg.Workers)
+		defer pool.Close()
+		d.lease = pool.Lease(d.cfg.Workers)
+	}
+	defer func() { d.lease = nil }()
 	d.inj = d.cfg.Faults.NewInjector(d.cfg.Workers)
 
 	master, hasMaster := d.pol.(MasterPolicy)
@@ -168,8 +213,16 @@ func (d *Driver[S]) Run() (steps int, err error) {
 
 	pending := 0
 	capHit := false
+	aborted := false
 	var polErr error
 	for d.step = 0; ; d.step++ {
+		// Cancellation wins over everything at the barrier: an aborted
+		// run fires no faults, takes no checkpoint, and never rolls
+		// back — the caller asked it to stop, not to recover.
+		if ctx.Err() != nil {
+			aborted = true
+			break
+		}
 		if d.step >= d.cfg.MaxSteps {
 			capHit = true
 			break
@@ -226,6 +279,9 @@ func (d *Driver[S]) Run() (steps int, err error) {
 	if polErr != nil {
 		return d.step, polErr
 	}
+	if aborted {
+		return d.step, fmt.Errorf("%s: %w", d.cfg.Name, context.Cause(ctx))
+	}
 	if capHit {
 		return d.step, fmt.Errorf("%s: %w (cap %d)", d.cfg.Name, d.cfg.CapErr, d.cfg.MaxSteps)
 	}
@@ -261,6 +317,9 @@ func (d *Driver[S]) record(ss bsp.SuperstepStats) {
 	}
 	d.stats.MeasuredTime += ss.Cost
 	d.stats.Supersteps = append(d.stats.Supersteps, ss)
+	if d.cfg.Job != nil {
+		d.cfg.Job.observe(ss)
+	}
 }
 
 // save checkpoints the barrier state entering step. A scheduled

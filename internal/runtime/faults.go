@@ -65,10 +65,10 @@ func (k FaultKind) String() string {
 // the engine's worker count when the injector is built, so one plan is
 // valid under any parallelism.
 type FaultEvent struct {
-	Step   int       // barrier index at which the event fires (>= semantics, one-shot)
+	Step   int // barrier index at which the event fires (>= semantics, one-shot)
 	Kind   FaultKind
-	Worker int       // crash: the crashed worker; lane faults: the source worker
-	Lane   int       // lane faults: the destination worker
+	Worker int // crash: the crashed worker; lane faults: the source worker
+	Lane   int // lane faults: the destination worker
 }
 
 // Crash schedules a worker crash at the given barrier.

@@ -1,11 +1,17 @@
 // Package runtime is the shared execution substrate under the four
 // processing engines (pregel, gas, async, blockcentric). It provides
-// three reusable primitives:
+// the reusable primitives:
 //
-//   - Pool: a persistent worker pool whose goroutines are started once
-//     per engine run and parked on a phase barrier between supersteps,
-//     replacing the per-superstep `go func` + WaitGroup churn that
-//     previously dominated dispatch cost.
+//   - Pool / Lease: a shared worker pool whose goroutines are started
+//     once per process (or per run, for private pools) and fed phase
+//     tasks through one queue; engines dispatch phases through a Lease,
+//     a per-run view that carries the run's virtual worker share and
+//     its own completion channel, so many runs can share one pool
+//     concurrently without their barriers interfering.
+//   - Scheduler / Job: admission control over a shared pool — at most
+//     maxJobs runs in flight, FIFO queueing beyond that — plus the Job
+//     handle that owns a run's context, lease, per-superstep trace,
+//     and cleanups.
 //   - Mailbox[M]: generic sharded mailboxes with per-(src,dst)-worker
 //     lanes, optional sender-side combining, and buffer reuse across
 //     supersteps.
@@ -19,7 +25,10 @@
 // byte-identical to the pre-runtime engines.
 package runtime
 
-import stdruntime "runtime"
+import (
+	stdruntime "runtime"
+	"sync"
+)
 
 // DefaultWorkers returns the engines' default parallelism:
 // min(4, GOMAXPROCS). Four workers keep the BSP cost model's P small
@@ -32,66 +41,116 @@ func DefaultWorkers() int {
 	return w
 }
 
-// Pool is a persistent worker pool: P goroutines started once, woken
-// for each phase, and parked again at the phase barrier. Run returns
-// only after every worker has finished the phase, so phases are
-// totally ordered (the BSP barrier) and the memory effects of phase k
-// happen-before phase k+1 (channel send/receive pairs).
-//
-// A Pool is owned by a single orchestrating goroutine; Run and Close
-// must not be called concurrently. Close releases the goroutines.
-type Pool struct {
-	workers int
-	start   []chan func(worker int)
-	done    chan struct{}
+// task is one unit of phase work: fn(idx) for one virtual worker of
+// some lease, acknowledged on the lease's completion channel.
+type task struct {
+	fn   func(worker int)
+	idx  int
+	done chan<- struct{}
 }
 
-// NewPool starts workers parked goroutines.
+// Pool is a shared worker pool: W goroutines draining one task queue.
+// Runs do not own the pool — each owns a Lease, which dispatches that
+// run's virtual workers as tasks and waits for them on its private
+// completion channel. Virtual worker counts are independent of W: a
+// lease for P > W workers still runs all P tasks (at most W at a
+// time), so a job's measured P·T accounting never depends on how many
+// physical goroutines the pool happens to have.
+//
+// Close releases the goroutines; it must not race with in-flight
+// Lease.Run calls.
+type Pool struct {
+	workers int
+	tasks   chan task
+	close   sync.Once
+}
+
+// NewPool starts a pool of workers goroutines (0 = DefaultWorkers).
 func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
 	p := &Pool{
 		workers: workers,
-		start:   make([]chan func(int), workers),
-		done:    make(chan struct{}, workers),
+		tasks:   make(chan task, 2*workers),
 	}
 	for w := 0; w < workers; w++ {
-		ch := make(chan func(int))
-		p.start[w] = ch
-		go func(w int, ch chan func(int)) {
-			for fn := range ch {
-				fn(w)
-				p.done <- struct{}{}
+		go func() {
+			for t := range p.tasks {
+				t.fn(t.idx)
+				t.done <- struct{}{}
 			}
-		}(w, ch)
+		}()
 	}
 	return p
 }
 
-// Workers returns the pool size.
+// NewProcessPool builds a process-wide pool sized to GOMAXPROCS, the
+// substrate a Scheduler shares among concurrent jobs.
+func NewProcessPool() *Pool { return NewPool(stdruntime.GOMAXPROCS(0)) }
+
+// Workers returns the number of pool goroutines.
 func (p *Pool) Workers() int { return p.workers }
 
-// Run executes fn(w) on every worker w in [0, P) and waits for all of
-// them (the phase barrier).
-func (p *Pool) Run(fn func(worker int)) {
-	for _, ch := range p.start {
-		ch <- fn
+// Lease carves a share-worker view out of the pool. The lease has no
+// admission semantics of its own (see Scheduler.Acquire for that); its
+// Release is a no-op unless a scheduler attached one.
+func (p *Pool) Lease(share int) *Lease {
+	if share <= 0 {
+		share = p.workers
 	}
-	for range p.start {
-		<-p.done
-	}
+	return &Lease{pool: p, share: share, done: make(chan struct{}, share)}
 }
+
+// Run executes fn(w) for every w in [0, P) over the pool's own width,
+// through a transient lease. Engines inside a run use their Lease
+// directly; Run is the convenience form for tests and one-off phases.
+func (p *Pool) Run(fn func(worker int)) { p.Lease(p.workers).Run(fn) }
 
 // Close parks the pool permanently, releasing its goroutines. The pool
 // must not be used afterwards. Close is idempotent.
 func (p *Pool) Close() {
-	for _, ch := range p.start {
-		if ch != nil {
-			close(ch)
+	p.close.Do(func() { close(p.tasks) })
+}
+
+// Lease is one run's view of a shared Pool: Run dispatches the lease's
+// share of virtual workers as pool tasks and waits for all of them (the
+// phase barrier). The completion channel is owned by the lease and
+// reused across phases, so a superstep's two dispatches allocate
+// nothing; the channel send/receive pairs order the memory effects of
+// phase k before phase k+1 exactly as the pre-lease pool did.
+//
+// A Lease is owned by a single orchestrating goroutine; concurrent
+// Run calls on one lease are not allowed (concurrent runs each hold
+// their own lease).
+type Lease struct {
+	pool    *Pool
+	share   int
+	done    chan struct{}
+	release func()
+	once    sync.Once
+}
+
+// Workers returns the lease's virtual worker share (the engine's P).
+func (l *Lease) Workers() int { return l.share }
+
+// Run executes fn(w) for every virtual worker w in [0, share) and
+// waits for all of them.
+func (l *Lease) Run(fn func(worker int)) {
+	for i := 0; i < l.share; i++ {
+		l.pool.tasks <- task{fn: fn, idx: i, done: l.done}
+	}
+	for i := 0; i < l.share; i++ {
+		<-l.done
+	}
+}
+
+// Release returns the lease's admission slot to its scheduler (no-op
+// for plain pool leases). Idempotent.
+func (l *Lease) Release() {
+	l.once.Do(func() {
+		if l.release != nil {
+			l.release()
 		}
-	}
-	for i := range p.start {
-		p.start[i] = nil
-	}
+	})
 }

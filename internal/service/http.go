@@ -1,0 +1,238 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"vcgraph/internal/bsp"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	GET  /v1/healthz                  liveness + scheduler load
+//	POST /v1/graphs                   register a graph (GraphSpec body)
+//	GET  /v1/graphs/{name}            graph shape
+//	POST /v1/graphs/{name}/edges      append edges {"edges": [[u,v,w?], ...]}
+//	POST /v1/jobs                     submit a job (JobSpec body)
+//	GET  /v1/jobs/{id}                job status (+ result summary when done)
+//	GET  /v1/jobs/{id}/stats?since=K  stream per-superstep records from K
+//	POST /v1/jobs/{id}/cancel         cancel a queued or running job
+//	GET  /v1/jobs/{id}/query?vertex=V point-query a finished job's value
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
+	mux.HandleFunc("GET /v1/graphs/{name}", s.handleGraphInfo)
+	mux.HandleFunc("POST /v1/graphs/{name}/edges", s.handleAddEdges)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/stats", s.handleJobStats)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/query", s.handleQuery)
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// codeFor maps service errors to HTTP statuses: unknown names are 404,
+// everything else raised at the API boundary is a bad request.
+func codeFor(err error) int {
+	if errors.Is(err, errUnknownGraph) || errors.Is(err, errUnknownJob) {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":       true,
+		"inflight": s.sched.InFlight(),
+		"queued":   s.sched.QueueLen(),
+		"max_jobs": s.sched.MaxJobs(),
+	})
+}
+
+func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
+	var spec GraphSpec
+	if !decodeBody(w, r, &spec) {
+		return
+	}
+	if err := s.RegisterGraph(spec); err != nil {
+		writeErr(w, codeFor(err), err)
+		return
+	}
+	n, m, directed, _ := s.GraphInfo(spec.Name)
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"name": spec.Name, "n": n, "m": m, "directed": directed,
+	})
+}
+
+func (s *Server) handleGraphInfo(w http.ResponseWriter, r *http.Request) {
+	n, m, directed, err := s.GraphInfo(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, codeFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name": r.PathValue("name"), "n": n, "m": m, "directed": directed,
+	})
+}
+
+func (s *Server) handleAddEdges(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Edges [][]float64 `json:"edges"`
+	}
+	if !decodeBody(w, r, &body) {
+		return
+	}
+	if err := s.AddEdges(r.PathValue("name"), body.Edges); err != nil {
+		writeErr(w, codeFor(err), err)
+		return
+	}
+	n, m, directed, _ := s.GraphInfo(r.PathValue("name"))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name": r.PathValue("name"), "n": n, "m": m, "directed": directed,
+	})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if !decodeBody(w, r, &spec) {
+		return
+	}
+	job, err := s.Submit(spec)
+	if err != nil {
+		writeErr(w, codeFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id": job.ID(), "state": job.State().String(),
+	})
+}
+
+func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) (*jobRecord, bool) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	rec, err := s.JobRecord(id)
+	if err != nil {
+		writeErr(w, codeFor(err), err)
+		return nil, false
+	}
+	return rec, true
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	job := rec.job
+	status := map[string]any{
+		"id":      job.ID(),
+		"name":    job.Name(),
+		"graph":   rec.spec.Graph,
+		"state":   job.State().String(),
+		"workers": job.Workers(),
+		"steps":   job.Steps(),
+	}
+	if err := job.Err(); err != nil {
+		status["error"] = err.Error()
+	}
+	if res := rec.result(); res != nil {
+		status["verdict"] = res.verdict
+		status["summary"] = res.summary
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
+func (s *Server) handleJobStats(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	since := 0
+	if q := r.URL.Query().Get("since"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		since = n
+	}
+	trace := rec.job.TraceSince(since)
+	records := make([]bsp.SuperstepRecord, len(trace))
+	for i, ss := range trace {
+		records[i] = bsp.Record(since+i, ss)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"records": records,
+		"next":    since + len(records),
+		"state":   rec.job.State().String(),
+	})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	rec.job.Cancel(nil)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": rec.job.ID(), "state": rec.job.State().String(),
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	res := rec.result()
+	if res == nil {
+		writeErr(w, http.StatusConflict,
+			errors.New("service: job has no result (state "+rec.job.State().String()+")"))
+		return
+	}
+	v, err := strconv.Atoi(r.URL.Query().Get("vertex"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if v < 0 || v >= len(res.values) {
+		writeErr(w, http.StatusBadRequest,
+			errors.New("service: vertex out of range"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": rec.job.ID(), "vertex": v, "value": res.values[v],
+	})
+}

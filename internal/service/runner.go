@@ -1,0 +1,314 @@
+package service
+
+import (
+	"fmt"
+
+	"vcgraph/internal/async"
+	"vcgraph/internal/blockcentric"
+	"vcgraph/internal/bsp"
+	"vcgraph/internal/gas"
+	"vcgraph/internal/graph"
+	rt "vcgraph/internal/runtime"
+	"vcgraph/internal/vc"
+)
+
+// runResult is the normalized output of any algorithm × engine pair:
+// one float64 per vertex (ranks, distances, component labels, or
+// coreness — labels and coreness are integers, exact in a float64),
+// the job-level stats summary, and a one-line human verdict.
+type runResult struct {
+	values  []float64
+	summary bsp.Summary
+	verdict string
+}
+
+// engines is the serving matrix: every algorithm runs on pregel;
+// pagerank/sssp/cc also run on gas, async, and blockcentric.
+var engines = map[string]map[string]bool{
+	"pagerank": {"pregel": true, "gas": true, "async": true, "blockcentric": true},
+	"sssp":     {"pregel": true, "gas": true, "async": true, "blockcentric": true},
+	"cc":       {"pregel": true, "gas": true, "async": true, "blockcentric": true},
+	"kcore":    {"pregel": true},
+}
+
+func withDefaults(spec JobSpec) JobSpec {
+	if spec.Engine == "" {
+		spec.Engine = "pregel"
+	}
+	if spec.Alpha == 0 {
+		spec.Alpha = 0.85
+	}
+	if spec.K == 0 {
+		spec.K = 30
+	}
+	if spec.Eps == 0 {
+		spec.Eps = 1e-9
+	}
+	if spec.Faults != 0 && spec.Checkpoint == 0 {
+		spec.Checkpoint = 2
+	}
+	return spec
+}
+
+func validateSpec(spec JobSpec) error {
+	byEngine, ok := engines[spec.Algo]
+	if !ok {
+		return fmt.Errorf("service: unknown algorithm %q", spec.Algo)
+	}
+	if !byEngine[spec.Engine] {
+		return fmt.Errorf("service: algorithm %q does not run on engine %q", spec.Algo, spec.Engine)
+	}
+	if _, err := rt.ParseDirectionMode(modeOrAuto(spec.Mode)); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	return nil
+}
+
+func modeOrAuto(m string) string {
+	if m == "" {
+		return "auto"
+	}
+	return m
+}
+
+func faultPlan(spec JobSpec) *rt.FaultPlan {
+	if spec.Faults == 0 {
+		return nil
+	}
+	return rt.NewFaultPlan(spec.Faults)
+}
+
+// prepareRunner is the prepare phase of a job: it is called with the
+// graph's read lock held, constructs the engine for spec's algorithm ×
+// engine pair (pinning a CSR snapshot and performing every read of the
+// mutable adjacency), and returns a closure that runs lock-free
+// against the snapshot. spec has passed withDefaults and validateSpec.
+func prepareRunner(g *graph.Graph, spec JobSpec, job *rt.Job) (func() (*runResult, error), error) {
+	switch spec.Engine {
+	case "pregel":
+		return preparePregel(g, spec, job)
+	case "gas":
+		return prepareGAS(g, spec, job)
+	case "async":
+		return prepareAsync(g, spec, job)
+	case "blockcentric":
+		return prepareBlock(g, spec, job)
+	}
+	return nil, fmt.Errorf("service: unknown engine %q", spec.Engine)
+}
+
+func preparePregel(g *graph.Graph, spec JobSpec, job *rt.Job) (func() (*runResult, error), error) {
+	mode, err := rt.ParseDirectionMode(modeOrAuto(spec.Mode))
+	if err != nil {
+		return nil, err
+	}
+	cfg := vc.Config{
+		Mode:            mode,
+		CheckpointEvery: spec.Checkpoint,
+		Faults:          faultPlan(spec),
+		FCS:             spec.FCS,
+		Job:             job,
+	}
+	switch spec.Algo {
+	case "pagerank":
+		run := vc.PreparePageRank(g, spec.Alpha, spec.K, cfg)
+		return func() (*runResult, error) {
+			res, err := run()
+			if err != nil {
+				return nil, err
+			}
+			return result(res.Ranks, res.Stats, prVerdict(res.Ranks)), nil
+		}, nil
+	case "sssp":
+		run := vc.PrepareSSSP(g, graph.VertexID(spec.Src), cfg)
+		return func() (*runResult, error) {
+			res, err := run()
+			if err != nil {
+				return nil, err
+			}
+			return result(res.Dist, res.Stats, ssspVerdict(res.Dist, spec.Src)), nil
+		}, nil
+	case "cc":
+		run := vc.PrepareHashMinCC(g, cfg)
+		return func() (*runResult, error) {
+			res, err := run()
+			if err != nil {
+				return nil, err
+			}
+			return result(idsToFloats(res.Color), res.Stats, ccVerdict(res.Color)), nil
+		}, nil
+	case "kcore":
+		run := vc.PrepareKCore(g, cfg)
+		return func() (*runResult, error) {
+			res, err := run()
+			if err != nil {
+				return nil, err
+			}
+			vals := make([]float64, len(res.Core))
+			for v, c := range res.Core {
+				vals[v] = float64(c)
+			}
+			return result(vals, res.Stats, fmt.Sprintf("degeneracy %d", res.Degeneracy)), nil
+		}, nil
+	}
+	return nil, fmt.Errorf("service: algorithm %q does not run on engine pregel", spec.Algo)
+}
+
+func prepareGAS(g *graph.Graph, spec JobSpec, job *rt.Job) (func() (*runResult, error), error) {
+	mode, err := rt.ParseDirectionMode(modeOrAuto(spec.Mode))
+	if err != nil {
+		return nil, err
+	}
+	cfg := gas.Config{
+		Mode:            mode,
+		CheckpointEvery: spec.Checkpoint,
+		Faults:          faultPlan(spec),
+		Job:             job,
+	}
+	switch spec.Algo {
+	case "pagerank":
+		run := gas.PreparePageRank(g, spec.Alpha, spec.Eps, cfg)
+		return func() (*runResult, error) {
+			ranks, res, err := run()
+			if err != nil {
+				return nil, err
+			}
+			return result(ranks, res.Stats, prVerdict(ranks)), nil
+		}, nil
+	case "sssp":
+		run := gas.PrepareSSSP(g, graph.VertexID(spec.Src), cfg)
+		return func() (*runResult, error) {
+			dist, res, err := run()
+			if err != nil {
+				return nil, err
+			}
+			return result(dist, res.Stats, ssspVerdict(dist, spec.Src)), nil
+		}, nil
+	case "cc":
+		run := gas.PrepareConnectedComponents(g, cfg)
+		return func() (*runResult, error) {
+			labels, res, err := run()
+			if err != nil {
+				return nil, err
+			}
+			return result(idsToFloats(labels), res.Stats, ccVerdict(labels)), nil
+		}, nil
+	}
+	return nil, fmt.Errorf("service: algorithm %q does not run on engine gas", spec.Algo)
+}
+
+func prepareAsync(g *graph.Graph, spec JobSpec, job *rt.Job) (func() (*runResult, error), error) {
+	cfg := async.Config{
+		CheckpointEvery: spec.Checkpoint,
+		Faults:          faultPlan(spec),
+		Job:             job,
+	}
+	switch spec.Algo {
+	case "pagerank":
+		run := async.PreparePageRank(g, spec.Alpha, spec.Eps, cfg)
+		return func() (*runResult, error) {
+			ranks, res, err := run()
+			if err != nil {
+				return nil, err
+			}
+			return result(ranks, res.Stats, prVerdict(ranks)), nil
+		}, nil
+	case "sssp":
+		run := async.PrepareSSSP(g, graph.VertexID(spec.Src), cfg)
+		return func() (*runResult, error) {
+			dist, res, err := run()
+			if err != nil {
+				return nil, err
+			}
+			return result(dist, res.Stats, ssspVerdict(dist, spec.Src)), nil
+		}, nil
+	case "cc":
+		run := async.PrepareConnectedComponents(g, cfg)
+		return func() (*runResult, error) {
+			labels, res, err := run()
+			if err != nil {
+				return nil, err
+			}
+			return result(idsToFloats(labels), res.Stats, ccVerdict(labels)), nil
+		}, nil
+	}
+	return nil, fmt.Errorf("service: algorithm %q does not run on engine async", spec.Algo)
+}
+
+func prepareBlock(g *graph.Graph, spec JobSpec, job *rt.Job) (func() (*runResult, error), error) {
+	cfg := blockcentric.Config{
+		CheckpointEvery: spec.Checkpoint,
+		Faults:          faultPlan(spec),
+		Job:             job,
+	}
+	switch spec.Algo {
+	case "pagerank":
+		run := blockcentric.PreparePageRank(g, spec.Alpha, spec.K, cfg)
+		return func() (*runResult, error) {
+			res, err := run()
+			if err != nil {
+				return nil, err
+			}
+			return result(res.Ranks, res.Stats, prVerdict(res.Ranks)), nil
+		}, nil
+	case "sssp":
+		run := blockcentric.PrepareSSSP(g, graph.VertexID(spec.Src), cfg)
+		return func() (*runResult, error) {
+			res, err := run()
+			if err != nil {
+				return nil, err
+			}
+			return result(res.Dist, res.Stats, ssspVerdict(res.Dist, spec.Src)), nil
+		}, nil
+	case "cc":
+		run := blockcentric.PrepareConnectedComponents(g, cfg)
+		return func() (*runResult, error) {
+			res, err := run()
+			if err != nil {
+				return nil, err
+			}
+			return result(idsToFloats(res.Color), res.Stats, ccVerdict(res.Color)), nil
+		}, nil
+	}
+	return nil, fmt.Errorf("service: algorithm %q does not run on engine blockcentric", spec.Algo)
+}
+
+func result(values []float64, stats *bsp.Stats, verdict string) *runResult {
+	return &runResult{values: values, summary: stats.Summarize(), verdict: verdict}
+}
+
+func idsToFloats(ids []graph.VertexID) []float64 {
+	out := make([]float64, len(ids))
+	for i, id := range ids {
+		out[i] = float64(id)
+	}
+	return out
+}
+
+func prVerdict(ranks []float64) string {
+	best, bestV := -1.0, 0
+	for v, r := range ranks {
+		if r > best {
+			best, bestV = r, v
+		}
+	}
+	return fmt.Sprintf("top vertex %d with rank %.6f", bestV, best)
+}
+
+func ssspVerdict(dist []float64, src int) string {
+	reached := 0
+	for _, d := range dist {
+		if d < 1e300 {
+			reached++
+		}
+	}
+	return fmt.Sprintf("%d vertices reachable from %d", reached, src)
+}
+
+func ccVerdict(labels []graph.VertexID) string {
+	set := make(map[graph.VertexID]bool, 16)
+	for _, l := range labels {
+		set[l] = true
+	}
+	return fmt.Sprintf("%d components", len(set))
+}

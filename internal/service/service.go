@@ -1,0 +1,315 @@
+// Package service implements the job-serving layer behind cmd/vcd: a
+// registry of named graphs, a job registry fed through the shared
+// runtime.Scheduler, and the JSON/HTTP handlers that expose both.
+//
+// Concurrency contract. Each named graph carries a RWMutex. A job —
+// once admitted by the scheduler — takes the read lock only for the
+// engine's prepare phase (which pins a CSR snapshot and performs every
+// read of the mutable adjacency, including Init), then releases it and
+// runs against the pinned snapshot lock-free. Writers (edge additions)
+// take the write lock across mutate-and-republish, so they wait for
+// in-flight prepares but never for runs: a long job and a graph update
+// proceed concurrently, and the job's results are those of the
+// snapshot it pinned. Jobs cancelled while still queued never reach
+// the prepare phase, so they pin nothing.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"vcgraph/internal/graph"
+	rt "vcgraph/internal/runtime"
+)
+
+// GraphSpec describes a graph to register: either a named generator
+// (gen/n/m/seed, mirroring cmd/vcrun) or an explicit edge list.
+type GraphSpec struct {
+	Name string `json:"name"`
+	// Gen selects a generator: random, connected, powerlaw, path,
+	// cycle, grid, star, tree, directed. Empty means Edges is explicit.
+	Gen  string `json:"gen,omitempty"`
+	N    int    `json:"n,omitempty"`
+	M    int    `json:"m,omitempty"`
+	Seed int64  `json:"seed,omitempty"`
+	// Directed applies to explicit edge lists (generators fix their
+	// own directedness).
+	Directed bool `json:"directed,omitempty"`
+	// Edges lists explicit edges as [u, v] or [u, v, w] triples.
+	Edges [][]float64 `json:"edges,omitempty"`
+	// Weights assigns seeded random weights after construction (for
+	// weighted SSSP, as cmd/vcrun does).
+	Weights bool `json:"weights,omitempty"`
+}
+
+// JobSpec describes a job to submit.
+type JobSpec struct {
+	Graph  string `json:"graph"`
+	Algo   string `json:"algo"`             // pagerank | sssp | cc | kcore
+	Engine string `json:"engine,omitempty"` // pregel (default) | gas | async | blockcentric
+	// Mode is the pregel direction mode: push, pull, or auto (default).
+	Mode    string `json:"mode,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+	Src     int    `json:"src,omitempty"`
+	// Alpha/K/Eps parameterize PageRank (defaults 0.85, 30, 1e-9).
+	Alpha float64 `json:"alpha,omitempty"`
+	K     int     `json:"k,omitempty"`
+	Eps   float64 `json:"eps,omitempty"`
+	// FCS enables finishing-computations-serially for cc on pregel.
+	FCS int `json:"fcs,omitempty"`
+	// Checkpoint/Faults pass through to the engine's fault tolerance;
+	// Faults seeds a deterministic runtime.FaultPlan.
+	Checkpoint int   `json:"checkpoint,omitempty"`
+	Faults     int64 `json:"faults,omitempty"`
+	// TimeoutMS bounds the job's wall time (queue wait included).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// Server owns the graph store, the job registry, and the scheduler.
+type Server struct {
+	sched *rt.Scheduler
+
+	mu     sync.Mutex
+	graphs map[string]*graphEntry
+	jobs   map[int64]*jobRecord
+}
+
+// graphEntry pairs a mutable graph with the lock bracketing its
+// prepare-phase reads and its mutations (see the package comment).
+type graphEntry struct {
+	mu sync.RWMutex
+	g  *graph.Graph
+}
+
+// jobRecord pairs a runtime job handle with its spec and, once the
+// run succeeds, its result.
+type jobRecord struct {
+	spec JobSpec
+	job  *rt.Job
+
+	mu  sync.Mutex
+	res *runResult
+}
+
+func (r *jobRecord) result() *runResult {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.res
+}
+
+// New builds a Server over workers pool goroutines (0 = GOMAXPROCS)
+// admitting at most maxJobs concurrent jobs (0 = 1).
+func New(workers, maxJobs int) *Server {
+	return &Server{
+		sched:  rt.NewScheduler(workers, maxJobs),
+		graphs: make(map[string]*graphEntry),
+		jobs:   make(map[int64]*jobRecord),
+	}
+}
+
+// Close stops the shared pool. Outstanding jobs must be terminal.
+func (s *Server) Close() { s.sched.Close() }
+
+// Scheduler exposes the underlying scheduler (for tests and stats).
+func (s *Server) Scheduler() *rt.Scheduler { return s.sched }
+
+// errUnknownGraph et al. are wire-level validation errors.
+var (
+	errUnknownGraph = errors.New("service: unknown graph")
+	errUnknownJob   = errors.New("service: unknown job")
+)
+
+// RegisterGraph validates spec, builds the graph, and registers it
+// under its name. Re-registering a name is an error.
+func (s *Server) RegisterGraph(spec GraphSpec) error {
+	if spec.Name == "" {
+		return errors.New("service: graph name required")
+	}
+	g, err := buildGraph(spec)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.graphs[spec.Name]; dup {
+		return fmt.Errorf("service: graph %q already registered", spec.Name)
+	}
+	s.graphs[spec.Name] = &graphEntry{g: g}
+	return nil
+}
+
+// AddEdges appends edges ([u, v] or [u, v, w]) to a registered graph
+// under its write lock and invalidates the cached snapshot, so the
+// next prepared job pins the updated adjacency while in-flight jobs
+// keep theirs.
+func (s *Server) AddEdges(name string, edges [][]float64) error {
+	ent, err := s.graph(name)
+	if err != nil {
+		return err
+	}
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	for _, e := range edges {
+		u, v, w, err := parseEdge(e, ent.g.N())
+		if err != nil {
+			return err
+		}
+		ent.g.AddWeightedEdge(u, v, w)
+	}
+	ent.g.Invalidate()
+	return nil
+}
+
+// GraphInfo reports a registered graph's shape.
+func (s *Server) GraphInfo(name string) (n, m int, directed bool, err error) {
+	ent, err := s.graph(name)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	ent.mu.RLock()
+	defer ent.mu.RUnlock()
+	return ent.g.N(), ent.g.M(), ent.g.Directed, nil
+}
+
+func (s *Server) graph(name string) (*graphEntry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ent, ok := s.graphs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w %q", errUnknownGraph, name)
+	}
+	return ent, nil
+}
+
+// Submit validates spec eagerly (unknown graph / algo / engine fail
+// before anything queues), then submits the job to the scheduler and
+// returns its handle. The run function takes the graph's read lock
+// only for the prepare phase.
+func (s *Server) Submit(spec JobSpec) (*rt.Job, error) {
+	ent, err := s.graph(spec.Graph)
+	if err != nil {
+		return nil, err
+	}
+	spec = withDefaults(spec)
+	if err := validateSpec(spec); err != nil {
+		return nil, err
+	}
+	share := spec.Workers
+	if spec.Engine == "async" {
+		// The asynchronous engine is sequential by construction; its
+		// driver runs one worker, so the lease share must match.
+		share = 1
+	}
+	ctx := context.Background()
+	var timeoutCancel context.CancelFunc
+	if spec.TimeoutMS > 0 {
+		ctx, timeoutCancel = context.WithTimeout(ctx, time.Duration(spec.TimeoutMS)*time.Millisecond)
+	}
+	rec := &jobRecord{spec: spec}
+	name := spec.Algo + "/" + spec.Engine
+	job := s.sched.Submit(ctx, name, share, func(j *rt.Job) error {
+		ent.mu.RLock()
+		run, err := prepareRunner(ent.g, spec, j)
+		ent.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+		res, err := run()
+		if err != nil {
+			return err
+		}
+		rec.mu.Lock()
+		rec.res = res
+		rec.mu.Unlock()
+		return nil
+	})
+	if timeoutCancel != nil {
+		job.OnCleanup(timeoutCancel)
+	}
+	rec.job = job
+	s.mu.Lock()
+	s.jobs[job.ID()] = rec
+	s.mu.Unlock()
+	return job, nil
+}
+
+// JobRecord returns the record for a submitted job ID.
+func (s *Server) JobRecord(id int64) (*jobRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w %d", errUnknownJob, id)
+	}
+	return rec, nil
+}
+
+// Cancel cancels a submitted job (queued or running).
+func (s *Server) Cancel(id int64) error {
+	rec, err := s.JobRecord(id)
+	if err != nil {
+		return err
+	}
+	rec.job.Cancel(nil)
+	return nil
+}
+
+func parseEdge(e []float64, n int) (u, v graph.VertexID, w float64, err error) {
+	if len(e) != 2 && len(e) != 3 {
+		return 0, 0, 0, fmt.Errorf("service: edge %v: want [u, v] or [u, v, w]", e)
+	}
+	w = 1
+	if len(e) == 3 {
+		w = e[2]
+	}
+	ui, vi := int(e[0]), int(e[1])
+	if float64(ui) != e[0] || float64(vi) != e[1] || ui < 0 || vi < 0 || ui >= n || vi >= n {
+		return 0, 0, 0, fmt.Errorf("service: edge %v: endpoints must be integers in [0, %d)", e, n)
+	}
+	return graph.VertexID(ui), graph.VertexID(vi), w, nil
+}
+
+func buildGraph(spec GraphSpec) (*graph.Graph, error) {
+	var g *graph.Graph
+	switch spec.Gen {
+	case "":
+		if spec.N <= 0 {
+			return nil, errors.New("service: explicit graphs need n > 0")
+		}
+		g = graph.New(spec.N, spec.Directed)
+		for _, e := range spec.Edges {
+			u, v, w, err := parseEdge(e, spec.N)
+			if err != nil {
+				return nil, err
+			}
+			g.AddWeightedEdge(u, v, w)
+		}
+	case "random":
+		g = graph.Random(spec.N, spec.M, spec.Seed)
+	case "connected":
+		g = graph.RandomConnected(spec.N, spec.M, spec.Seed)
+	case "powerlaw":
+		g = graph.PreferentialAttachment(spec.N, spec.M, spec.Seed)
+	case "path":
+		g = graph.Path(spec.N)
+	case "cycle":
+		g = graph.Cycle(spec.N)
+	case "grid":
+		g = graph.Grid(spec.N, spec.N)
+	case "star":
+		g = graph.Star(spec.N)
+	case "tree":
+		g = graph.RandomTree(spec.N, spec.Seed)
+	case "directed":
+		g = graph.RandomDirected(spec.N, spec.M, spec.Seed)
+	default:
+		return nil, fmt.Errorf("service: unknown generator %q", spec.Gen)
+	}
+	if spec.Weights {
+		graph.RandomWeights(g, spec.Seed+1)
+	}
+	return g, nil
+}

@@ -85,6 +85,13 @@ func (hashMinProgram) FinishSerially(fc *pregel.FinishContext[hashMinValue, Vert
 // Pregel paper (Table 1 row 3: O(δ) supersteps, O(mδ) work, vs. the
 // O(m+n) BFS baseline).
 func HashMinCC(g *graph.Graph, cfg Config) (*CCResult, error) {
+	return PrepareHashMinCC(g, cfg)()
+}
+
+// PrepareHashMinCC is the job-scoped form of HashMinCC: the engine is
+// constructed (and the snapshot pinned) now, under whatever lock the
+// caller holds; the returned closure runs lock-free.
+func PrepareHashMinCC(g *graph.Graph, cfg Config) func() (*CCResult, error) {
 	ecfg := engineCfg[VertexID](cfg)
 	if !cfg.NoCombiner {
 		ecfg.Combiner = func(a, b VertexID) VertexID {
@@ -95,13 +102,15 @@ func HashMinCC(g *graph.Graph, cfg Config) (*CCResult, error) {
 		}
 	}
 	eng := pregel.NewEngine[hashMinValue, VertexID](g, hashMinProgram{}, ecfg)
-	res, err := eng.Run()
-	if err != nil {
-		return nil, err
+	return func() (*CCResult, error) {
+		res, err := eng.Run()
+		if err != nil {
+			return nil, err
+		}
+		color := make([]VertexID, g.N())
+		for v, val := range res.Values {
+			color[v] = val.min
+		}
+		return &CCResult{Color: color, Stats: res.Stats}, nil
 	}
-	color := make([]VertexID, g.N())
-	for v, val := range res.Values {
-		color[v] = val.min
-	}
-	return &CCResult{Color: color, Stats: res.Stats}, nil
 }

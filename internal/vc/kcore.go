@@ -88,17 +88,26 @@ func (kcoreProgram) StateUnits(v *kcoreValue) int64 { return int64(1 + len(v.nbr
 
 // KCore computes the coreness of every vertex of an undirected graph.
 func KCore(g *graph.Graph, cfg Config) (*KCoreResult, error) {
+	return PrepareKCore(g, cfg)()
+}
+
+// PrepareKCore is the job-scoped form of KCore: the engine is
+// constructed (and the snapshot pinned) now, under whatever lock the
+// caller holds; the returned closure runs lock-free.
+func PrepareKCore(g *graph.Graph, cfg Config) func() (*KCoreResult, error) {
 	eng := pregel.NewEngine[kcoreValue, kcoreMsg](g, kcoreProgram{}, engineCfg[kcoreMsg](cfg))
-	res, err := eng.Run()
-	if err != nil {
-		return nil, err
-	}
-	out := &KCoreResult{Core: make([]int32, g.N()), Stats: res.Stats}
-	for v, val := range res.Values {
-		out.Core[v] = val.est
-		if val.est > out.Degeneracy {
-			out.Degeneracy = val.est
+	return func() (*KCoreResult, error) {
+		res, err := eng.Run()
+		if err != nil {
+			return nil, err
 		}
+		out := &KCoreResult{Core: make([]int32, g.N()), Stats: res.Stats}
+		for v, val := range res.Values {
+			out.Core[v] = val.est
+			if val.est > out.Degeneracy {
+				out.Degeneracy = val.est
+			}
+		}
+		return out, nil
 	}
-	return out, nil
 }

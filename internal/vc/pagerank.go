@@ -118,19 +118,28 @@ func PageRankConverge(g *graph.Graph, alpha, eps float64, cfg Config) (*PageRank
 // order, so the ranks are bit-identical in either mode (see
 // runtime.Gatherer).
 func PageRank(g *graph.Graph, alpha float64, k int, cfg Config) (*PageRankResult, error) {
+	return PreparePageRank(g, alpha, k, cfg)()
+}
+
+// PreparePageRank is the job-scoped form of PageRank: the engine is
+// constructed (and the snapshot pinned) now, under whatever lock the
+// caller holds; the returned closure runs lock-free.
+func PreparePageRank(g *graph.Graph, alpha float64, k int, cfg Config) func() (*PageRankResult, error) {
 	prog := &prProgram{n: g.N(), alpha: alpha, k: k}
 	ecfg := engineCfg[float64](cfg)
 	if !cfg.NoCombiner {
 		ecfg.Combiner = func(a, b float64) float64 { return a + b }
 	}
 	eng := pregel.NewEngine[prValue, float64](g, prog, ecfg)
-	res, err := eng.Run()
-	if err != nil {
-		return nil, err
+	return func() (*PageRankResult, error) {
+		res, err := eng.Run()
+		if err != nil {
+			return nil, err
+		}
+		ranks := make([]float64, g.N())
+		for v, val := range res.Values {
+			ranks[v] = val.rank
+		}
+		return &PageRankResult{Ranks: ranks, Stats: res.Stats}, nil
 	}
-	ranks := make([]float64, g.N())
-	for v, val := range res.Values {
-		ranks[v] = val.rank
-	}
-	return &PageRankResult{Ranks: ranks, Stats: res.Stats}, nil
 }

@@ -50,6 +50,13 @@ func (p *ssspProgram) StateUnits(v *ssspValue) int64 { return 1 }
 // path algorithm (Table 1 row 16: O(mn) worst-case work vs. Dijkstra's
 // near-linear bound). Weights must be non-negative.
 func SSSP(g *graph.Graph, src VertexID, cfg Config) (*SSSPResult, error) {
+	return PrepareSSSP(g, src, cfg)()
+}
+
+// PrepareSSSP is the job-scoped form of SSSP: the engine is
+// constructed (and the snapshot pinned) now, under whatever lock the
+// caller holds; the returned closure runs lock-free.
+func PrepareSSSP(g *graph.Graph, src VertexID, cfg Config) func() (*SSSPResult, error) {
 	prog := &ssspProgram{src: src}
 	ecfg := engineCfg[float64](cfg)
 	// SSSP sends a distinct distance per edge (SendTo, never a
@@ -65,13 +72,15 @@ func SSSP(g *graph.Graph, src VertexID, cfg Config) (*SSSPResult, error) {
 		}
 	}
 	eng := pregel.NewEngine[ssspValue, float64](g, prog, ecfg)
-	res, err := eng.Run()
-	if err != nil {
-		return nil, err
+	return func() (*SSSPResult, error) {
+		res, err := eng.Run()
+		if err != nil {
+			return nil, err
+		}
+		dist := make([]float64, g.N())
+		for v, val := range res.Values {
+			dist[v] = val.dist
+		}
+		return &SSSPResult{Dist: dist, Stats: res.Stats}, nil
 	}
-	dist := make([]float64, g.N())
-	for v, val := range res.Values {
-		dist[v] = val.dist
-	}
-	return &SSSPResult{Dist: dist, Stats: res.Stats}, nil
 }

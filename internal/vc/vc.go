@@ -6,6 +6,7 @@
 package vc
 
 import (
+	"context"
 	"errors"
 
 	"vcgraph/internal/bsp"
@@ -57,6 +58,13 @@ type Config struct {
 	// FCS enables finishing-computations-serially with the given
 	// active-vertex threshold for algorithms that support it (Hash-Min).
 	FCS int
+	// Ctx, Pool, and Job pass through to the engine's job-scoped
+	// runtime: Ctx aborts the run at the next superstep barrier, Pool
+	// leases workers from a shared pool, and Job binds the run to a
+	// scheduler-admitted job handle (see runtime.DriverConfig).
+	Ctx  context.Context
+	Pool *runtime.Pool
+	Job  *runtime.Job
 }
 
 func engineCfg[M any](c Config) pregel.Config[M] {
@@ -70,6 +78,9 @@ func engineCfg[M any](c Config) pregel.Config[M] {
 		FCSThreshold:    c.FCS,
 		Mode:            c.Mode,
 		PullThreshold:   c.PullThreshold,
+		Ctx:             c.Ctx,
+		Pool:            c.Pool,
+		Job:             c.Job,
 	}
 }
 
