@@ -11,7 +11,7 @@ COVERDIR := /tmp
 endif
 COVERPROFILE ?= $(COVERDIR)/vcgraph-cover.out
 
-.PHONY: all build vet test race cover fuzz-smoke bench bench-csr bench-direction bench-service bench-guard table1 ext figures ablations examples clean
+.PHONY: all build vet test race cover fuzz-smoke bench bench-csr bench-direction bench-service bench-incremental bench-guard table1 ext figures ablations examples clean
 
 all: build vet test
 
@@ -44,6 +44,7 @@ fuzz-smoke:
 	$(GO) test -fuzz='FuzzPreferentialAttachment$$' -fuzztime=10s -run='^$$' ./internal/graph
 	$(GO) test -fuzz='FuzzRandomTree$$' -fuzztime=10s -run='^$$' ./internal/graph
 	$(GO) test -fuzz='FuzzCSRBuild$$' -fuzztime=10s -run='^$$' ./internal/graph
+	$(GO) test -fuzz='FuzzMutationScript$$' -fuzztime=10s -run='^$$' ./internal/vc
 
 bench:
 	$(GO) test -bench . -benchmem ./...
@@ -67,6 +68,14 @@ bench-direction:
 # headline bench-guard enforces.
 bench-service:
 	$(GO) test -run='^$$' -bench='^BenchmarkJobSetup|^BenchmarkServiceJobs' -benchmem -benchtime=3x -count=1 . | tee /tmp/bench_service.txt
+
+# Evolving-graph suite: incremental CC/SSSP/PageRank warm repair after
+# seeded mutation batches versus cold recompute on the power-law graph.
+# Raw output lands in /tmp; the committed record is
+# BENCH_incremental.json, whose SSSP and CC headlines bench-guard
+# enforces (PageRank's ~1x is a recorded negative result, no headline).
+bench-incremental:
+	$(GO) test -run='^$$' -bench='^BenchmarkIncremental' -benchmem -benchtime=3x -count=1 . | tee /tmp/bench_incremental.txt
 
 # Re-measure every headline ratio declared in BENCH_*.json and fail if
 # any regressed beyond its tolerance/floor. Runs in CI after tier-1.

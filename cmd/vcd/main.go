@@ -9,10 +9,13 @@
 //
 // Usage:
 //
-//	vcd [-addr :8080] [-workers 0] [-max-jobs 4]
+//	vcd [-addr :8080] [-workers 0] [-max-jobs 4] [-job-retention 512] [-graph-ttl 0]
 //
 // workers = 0 sizes the shared pool to GOMAXPROCS; max-jobs bounds the
-// jobs running concurrently (the rest queue FIFO).
+// jobs running concurrently (the rest queue FIFO). job-retention caps
+// retained terminal job records; graph-ttl, when positive, evicts
+// graphs idle longer than the given duration (graphs with pinned
+// snapshots are never evicted). A background sweeper enforces both.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"time"
 
 	"vcgraph/internal/service"
 )
@@ -29,9 +33,29 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "shared pool width (0 = GOMAXPROCS)")
 	maxJobs := flag.Int("max-jobs", 4, "maximum concurrently running jobs")
+	retention := flag.Int("job-retention", service.DefaultJobRetention,
+		"terminal job records to retain before oldest-first eviction")
+	graphTTL := flag.Duration("graph-ttl", 0,
+		"evict graphs idle longer than this (0 = keep forever; pinned graphs are never evicted)")
+	sweep := flag.Duration("sweep", time.Minute, "registry eviction sweep interval")
 	flag.Parse()
 
-	srv := service.New(*workers, *maxJobs)
+	srv := service.NewServer(service.Options{
+		Workers:      *workers,
+		MaxJobs:      *maxJobs,
+		JobRetention: *retention,
+		GraphTTL:     *graphTTL,
+	})
+	go func() {
+		for range time.Tick(*sweep) {
+			if n := srv.EvictJobs(); n > 0 {
+				fmt.Printf("vcd: evicted %d terminal job records\n", n)
+			}
+			if names := srv.EvictGraphs(); len(names) > 0 {
+				fmt.Printf("vcd: evicted idle graphs %v\n", names)
+			}
+		}
+	}()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vcd:", err)

@@ -51,6 +51,9 @@ func main() {
 	faults := flag.Int64("faults", 0, "inject a seeded random fault plan (0 = none); implies -checkpoint 2 unless set")
 	modeFlag := flag.String("mode", "auto", "message direction: push, pull, or auto (pull dense supersteps when the algorithm has a combiner)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+	mutations := flag.Int("mutations", 0, "after the run, apply this many seeded mutation batches and compare incremental recomputation against from-scratch (pagerank, sssp, hashmin)")
+	mutBatch := flag.Int("mutbatch", 8, "mutations per batch in -mutations mode")
+	mutSeed := flag.Int64("mutseed", 1, "mutation generator seed")
 	flag.Parse()
 
 	mode, err := runtime.ParseDirectionMode(*modeFlag)
@@ -125,6 +128,13 @@ func main() {
 		fail(err)
 	}
 	elapsed := time.Since(start)
+	if *mutations > 0 {
+		defer func() {
+			if err := evolve(g, *algo, graph.VertexID(*src), *mutations, *mutBatch, *mutSeed); err != nil {
+				fail(err)
+			}
+		}()
+	}
 
 	fmt.Printf("algorithm:  %s\n", *algo)
 	fmt.Printf("graph:      %s n=%d m=%d (seed %d)\n", source, g.N(), g.M(), *seed)

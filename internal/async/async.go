@@ -206,14 +206,27 @@ func Prepare[V any](g *graph.Graph, prog Program[V], cfg Config) func() (*Result
 	// selects the asynchronous checkpoint ordering: snapshot at the top
 	// of each boundary, after fault detection. The update cap is the
 	// policy's own (checked per update, not per epoch), so the driver's
-	// step cap is unreachable.
-	p := &policy[V]{ctx: ctx, g: g, prog: prog, cfg: cfg, queue: queue, epochLen: epochLen}
+	// step cap is unreachable. The policy itself is the shared
+	// runtime.WorklistRunner — the same FIFO-epoch machinery that
+	// drives the incremental evolving-graph programs.
+	p := &rt.WorklistRunner[V]{
+		Name:       "async",
+		Update:     func(v VertexID) []VertexID { return prog.Update(ctx, v) },
+		Prog:       prog,
+		Values:     &ctx.values,
+		Queue:      queue,
+		N:          n,
+		EpochLen:   epochLen,
+		MaxUpdates: cfg.MaxUpdates,
+		CapErr:     ErrUpdateCap,
+	}
 	if cfg.Faults != nil {
 		// Checkpoint-free restarts restore these pristine Init-time
-		// values instead of re-running Init mid-run.
-		p.pristine = rt.CloneValues[V](prog, ctx.values)
+		// values instead of re-running Init mid-run (PristineQueue nil:
+		// a restart reseeds every vertex).
+		p.PristineValues = rt.CloneValues[V](prog, ctx.values)
 	}
-	d := rt.NewDriver[*asyncSnapshot[V]](p, stats, rt.DriverConfig{
+	d := rt.NewDriver[*rt.WorklistSnapshot[V]](p, stats, rt.DriverConfig{
 		Name:            "async",
 		Workers:         1,
 		MaxSteps:        math.MaxInt,
@@ -228,118 +241,8 @@ func Prepare[V any](g *graph.Graph, prog Program[V], cfg Config) func() (*Result
 	return func() (*Result[V], error) {
 		defer g.Unpin(csr)
 		_, err := d.Run()
-		return &Result[V]{Values: ctx.values, Updates: p.updates, Stats: stats}, err
+		return &Result[V]{Values: ctx.values, Updates: p.Updates(), Stats: stats}, err
 	}
-}
-
-// policy is the FIFO scheduler as a runtime.Policy.
-type policy[V any] struct {
-	ctx      *Context[V]
-	g        *graph.Graph
-	prog     Program[V]
-	cfg      Config
-	queue    *rt.FIFO
-	epochLen int
-	updates  int
-	pristine []V // Init-time values for checkpoint-free restarts (set when Faults != nil)
-}
-
-// Quiescent implements runtime.Policy: the worklist drained.
-func (p *policy[V]) Quiescent(step, pending int) bool { return p.queue.Len() == 0 }
-
-// Stopped implements runtime.EarlyStopper: the previous epoch ended
-// mid-stride with the worklist drained, so the run is over without
-// another boundary's fault/checkpoint processing.
-func (p *policy[V]) Stopped() bool {
-	return p.updates%p.epochLen != 0 && p.queue.Len() == 0
-}
-
-// BarrierFaults implements runtime.BarrierFaultPolicy: activation-batch
-// faults fire at the epoch boundary itself.
-func (p *policy[V]) BarrierFaults(inj *rt.Injector, step int) (lost bool) {
-	switch inj.LaneFault(step, 0, 0) {
-	case rt.FaultDropLane:
-		// The pending activation batch is lost; the worklist cannot be
-		// reconstructed in place, so roll back.
-		return true
-	case rt.FaultDupLane:
-		// Redelivering the scheduled batch is a no-op: the FIFO
-		// worklist deduplicates by vertex.
-		for _, w := range p.queue.Snapshot() {
-			p.queue.Push(w)
-		}
-	}
-	return false
-}
-
-// RedoneUnits implements runtime.RollbackWeigher: the asynchronous
-// engine's recovery cost is counted in redone updates, not epochs.
-func (p *policy[V]) RedoneUnits(resumed, failed int) int {
-	return (failed - resumed) * p.epochLen
-}
-
-// Superstep implements runtime.Policy: drain up to one epoch of
-// updates, applying each immediately (the asynchronous semantics).
-// Update functions gather from live neighbor values, so the engine is
-// pull-based by construction; an epoch that starts with a dense
-// worklist is marked Pulled — the asynchronous analogue of a
-// dense-frontier superstep — and its activations take the bulk
-// FIFO.PushAll path (identical order and dedup to per-vertex pushes,
-// with the queue bookkeeping hoisted out of the loop).
-func (p *policy[V]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) {
-	ss.Pulled = rt.ChoosePull(rt.DirectionAuto, true, p.queue.Len(), p.g.N(), 0)
-	for i := 0; i < p.epochLen; i++ {
-		v, ok := p.queue.Pop()
-		if !ok {
-			break
-		}
-		if p.updates >= p.cfg.MaxUpdates {
-			return p.queue.Len(), fmt.Errorf("async: %w (cap %d)", ErrUpdateCap, p.cfg.MaxUpdates)
-		}
-		p.updates++
-		ss.Work[0]++
-		ss.Active[0]++
-		acts := p.prog.Update(p.ctx, v)
-		ss.Sent[0] += int64(len(acts))
-		p.queue.PushAll(acts)
-	}
-	return p.queue.Len(), nil
-}
-
-// Snapshot implements runtime.Policy: values plus the worklist in
-// arrival order. The update count is implied by the boundary step
-// (step · epochLen), so it is not stored.
-func (p *policy[V]) Snapshot() *asyncSnapshot[V] {
-	return &asyncSnapshot[V]{
-		values: rt.CloneValues[V](p.prog, p.ctx.values),
-		queue:  p.queue.Snapshot(),
-	}
-}
-
-// Restore implements runtime.Policy.
-func (p *policy[V]) Restore(snap *asyncSnapshot[V], step int, ok bool) {
-	if ok {
-		p.ctx.values = rt.CloneValues[V](p.prog, snap.values)
-		p.queue.Load(snap.queue)
-		p.updates = step * p.epochLen
-		return
-	}
-	// No checkpoint yet: restart from the pristine Init-time values
-	// kept by Prepare — re-running Init here would read the mutable
-	// graph mid-run.
-	p.ctx.values = rt.CloneValues[V](p.prog, p.pristine)
-	p.queue.Load(nil)
-	for v := 0; v < p.g.N(); v++ {
-		p.queue.Push(VertexID(v))
-	}
-	p.updates = 0
-}
-
-// asyncSnapshot is one checkpoint generation of an asynchronous run:
-// the values and the worklist (in arrival order) at an epoch boundary.
-type asyncSnapshot[V any] struct {
-	values []V
-	queue  []VertexID
 }
 
 // runPrioritized drains a lazy max-priority queue: every activation

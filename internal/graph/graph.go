@@ -55,6 +55,25 @@ type Graph struct {
 	csrVersion int64
 	csr        *CSR
 	pins       map[*CSR]int
+
+	// Evolving-graph state (mutate.go / delta.go): the epoch counts
+	// applied mutation batches, log retains recent batches for
+	// MutationsSince, and the delta overlay tracks changes against
+	// deltaBase so PinDelta can serve readers without a full CSR
+	// rebuild. All of it is guarded by mu; out-of-band mutations
+	// (anything that calls Invalidate) discard the overlay and the log.
+	epoch            int64
+	log              []mutationBatch
+	delta            *deltaOverlay
+	deltaBase        *CSR
+	deltaView        *DeltaCSR
+	deltaViewVersion int64
+	mutsSinceRebuild int
+
+	// RebuildEvery is the amortization knob for the delta overlay: after
+	// this many mutations since the last full CSR build, ApplyMutations
+	// rebuilds and re-bases the overlay. 0 means DefaultRebuildEvery.
+	RebuildEvery int
 }
 
 // New returns an empty graph with n vertices.
@@ -174,6 +193,13 @@ func (g *Graph) csrLocked() *CSR {
 	if g.csr == nil || g.csrVersion != g.version {
 		g.csr = BuildCSR(g)
 		g.csrVersion = g.version
+		// A fresh full build is also a fresh overlay base: re-basing
+		// here keeps delta spans no longer than mutations-since-last-
+		// snapshot, so a graph that is pinned between batches pays
+		// near-zero overlay cost.
+		if g.delta != nil {
+			g.rebaseLocked(g.csr)
+		}
 	}
 	return g.csr
 }
@@ -223,10 +249,21 @@ func (g *Graph) Pins() int {
 // their generation alive and untouched). Mutators in this package call
 // it automatically; call it manually after rewriting Out/Labels slices
 // directly.
+//
+// Invalidate also marks an out-of-band mutation for the evolving-graph
+// machinery: the epoch advances with no batch recorded, the retained
+// mutation log is discarded (MutationsSince for older epochs reports
+// !ok, forcing incremental consumers to cold-start), and the delta
+// overlay is dropped so PinDelta re-bases on a fresh full build.
 func (g *Graph) Invalidate() {
 	g.mu.Lock()
 	g.version++
 	g.csr = nil
+	g.epoch++
+	g.log = nil
+	g.delta = nil
+	g.deltaBase = nil
+	g.deltaView = nil
 	g.mu.Unlock()
 }
 

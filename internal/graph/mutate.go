@@ -1,0 +1,308 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// MutationOp is the kind of a single edge mutation.
+type MutationOp uint8
+
+const (
+	// InsertEdge adds an edge U->V (and V->U when undirected) with
+	// weight W.
+	InsertEdge MutationOp = iota
+	// DeleteEdge removes one edge U->V (and its V->U half when
+	// undirected). When parallel edges exist the earliest surviving
+	// occurrence in adjacency order is removed, matching what a direct
+	// first-match slice deletion on Out[u] would do.
+	DeleteEdge
+)
+
+func (op MutationOp) String() string {
+	switch op {
+	case InsertEdge:
+		return "insert"
+	case DeleteEdge:
+		return "delete"
+	}
+	return fmt.Sprintf("MutationOp(%d)", uint8(op))
+}
+
+// Mutation is one edge insertion or deletion. For InsertEdge, W is the
+// edge weight as given. For DeleteEdge, W is ignored on input; in the
+// log returned by MutationsSince it is canonicalized to the weight of
+// the edge that was actually removed, so incremental consumers can
+// reason about the deleted edge without consulting the old snapshot.
+type Mutation struct {
+	Op   MutationOp
+	U, V VertexID
+	W    float64
+}
+
+// mutationBatch is one applied ApplyMutations call: the epoch it
+// produced and its canonicalized mutations. Within the retained log,
+// epochs are consecutive (Invalidate discards the whole log, and only
+// ApplyMutations appends, bumping the epoch by exactly one).
+type mutationBatch struct {
+	epoch int64
+	muts  []Mutation
+}
+
+// DefaultRebuildEvery is the default mutation count between full CSR
+// rebuilds of the delta overlay base (Graph.RebuildEvery overrides).
+const DefaultRebuildEvery = 2048
+
+// defaultLogRetention bounds the number of retained mutation batches;
+// MutationsSince for epochs older than the retained window reports !ok.
+const defaultLogRetention = 1024
+
+// Epoch returns the graph's mutation epoch. Every ApplyMutations batch
+// advances it by one; out-of-band mutations (anything routed through
+// Invalidate, including AddEdge) advance it too, without a log record,
+// which is how stale incremental state is detected.
+func (g *Graph) Epoch() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.epoch
+}
+
+// MutationsSince returns the canonicalized mutations applied after the
+// given epoch, oldest first, and whether that history is complete. It
+// reports ok=false when the epoch is in the future, when batches older
+// than the retention window would be needed, or when any out-of-band
+// mutation happened after the given epoch — in every such case an
+// incremental consumer must fall back to recomputing from scratch.
+func (g *Graph) MutationsSince(epoch int64) ([]Mutation, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if epoch == g.epoch {
+		return nil, true
+	}
+	if epoch > g.epoch || len(g.log) == 0 || g.log[0].epoch > epoch+1 {
+		return nil, false
+	}
+	// Log epochs are consecutive and end at g.epoch, so the batches
+	// after `epoch` sit at a computable offset from the front.
+	start := int(epoch + 1 - g.log[0].epoch)
+	var out []Mutation
+	for _, b := range g.log[start:] {
+		out = append(out, b.muts...)
+	}
+	return out, true
+}
+
+// ApplyMutations applies a batch of edge insertions and deletions
+// atomically: either every mutation applies and the epoch advances by
+// one, or the graph is left untouched and an error describes the first
+// invalid mutation (endpoint out of range, NaN weight, or deletion of
+// an edge that does not exist at its point in the batch). The batch is
+// recorded in the mutation log with delete weights canonicalized to the
+// weight actually removed, the delta overlay is extended so PinDelta
+// readers see the new edges without a full CSR rebuild, and after
+// RebuildEvery mutations the base CSR is rebuilt and the overlay
+// re-based. Like all mutators, calls must be serialized by the caller
+// against other mutations and snapshot builds (the serving layer holds
+// a per-graph write lock).
+func (g *Graph) ApplyMutations(muts []Mutation) (int64, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(muts) == 0 {
+		return g.epoch, nil
+	}
+	if err := g.validateBatchLocked(muts); err != nil {
+		return g.epoch, err
+	}
+	g.ensureDeltaBaseLocked()
+	logged := make([]Mutation, len(muts))
+	for i, m := range muts {
+		switch m.Op {
+		case InsertEdge:
+			g.insertEdgeLocked(m.U, m.V, m.W)
+		case DeleteEdge:
+			m.W = g.deleteEdgeLocked(m.U, m.V)
+		}
+		logged[i] = m
+	}
+	g.epoch++
+	g.version++
+	g.csr = nil
+	g.deltaView = nil
+	g.log = append(g.log, mutationBatch{epoch: g.epoch, muts: logged})
+	if len(g.log) > defaultLogRetention {
+		g.log = append(g.log[:0:0], g.log[len(g.log)-defaultLogRetention:]...)
+	}
+	every := g.RebuildEvery
+	if every <= 0 {
+		every = DefaultRebuildEvery
+	}
+	if g.mutsSinceRebuild += len(muts); g.mutsSinceRebuild >= every {
+		g.csr = BuildCSR(g)
+		g.csrVersion = g.version
+		g.rebaseLocked(g.csr)
+	}
+	return g.epoch, nil
+}
+
+// validateBatchLocked checks the whole batch before anything is
+// applied, tracking per-pair availability so a delete is valid when a
+// matching edge exists at its point in the batch (including edges
+// inserted earlier in the same batch).
+func (g *Graph) validateBatchLocked(muts []Mutation) error {
+	n := VertexID(g.N())
+	avail := make(map[[2]VertexID]int)
+	key := func(u, v VertexID) [2]VertexID {
+		if !g.Directed && u > v {
+			u, v = v, u
+		}
+		return [2]VertexID{u, v}
+	}
+	for i, m := range muts {
+		if m.U < 0 || m.U >= n || m.V < 0 || m.V >= n {
+			return fmt.Errorf("graph: mutation %d: %s(%d, %d): vertex out of range [0,%d)", i, m.Op, m.U, m.V, n)
+		}
+		k := key(m.U, m.V)
+		if _, seen := avail[k]; !seen {
+			live := 0
+			for _, e := range g.Out[m.U] {
+				if e.Dst == m.V {
+					live++
+				}
+			}
+			avail[k] = live
+		}
+		switch m.Op {
+		case InsertEdge:
+			if math.IsNaN(m.W) {
+				return fmt.Errorf("graph: mutation %d: insert(%d, %d): NaN weight", i, m.U, m.V)
+			}
+			avail[k]++
+		case DeleteEdge:
+			if avail[k] == 0 {
+				return fmt.Errorf("graph: mutation %d: delete(%d, %d): edge does not exist", i, m.U, m.V)
+			}
+			avail[k]--
+		default:
+			return fmt.Errorf("graph: mutation %d: unknown op %d", i, uint8(m.Op))
+		}
+	}
+	return nil
+}
+
+// ensureDeltaBaseLocked establishes the overlay base on the first
+// logged mutation: the base CSR is the graph as of this moment, and the
+// (empty) overlay accumulates subsequent changes. If the cached CSR is
+// current (the common serving case — the graph was pinned before being
+// mutated) this is free; otherwise it pays one full build.
+func (g *Graph) ensureDeltaBaseLocked() {
+	if g.delta != nil {
+		return
+	}
+	if g.csr == nil || g.csrVersion != g.version {
+		g.csr = BuildCSR(g)
+		g.csrVersion = g.version
+	}
+	g.rebaseLocked(g.csr)
+}
+
+// rebaseLocked points the overlay at a CSR that matches the current
+// adjacency exactly and clears the accumulated delta.
+func (g *Graph) rebaseLocked(base *CSR) {
+	g.deltaBase = base
+	g.delta = newDeltaOverlay(g.Directed)
+	g.mutsSinceRebuild = 0
+}
+
+// insertEdgeLocked appends the edge to the adjacency lists and mirrors
+// the append into the overlay, preserving the invariant that
+// Out[u] == (live base span of u) ++ (overlay adds of u) in order.
+func (g *Graph) insertEdgeLocked(u, v VertexID, w float64) {
+	g.Out[u] = append(g.Out[u], Edge{Dst: v, W: w})
+	g.delta.adds[u] = append(g.delta.adds[u], Edge{Dst: v, W: w})
+	if !g.Directed {
+		if u != v {
+			g.Out[v] = append(g.Out[v], Edge{Dst: u, W: w})
+			g.delta.adds[v] = append(g.delta.adds[v], Edge{Dst: u, W: w})
+		}
+	} else {
+		g.delta.inAdds[v] = append(g.delta.inAdds[v], Edge{Dst: u, W: w})
+		if g.In != nil {
+			g.In[v] = append(g.In[v], Edge{Dst: u, W: w})
+		}
+	}
+	g.delta.nAdds++
+	g.numEdges++
+}
+
+// deleteEdgeLocked removes the earliest surviving u->v edge (and its
+// v->u half when undirected), returning the removed weight.
+func (g *Graph) deleteEdgeLocked(u, v VertexID) float64 {
+	w := g.deleteHalfLocked(u, v)
+	if !g.Directed && u != v {
+		g.deleteHalfLocked(v, u)
+	}
+	if g.Directed && g.In != nil {
+		removeFirst(g.In, v, u)
+	}
+	g.numEdges--
+	return w
+}
+
+// deleteHalfLocked removes the first matching half-edge u->v from
+// Out[u] and records the removal in the overlay. Because Out[u] is the
+// live base span followed by the overlay adds, the first match lives in
+// the base span iff any live base occurrence remains — in which case it
+// is tombstoned; otherwise the earliest overlay add is dropped.
+func (g *Graph) deleteHalfLocked(u, v VertexID) float64 {
+	d := g.delta
+	base := g.deltaBase
+	lo, hi := base.OutRange(u)
+	for i := lo; i < hi; i++ {
+		if base.Dsts[i] != v {
+			continue
+		}
+		if _, dead := d.dels[i]; dead {
+			continue
+		}
+		d.dels[i] = struct{}{}
+		d.delCnt[u]++
+		d.nDels++
+		if g.Directed {
+			d.delPairs[[2]VertexID{u, v}]++
+		}
+		removeFirst(g.Out, u, v)
+		return base.Weight(i)
+	}
+	adds := d.adds[u]
+	for j, e := range adds {
+		if e.Dst != v {
+			continue
+		}
+		d.adds[u] = append(adds[:j:j], adds[j+1:]...)
+		if g.Directed {
+			inAdds := d.inAdds[v]
+			for k, ie := range inAdds {
+				if ie.Dst == u {
+					d.inAdds[v] = append(inAdds[:k:k], inAdds[k+1:]...)
+					break
+				}
+			}
+		}
+		d.nAdds--
+		removeFirst(g.Out, u, v)
+		return e.W
+	}
+	panic(fmt.Sprintf("graph: deleteHalfLocked(%d, %d): edge not found after validation", u, v))
+}
+
+// removeFirst deletes the first entry with destination v from adj[u],
+// preserving the order of the remaining entries.
+func removeFirst(adj [][]Edge, u, v VertexID) {
+	for i, e := range adj[u] {
+		if e.Dst == v {
+			adj[u] = append(adj[u][:i:i], adj[u][i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("graph: removeFirst(%d, %d): edge not found", u, v))
+}

@@ -1,0 +1,366 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestApplyMutationsBasic(t *testing.T) {
+	g := New(5, false)
+	g.AddEdge(0, 1)
+	g.AddWeightedEdge(1, 2, 4)
+	e0 := g.Epoch()
+
+	ep, err := g.ApplyMutations([]Mutation{
+		{Op: InsertEdge, U: 2, V: 3, W: 7},
+		{Op: DeleteEdge, U: 0, V: 1},
+	})
+	if err != nil {
+		t.Fatalf("ApplyMutations: %v", err)
+	}
+	if ep != e0+1 || g.Epoch() != ep {
+		t.Fatalf("epoch = %d, want %d", ep, e0+1)
+	}
+	if g.M() != 2 {
+		t.Fatalf("m = %d, want 2", g.M())
+	}
+	if len(g.Out[0]) != 0 || len(g.Out[1]) != 1 || g.Out[2][1].Dst != 3 {
+		t.Fatalf("adjacency after batch: %v", g.Out)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The log canonicalizes delete weights to what was removed.
+	muts, ok := g.MutationsSince(e0)
+	if !ok || len(muts) != 2 {
+		t.Fatalf("MutationsSince(%d) = %v, %v", e0, muts, ok)
+	}
+	if muts[1].Op != DeleteEdge || muts[1].W != 1 {
+		t.Fatalf("delete weight not canonicalized: %+v", muts[1])
+	}
+
+	// Deleting a weighted edge logs its actual weight.
+	if _, err := g.ApplyMutations([]Mutation{{Op: DeleteEdge, U: 2, V: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	muts, ok = g.MutationsSince(ep)
+	if !ok || len(muts) != 1 || muts[0].W != 4 {
+		t.Fatalf("weighted delete log = %v, %v (want w=4)", muts, ok)
+	}
+}
+
+func TestApplyMutationsDeleteNonexistent(t *testing.T) {
+	g := Cycle(4)
+	before := g.Clone()
+	e0 := g.Epoch()
+	// The second mutation is invalid: the batch must leave the graph
+	// completely untouched, including the epoch and the edge inserted
+	// by the first mutation.
+	_, err := g.ApplyMutations([]Mutation{
+		{Op: InsertEdge, U: 0, V: 2},
+		{Op: DeleteEdge, U: 1, V: 3},
+	})
+	if err == nil {
+		t.Fatal("delete of nonexistent edge did not error")
+	}
+	if g.Epoch() != e0 {
+		t.Fatalf("epoch moved on failed batch: %d -> %d", e0, g.Epoch())
+	}
+	if !reflect.DeepEqual(g.Out, before.Out) || g.M() != before.M() {
+		t.Fatal("graph mutated by failed batch")
+	}
+	if _, ok := g.MutationsSince(e0); !ok {
+		t.Fatal("failed batch broke the mutation log")
+	}
+}
+
+func TestApplyMutationsDeleteSeesEarlierInsert(t *testing.T) {
+	g := New(3, false)
+	// Valid only because the insert earlier in the same batch supplies
+	// the edge the delete removes.
+	if _, err := g.ApplyMutations([]Mutation{
+		{Op: InsertEdge, U: 0, V: 1, W: 2},
+		{Op: DeleteEdge, U: 1, V: 0},
+	}); err != nil {
+		t.Fatalf("delete of same-batch insert: %v", err)
+	}
+	if g.M() != 0 {
+		t.Fatalf("m = %d, want 0", g.M())
+	}
+}
+
+func TestApplyMutationsDuplicateInsert(t *testing.T) {
+	g := New(3, false)
+	g.AddWeightedEdge(0, 1, 5)
+	if _, err := g.ApplyMutations([]Mutation{{Op: InsertEdge, U: 0, V: 1, W: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 || len(g.Out[0]) != 2 || len(g.Out[1]) != 2 {
+		t.Fatalf("duplicate insert: m=%d out0=%v out1=%v", g.M(), g.Out[0], g.Out[1])
+	}
+	// First-match semantics: deleting removes the earlier (w=5) edge.
+	ep := g.Epoch()
+	if _, err := g.ApplyMutations([]Mutation{{Op: DeleteEdge, U: 0, V: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if g.Out[0][0].W != 9 || g.Out[1][0].W != 9 {
+		t.Fatalf("delete removed wrong parallel edge: %v", g.Out[0])
+	}
+	muts, ok := g.MutationsSince(ep)
+	if !ok || muts[0].W != 5 {
+		t.Fatalf("logged delete weight = %v, want 5", muts)
+	}
+	// And the second delete removes the survivor.
+	if _, err := g.ApplyMutations([]Mutation{{Op: DeleteEdge, U: 0, V: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 0 {
+		t.Fatalf("m = %d, want 0", g.M())
+	}
+}
+
+func TestApplyMutationsRangeAndNaN(t *testing.T) {
+	g := New(3, true)
+	if _, err := g.ApplyMutations([]Mutation{{Op: InsertEdge, U: 0, V: 3}}); err == nil {
+		t.Fatal("out-of-range insert did not error")
+	}
+	if _, err := g.ApplyMutations([]Mutation{{Op: InsertEdge, U: -1, V: 0}}); err == nil {
+		t.Fatal("negative vertex did not error")
+	}
+	nan := 0.0
+	nan /= nan
+	if _, err := g.ApplyMutations([]Mutation{{Op: InsertEdge, U: 0, V: 1, W: nan}}); err == nil {
+		t.Fatal("NaN weight did not error")
+	}
+	if g.Epoch() != New(3, true).Epoch() || g.M() != 0 {
+		t.Fatal("failed batches mutated the graph")
+	}
+}
+
+func TestMutationsSinceSemantics(t *testing.T) {
+	g := Cycle(5)
+	e0 := g.Epoch()
+	if muts, ok := g.MutationsSince(e0); !ok || muts != nil {
+		t.Fatalf("no-op history = %v, %v", muts, ok)
+	}
+	if _, ok := g.MutationsSince(e0 + 1); ok {
+		t.Fatal("future epoch reported ok")
+	}
+	g.ApplyMutations([]Mutation{{Op: InsertEdge, U: 0, V: 2}})
+	g.ApplyMutations([]Mutation{{Op: InsertEdge, U: 0, V: 3}})
+	muts, ok := g.MutationsSince(e0)
+	if !ok || len(muts) != 2 || muts[0].V != 2 || muts[1].V != 3 {
+		t.Fatalf("two-batch history = %v, %v", muts, ok)
+	}
+	// An out-of-band mutation poisons every older epoch.
+	mid := g.Epoch()
+	g.AddEdge(1, 4)
+	if _, ok := g.MutationsSince(mid); ok {
+		t.Fatal("out-of-band AddEdge did not invalidate the log")
+	}
+	if _, ok := g.MutationsSince(e0); ok {
+		t.Fatal("out-of-band AddEdge did not invalidate older epochs")
+	}
+	// History resumes from the current epoch.
+	now := g.Epoch()
+	g.ApplyMutations([]Mutation{{Op: DeleteEdge, U: 1, V: 4}})
+	if muts, ok := g.MutationsSince(now); !ok || len(muts) != 1 {
+		t.Fatalf("post-invalidate history = %v, %v", muts, ok)
+	}
+}
+
+func TestMutationLogRetention(t *testing.T) {
+	g := New(4, false)
+	e0 := g.Epoch()
+	for i := 0; i < defaultLogRetention+10; i++ {
+		if _, err := g.ApplyMutations([]Mutation{
+			{Op: InsertEdge, U: 0, V: 1},
+			{Op: DeleteEdge, U: 0, V: 1},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := g.MutationsSince(e0); ok {
+		t.Fatal("history older than the retention window reported ok")
+	}
+	recent := g.Epoch() - 5
+	if muts, ok := g.MutationsSince(recent); !ok || len(muts) != 10 {
+		t.Fatalf("recent history = %d muts, %v (want 10, true)", len(muts), ok)
+	}
+}
+
+// collectOut/collectIn materialize an enumeration for comparison.
+type entry struct {
+	V VertexID
+	W float64
+}
+
+func collectOut(forEach func(VertexID, func(VertexID, float64)), v VertexID) []entry {
+	var out []entry
+	forEach(v, func(d VertexID, w float64) { out = append(out, entry{d, w}) })
+	return out
+}
+
+// checkDeltaMatchesRebuild asserts the frozen delta view enumerates
+// byte-identically (destinations, weights, order, degrees, in-spans) to
+// a CSR rebuilt from scratch — the invariant that makes incremental
+// runs spanning a rebuild boundary deterministic.
+func checkDeltaMatchesRebuild(t *testing.T, g *Graph) {
+	t.Helper()
+	d := g.PinDelta()
+	defer g.UnpinDelta(d)
+	fresh := BuildCSR(g)
+	fresh.EnsureIn()
+	if d.N() != fresh.N() || d.M() != fresh.M() {
+		t.Fatalf("view n/m = %d/%d, rebuild %d/%d", d.N(), d.M(), fresh.N(), fresh.M())
+	}
+	for v := VertexID(0); int(v) < g.N(); v++ {
+		if got, want := d.OutDegree(v), fresh.OutDegree(v); got != want {
+			t.Fatalf("vertex %d: view OutDegree %d, rebuild %d", v, got, want)
+		}
+		if got, want := collectOut(d.ForEachOut, v), collectOut(fresh.ForEachOut, v); !reflect.DeepEqual(got, want) {
+			t.Fatalf("vertex %d: view out %v, rebuild %v", v, got, want)
+		}
+		if got, want := collectOut(d.ForEachIn, v), collectOut(fresh.ForEachIn, v); !reflect.DeepEqual(got, want) {
+			t.Fatalf("vertex %d: view in %v, rebuild %v", v, got, want)
+		}
+	}
+}
+
+// runMutationScript applies `steps` random batches to g, checking the
+// delta view against a full rebuild after every batch. Deletes pick
+// random existing edges; inserts pick random endpoints (self-loops
+// included) with small integer weights.
+func runMutationScript(t *testing.T, g *Graph, seed int64, steps int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := g.N()
+	for s := 0; s < steps; s++ {
+		var batch []Mutation
+		for b := 1 + rng.Intn(5); b > 0; b-- {
+			if rng.Intn(10) < 6 || g.M() == 0 {
+				batch = append(batch, Mutation{
+					Op: InsertEdge,
+					U:  VertexID(rng.Intn(n)),
+					V:  VertexID(rng.Intn(n)),
+					W:  float64(1 + rng.Intn(9)),
+				})
+			} else {
+				// Pick a random live edge to delete.
+				k := rng.Intn(g.M() * 2)
+				var del Mutation
+				found := false
+				for u := range g.Out {
+					if k >= len(g.Out[u]) {
+						k -= len(g.Out[u])
+						continue
+					}
+					del = Mutation{Op: DeleteEdge, U: VertexID(u), V: g.Out[u][k].Dst}
+					found = true
+					break
+				}
+				if !found {
+					continue
+				}
+				batch = append(batch, del)
+				// A second delete of the same pair in one batch may
+				// be invalid; keep batches independently valid by
+				// stopping after a delete occasionally.
+				if rng.Intn(2) == 0 {
+					break
+				}
+			}
+		}
+		if _, err := g.ApplyMutations(batch); err != nil {
+			// Possible when the script deletes one pair twice in a
+			// batch; the graph must be untouched, then skip.
+			continue
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("step %d: %v", s, err)
+		}
+		checkDeltaMatchesRebuild(t, g)
+	}
+}
+
+func TestDeltaViewMatchesRebuildUndirected(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		g := RandomConnected(20, 40, seed)
+		runMutationScript(t, g, seed*101, 20)
+	}
+}
+
+func TestDeltaViewMatchesRebuildDirected(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		g := New(16, true)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 40; i++ {
+			g.AddWeightedEdge(VertexID(rng.Intn(16)), VertexID(rng.Intn(16)), float64(1+rng.Intn(9)))
+		}
+		runMutationScript(t, g, seed*77, 20)
+	}
+}
+
+func TestDeltaViewAcrossRebuildBoundary(t *testing.T) {
+	g := RandomConnected(24, 48, 3)
+	g.RebuildEvery = 7 // force frequent re-basing mid-script
+	runMutationScript(t, g, 99, 30)
+	// After enough mutations a rebuild must have happened and the
+	// overlay must have been re-based (small again).
+	d := g.PinDelta()
+	adds, dels := d.OverlaySize()
+	if adds+dels >= 7+5 {
+		t.Fatalf("overlay not re-based: %d adds, %d dels", adds, dels)
+	}
+	g.UnpinDelta(d)
+}
+
+func TestPinDeltaRefcountAndIsolation(t *testing.T) {
+	g := Cycle(8)
+	if _, err := g.ApplyMutations([]Mutation{{Op: InsertEdge, U: 0, V: 4, W: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	d1 := g.PinDelta()
+	d2 := g.PinDelta()
+	if d1 != d2 {
+		t.Fatal("two pins at the same version returned different views")
+	}
+	if g.Pins() != 2 {
+		t.Fatalf("pins = %d, want 2", g.Pins())
+	}
+	before := collectOut(d1.ForEachOut, 0)
+
+	// Later batches must not disturb the frozen view.
+	if _, err := g.ApplyMutations([]Mutation{
+		{Op: DeleteEdge, U: 0, V: 4},
+		{Op: InsertEdge, U: 0, V: 5, W: 8},
+		{Op: InsertEdge, U: 0, V: 4, W: 6},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := collectOut(d1.ForEachOut, 0); !reflect.DeepEqual(got, before) {
+		t.Fatalf("frozen view changed under mutation: %v -> %v", before, got)
+	}
+	d3 := g.PinDelta()
+	if d3 == d1 {
+		t.Fatal("pin after mutation returned the stale view")
+	}
+	checkDeltaMatchesRebuild(t, g)
+	g.UnpinDelta(d1)
+	g.UnpinDelta(d2)
+	g.UnpinDelta(d3)
+	if g.Pins() != 0 {
+		t.Fatalf("pins = %d after drain, want 0", g.Pins())
+	}
+}
+
+func TestApplyMutationsEmptyBatch(t *testing.T) {
+	g := Cycle(4)
+	e0 := g.Epoch()
+	ep, err := g.ApplyMutations(nil)
+	if err != nil || ep != e0 {
+		t.Fatalf("empty batch: epoch %d err %v, want %d nil", ep, err, e0)
+	}
+}

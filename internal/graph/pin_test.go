@@ -135,3 +135,80 @@ func TestPinConcurrentWithMutation(t *testing.T) {
 		t.Fatalf("pins = %d after drain, want 0", g.Pins())
 	}
 }
+
+// TestApplyMutationsConcurrentWithPin interleaves ApplyMutations with
+// Pin and PinDelta readers under the same bracketing discipline as
+// TestPinConcurrentWithMutation. Under -race this checks the mutate-
+// and-republish path of the mutation log: frozen views (flat and delta)
+// stay self-consistent while batches land, and every generation drains.
+func TestApplyMutationsConcurrentWithPin(t *testing.T) {
+	g := Cycle(64)
+	var bracket sync.RWMutex
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				bracket.RLock()
+				c := g.Pin()
+				bracket.RUnlock()
+				total := 0
+				for v := VertexID(0); int(v) < c.N(); v++ {
+					total += c.OutDegree(v)
+				}
+				if total != 2*c.M() {
+					t.Errorf("snapshot inconsistent: degree sum %d != 2m %d", total, 2*c.M())
+				}
+				g.Unpin(c)
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				bracket.RLock()
+				d := g.PinDelta()
+				bracket.RUnlock()
+				total := 0
+				for v := VertexID(0); int(v) < d.N(); v++ {
+					deg := 0
+					d.ForEachOut(VertexID(v), func(VertexID, float64) { deg++ })
+					if deg != d.OutDegree(VertexID(v)) {
+						t.Errorf("vertex %d: enumerated degree %d != OutDegree %d", v, deg, d.OutDegree(VertexID(v)))
+					}
+					total += deg
+				}
+				if total != 2*d.M() {
+					t.Errorf("delta view inconsistent: degree sum %d != 2m %d", total, 2*d.M())
+				}
+				g.UnpinDelta(d)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			u, v := VertexID(j%64), VertexID((j*13+5)%64)
+			bracket.Lock()
+			if _, err := g.ApplyMutations([]Mutation{
+				{Op: InsertEdge, U: u, V: v, W: float64(j%7 + 1)},
+				{Op: InsertEdge, U: v, V: u, W: 2},
+				{Op: DeleteEdge, U: u, V: v},
+			}); err != nil {
+				t.Errorf("batch %d: %v", j, err)
+			}
+			bracket.Unlock()
+		}
+	}()
+	wg.Wait()
+	if g.Pins() != 0 {
+		t.Fatalf("pins = %d after drain, want 0", g.Pins())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

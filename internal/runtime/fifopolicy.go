@@ -1,0 +1,153 @@
+package runtime
+
+import (
+	"fmt"
+
+	"vcgraph/internal/bsp"
+)
+
+// WorklistRunner is the FIFO-worklist execution policy shared by the
+// asynchronous engine and the incremental (evolving-graph) programs:
+// one Driver step is one epoch of up to EpochLen updates popped from a
+// deduplicating FIFO, each applied immediately and pushing its
+// activations back. The Driver supplies the barrier lifecycle — fault
+// detection, checkpoint cadence (EpochSaves ordering), rollback — so a
+// program gets crash/drop/dup/corrupt recovery by filling in Update.
+//
+// The restart state is parameterized: a full run seeds every vertex
+// (PristineQueue nil), an incremental run seeds only the vertices its
+// delta analysis dirtied — a checkpoint-free rollback then replays
+// exactly that seed set, keeping faulted incremental runs byte-identical
+// to fault-free ones.
+type WorklistRunner[V any] struct {
+	// Name prefixes error messages ("async", "vc: incremental sssp").
+	Name string
+	// Update recomputes v from current values and returns the vertices
+	// to (re)activate. The returned slice is consumed before the next
+	// call, so implementations may reuse a scratch buffer.
+	Update func(v VertexID) []VertexID
+	// Prog is consulted for the optional ValueCloner deep-copy hook
+	// when values are snapshotted or restored.
+	Prog any
+	// Values points at the live value slice; Restore replaces it.
+	Values *[]V
+	// Queue is the worklist, seeded by the caller before Run.
+	Queue *FIFO
+	// N is the vertex count.
+	N int
+	// EpochLen is the number of updates per driver step (fault
+	// detection / checkpoint granularity).
+	EpochLen int
+	// MaxUpdates caps total updates; exceeding it returns CapErr.
+	MaxUpdates int
+	// CapErr is the sentinel wrapped into the cap error.
+	CapErr error
+	// PristineValues, when set, are the seed-time values restored by a
+	// checkpoint-free rollback (required when faults are injected).
+	PristineValues []V
+	// PristineQueue is the seed worklist for a checkpoint-free
+	// rollback; nil means every vertex 0..N-1.
+	PristineQueue []VertexID
+
+	updates int
+}
+
+// Updates returns the total number of vertex updates applied.
+func (p *WorklistRunner[V]) Updates() int { return p.updates }
+
+// Quiescent implements Policy: the worklist drained.
+func (p *WorklistRunner[V]) Quiescent(step, pending int) bool { return p.Queue.Len() == 0 }
+
+// Stopped implements EarlyStopper: the previous epoch ended mid-stride
+// with the worklist drained, so the run is over without another
+// boundary's fault/checkpoint processing.
+func (p *WorklistRunner[V]) Stopped() bool {
+	return p.updates%p.EpochLen != 0 && p.Queue.Len() == 0
+}
+
+// BarrierFaults implements BarrierFaultPolicy: activation-batch faults
+// fire at the epoch boundary itself. A dropped batch forces a rollback
+// (the worklist cannot be reconstructed in place); a duplicated batch
+// is absorbed because the FIFO deduplicates scheduled vertices.
+func (p *WorklistRunner[V]) BarrierFaults(inj *Injector, step int) (lost bool) {
+	switch inj.LaneFault(step, 0, 0) {
+	case FaultDropLane:
+		return true
+	case FaultDupLane:
+		for _, w := range p.Queue.Snapshot() {
+			p.Queue.Push(w)
+		}
+	}
+	return false
+}
+
+// RedoneUnits implements RollbackWeigher: recovery cost is counted in
+// redone updates, not epochs.
+func (p *WorklistRunner[V]) RedoneUnits(resumed, failed int) int {
+	return (failed - resumed) * p.EpochLen
+}
+
+// Superstep implements Policy: drain up to one epoch of updates,
+// applying each immediately. Updates gather from live neighbor values,
+// so the engine is pull-based by construction; an epoch that starts
+// with a dense worklist is marked Pulled, and its activations take the
+// bulk FIFO.PushAll path (identical order and dedup to per-vertex
+// pushes, with the queue bookkeeping hoisted out of the loop).
+func (p *WorklistRunner[V]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) {
+	ss.Pulled = ChoosePull(DirectionAuto, true, p.Queue.Len(), p.N, 0)
+	for i := 0; i < p.EpochLen; i++ {
+		v, ok := p.Queue.Pop()
+		if !ok {
+			break
+		}
+		if p.updates >= p.MaxUpdates {
+			return p.Queue.Len(), fmt.Errorf("%s: %w (cap %d)", p.Name, p.CapErr, p.MaxUpdates)
+		}
+		p.updates++
+		ss.Work[0]++
+		ss.Active[0]++
+		acts := p.Update(v)
+		ss.Sent[0] += int64(len(acts))
+		p.Queue.PushAll(acts)
+	}
+	return p.Queue.Len(), nil
+}
+
+// Snapshot implements Policy: values plus the worklist in arrival
+// order. The update count is implied by the boundary step
+// (step · EpochLen), so it is not stored.
+func (p *WorklistRunner[V]) Snapshot() *WorklistSnapshot[V] {
+	return &WorklistSnapshot[V]{
+		values: CloneValues[V](p.Prog, *p.Values),
+		queue:  p.Queue.Snapshot(),
+	}
+}
+
+// Restore implements Policy: a readable checkpoint restores its values
+// and worklist; a checkpoint-free rollback replays the pristine seed
+// state captured before the run.
+func (p *WorklistRunner[V]) Restore(snap *WorklistSnapshot[V], step int, ok bool) {
+	if ok {
+		*p.Values = CloneValues[V](p.Prog, snap.values)
+		p.Queue.Load(snap.queue)
+		p.updates = step * p.EpochLen
+		return
+	}
+	*p.Values = CloneValues[V](p.Prog, p.PristineValues)
+	if p.PristineQueue != nil {
+		p.Queue.Load(p.PristineQueue)
+	} else {
+		p.Queue.Load(nil)
+		for v := 0; v < p.N; v++ {
+			p.Queue.Push(VertexID(v))
+		}
+	}
+	p.updates = 0
+}
+
+// WorklistSnapshot is one checkpoint generation of a worklist run: the
+// values and the worklist (in arrival order) at an epoch boundary.
+type WorklistSnapshot[V any] struct {
+	values []V
+	queue  []VertexID
+}

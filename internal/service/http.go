@@ -13,8 +13,9 @@ import (
 //
 //	GET  /v1/healthz                  liveness + scheduler load
 //	POST /v1/graphs                   register a graph (GraphSpec body)
-//	GET  /v1/graphs/{name}            graph shape
+//	GET  /v1/graphs/{name}            graph shape + mutation epoch
 //	POST /v1/graphs/{name}/edges      append edges {"edges": [[u,v,w?], ...]}
+//	POST /v1/graphs/{name}/mutate     apply a mutation batch {"mutations": [{"op","u","v","w"?}, ...]}
 //	POST /v1/jobs                     submit a job (JobSpec body)
 //	GET  /v1/jobs/{id}                job status (+ result summary when done)
 //	GET  /v1/jobs/{id}/stats?since=K  stream per-superstep records from K
@@ -26,6 +27,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
 	mux.HandleFunc("GET /v1/graphs/{name}", s.handleGraphInfo)
 	mux.HandleFunc("POST /v1/graphs/{name}/edges", s.handleAddEdges)
+	mux.HandleFunc("POST /v1/graphs/{name}/mutate", s.handleMutate)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/stats", s.handleJobStats)
@@ -87,20 +89,20 @@ func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, codeFor(err), err)
 		return
 	}
-	n, m, directed, _ := s.GraphInfo(spec.Name)
+	n, m, directed, epoch, _ := s.GraphInfo(spec.Name)
 	writeJSON(w, http.StatusCreated, map[string]any{
-		"name": spec.Name, "n": n, "m": m, "directed": directed,
+		"name": spec.Name, "n": n, "m": m, "directed": directed, "epoch": epoch,
 	})
 }
 
 func (s *Server) handleGraphInfo(w http.ResponseWriter, r *http.Request) {
-	n, m, directed, err := s.GraphInfo(r.PathValue("name"))
+	n, m, directed, epoch, err := s.GraphInfo(r.PathValue("name"))
 	if err != nil {
 		writeErr(w, codeFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"name": r.PathValue("name"), "n": n, "m": m, "directed": directed,
+		"name": r.PathValue("name"), "n": n, "m": m, "directed": directed, "epoch": epoch,
 	})
 }
 
@@ -115,9 +117,27 @@ func (s *Server) handleAddEdges(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, codeFor(err), err)
 		return
 	}
-	n, m, directed, _ := s.GraphInfo(r.PathValue("name"))
+	n, m, directed, epoch, _ := s.GraphInfo(r.PathValue("name"))
 	writeJSON(w, http.StatusOK, map[string]any{
-		"name": r.PathValue("name"), "n": n, "m": m, "directed": directed,
+		"name": r.PathValue("name"), "n": n, "m": m, "directed": directed, "epoch": epoch,
+	})
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Mutations []MutationSpec `json:"mutations"`
+	}
+	if !decodeBody(w, r, &body) {
+		return
+	}
+	epoch, err := s.MutateGraph(r.PathValue("name"), body.Mutations)
+	if err != nil {
+		writeErr(w, codeFor(err), err)
+		return
+	}
+	n, m, directed, _, _ := s.GraphInfo(r.PathValue("name"))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name": r.PathValue("name"), "n": n, "m": m, "directed": directed, "epoch": epoch,
 	})
 }
 
@@ -164,12 +184,22 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 		"workers": job.Workers(),
 		"steps":   job.Steps(),
 	}
+	if rec.spec.Incremental {
+		status["incremental"] = true
+		if rec.spec.Resume != 0 {
+			status["resume"] = rec.spec.Resume
+		}
+	}
 	if err := job.Err(); err != nil {
 		status["error"] = err.Error()
 	}
 	if res := rec.result(); res != nil {
 		status["verdict"] = res.verdict
 		status["summary"] = res.summary
+		status["epoch"] = res.epoch
+		if res.inc != nil {
+			status["cold"] = res.inc.cold()
+		}
 	}
 	writeJSON(w, http.StatusOK, status)
 }

@@ -15,23 +15,92 @@ import (
 // runResult is the normalized output of any algorithm × engine pair:
 // one float64 per vertex (ranks, distances, component labels, or
 // coreness — labels and coreness are integers, exact in a float64),
-// the job-level stats summary, and a one-line human verdict.
+// the job-level stats summary, and a one-line human verdict. epoch is
+// the graph's mutation epoch at prepare time, so a later incremental
+// job can resume from this result; inc carries the richer incremental
+// state when the job ran on the inc engine.
 type runResult struct {
 	values  []float64
 	summary bsp.Summary
 	verdict string
+	epoch   int64
+	inc     *incStateBox
+}
+
+// incStateBox holds whichever incremental state the job produced.
+type incStateBox struct {
+	cc   *vc.IncCCState
+	sssp *vc.IncSSSPState
+	pr   *vc.IncPRState
+}
+
+// cold reports whether the run recomputed from scratch (no usable
+// prior state — first run, mismatched resume, or truncated log).
+func (b *incStateBox) cold() bool {
+	switch {
+	case b.cc != nil:
+		return b.cc.Cold
+	case b.sssp != nil:
+		return b.sssp.Cold
+	case b.pr != nil:
+		return b.pr.Cold
+	}
+	return true
+}
+
+// incPrior is the warm-start state resolved from a resume target.
+type incPrior struct {
+	cc   *vc.IncCCState
+	sssp *vc.IncSSSPState
+	pr   *vc.IncPRState
+}
+
+// priorFromResult reconstructs warm-start state from a prior job's
+// result. An incremental prior hands over its state directly; a plain
+// prior seeds CC/SSSP from its converged values and prepare-time epoch
+// (their fixpoints are engine-independent — SSSP modulo the
+// unreachable sentinel, normalized here).
+func priorFromResult(spec JobSpec, res *runResult) *incPrior {
+	if res.inc != nil {
+		return &incPrior{cc: res.inc.cc, sssp: res.inc.sssp, pr: res.inc.pr}
+	}
+	switch spec.Algo {
+	case "cc":
+		labels := make([]graph.VertexID, len(res.values))
+		for i, v := range res.values {
+			labels[i] = graph.VertexID(v)
+		}
+		return &incPrior{cc: &vc.IncCCState{Epoch: res.epoch, Labels: labels}}
+	case "sssp":
+		dist := make([]float64, len(res.values))
+		for i, d := range res.values {
+			if d >= 1e300 {
+				d = vc.Unreachable
+			}
+			dist[i] = d
+		}
+		return &incPrior{sssp: &vc.IncSSSPState{Epoch: res.epoch, Src: graph.VertexID(spec.Src), Dist: dist}}
+	}
+	return nil
 }
 
 // engines is the serving matrix: every algorithm runs on pregel;
-// pagerank/sssp/cc also run on gas, async, and blockcentric.
+// pagerank/sssp/cc also run on gas, async, blockcentric, and the
+// incremental (evolving-graph) engine.
 var engines = map[string]map[string]bool{
-	"pagerank": {"pregel": true, "gas": true, "async": true, "blockcentric": true},
-	"sssp":     {"pregel": true, "gas": true, "async": true, "blockcentric": true},
-	"cc":       {"pregel": true, "gas": true, "async": true, "blockcentric": true},
+	"pagerank": {"pregel": true, "gas": true, "async": true, "blockcentric": true, "inc": true},
+	"sssp":     {"pregel": true, "gas": true, "async": true, "blockcentric": true, "inc": true},
+	"cc":       {"pregel": true, "gas": true, "async": true, "blockcentric": true, "inc": true},
 	"kcore":    {"pregel": true},
 }
 
 func withDefaults(spec JobSpec) JobSpec {
+	if spec.Incremental && spec.Engine == "" {
+		spec.Engine = "inc"
+	}
+	if spec.Engine == "inc" {
+		spec.Incremental = true
+	}
 	if spec.Engine == "" {
 		spec.Engine = "pregel"
 	}
@@ -58,6 +127,9 @@ func validateSpec(spec JobSpec) error {
 	if !byEngine[spec.Engine] {
 		return fmt.Errorf("service: algorithm %q does not run on engine %q", spec.Algo, spec.Engine)
 	}
+	if spec.Resume != 0 && spec.Engine != "inc" {
+		return fmt.Errorf("service: resume requires the inc engine, got %q", spec.Engine)
+	}
 	if _, err := rt.ParseDirectionMode(modeOrAuto(spec.Mode)); err != nil {
 		return fmt.Errorf("service: %w", err)
 	}
@@ -83,7 +155,7 @@ func faultPlan(spec JobSpec) *rt.FaultPlan {
 // engine pair (pinning a CSR snapshot and performing every read of the
 // mutable adjacency), and returns a closure that runs lock-free
 // against the snapshot. spec has passed withDefaults and validateSpec.
-func prepareRunner(g *graph.Graph, spec JobSpec, job *rt.Job) (func() (*runResult, error), error) {
+func prepareRunner(g *graph.Graph, spec JobSpec, prior *incPrior, job *rt.Job) (func() (*runResult, error), error) {
 	switch spec.Engine {
 	case "pregel":
 		return preparePregel(g, spec, job)
@@ -93,8 +165,65 @@ func prepareRunner(g *graph.Graph, spec JobSpec, job *rt.Job) (func() (*runResul
 		return prepareAsync(g, spec, job)
 	case "blockcentric":
 		return prepareBlock(g, spec, job)
+	case "inc":
+		return prepareInc(g, spec, prior, job)
 	}
 	return nil, fmt.Errorf("service: unknown engine %q", spec.Engine)
+}
+
+// prepareInc is the evolving-graph engine: it pins a delta view and
+// performs the seed analysis under the graph read lock, then drains (or
+// for PageRank, sweeps) lock-free. The result carries the incremental
+// state so the next resume can chain from this job.
+func prepareInc(g *graph.Graph, spec JobSpec, prior *incPrior, job *rt.Job) (func() (*runResult, error), error) {
+	if g.Directed && spec.Algo != "pagerank" {
+		return nil, fmt.Errorf("service: incremental %s requires an undirected graph", spec.Algo)
+	}
+	cfg := vc.IncConfig{
+		CheckpointEvery: spec.Checkpoint,
+		Faults:          faultPlan(spec),
+		Job:             job,
+	}
+	if prior == nil {
+		prior = &incPrior{}
+	}
+	switch spec.Algo {
+	case "pagerank":
+		run := vc.PrepareIncrementalPageRank(g, spec.Alpha, spec.K, prior.pr, cfg)
+		return func() (*runResult, error) {
+			st, stats, err := run()
+			if err != nil {
+				return nil, err
+			}
+			ranks := st.Ranks()
+			res := result(ranks, stats, prVerdict(ranks))
+			res.inc = &incStateBox{pr: st}
+			return res, nil
+		}, nil
+	case "sssp":
+		run := vc.PrepareIncrementalSSSP(g, graph.VertexID(spec.Src), prior.sssp, cfg)
+		return func() (*runResult, error) {
+			st, stats, err := run()
+			if err != nil {
+				return nil, err
+			}
+			res := result(st.Dist, stats, ssspVerdict(st.Dist, spec.Src))
+			res.inc = &incStateBox{sssp: st}
+			return res, nil
+		}, nil
+	case "cc":
+		run := vc.PrepareIncrementalCC(g, prior.cc, cfg)
+		return func() (*runResult, error) {
+			st, stats, err := run()
+			if err != nil {
+				return nil, err
+			}
+			res := result(idsToFloats(st.Labels), stats, ccVerdict(st.Labels))
+			res.inc = &incStateBox{cc: st}
+			return res, nil
+		}, nil
+	}
+	return nil, fmt.Errorf("service: algorithm %q does not run on engine inc", spec.Algo)
 }
 
 func preparePregel(g *graph.Graph, spec JobSpec, job *rt.Job) (func() (*runResult, error), error) {

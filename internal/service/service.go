@@ -45,11 +45,29 @@ type GraphSpec struct {
 	Weights bool `json:"weights,omitempty"`
 }
 
+// MutationSpec is one wire-level mutation: op is "insert" or "delete".
+// Insert weight 0 means 1 (matching AddEdge); delete weight is ignored
+// (first-match semantics, the log canonicalizes the removed weight).
+type MutationSpec struct {
+	Op string  `json:"op"`
+	U  int     `json:"u"`
+	V  int     `json:"v"`
+	W  float64 `json:"w,omitempty"`
+}
+
 // JobSpec describes a job to submit.
 type JobSpec struct {
 	Graph  string `json:"graph"`
 	Algo   string `json:"algo"`             // pagerank | sssp | cc | kcore
-	Engine string `json:"engine,omitempty"` // pregel (default) | gas | async | blockcentric
+	Engine string `json:"engine,omitempty"` // pregel (default) | gas | async | blockcentric | inc
+	// Incremental runs the algorithm's evolving-graph form (engine
+	// "inc"): warm-started from the job named by Resume when its state
+	// is still valid for the graph's mutation log, cold otherwise.
+	Incremental bool `json:"incremental,omitempty"`
+	// Resume names a prior job ID to warm-start from. The prior job
+	// must have succeeded on the same graph with the same algorithm and
+	// parameters. 0 means a cold incremental run.
+	Resume int64 `json:"resume,omitempty"`
 	// Mode is the pregel direction mode: push, pull, or auto (default).
 	Mode    string `json:"mode,omitempty"`
 	Workers int    `json:"workers,omitempty"`
@@ -68,13 +86,37 @@ type JobSpec struct {
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
+// Options configures a Server beyond the scheduler's pool shape.
+type Options struct {
+	// Workers is the shared pool size (0 = GOMAXPROCS).
+	Workers int
+	// MaxJobs caps concurrently admitted jobs (0 = 1).
+	MaxJobs int
+	// JobRetention caps retained terminal job records: once exceeded,
+	// the oldest terminal records are evicted at submit time (queued
+	// and running jobs are never evicted). 0 means DefaultJobRetention.
+	JobRetention int
+	// GraphTTL, when positive, lets EvictGraphs drop graphs idle
+	// longer than this — except graphs with pinned snapshots, which a
+	// running job may still be reading.
+	GraphTTL time.Duration
+}
+
+// DefaultJobRetention bounds the job registry when Options.JobRetention
+// is zero: without a cap, a long-lived daemon's registry (records,
+// result vectors, superstep traces) grows without bound.
+const DefaultJobRetention = 512
+
 // Server owns the graph store, the job registry, and the scheduler.
 type Server struct {
 	sched *rt.Scheduler
+	opts  Options
+	now   func() time.Time // test seam for TTL eviction
 
-	mu     sync.Mutex
-	graphs map[string]*graphEntry
-	jobs   map[int64]*jobRecord
+	mu       sync.Mutex
+	graphs   map[string]*graphEntry
+	jobs     map[int64]*jobRecord
+	jobOrder []int64 // submission order, for oldest-first eviction
 }
 
 // graphEntry pairs a mutable graph with the lock bracketing its
@@ -82,6 +124,10 @@ type Server struct {
 type graphEntry struct {
 	mu sync.RWMutex
 	g  *graph.Graph
+
+	// lastUsed is the last registration, mutation, or job submission
+	// touching this graph, guarded by the server mutex (not mu).
+	lastUsed time.Time
 }
 
 // jobRecord pairs a runtime job handle with its spec and, once the
@@ -103,8 +149,18 @@ func (r *jobRecord) result() *runResult {
 // New builds a Server over workers pool goroutines (0 = GOMAXPROCS)
 // admitting at most maxJobs concurrent jobs (0 = 1).
 func New(workers, maxJobs int) *Server {
+	return NewServer(Options{Workers: workers, MaxJobs: maxJobs})
+}
+
+// NewServer builds a Server with explicit retention options.
+func NewServer(opts Options) *Server {
+	if opts.JobRetention <= 0 {
+		opts.JobRetention = DefaultJobRetention
+	}
 	return &Server{
-		sched:  rt.NewScheduler(workers, maxJobs),
+		sched:  rt.NewScheduler(opts.Workers, opts.MaxJobs),
+		opts:   opts,
+		now:    time.Now,
 		graphs: make(map[string]*graphEntry),
 		jobs:   make(map[int64]*jobRecord),
 	}
@@ -137,14 +193,14 @@ func (s *Server) RegisterGraph(spec GraphSpec) error {
 	if _, dup := s.graphs[spec.Name]; dup {
 		return fmt.Errorf("service: graph %q already registered", spec.Name)
 	}
-	s.graphs[spec.Name] = &graphEntry{g: g}
+	s.graphs[spec.Name] = &graphEntry{g: g, lastUsed: s.now()}
 	return nil
 }
 
-// AddEdges appends edges ([u, v] or [u, v, w]) to a registered graph
-// under its write lock and invalidates the cached snapshot, so the
-// next prepared job pins the updated adjacency while in-flight jobs
-// keep theirs.
+// AddEdges appends edges ([u, v] or [u, v, w]) to a registered graph.
+// It is sugar for MutateGraph with insert-only mutations, so bulk
+// appends flow through the mutation log and keep incremental resume
+// valid across them.
 func (s *Server) AddEdges(name string, edges [][]float64) error {
 	ent, err := s.graph(name)
 	if err != nil {
@@ -152,26 +208,63 @@ func (s *Server) AddEdges(name string, edges [][]float64) error {
 	}
 	ent.mu.Lock()
 	defer ent.mu.Unlock()
+	muts := make([]graph.Mutation, 0, len(edges))
 	for _, e := range edges {
 		u, v, w, err := parseEdge(e, ent.g.N())
 		if err != nil {
 			return err
 		}
-		ent.g.AddWeightedEdge(u, v, w)
+		muts = append(muts, graph.Mutation{Op: graph.InsertEdge, U: u, V: v, W: w})
 	}
-	ent.g.Invalidate()
-	return nil
+	_, err = ent.g.ApplyMutations(muts)
+	return err
 }
 
-// GraphInfo reports a registered graph's shape.
-func (s *Server) GraphInfo(name string) (n, m int, directed bool, err error) {
+// MutateGraph applies one atomic batch of wire-level mutations to a
+// registered graph under its write lock and returns the graph's new
+// epoch. An invalid batch (bad op, out-of-range endpoint, deleting a
+// missing edge) is rejected whole: the graph and its epoch are
+// untouched.
+func (s *Server) MutateGraph(name string, specs []MutationSpec) (int64, error) {
 	ent, err := s.graph(name)
 	if err != nil {
-		return 0, 0, false, err
+		return 0, err
+	}
+	muts := make([]graph.Mutation, len(specs))
+	for i, m := range specs {
+		var op graph.MutationOp
+		switch m.Op {
+		case "insert":
+			op = graph.InsertEdge
+			if m.W == 0 {
+				m.W = 1
+			}
+		case "delete":
+			op = graph.DeleteEdge
+			m.W = 0
+		default:
+			return 0, fmt.Errorf("service: mutation %d: unknown op %q", i, m.Op)
+		}
+		muts[i] = graph.Mutation{Op: op, U: graph.VertexID(m.U), V: graph.VertexID(m.V), W: m.W}
+	}
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	epoch, err := ent.g.ApplyMutations(muts)
+	if err != nil {
+		return 0, fmt.Errorf("service: %w", err)
+	}
+	return epoch, nil
+}
+
+// GraphInfo reports a registered graph's shape and mutation epoch.
+func (s *Server) GraphInfo(name string) (n, m int, directed bool, epoch int64, err error) {
+	ent, err := s.graph(name)
+	if err != nil {
+		return 0, 0, false, 0, err
 	}
 	ent.mu.RLock()
 	defer ent.mu.RUnlock()
-	return ent.g.N(), ent.g.M(), ent.g.Directed, nil
+	return ent.g.N(), ent.g.M(), ent.g.Directed, ent.g.Epoch(), nil
 }
 
 func (s *Server) graph(name string) (*graphEntry, error) {
@@ -181,13 +274,67 @@ func (s *Server) graph(name string) (*graphEntry, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w %q", errUnknownGraph, name)
 	}
+	ent.lastUsed = s.now()
 	return ent, nil
 }
 
-// Submit validates spec eagerly (unknown graph / algo / engine fail
-// before anything queues), then submits the job to the scheduler and
-// returns its handle. The run function takes the graph's read lock
-// only for the prepare phase.
+// EvictJobs drops the oldest terminal job records beyond the retention
+// cap and returns how many were evicted. Queued and running jobs are
+// always retained, even if that holds the registry over the cap.
+func (s *Server) EvictJobs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evictJobsLocked()
+}
+
+func (s *Server) evictJobsLocked() int {
+	evicted := 0
+	if len(s.jobs) <= s.opts.JobRetention {
+		return 0
+	}
+	kept := s.jobOrder[:0]
+	for _, id := range s.jobOrder {
+		rec, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		if len(s.jobs)-evicted > s.opts.JobRetention && rec.job.State().Terminal() {
+			delete(s.jobs, id)
+			evicted++
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.jobOrder = kept
+	return evicted
+}
+
+// EvictGraphs drops graphs idle longer than Options.GraphTTL and
+// returns their names. Graphs with pinned snapshots are skipped — a
+// prepared job may still be running against the pin — as is everything
+// when GraphTTL is unset.
+func (s *Server) EvictGraphs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.opts.GraphTTL <= 0 {
+		return nil
+	}
+	cutoff := s.now().Add(-s.opts.GraphTTL)
+	var evicted []string
+	for name, ent := range s.graphs {
+		if ent.lastUsed.After(cutoff) || ent.g.Pins() > 0 {
+			continue
+		}
+		delete(s.graphs, name)
+		evicted = append(evicted, name)
+	}
+	return evicted
+}
+
+// Submit validates spec eagerly (unknown graph / algo / engine /
+// resume target fail before anything queues), then submits the job to
+// the scheduler and returns its handle. The run function takes the
+// graph's read lock only for the prepare phase.
 func (s *Server) Submit(spec JobSpec) (*rt.Job, error) {
 	ent, err := s.graph(spec.Graph)
 	if err != nil {
@@ -197,10 +344,15 @@ func (s *Server) Submit(spec JobSpec) (*rt.Job, error) {
 	if err := validateSpec(spec); err != nil {
 		return nil, err
 	}
+	prior, err := s.resumeState(spec)
+	if err != nil {
+		return nil, err
+	}
 	share := spec.Workers
-	if spec.Engine == "async" {
-		// The asynchronous engine is sequential by construction; its
-		// driver runs one worker, so the lease share must match.
+	if spec.Engine == "async" || spec.Engine == "inc" {
+		// The asynchronous engine and the incremental worklist drain are
+		// sequential by construction; their drivers run one worker, so
+		// the lease share must match.
 		share = 1
 	}
 	ctx := context.Background()
@@ -212,7 +364,8 @@ func (s *Server) Submit(spec JobSpec) (*rt.Job, error) {
 	name := spec.Algo + "/" + spec.Engine
 	job := s.sched.Submit(ctx, name, share, func(j *rt.Job) error {
 		ent.mu.RLock()
-		run, err := prepareRunner(ent.g, spec, j)
+		epoch := ent.g.Epoch()
+		run, err := prepareRunner(ent.g, spec, prior, j)
 		ent.mu.RUnlock()
 		if err != nil {
 			return err
@@ -221,6 +374,7 @@ func (s *Server) Submit(spec JobSpec) (*rt.Job, error) {
 		if err != nil {
 			return err
 		}
+		res.epoch = epoch
 		rec.mu.Lock()
 		rec.res = res
 		rec.mu.Unlock()
@@ -232,8 +386,49 @@ func (s *Server) Submit(spec JobSpec) (*rt.Job, error) {
 	rec.job = job
 	s.mu.Lock()
 	s.jobs[job.ID()] = rec
+	s.jobOrder = append(s.jobOrder, job.ID())
+	s.evictJobsLocked()
 	s.mu.Unlock()
 	return job, nil
+}
+
+// resumeState resolves spec.Resume into warm-start state for an
+// incremental job: the prior job must have succeeded on the same graph
+// with the same algorithm and parameters. CC and SSSP can seed from any
+// engine's converged values (unique fixpoints); PageRank needs the
+// memoized history only an incremental prior carries.
+func (s *Server) resumeState(spec JobSpec) (*incPrior, error) {
+	if spec.Engine != "inc" || spec.Resume == 0 {
+		return nil, nil
+	}
+	rec, err := s.JobRecord(spec.Resume)
+	if err != nil {
+		return nil, err
+	}
+	res := rec.result()
+	if res == nil {
+		return nil, fmt.Errorf("service: resume job %d has no result (state %s)", spec.Resume, rec.job.State())
+	}
+	p := rec.spec
+	if p.Graph != spec.Graph || p.Algo != spec.Algo {
+		return nil, fmt.Errorf("service: resume job %d ran %s on graph %q, want %s on %q",
+			spec.Resume, p.Algo, p.Graph, spec.Algo, spec.Graph)
+	}
+	switch spec.Algo {
+	case "sssp":
+		if p.Src != spec.Src {
+			return nil, fmt.Errorf("service: resume job %d used source %d, want %d", spec.Resume, p.Src, spec.Src)
+		}
+	case "pagerank":
+		if p.Alpha != spec.Alpha || p.K != spec.K {
+			return nil, fmt.Errorf("service: resume job %d used alpha=%v k=%d, want alpha=%v k=%d",
+				spec.Resume, p.Alpha, p.K, spec.Alpha, spec.K)
+		}
+		if res.inc == nil || res.inc.pr == nil {
+			return nil, fmt.Errorf("service: pagerank resume needs an incremental prior, job %d ran engine %q", spec.Resume, p.Engine)
+		}
+	}
+	return priorFromResult(spec, res), nil
 }
 
 // JobRecord returns the record for a submitted job ID.

@@ -189,7 +189,7 @@ func TestSnapshotIsolationDifferential(t *testing.T) {
 	if err := noisy.RegisterGraph(testGraph("g")); err != nil {
 		t.Fatal(err)
 	}
-	_, m0, _, _ := noisy.GraphInfo("g")
+	_, m0, _, _, _ := noisy.GraphInfo("g")
 	job, err = noisy.Submit(spec)
 	if err != nil {
 		t.Fatal(err)
@@ -209,7 +209,7 @@ func TestSnapshotIsolationDifferential(t *testing.T) {
 		mutations++
 	}
 	got := bits(waitResult(t, noisy, job).values)
-	_, m1, _, _ := noisy.GraphInfo("g")
+	_, m1, _, _, _ := noisy.GraphInfo("g")
 	if mutations == 0 || m1 <= m0 {
 		t.Fatalf("graph never mutated during the run (mutations=%d m %d->%d)", mutations, m0, m1)
 	}
