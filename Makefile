@@ -11,7 +11,7 @@ COVERDIR := /tmp
 endif
 COVERPROFILE ?= $(COVERDIR)/vcgraph-cover.out
 
-.PHONY: all build vet test race cover fuzz-smoke bench bench-csr bench-direction bench-service bench-incremental bench-guard table1 ext figures ablations examples clean
+.PHONY: all build vet test race cover fuzz-smoke bench bench-csr bench-direction bench-service bench-incremental bench-planner bench-guard table1 ext figures ablations examples clean
 
 all: build vet test
 
@@ -76,6 +76,13 @@ bench-service:
 # enforces (PageRank's ~1x is a recorded negative result, no headline).
 bench-incremental:
 	$(GO) test -run='^$$' -bench='^BenchmarkIncremental' -benchmem -benchtime=3x -count=1 . | tee /tmp/bench_incremental.txt
+
+# Adaptive plan layer suite: the planner-driven "auto" engine against
+# fixed engine choices on chain-CC and power-law PageRank. Raw output
+# lands in /tmp; the committed record is BENCH_planner.json, whose
+# auto-vs-best and auto-vs-worst headlines bench-guard enforces.
+bench-planner:
+	$(GO) test -run='^$$' -bench='^BenchmarkPlanner' -benchmem -benchtime=3x -count=1 . | tee /tmp/bench_planner.txt
 
 # Re-measure every headline ratio declared in BENCH_*.json and fail if
 # any regressed beyond its tolerance/floor. Runs in CI after tier-1.

@@ -1,7 +1,9 @@
 // Command vcd is the vertex-centric serving daemon: a JSON/HTTP front
 // end over the library's job-scoped runtime. It registers named
 // graphs, admits concurrent jobs (PageRank, SSSP, connected
-// components, k-core on any of the four engines) through one shared
+// components, k-core on any of the four engines — or engine "auto",
+// which lets the adaptive plan layer pick and switch engines at
+// superstep barriers mid-run) through one shared
 // worker pool, streams per-superstep statistics from live runs, and
 // answers point queries against finished results. See
 // internal/service for the API and DESIGN.md for the concurrency
@@ -26,6 +28,7 @@ import (
 	"os"
 	"time"
 
+	"vcgraph/internal/plan"
 	"vcgraph/internal/service"
 )
 
@@ -45,6 +48,10 @@ func main() {
 		MaxJobs:      *maxJobs,
 		JobRetention: *retention,
 		GraphTTL:     *graphTTL,
+		PlanTrace: func(jobID int64, d plan.Decision) {
+			fmt.Printf("vcd: job %d plan: step=%d engine=%s partition=%s mode=%s fcs=%d (%s)\n",
+				jobID, d.Step, d.Plan.Engine, d.Plan.Partition, d.Plan.Mode, d.Plan.FCS, d.Reason)
+		},
 	})
 	go func() {
 		for range time.Tick(*sweep) {

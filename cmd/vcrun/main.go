@@ -6,6 +6,13 @@
 // Usage:
 //
 //	vcrun -algo pagerank -gen powerlaw -n 10000 -m 3 [-workers 4] [-seed 1] [-mode push|pull|auto]
+//	vcrun -algo sssp -engine auto -gen path -n 100000
+//
+// -engine auto routes pagerank, sssp, and hashmin through the
+// adaptive plan layer: a planner samples the graph, picks the initial
+// engine/partition/mode, and may hand vertex state off to another
+// engine live at a superstep barrier. Every decision is printed as a
+// "plan:" line as it is taken.
 //
 // Algorithms: pagerank, prconverge, sssp, hashmin, sv, wcc, scc, bcc,
 // diameter, doublesweep, euler, traversal, spanning, mcst, coloring,
@@ -32,6 +39,7 @@ import (
 	"vcgraph/internal/bsp"
 	"vcgraph/internal/gas"
 	"vcgraph/internal/graph"
+	"vcgraph/internal/plan"
 	"vcgraph/internal/runtime"
 	"vcgraph/internal/vc"
 )
@@ -50,6 +58,7 @@ func main() {
 	checkpoint := flag.Int("checkpoint", 0, "checkpoint every k supersteps (0 = off)")
 	faults := flag.Int64("faults", 0, "inject a seeded random fault plan (0 = none); implies -checkpoint 2 unless set")
 	modeFlag := flag.String("mode", "auto", "message direction: push, pull, or auto (pull dense supersteps when the algorithm has a combiner)")
+	engine := flag.String("engine", "", "empty = the algorithm's own engine; \"auto\" = adaptive plan layer (pagerank, sssp, hashmin)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	mutations := flag.Int("mutations", 0, "after the run, apply this many seeded mutation batches and compare incremental recomputation against from-scratch (pagerank, sssp, hashmin)")
 	mutBatch := flag.Int("mutbatch", 8, "mutations per batch in -mutations mode")
@@ -61,9 +70,13 @@ func main() {
 		fail(err)
 	}
 
-	var plan *runtime.FaultPlan
+	if *engine != "" && *engine != "auto" {
+		fail(fmt.Errorf("unknown engine %q (empty or auto)", *engine))
+	}
+
+	var fplan *runtime.FaultPlan
 	if *faults != 0 {
-		plan = runtime.NewFaultPlan(*faults)
+		fplan = runtime.NewFaultPlan(*faults)
 		if *checkpoint == 0 {
 			*checkpoint = 2
 		}
@@ -119,9 +132,13 @@ func main() {
 	var stats *bsp.Stats
 	start := time.Now()
 	job := sched.Submit(ctx, *algo, share, func(j *runtime.Job) error {
-		cfg := vc.Config{Workers: *workers, Seed: *seed, CheckpointEvery: *checkpoint, Faults: plan, Mode: mode, Job: j}
+		cfg := vc.Config{Workers: *workers, Seed: *seed, CheckpointEvery: *checkpoint, Faults: fplan, Mode: mode, Job: j}
 		var err error
-		summary, stats, err = run(*algo, g, graph.VertexID(*src), cfg, *seed)
+		if *engine == "auto" {
+			summary, stats, err = runAutoEngine(*algo, g, graph.VertexID(*src), cfg, *seed)
+		} else {
+			summary, stats, err = run(*algo, g, graph.VertexID(*src), cfg, *seed)
+		}
 		return err
 	})
 	if err := job.Wait(); err != nil {
@@ -495,6 +512,49 @@ func run(algo string, g *graph.Graph, src graph.VertexID, cfg vc.Config, seed in
 	default:
 		return "", nil, fmt.Errorf("unknown algorithm %q (see -h)", strings.ToLower(algo))
 	}
+}
+
+// runAutoEngine routes an algorithm through the adaptive plan layer
+// (-engine auto), printing each plan decision as it is taken.
+func runAutoEngine(algo string, g *graph.Graph, src graph.VertexID, cfg vc.Config, seed int64) (string, *bsp.Stats, error) {
+	acfg := vc.AutoConfig{Config: cfg, Trace: func(d plan.Decision) {
+		fmt.Printf("plan: step=%d engine=%s partition=%s mode=%s fcs=%d (%s)\n",
+			d.Step, d.Plan.Engine, d.Plan.Partition, d.Plan.Mode, d.Plan.FCS, d.Reason)
+	}}
+	switch algo {
+	case "pagerank":
+		res, ar, err := vc.PageRankAuto(g, 0.85, 30, acfg)
+		if err != nil {
+			return "", nil, err
+		}
+		best, bestV := 0.0, 0
+		for v, r := range res.Ranks {
+			if r > best {
+				best, bestV = r, v
+			}
+		}
+		return fmt.Sprintf("top vertex %d with rank %.6f (%d plan segments)", bestV, best, ar.Segments), ar.Stats, nil
+	case "sssp":
+		graph.RandomWeights(g, seed+1)
+		res, ar, err := vc.SSSPAuto(g, src, acfg)
+		if err != nil {
+			return "", nil, err
+		}
+		reached := 0
+		for _, d := range res.Dist {
+			if d < 1e300 {
+				reached++
+			}
+		}
+		return fmt.Sprintf("%d vertices reachable from %d (%d plan segments)", reached, src, ar.Segments), ar.Stats, nil
+	case "hashmin":
+		res, ar, err := vc.HashMinCCAuto(g, acfg)
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("%d components (%d plan segments)", countDistinct(res.Color), ar.Segments), ar.Stats, nil
+	}
+	return "", nil, fmt.Errorf("engine auto supports pagerank, sssp, and hashmin; got %q", algo)
 }
 
 func countDistinct(xs []graph.VertexID) int {

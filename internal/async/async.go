@@ -58,6 +58,16 @@ type Config struct {
 	// asynchronous analogue of a superstep-interval checkpoint. It
 	// also sets the epoch length at which faults are detected.
 	CheckpointEvery int
+	// Snapshot, when non-nil, is an already-pinned CSR generation the
+	// engine must run against instead of pinning the graph's current
+	// one (the adaptive plan layer re-prepares engines mid-job; see
+	// graph.PinSnapshot).
+	Snapshot *graph.CSR
+	// Replan, when non-nil, is consulted at every epoch boundary;
+	// returning true aborts the run with runtime.ErrHandoff and the
+	// values at the boundary (see runtime.DriverConfig.Replan). Ignored
+	// by the prioritized scheduler, which bypasses the driver.
+	Replan func(step, pending int) bool
 	// Faults, when non-nil, schedules deterministic fault injection
 	// (runtime.FaultPlan) at epoch boundaries: a crash or a lost
 	// activation batch rolls the run back to its newest readable
@@ -165,11 +175,16 @@ func Run[V any](g *graph.Graph, prog Program[V], cfg Config) (*Result[V], error)
 // bracket it with its graph lock and invoke the returned closure
 // lock-free. The closure unpins the snapshot when it returns.
 func Prepare[V any](g *graph.Graph, prog Program[V], cfg Config) func() (*Result[V], error) {
-	n := g.N()
+	csr := cfg.Snapshot
+	if csr == nil {
+		csr = g.Pin()
+	} else {
+		g.PinSnapshot(csr)
+	}
+	n := csr.N()
 	if cfg.MaxUpdates <= 0 {
 		cfg.MaxUpdates = 200 * (n + 64)
 	}
-	csr := g.Pin()
 	if prep, ok := any(prog).(Preparer); ok {
 		prep.PrepareAsync(csr)
 	}
@@ -237,6 +252,7 @@ func Prepare[V any](g *graph.Graph, prog Program[V], cfg Config) func() (*Result
 		Ctx:             cfg.Ctx,
 		Pool:            cfg.Pool,
 		Job:             cfg.Job,
+		Replan:          cfg.Replan,
 	})
 	return func() (*Result[V], error) {
 		defer g.Unpin(csr)
@@ -499,4 +515,53 @@ func PrepareConnectedComponents(g *graph.Graph, cfg Config) func() ([]VertexID, 
 		}
 		return res.Values, res, nil
 	}
+}
+
+// --- Seeded programs for the adaptive plan layer ---
+
+// DistInf is the sentinel the async SSSP program uses for "unreached"
+// (a finite stand-in for +Inf so priority arithmetic stays ordered).
+// The adaptive plan layer normalizes distances at engine boundaries:
+// +Inf becomes DistInf entering an async segment and DistInf becomes
+// +Inf leaving one.
+const DistInf = inf
+
+type seededCC struct {
+	ccProgram
+	seed []VertexID
+}
+
+func (p seededCC) Init(g *graph.Graph, id VertexID) VertexID {
+	if p.seed != nil {
+		return p.seed[id]
+	}
+	return id
+}
+
+// CCProgramSeeded warm-starts async min-label components from exported
+// labels. Update recomputes from live neighbor values, so re-seeding
+// the full FIFO with partially-converged labels reaches the same
+// fixpoint.
+func CCProgramSeeded(seed []VertexID) Program[VertexID] {
+	return seededCC{seed: seed}
+}
+
+type seededSSSP struct {
+	ssspProgram
+	seed []float64
+}
+
+func (p *seededSSSP) Init(g *graph.Graph, id VertexID) float64 {
+	if p.seed != nil {
+		return p.seed[id]
+	}
+	return p.ssspProgram.Init(g, id)
+}
+
+// SSSPProgramSeeded warm-starts async label-correcting SSSP from
+// exported tentative distances. Callers must pre-normalize +Inf to
+// DistInf; the Update rule only ever improves values, so any sound
+// upper bound converges to the same distances.
+func SSSPProgramSeeded(src VertexID, seed []float64) Program[float64] {
+	return &seededSSSP{ssspProgram: ssspProgram{src: src}, seed: seed}
 }

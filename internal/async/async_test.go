@@ -1,6 +1,7 @@
-package async
+package async_test
 
 import (
+	. "vcgraph/internal/async"
 	"math"
 	"testing"
 	"testing/quick"

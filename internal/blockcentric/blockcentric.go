@@ -54,15 +54,30 @@ type Config struct {
 	// discarded. FaultEvent.Worker/Lane address source/destination
 	// blocks.
 	Faults *rt.FaultPlan
-	// Mode opts into block-local pull (runtime.DirectionPull): messages
-	// whose destination lives in the sending block bypass the shared
-	// outbox and the sequential boundary exchange entirely — each block
-	// folds them into its own inbox during the parallel phase, before
-	// the boundary push. Sent/Recv then count boundary traffic only
-	// (the quantity the BSP h term models), and such supersteps are
-	// marked Pulled. Block-centric has no frontier heuristic, so
-	// DirectionAuto (the zero value) behaves like DirectionPush here;
-	// the optimization is strictly opt-in.
+	// Snapshot, when non-nil, is an already-pinned CSR generation the
+	// engine must run against instead of pinning the graph's current
+	// one (the adaptive plan layer re-prepares engines mid-job; see
+	// graph.PinSnapshot). The default partitioner then sizes from the
+	// snapshot; a custom Partition must be derived from the same
+	// snapshot.
+	Snapshot *graph.CSR
+	// Replan, when non-nil, is consulted at every superstep barrier;
+	// returning true aborts the run with runtime.ErrHandoff and the
+	// values at the barrier (see runtime.DriverConfig.Replan).
+	Replan func(step, pending int) bool
+	// Mode selects block-local pull: messages whose destination lives in
+	// the sending block bypass the shared outbox and the sequential
+	// boundary exchange entirely — each block folds them into its own
+	// inbox during the parallel phase, before the boundary push.
+	// Sent/Recv then count boundary traffic only (the quantity the BSP h
+	// term models), and such supersteps are marked Pulled.
+	// DirectionPull enables it for every block; DirectionPush for none.
+	// DirectionAuto (the zero value) decides per block from the
+	// boundary/local edge ratio (runtime.BlockLocalFractions): a block
+	// pulls only when at least half of its out-edges stay inside the
+	// block, where rerouting actually removes wire traffic. Programs
+	// that only ever send across boundaries (the CC and SSSP block
+	// programs here) are unaffected either way.
 	Mode rt.DirectionMode
 	// Ctx, when non-nil, aborts the run at the next superstep barrier
 	// once cancelled or past its deadline (see runtime.DriverConfig).
@@ -104,13 +119,18 @@ type Engine[V, M any] struct {
 	stats  *bsp.Stats
 	driver *rt.Driver[*bcSnapshot[V, M]]
 
-	// Block-local pull state (Config.Mode == DirectionPull). localOut
-	// buffers a block's sends to its own vertices during ComputeBlock;
-	// they are folded into the block's inbox in the parallel phase, so
-	// localOut is always empty at the barrier. inboxLocal counts how
-	// many of the messages sitting in each inbox arrived locally, so
-	// Recv can be reported boundary-only.
-	pullLocal  bool
+	// Block-local pull state. pullBlock says, per block, whether its
+	// intra-block sends are rerouted (all true under DirectionPull, all
+	// false under DirectionPush, decided per block from the local edge
+	// fraction under DirectionAuto); anyPull caches whether any block
+	// pulls (localOut is nil when none does). localOut buffers a pulling
+	// block's sends to its own vertices during ComputeBlock; they are
+	// folded into the block's inbox in the parallel phase, so localOut
+	// is always empty at the barrier. inboxLocal counts how many of the
+	// messages sitting in each inbox arrived locally, so Recv can be
+	// reported boundary-only.
+	pullBlock  []bool
+	anyPull    bool
 	localOut   [][]addr[M]
 	inboxLocal []int64
 }
@@ -141,27 +161,56 @@ func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config) *Engine
 	if cfg.Blocks <= 0 {
 		cfg.Blocks = 4
 	}
-	if cfg.MaxSupersteps <= 0 {
-		cfg.MaxSupersteps = 1 + 10*(g.N()+64)
+	csr := cfg.Snapshot
+	if csr == nil {
+		csr = g.Pin()
+	} else {
+		g.PinSnapshot(csr)
 	}
-	part := cfg.Partition
-	if part == nil {
-		part = pregel.PartitionRange
+	n := csr.N()
+	if cfg.MaxSupersteps <= 0 {
+		cfg.MaxSupersteps = 1 + 10*(n+64)
+	}
+	var owner []int32
+	if cfg.Partition != nil {
+		owner = cfg.Partition(g, cfg.Blocks)
+	} else {
+		// The default range partition sizes from the pinned snapshot, not
+		// the live graph, which may have grown past it.
+		owner = rt.PartitionRangeN(n, cfg.Blocks)
 	}
 	e := &Engine[V, M]{
 		g:      g,
-		csr:    g.Pin(),
+		csr:    csr,
 		prog:   prog,
 		cfg:    cfg,
-		owner:  part(g, cfg.Blocks),
-		values: make([]V, g.N()),
+		owner:  owner,
+		values: make([]V, n),
 		halted: make([]bool, cfg.Blocks),
 		inbox:  make([]map[VertexID][]M, cfg.Blocks),
 		outbox: make([][]addr[M], cfg.Blocks),
-		stats:  &bsp.Stats{Workers: cfg.Blocks, N: g.N()},
+		stats:  &bsp.Stats{Workers: cfg.Blocks, N: n},
 	}
-	e.pullLocal = cfg.Mode == rt.DirectionPull
-	if e.pullLocal {
+	e.pullBlock = make([]bool, cfg.Blocks)
+	switch cfg.Mode {
+	case rt.DirectionPull:
+		for b := range e.pullBlock {
+			e.pullBlock[b] = true
+		}
+	case rt.DirectionPush:
+		// all false
+	default:
+		// DirectionAuto: pull only where intra-block traffic dominates.
+		for b, frac := range rt.BlockLocalFractions(csr, e.owner, cfg.Blocks) {
+			e.pullBlock[b] = frac >= 0.5
+		}
+	}
+	for _, p := range e.pullBlock {
+		if p {
+			e.anyPull = true
+		}
+	}
+	if e.anyPull {
 		e.localOut = make([][]addr[M], cfg.Blocks)
 	}
 	e.inboxLocal = make([]int64, cfg.Blocks)
@@ -169,7 +218,7 @@ func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config) *Engine
 	for b := range e.inbox {
 		e.inbox[b] = map[VertexID][]M{}
 	}
-	for v := 0; v < g.N(); v++ {
+	for v := 0; v < n; v++ {
 		e.values[v] = prog.Init(g, VertexID(v))
 	}
 	if cfg.Faults != nil {
@@ -197,6 +246,7 @@ func (e *Engine[V, M]) Run() (*Result[V], error) {
 		Ctx:             e.cfg.Ctx,
 		Pool:            e.cfg.Pool,
 		Job:             e.cfg.Job,
+		Replan:          e.cfg.Replan,
 	})
 	_, err := e.driver.Run()
 	e.driver = nil
@@ -249,7 +299,7 @@ func (e *Engine[V, M]) Restore(ck *bcSnapshot[V, M], step int, ok bool) {
 			clear(e.inbox[b])
 			e.outbox[b] = e.outbox[b][:0]
 			e.inboxLocal[b] = 0
-			if e.pullLocal {
+			if e.localOut != nil {
 				e.localOut[b] = e.localOut[b][:0]
 			}
 		}
@@ -264,7 +314,7 @@ func (e *Engine[V, M]) Restore(ck *bcSnapshot[V, M], step int, ok bool) {
 			e.inbox[b][v] = append([]M(nil), ms...)
 		}
 		e.outbox[b] = e.outbox[b][:0]
-		if e.pullLocal {
+		if e.localOut != nil {
 			e.localOut[b] = e.localOut[b][:0]
 		}
 	}
@@ -276,7 +326,14 @@ func (e *Engine[V, M]) Restore(ck *bcSnapshot[V, M], step int, ok bool) {
 // or redelivered.
 func (e *Engine[V, M]) Superstep(superstep int, ss *bsp.SuperstepStats) (int, error) {
 	nb := e.cfg.Blocks
-	ss.Pulled = e.pullLocal
+	ss.Pulled = e.anyPull
+	// Frontier: members of the blocks that will wake this superstep —
+	// the block-granular activity signal the adaptive planner reads.
+	for b := 0; b < nb; b++ {
+		if !(e.halted[b] && len(e.inbox[b]) == 0 && superstep > 0) {
+			ss.Frontier += int64(len(e.blocks[b]))
+		}
+	}
 	e.driver.Lease().Run(func(b int) {
 		msgs := e.inbox[b]
 		if e.halted[b] && len(msgs) == 0 && superstep > 0 {
@@ -302,7 +359,7 @@ func (e *Engine[V, M]) Superstep(superstep int, ss *bsp.SuperstepStats) (int, er
 		}
 		ss.Work[b] = ctx.work + 1
 		ss.Sent[b] = ctx.sent
-		if e.pullLocal {
+		if e.pullBlock[b] {
 			// Block-local pull: fold this block's sends to itself into
 			// its own (just-cleared) inbox right here in the parallel
 			// phase — no shared outbox, no boundary exchange, no
@@ -415,10 +472,11 @@ func (c *BlockContext[V, M]) ForEachOut(v VertexID, f func(dst VertexID, w float
 }
 
 // SendTo sends m to a (typically remote) vertex for the next superstep.
-// Under block-local pull (Config.Mode == DirectionPull) a message to a
-// vertex of the sending block is buffered locally and folded into the
-// block's own inbox in the parallel phase; it is not counted in Sent,
-// which then reports boundary traffic only. Within one destination
+// When block-local pull is enabled for the sending block (see
+// Config.Mode) a message to a vertex of that block is buffered locally
+// and folded into the block's own inbox in the parallel phase; it is
+// not counted in Sent, which then reports boundary traffic only. Within
+// one destination
 // vertex all same-source-block messages are either all local or all
 // boundary, so each slice's internal order matches push mode — only the
 // local-before-boundary interleaving differs (visible solely to
@@ -426,7 +484,7 @@ func (c *BlockContext[V, M]) ForEachOut(v VertexID, f func(dst VertexID, w float
 // deterministic and equal up to rounding).
 func (c *BlockContext[V, M]) SendTo(dst VertexID, m M) {
 	e := c.engine
-	if e.pullLocal && int(e.owner[dst]) == c.block {
+	if e.pullBlock[c.block] && int(e.owner[dst]) == c.block {
 		e.localOut[c.block] = append(e.localOut[c.block], addr[M]{dst: dst, m: m})
 		return
 	}
@@ -709,4 +767,183 @@ func PreparePageRank(g *graph.Graph, alpha float64, k int, cfg Config) func() (*
 		}
 		return &PRResult{Ranks: res.Values, Stats: res.Stats}, nil
 	}
+}
+
+// --- Seeded programs for the adaptive plan layer ---
+//
+// Live engine handoff (internal/plan) exports vertex values at a
+// superstep barrier and resumes them here. Warm restarts re-announce
+// state instead of replaying lost inboxes: min-fold algorithms
+// re-offer every finite label/distance at superstep 0, which dominates
+// any in-flight message from the previous engine, and fixed-iteration
+// PageRank re-sends shares for the current iterate.
+
+type seededCC struct {
+	ccProgram
+	seed []VertexID
+}
+
+func (p seededCC) Init(g *graph.Graph, id VertexID) VertexID {
+	if p.seed != nil {
+		return p.seed[id]
+	}
+	return id
+}
+
+// CCProgramSeeded warm-starts block-centric min-label components from
+// exported labels (nil seed is the identity cold start). The native
+// superstep-0 whole-block sweep already re-broadcasts every label over
+// boundary edges, so only Init differs.
+func CCProgramSeeded(seed []VertexID) Program[VertexID, VertexID] {
+	return seededCC{seed: seed}
+}
+
+// ssspResume is ssspProgram with a generalized superstep 0: every
+// block vertex holding a finite tentative distance seeds the local
+// relaxation and re-offers over boundary edges. On a cold start only
+// the source is finite, so this reduces exactly to the native
+// source-only seeding; on a warm restart it re-announces the whole
+// reached frontier.
+type ssspResume struct {
+	src  VertexID
+	seed []float64
+}
+
+func (p ssspResume) Init(g *graph.Graph, id VertexID) float64 {
+	if p.seed != nil {
+		return p.seed[id]
+	}
+	if id == p.src {
+		return 0
+	}
+	return math.Inf(1)
+}
+
+func (p ssspResume) ComputeBlock(ctx *BlockContext[float64, float64], msgs map[VertexID][]float64) {
+	changed := map[VertexID]bool{}
+	dirty := make([]VertexID, 0, len(msgs))
+	for v, ms := range msgs {
+		for _, d := range ms {
+			ctx.Charge(1)
+			if d < *ctx.Value(v) {
+				*ctx.Value(v) = d
+				changed[v] = true
+			}
+		}
+		if changed[v] {
+			dirty = append(dirty, v)
+		}
+	}
+	if ctx.Superstep() == 0 {
+		// Warm start: every finite distance is live again.
+		for _, v := range ctx.Block() {
+			if !math.IsInf(*ctx.Value(v), 1) {
+				dirty = append(dirty, v)
+				changed[v] = true
+			}
+		}
+	}
+	queue := dirty
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		d := *ctx.Value(v)
+		dsts := ctx.Out(v)
+		ws := ctx.OutWeights(v)
+		for i, u := range dsts {
+			ctx.Charge(1)
+			if !ctx.Local(u) {
+				continue
+			}
+			w := 1.0
+			if ws != nil {
+				w = ws[i]
+			}
+			if nd := d + w; nd < *ctx.Value(u) {
+				*ctx.Value(u) = nd
+				changed[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	for v := range changed {
+		d := *ctx.Value(v)
+		dsts := ctx.Out(v)
+		ws := ctx.OutWeights(v)
+		for i, u := range dsts {
+			if !ctx.Local(u) {
+				w := 1.0
+				if ws != nil {
+					w = ws[i]
+				}
+				ctx.SendTo(u, d+w)
+			}
+		}
+	}
+	ctx.VoteToHalt()
+}
+
+// SSSPProgramSeeded warm-starts block-centric SSSP from exported
+// tentative distances (+Inf for unreached vertices; nil seed is the
+// source-only cold start).
+func SSSPProgramSeeded(src VertexID, seed []float64) Program[float64, float64] {
+	return ssspResume{src: src, seed: seed}
+}
+
+// prCanonical is fixed-iteration PageRank with the Pregel variant's
+// exact arithmetic: fold rank = (1-alpha)/n + alpha*sum(msgs), send
+// share = rank/outdeg (the alpha factor applied at the receiver, not
+// the sender as native prProgram does). Under push mode with a range
+// partition the inbox fold order is ascending source ID — the same
+// order as single-worker Pregel's combiner — so segments are
+// bit-compatible across the two engines. Runs k folds from the seed
+// ranks (nil means uniform 1/n).
+type prCanonical struct {
+	n     int
+	k     int
+	alpha float64
+	seed  []float64
+}
+
+func (p prCanonical) Init(g *graph.Graph, id VertexID) float64 {
+	if p.seed != nil {
+		return p.seed[id]
+	}
+	return 1 / float64(p.n)
+}
+
+func (p prCanonical) ComputeBlock(ctx *BlockContext[float64, float64], msgs map[VertexID][]float64) {
+	s := ctx.Superstep()
+	for _, v := range ctx.Block() {
+		if s > 0 {
+			var sum float64
+			for _, m := range msgs[v] {
+				ctx.Charge(1)
+				sum += m
+			}
+			*ctx.Value(v) = (1-p.alpha)/float64(p.n) + p.alpha*sum
+		}
+		if s < p.k {
+			out := ctx.Out(v)
+			if len(out) == 0 {
+				continue // dangling: rank leaks to the teleport term
+			}
+			share := *ctx.Value(v) / float64(len(out))
+			for _, u := range out {
+				ctx.Charge(1)
+				ctx.SendTo(u, share)
+			}
+		}
+	}
+	if s >= p.k {
+		ctx.VoteToHalt()
+	}
+}
+
+// PageRankProgramCanonical builds the Pregel-arithmetic fixed-K
+// PageRank program for engine handoff. Callers must pin
+// DirectionPush: per-block pull would reroute intra-block shares
+// around the inbox and change the fold order.
+func PageRankProgramCanonical(n, k int, alpha float64, seed []float64) Program[float64, float64] {
+	return prCanonical{n: n, k: k, alpha: alpha, seed: seed}
 }

@@ -1,6 +1,7 @@
-package blockcentric
+package blockcentric_test
 
 import (
+	. "vcgraph/internal/blockcentric"
 	"testing"
 	"testing/quick"
 

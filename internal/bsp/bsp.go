@@ -55,6 +55,14 @@ type SuperstepStats struct {
 	// Sent/Recv count only the boundary messages that actually crossed
 	// the wire (0 for a fully-pulled superstep).
 	Pulled bool
+
+	// Frontier is the size of the active frontier ENTERING the
+	// superstep — the quantity direction optimization and the adaptive
+	// planner decide on (worklist pending for pregel, active vertices
+	// for gas, members of awake blocks for blockcentric, worklist depth
+	// for the async engine's epochs). Active, by contrast, counts what
+	// was actually computed during the superstep.
+	Frontier int64
 }
 
 // NewSuperstepStats returns a SuperstepStats with per-processor slices

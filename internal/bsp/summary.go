@@ -17,6 +17,10 @@ type SuperstepRecord struct {
 	MaxComm int64   `json:"max_comm"` // h = max_i max(Sent[i], Recv[i])
 	Cost    float64 `json:"cost"`     // max(w, g·h, L)
 	Pulled  bool    `json:"pulled"`
+	// Frontier is the active-frontier size entering the superstep —
+	// the signal the direction optimizer and the adaptive planner saw
+	// when they picked this superstep's execution mode.
+	Frontier int64 `json:"frontier"`
 }
 
 // Record projects one superstep's stats to its wire view. step is the
@@ -30,14 +34,15 @@ func Record(step int, s SuperstepStats) SuperstepRecord {
 		sent += m
 	}
 	return SuperstepRecord{
-		Step:    step,
-		Active:  s.ActiveVertices(),
-		Work:    work,
-		Sent:    sent,
-		MaxWork: s.MaxWork,
-		MaxComm: s.MaxComm,
-		Cost:    s.Cost,
-		Pulled:  s.Pulled,
+		Step:     step,
+		Active:   s.ActiveVertices(),
+		Work:     work,
+		Sent:     sent,
+		MaxWork:  s.MaxWork,
+		MaxComm:  s.MaxComm,
+		Cost:     s.Cost,
+		Pulled:   s.Pulled,
+		Frontier: s.Frontier,
 	}
 }
 

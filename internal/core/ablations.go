@@ -11,6 +11,7 @@ import (
 	"vcgraph/internal/bsp"
 	"vcgraph/internal/gas"
 	"vcgraph/internal/graph"
+	"vcgraph/internal/plan"
 	"vcgraph/internal/pregel"
 	"vcgraph/internal/runtime"
 	"vcgraph/internal/seq"
@@ -466,6 +467,105 @@ func RecoveryCostSweep(cfg vc.Config) (string, error) {
 	return out.String(), nil
 }
 
+// PlannerAblation pits the adaptive plan layer against every fixed
+// engine choice on workloads with opposing winners: regular structures
+// where block-centric collapses propagation, and skewed structures
+// where pregel with degree-balanced partitions wins. Fixed configs run
+// through the same auto harness via a one-entry script, so the only
+// difference is who picked the plan. The acceptance bar (auto within
+// 10% of the best fixed config everywhere, and at least 1.5x better
+// than the worst on two or more workloads) is enforced, not just
+// reported — drifting planner rules fail the ablation run.
+func PlannerAblation(cfg vc.Config) (string, error) {
+	type workload struct {
+		name string
+		g    *graph.Graph
+		algo string
+	}
+	workloads := []workload{
+		{"pagerank/powerlaw", graph.PreferentialAttachment(4000, 3, 31), "pagerank"},
+		{"cc/path", graph.Path(4096), "cc"},
+		{"cc/powerlaw", graph.PreferentialAttachment(4000, 3, 32), "cc"},
+		{"sssp/grid", weighted(graph.Grid(48, 48), 33), "sssp"},
+		{"sssp/powerlaw", weighted(graph.PreferentialAttachment(4000, 3, 34), 34), "sssp"},
+	}
+	fixed := []plan.Plan{
+		{Engine: plan.EnginePregel, Partition: plan.PartitionHash, Mode: "auto"},
+		{Engine: plan.EngineGAS, Partition: plan.PartitionHash, Mode: "auto"},
+		{Engine: plan.EngineBlockcentric, Partition: plan.PartitionRange, Mode: "auto"},
+	}
+	var out strings.Builder
+	fmt.Fprintf(&out, "Planner ablation — adaptive plan layer vs every fixed engine (P·T, lower is better)\n")
+	fmt.Fprintf(&out, "%-18s %14s %14s %14s %14s  %s\n",
+		"workload", "pregel", "gas", "blockcentric", "auto", "auto picked")
+	beatWorst := 0
+	for _, w := range workloads {
+		runPlan := func(script []plan.Decision) (float64, *vc.AutoResult, error) {
+			acfg := vc.AutoConfig{Config: cfg, Script: script}
+			var ar *vc.AutoResult
+			var err error
+			switch w.algo {
+			case "pagerank":
+				_, ar, err = vc.PageRankAuto(w.g, 0.85, 20, acfg)
+			case "cc":
+				_, ar, err = vc.HashMinCCAuto(w.g, acfg)
+			case "sssp":
+				_, ar, err = vc.SSSPAuto(w.g, 0, acfg)
+			}
+			if err != nil {
+				return 0, nil, err
+			}
+			return ar.Stats.MeasuredTPP(), ar, nil
+		}
+		tpps := make([]float64, len(fixed))
+		for i, f := range fixed {
+			tpp, _, err := runPlan([]plan.Decision{{Plan: f, Reason: "fixed"}})
+			if err != nil {
+				return "", fmt.Errorf("%s on fixed %s: %w", w.name, f.Engine, err)
+			}
+			tpps[i] = tpp
+		}
+		autoTPP, ar, err := runPlan(nil)
+		if err != nil {
+			return "", fmt.Errorf("%s on auto: %w", w.name, err)
+		}
+		best, worst := tpps[0], tpps[0]
+		for _, t := range tpps[1:] {
+			if t < best {
+				best = t
+			}
+			if t > worst {
+				worst = t
+			}
+		}
+		picked := ar.Decisions[0].Plan.Engine
+		if len(ar.Decisions) > 1 {
+			picked += "->" + ar.Decisions[len(ar.Decisions)-1].Plan.Engine
+		}
+		fmt.Fprintf(&out, "%-18s %14.0f %14.0f %14.0f %14.0f  %s\n",
+			w.name, tpps[0], tpps[1], tpps[2], autoTPP, picked)
+		if autoTPP > 1.10*best {
+			return "", fmt.Errorf("planner ablation: %s: auto P·T %.0f is more than 10%% over best fixed %.0f",
+				w.name, autoTPP, best)
+		}
+		if 1.5*autoTPP <= worst {
+			beatWorst++
+		}
+	}
+	if beatWorst < 2 {
+		return "", fmt.Errorf("planner ablation: auto beat the worst fixed config by >=1.5x on only %d workloads, want >= 2", beatWorst)
+	}
+	fmt.Fprintf(&out, "auto within 10%% of the best fixed config on every workload; >=1.5x over the worst on %d of %d\n",
+		beatWorst, len(workloads))
+	return out.String(), nil
+}
+
+// weighted assigns seeded random weights (for SSSP workloads).
+func weighted(g *graph.Graph, seed int64) *graph.Graph {
+	graph.RandomWeights(g, seed)
+	return g
+}
+
 func Ablations(cfg vc.Config) ([]string, error) {
 	var outs []string
 	s, err := CombinerAblation(2000, 20000, cfg)
@@ -510,6 +610,10 @@ func Ablations(cfg vc.Config) ([]string, error) {
 	}
 	outs = append(outs, s)
 	if s, err = RecoveryCostSweep(cfg); err != nil {
+		return outs, err
+	}
+	outs = append(outs, s)
+	if s, err = PlannerAblation(cfg); err != nil {
 		return outs, err
 	}
 	outs = append(outs, s)

@@ -71,6 +71,15 @@ type Config struct {
 	// PullThreshold overrides the auto-mode active-set density
 	// threshold (fraction of n; <= 0 means rt.DefaultPullThreshold).
 	PullThreshold float64
+	// Snapshot, when non-nil, is an already-pinned CSR generation the
+	// engine must run against instead of pinning the graph's current
+	// one (the adaptive plan layer re-prepares engines mid-job; see
+	// graph.PinSnapshot).
+	Snapshot *graph.CSR
+	// Replan, when non-nil, is consulted at every iteration barrier;
+	// returning true aborts the run with runtime.ErrHandoff and the
+	// values at the barrier (see runtime.DriverConfig.Replan).
+	Replan func(step, pending int) bool
 	// Ctx, when non-nil, aborts the run at the next iteration barrier
 	// once cancelled or past its deadline (see runtime.DriverConfig).
 	Ctx context.Context
@@ -103,6 +112,16 @@ type Preparer interface {
 	PrepareGAS(csr *graph.CSR)
 }
 
+// Stepper is an optional Program extension: BeforeStep runs
+// single-threaded at the top of every iteration with the global
+// iteration index. Programs whose Apply semantics depend on the global
+// step (the adaptive plan layer's fixed-K synchronous PageRank, which
+// must stop after exactly `remaining` folds) implement it to observe
+// the step without threading it through Gather/Apply.
+type Stepper interface {
+	BeforeStep(step int)
+}
+
 // Run executes prog on g to quiescence. The graph must be directed
 // with in-adjacency built, or undirected (in = out). The iteration
 // lifecycle — dispatch, fault firing, checkpoint cadence, rollback,
@@ -125,22 +144,31 @@ func Prepare[V, G any](g *graph.Graph, prog Program[V, G], cfg Config) func() (*
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
 	}
-	if cfg.MaxIterations <= 0 {
-		cfg.MaxIterations = 10 * (g.N() + 64)
+	csr := cfg.Snapshot
+	if csr == nil {
+		csr = g.Pin()
+	} else {
+		g.PinSnapshot(csr)
 	}
-	csr := g.Pin()
 	csr.EnsureIn() // pull model gathers over the transpose
-	part := cfg.Partition
-	if part == nil {
-		part = rt.PartitionHash
+	n := csr.N()
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 10 * (n + 64)
 	}
-	n := g.N()
+	var owner []int32
+	if cfg.Partition != nil {
+		owner = cfg.Partition(g, cfg.Workers)
+	} else {
+		// The default hash partition sizes from the pinned snapshot, not
+		// the live graph, which may have grown past it.
+		owner = rt.PartitionHashN(n, cfg.Workers)
+	}
 	p := &policy[V, G]{
 		g:          g,
 		prog:       prog,
 		cfg:        cfg,
 		csr:        csr,
-		verts:      rt.GroupByOwner("gas", part(g, cfg.Workers), cfg.Workers),
+		verts:      rt.GroupByOwner("gas", owner, cfg.Workers),
 		n:          n,
 		cur:        make([]V, n),
 		next:       make([]V, n),
@@ -179,6 +207,7 @@ func Prepare[V, G any](g *graph.Graph, prog Program[V, G], cfg Config) func() (*
 		Ctx:             cfg.Ctx,
 		Pool:            cfg.Pool,
 		Job:             cfg.Job,
+		Replan:          cfg.Replan,
 	})
 	return func() (*Result[V], error) {
 		defer g.Unpin(csr)
@@ -222,6 +251,10 @@ func (p *policy[V, G]) Quiescent(step, pending int) bool { return p.activeCount 
 func (p *policy[V, G]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) {
 	prog, csr := p.prog, p.csr
 	workers := p.cfg.Workers
+	if st, ok := any(prog).(Stepper); ok {
+		st.BeforeStep(step)
+	}
+	ss.Frontier = int64(p.activeCount)
 	// Direction choice for the scatter half: GAS Sum is associative and
 	// commutative by contract, so pull is always legal when enabled.
 	pull := rt.ChoosePull(p.cfg.Mode, p.bcast != nil, p.activeCount, p.n, p.cfg.PullThreshold)
@@ -540,4 +573,118 @@ func PrepareSSSP(g *graph.Graph, src VertexID, cfg Config) func() ([]float64, *R
 		}
 		return res.Values, res, nil
 	}
+}
+
+// --- Seeded programs for the adaptive plan layer ---
+//
+// A live engine handoff (internal/plan) exports vertex values at a
+// superstep barrier and resumes them under another engine. The
+// constructors below build GAS programs whose Init replays those
+// exported values instead of the cold-start state; the gather/apply
+// arithmetic is shared with the native programs, so a warm restart
+// converges to the byte-identical fixpoint.
+
+type seededCC struct {
+	ccProgram
+	seed []VertexID
+}
+
+func (p seededCC) Init(g *graph.Graph, id VertexID) VertexID {
+	if p.seed != nil {
+		return p.seed[id]
+	}
+	return id
+}
+
+// CCProgramSeeded is the HashMin component program warm-started from
+// exported labels (nil seed is the identity cold start). Min-folding
+// is monotone, so re-running from any sound upper bound reaches the
+// same fixpoint bit-for-bit.
+func CCProgramSeeded(seed []VertexID) Program[VertexID, VertexID] {
+	return seededCC{seed: seed}
+}
+
+type seededSSSP struct {
+	ssspProgram
+	seed []float64
+}
+
+func (p seededSSSP) Init(g *graph.Graph, id VertexID) float64 {
+	if p.seed != nil {
+		return p.seed[id]
+	}
+	return p.ssspProgram.Init(g, id)
+}
+
+// SSSPProgramSeeded is the pull-relaxation SSSP program warm-started
+// from exported tentative distances (+Inf for unreached vertices; nil
+// seed is the source-only cold start).
+func SSSPProgramSeeded(src VertexID, seed []float64) Program[float64, float64] {
+	return seededSSSP{ssspProgram: ssspProgram{src: src}, seed: seed}
+}
+
+// prFixedK is synchronous power-iteration PageRank for exactly k
+// folds, used by the adaptive plan layer so a GAS segment is
+// bit-compatible with the Pregel fixed-iteration variant. Unlike the
+// adaptive eps-scheduled prProgram it never stops early on small
+// deltas: a vertex stays asleep only while every in-neighbor's rank is
+// bitwise unchanged, in which case its skipped fold would have
+// recomputed the identical value (same operands, same csr.In order).
+// That lazy-wake invariant makes the k-th iterate equal, bit for bit,
+// to the dense power iteration.
+type prFixedK struct {
+	n      int
+	k      int
+	alpha  float64
+	seed   []float64
+	outDeg []float64
+	step   int
+}
+
+func (p *prFixedK) Init(g *graph.Graph, id VertexID) float64 {
+	if p.seed != nil {
+		return p.seed[id]
+	}
+	return 1 / float64(p.n)
+}
+
+// PrepareGAS precomputes out-degrees (dangling counts as 1, matching
+// the Pregel variant's rank leak) from the pinned snapshot.
+func (p *prFixedK) PrepareGAS(csr *graph.CSR) {
+	p.outDeg = make([]float64, p.n)
+	for v := 0; v < p.n; v++ {
+		d := csr.OutDegree(VertexID(v))
+		if d == 0 {
+			d = 1
+		}
+		p.outDeg[v] = float64(d)
+	}
+}
+
+// BeforeStep tracks the superstep so Apply can stop after exactly k
+// folds.
+func (p *prFixedK) BeforeStep(step int) { p.step = step }
+
+func (p *prFixedK) Gather(u VertexID, w float64, uRank float64) float64 {
+	return uRank / p.outDeg[u]
+}
+
+func (p *prFixedK) Zero() float64            { return 0 }
+func (p *prFixedK) Sum(a, b float64) float64 { return a + b }
+
+func (p *prFixedK) Apply(v *float64, total float64) bool {
+	if p.step >= p.k {
+		return false
+	}
+	nr := (1-p.alpha)/float64(p.n) + p.alpha*total
+	changed := nr != *v
+	*v = nr
+	return changed && p.step+1 < p.k
+}
+
+// PageRankFixedK builds the fixed-iteration PageRank program: exactly
+// k synchronous folds from seed ranks (nil means uniform 1/n). The
+// returned program implements Preparer and Stepper.
+func PageRankFixedK(n, k int, alpha float64, seed []float64) Program[float64, float64] {
+	return &prFixedK{n: n, k: k, alpha: alpha, seed: seed}
 }

@@ -1,6 +1,7 @@
-package gas
+package gas_test
 
 import (
+	. "vcgraph/internal/gas"
 	"math"
 	"testing"
 	"testing/quick"

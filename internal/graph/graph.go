@@ -221,6 +221,22 @@ func (g *Graph) Pin() *CSR {
 	return c
 }
 
+// PinSnapshot takes an additional reference on an already-pinned
+// snapshot, so a multi-segment computation (the adaptive plan layer's
+// engine handoff) can hand the same generation to several engine
+// prepares even while writers mutate and republish the graph in
+// between. It panics if c is not currently pinned — the caller must
+// hold its own Pin for the duration.
+func (g *Graph) PinSnapshot(c *CSR) *CSR {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.pins[c] == 0 {
+		panic("graph: PinSnapshot of a snapshot that is not pinned")
+	}
+	g.pins[c]++
+	return c
+}
+
 // Unpin releases one reference on a snapshot returned by Pin.
 func (g *Graph) Unpin(c *CSR) {
 	g.mu.Lock()

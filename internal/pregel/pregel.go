@@ -85,6 +85,18 @@ type Config[M any] struct {
 	// Partitioning changes per-worker load (and hence the measured BSP
 	// superstep costs) but never results.
 	Partition Partitioner
+	// Snapshot, when non-nil, is an already-pinned CSR generation the
+	// engine must run against instead of pinning the graph's current
+	// one — the adaptive plan layer re-prepares engines mid-job and
+	// every segment must see the same snapshot even if writers
+	// republished in between. The engine takes (and releases) its own
+	// reference on it via Graph.PinSnapshot.
+	Snapshot *graph.CSR
+	// Replan, when non-nil, is consulted at every superstep barrier
+	// (after rollback, before compute); returning true aborts the run
+	// with runtime.ErrHandoff and the values at the barrier — the live
+	// engine-handoff hook (see runtime.DriverConfig.Replan).
+	Replan func(step, pending int) bool
 	// CheckpointEvery, when positive, snapshots the full computation
 	// state every k supersteps (Pregel fault tolerance; see
 	// checkpoint.go for the deep-copy contract).
@@ -207,7 +219,13 @@ type Engine[V, M any] struct {
 // out-edges via Context.SetOutEdges gets a private materialized copy,
 // so the input graph is never modified.
 func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[M]) *Engine[V, M] {
-	n := g.N()
+	csr := cfg.Snapshot
+	if csr == nil {
+		csr = g.Pin()
+	} else {
+		g.PinSnapshot(csr)
+	}
+	n := csr.N()
 	if cfg.Job != nil {
 		cfg.Workers = cfg.Job.Workers()
 	}
@@ -226,7 +244,7 @@ func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[M]) *Eng
 		cfg:     cfg,
 		values:  make([]V, n),
 		halted:  make([]bool, n),
-		csr:     g.Pin(),
+		csr:     csr,
 		adj:     make([][]graph.Edge, n),
 		mutated: make([]bool, n),
 		deg:     make([]int, n),
@@ -251,11 +269,13 @@ func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[M]) *Eng
 		// keep a pristine copy so the restart never re-reads the graph.
 		e.pristine = rt.CloneValues[V](prog, e.values)
 	}
-	part := cfg.Partition
-	if part == nil {
-		part = PartitionHash
+	if cfg.Partition != nil {
+		e.ownerOf = cfg.Partition(g, cfg.Workers)
+	} else {
+		// The default hash partition sizes from the pinned snapshot, not
+		// the live graph, which may have grown past it.
+		e.ownerOf = rt.PartitionHashN(n, cfg.Workers)
 	}
-	e.ownerOf = part(g, cfg.Workers)
 	e.verts = rt.GroupByOwner("pregel", e.ownerOf, cfg.Workers)
 	e.mbox = rt.NewMailbox[M](cfg.Workers, e.ownerOf, cfg.Combiner)
 	e.wl = rt.NewWorklists(cfg.Workers, n)
@@ -365,6 +385,7 @@ func (e *Engine[V, M]) Run() (*Result[V], error) {
 		Ctx:             e.cfg.Ctx,
 		Pool:            e.cfg.Pool,
 		Job:             e.cfg.Job,
+		Replan:          e.cfg.Replan,
 	})
 	steps, err := e.driver.Run()
 	e.driver = nil
@@ -421,7 +442,10 @@ func (e *Engine[V, M]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) 
 	// mode). In a pulled superstep SendToNeighbors publishes a
 	// broadcast slot instead of materializing per-edge mailbox
 	// messages; destinations gather over their transpose spans below.
-	e.pullStep = rt.ChoosePull(e.cfg.Mode, e.bcast != nil, e.wl.Pending(), e.g.N(), e.cfg.PullThreshold)
+	// Frontier entering the superstep: the signal both the direction
+	// choice below and the adaptive planner's replan decisions see.
+	ss.Frontier = int64(e.wl.Pending())
+	e.pullStep = rt.ChoosePull(e.cfg.Mode, e.bcast != nil, e.wl.Pending(), e.stats.N, e.cfg.PullThreshold)
 	if e.pullStep && e.cfg.FCSThreshold > 0 && e.wl.Pending() <= e.cfg.FCSThreshold {
 		// FCS regime: the frontier is already small enough for the
 		// serial finisher, so a pulled superstep would scan every

@@ -2,10 +2,19 @@ package runtime
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"vcgraph/internal/bsp"
 )
+
+// ErrHandoff is the sentinel returned by Driver.Run when the configured
+// Replan hook requested a live engine handoff at a superstep barrier.
+// The run stops with the barrier state consistent (all messages of the
+// previous superstep delivered, no rollback pending); the caller
+// harvests the engine's partial values and resumes them under a fresh
+// engine prepare. Match with errors.Is.
+var ErrHandoff = errors.New("handoff requested at superstep barrier")
 
 // Driver is the shared superstep kernel under all four engines. It owns
 // the full per-barrier lifecycle — worker-pool dispatch, fault-plan
@@ -120,6 +129,14 @@ type DriverConfig struct {
 	// Workers — engines derive Workers from Job.Workers() to guarantee
 	// it.
 	Job *Job
+	// Replan, when non-nil, is consulted at every superstep barrier
+	// after fault detection, rollback, and the quiescence check — the
+	// point where the engine's state is complete and consistent.
+	// Returning true stops the run with ErrHandoff (wrapped): the
+	// adaptive plan layer then exports the engine's values and resumes
+	// the computation under a different engine or mode. pending is the
+	// in-flight message count entering the barrier, as for Quiescent.
+	Replan func(step, pending int) bool
 }
 
 // Driver runs a Policy to termination. One Driver serves one Run.
@@ -214,6 +231,7 @@ func (d *Driver[S]) Run() (steps int, err error) {
 	pending := 0
 	capHit := false
 	aborted := false
+	handoff := false
 	var polErr error
 	for d.step = 0; ; d.step++ {
 		// Cancellation wins over everything at the barrier: an aborted
@@ -250,6 +268,13 @@ func (d *Driver[S]) Run() (steps int, err error) {
 		if d.pol.Quiescent(d.step, pending) {
 			break
 		}
+		// The handoff point: past fault detection and rollback (the
+		// barrier state is consistent) and past the quiescence check (a
+		// finished run never switches engines).
+		if d.cfg.Replan != nil && d.cfg.Replan(d.step, pending) {
+			handoff = true
+			break
+		}
 		pending, polErr = d.runSuperstep()
 		if polErr != nil {
 			break
@@ -278,6 +303,9 @@ func (d *Driver[S]) Run() (steps int, err error) {
 	}
 	if polErr != nil {
 		return d.step, polErr
+	}
+	if handoff {
+		return d.step, fmt.Errorf("%s: %w (barrier %d)", d.cfg.Name, ErrHandoff, d.step)
 	}
 	if aborted {
 		return d.step, fmt.Errorf("%s: %w", d.cfg.Name, context.Cause(ctx))

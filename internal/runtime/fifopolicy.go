@@ -94,6 +94,7 @@ func (p *WorklistRunner[V]) RedoneUnits(resumed, failed int) int {
 // bulk FIFO.PushAll path (identical order and dedup to per-vertex
 // pushes, with the queue bookkeeping hoisted out of the loop).
 func (p *WorklistRunner[V]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) {
+	ss.Frontier = int64(p.Queue.Len())
 	ss.Pulled = ChoosePull(DirectionAuto, true, p.Queue.Len(), p.N, 0)
 	for i := 0; i < p.EpochLen; i++ {
 		v, ok := p.Queue.Pop()

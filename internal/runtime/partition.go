@@ -21,7 +21,15 @@ type Partitioner func(g *graph.Graph, workers int) []int32
 // PartitionHash spreads vertices round-robin by ID (the Pregel
 // default, good for ID-uncorrelated load).
 func PartitionHash(g *graph.Graph, workers int) []int32 {
-	owner := make([]int32, g.N())
+	return PartitionHashN(g.N(), workers)
+}
+
+// PartitionHashN is PartitionHash for a known vertex count — the
+// snapshot-native form the adaptive plan layer uses when re-preparing
+// an engine against a pinned CSR generation (the live graph may have
+// grown since).
+func PartitionHashN(n, workers int) []int32 {
+	owner := make([]int32, n)
 	for v := range owner {
 		owner[v] = int32(v % workers)
 	}
@@ -32,7 +40,12 @@ func PartitionHash(g *graph.Graph, workers int) []int32 {
 // ID-correlated graphs, but prone to imbalance when degree correlates
 // with ID, as in preferential-attachment graphs).
 func PartitionRange(g *graph.Graph, workers int) []int32 {
-	n := g.N()
+	return PartitionRangeN(g.N(), workers)
+}
+
+// PartitionRangeN is PartitionRange for a known vertex count (see
+// PartitionHashN).
+func PartitionRangeN(n, workers int) []int32 {
 	owner := make([]int32, n)
 	if n == 0 {
 		return owner
@@ -53,8 +66,14 @@ func PartitionRange(g *graph.Graph, workers int) []int32 {
 // the transpose for directed graphs), so no EnsureIn call is required
 // beforehand.
 func PartitionDegreeBalanced(g *graph.Graph, workers int) []int32 {
-	n := g.N()
-	c := g.CSR()
+	return PartitionDegreeBalancedCSR(g.CSR(), workers)
+}
+
+// PartitionDegreeBalancedCSR is PartitionDegreeBalanced evaluated
+// against a specific (typically pinned) CSR generation instead of the
+// graph's current one.
+func PartitionDegreeBalancedCSR(c *graph.CSR, workers int) []int32 {
+	n := c.N()
 	c.EnsureIn()
 	owner := make([]int32, n)
 	order := make([]graph.VertexID, n)
@@ -89,6 +108,35 @@ func PartitionDegreeBalanced(g *graph.Graph, workers int) []int32 {
 		load[best] += int64(c.TotalDegree(v) + 1)
 	}
 	return owner
+}
+
+// BlockLocalFractions computes, for each of the `blocks` partitions in
+// owner, the fraction of its vertices' out-edges whose destination lies
+// in the same partition. It is the signal behind the block-centric
+// engine's per-block auto direction choice (block-local pull pays off
+// only where intra-block traffic dominates) and doubles as a planner
+// input: a high overall local fraction under a range partition marks a
+// graph whose structure block-centric execution can exploit. Blocks
+// with no out-edges report 0.
+func BlockLocalFractions(c *graph.CSR, owner []int32, blocks int) []float64 {
+	local := make([]int64, blocks)
+	total := make([]int64, blocks)
+	for v := 0; v < c.N() && v < len(owner); v++ {
+		b := owner[v]
+		for _, u := range c.Out(VertexID(v)) {
+			total[b]++
+			if owner[u] == b {
+				local[b]++
+			}
+		}
+	}
+	frac := make([]float64, blocks)
+	for b := range frac {
+		if total[b] > 0 {
+			frac[b] = float64(local[b]) / float64(total[b])
+		}
+	}
+	return frac
 }
 
 // GroupByOwner buckets vertices by owning worker, ascending within each

@@ -200,6 +200,9 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 		if res.inc != nil {
 			status["cold"] = res.inc.cold()
 		}
+		if res.auto != nil {
+			status["plan"] = res.auto
+		}
 	}
 	writeJSON(w, http.StatusOK, status)
 }

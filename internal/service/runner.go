@@ -2,12 +2,15 @@ package service
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"vcgraph/internal/async"
 	"vcgraph/internal/blockcentric"
 	"vcgraph/internal/bsp"
 	"vcgraph/internal/gas"
 	"vcgraph/internal/graph"
+	"vcgraph/internal/plan"
 	rt "vcgraph/internal/runtime"
 	"vcgraph/internal/vc"
 )
@@ -25,6 +28,9 @@ type runResult struct {
 	verdict string
 	epoch   int64
 	inc     *incStateBox
+	// auto carries the plan layer's decision log and sampled graph
+	// statistics when the job ran on the "auto" engine.
+	auto *vc.AutoResult
 }
 
 // incStateBox holds whichever incremental state the job produced.
@@ -85,13 +91,27 @@ func priorFromResult(spec JobSpec, res *runResult) *incPrior {
 }
 
 // engines is the serving matrix: every algorithm runs on pregel;
-// pagerank/sssp/cc also run on gas, async, blockcentric, and the
-// incremental (evolving-graph) engine.
+// pagerank/sssp/cc also run on gas, async, blockcentric, the
+// incremental (evolving-graph) engine, and "auto" — the adaptive plan
+// layer, which samples the graph, picks an engine/partition/mode, and
+// may hand off between engines at superstep barriers mid-run.
 var engines = map[string]map[string]bool{
-	"pagerank": {"pregel": true, "gas": true, "async": true, "blockcentric": true, "inc": true},
-	"sssp":     {"pregel": true, "gas": true, "async": true, "blockcentric": true, "inc": true},
-	"cc":       {"pregel": true, "gas": true, "async": true, "blockcentric": true, "inc": true},
+	"pagerank": {"pregel": true, "gas": true, "async": true, "blockcentric": true, "inc": true, "auto": true},
+	"sssp":     {"pregel": true, "gas": true, "async": true, "blockcentric": true, "inc": true, "auto": true},
+	"cc":       {"pregel": true, "gas": true, "async": true, "blockcentric": true, "inc": true, "auto": true},
 	"kcore":    {"pregel": true},
+}
+
+// validEngines enumerates the engines an algorithm runs on, sorted,
+// for error messages. Derived from the registry so the text can never
+// drift from the matrix.
+func validEngines(algo string) []string {
+	names := make([]string, 0, len(engines[algo]))
+	for e := range engines[algo] {
+		names = append(names, e)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func withDefaults(spec JobSpec) JobSpec {
@@ -125,7 +145,8 @@ func validateSpec(spec JobSpec) error {
 		return fmt.Errorf("service: unknown algorithm %q", spec.Algo)
 	}
 	if !byEngine[spec.Engine] {
-		return fmt.Errorf("service: algorithm %q does not run on engine %q", spec.Algo, spec.Engine)
+		return fmt.Errorf("service: algorithm %q does not run on engine %q (valid engines: %s)",
+			spec.Algo, spec.Engine, strings.Join(validEngines(spec.Algo), ", "))
 	}
 	if spec.Resume != 0 && spec.Engine != "inc" {
 		return fmt.Errorf("service: resume requires the inc engine, got %q", spec.Engine)
@@ -155,7 +176,7 @@ func faultPlan(spec JobSpec) *rt.FaultPlan {
 // engine pair (pinning a CSR snapshot and performing every read of the
 // mutable adjacency), and returns a closure that runs lock-free
 // against the snapshot. spec has passed withDefaults and validateSpec.
-func prepareRunner(g *graph.Graph, spec JobSpec, prior *incPrior, job *rt.Job) (func() (*runResult, error), error) {
+func (s *Server) prepareRunner(g *graph.Graph, spec JobSpec, prior *incPrior, job *rt.Job) (func() (*runResult, error), error) {
 	switch spec.Engine {
 	case "pregel":
 		return preparePregel(g, spec, job)
@@ -167,8 +188,65 @@ func prepareRunner(g *graph.Graph, spec JobSpec, prior *incPrior, job *rt.Job) (
 		return prepareBlock(g, spec, job)
 	case "inc":
 		return prepareInc(g, spec, prior, job)
+	case "auto":
+		return s.prepareAuto(g, spec, job)
 	}
 	return nil, fmt.Errorf("service: unknown engine %q", spec.Engine)
+}
+
+// prepareAuto serves the adaptive plan layer: the orchestrator samples
+// the pinned snapshot, picks the initial engine/partition/mode, and
+// replans at superstep barriers, handing vertex state off live between
+// engines. spec.Mode and spec.FCS are ignored — under "auto" the
+// planner owns both knobs. The decision log and graph statistics land
+// in runResult.auto for the status endpoint.
+func (s *Server) prepareAuto(g *graph.Graph, spec JobSpec, job *rt.Job) (func() (*runResult, error), error) {
+	cfg := vc.AutoConfig{Config: vc.Config{
+		Workers:         spec.Workers,
+		CheckpointEvery: spec.Checkpoint,
+		Faults:          faultPlan(spec),
+		Job:             job,
+	}}
+	if trace := s.opts.PlanTrace; trace != nil {
+		id := job.ID()
+		cfg.Trace = func(d plan.Decision) { trace(id, d) }
+	}
+	switch spec.Algo {
+	case "pagerank":
+		run := vc.PrepareAutoPageRank(g, spec.Alpha, spec.K, cfg)
+		return func() (*runResult, error) {
+			res, ar, err := run()
+			if err != nil {
+				return nil, err
+			}
+			out := result(res.Ranks, ar.Stats, prVerdict(res.Ranks))
+			out.auto = ar
+			return out, nil
+		}, nil
+	case "sssp":
+		run := vc.PrepareAutoSSSP(g, graph.VertexID(spec.Src), cfg)
+		return func() (*runResult, error) {
+			res, ar, err := run()
+			if err != nil {
+				return nil, err
+			}
+			out := result(res.Dist, ar.Stats, ssspVerdict(res.Dist, spec.Src))
+			out.auto = ar
+			return out, nil
+		}, nil
+	case "cc":
+		run := vc.PrepareAutoHashMinCC(g, cfg)
+		return func() (*runResult, error) {
+			res, ar, err := run()
+			if err != nil {
+				return nil, err
+			}
+			out := result(idsToFloats(res.Color), ar.Stats, ccVerdict(res.Color))
+			out.auto = ar
+			return out, nil
+		}, nil
+	}
+	return nil, fmt.Errorf("service: algorithm %q does not run on engine auto", spec.Algo)
 }
 
 // prepareInc is the evolving-graph engine: it pins a delta view and

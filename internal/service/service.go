@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"vcgraph/internal/graph"
+	"vcgraph/internal/plan"
 	rt "vcgraph/internal/runtime"
 )
 
@@ -59,7 +60,7 @@ type MutationSpec struct {
 type JobSpec struct {
 	Graph  string `json:"graph"`
 	Algo   string `json:"algo"`             // pagerank | sssp | cc | kcore
-	Engine string `json:"engine,omitempty"` // pregel (default) | gas | async | blockcentric | inc
+	Engine string `json:"engine,omitempty"` // pregel (default) | gas | async | blockcentric | inc | auto
 	// Incremental runs the algorithm's evolving-graph form (engine
 	// "inc"): warm-started from the job named by Resume when its state
 	// is still valid for the graph's mutation log, cold otherwise.
@@ -100,6 +101,12 @@ type Options struct {
 	// longer than this — except graphs with pinned snapshots, which a
 	// running job may still be reading.
 	GraphTTL time.Duration
+	// PlanTrace, when non-nil, observes every plan decision an
+	// engine-"auto" job takes as it happens — the initial pick at
+	// prepare time and any live handoffs at superstep barriers. The
+	// daemon uses it to log decisions; the full log is also available
+	// from job status once the run finishes.
+	PlanTrace func(jobID int64, d plan.Decision)
 }
 
 // DefaultJobRetention bounds the job registry when Options.JobRetention
@@ -365,7 +372,7 @@ func (s *Server) Submit(spec JobSpec) (*rt.Job, error) {
 	job := s.sched.Submit(ctx, name, share, func(j *rt.Job) error {
 		ent.mu.RLock()
 		epoch := ent.g.Epoch()
-		run, err := prepareRunner(ent.g, spec, prior, j)
+		run, err := s.prepareRunner(ent.g, spec, prior, j)
 		ent.mu.RUnlock()
 		if err != nil {
 			return err

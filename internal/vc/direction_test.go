@@ -292,7 +292,7 @@ func TestDirectionEquivalenceBlockcentric(t *testing.T) {
 		// PageRank's sum folds local contributions before boundary ones
 		// under pull (push interleaves them by source block), so ranks
 		// are equal up to float regrouping, not bitwise.
-		push, err := blockcentric.PageRank(g, 0.85, 10, blockcentric.Config{Blocks: 4})
+		push, err := blockcentric.PageRank(g, 0.85, 10, blockcentric.Config{Blocks: 4, Mode: runtime.DirectionPush})
 		if err != nil {
 			t.Fatal(err)
 		}

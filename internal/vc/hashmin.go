@@ -15,9 +15,19 @@ type CCResult struct {
 
 type hashMinValue struct{ min VertexID }
 
-type hashMinProgram struct{}
+type hashMinProgram struct {
+	// seed warm-starts the run from exported labels (adaptive plan
+	// layer handoff); nil means the identity cold start. Superstep 0
+	// still folds structural neighbor IDs and re-broadcasts — both are
+	// monotone min steps, so a warm restart reaches the same fixpoint
+	// as the unswitched run.
+	seed []VertexID
+}
 
-func (hashMinProgram) Init(g *graph.Graph, id VertexID) hashMinValue {
+func (p hashMinProgram) Init(g *graph.Graph, id VertexID) hashMinValue {
+	if p.seed != nil {
+		return hashMinValue{min: p.seed[id]}
+	}
 	return hashMinValue{min: id}
 }
 

@@ -18,9 +18,17 @@ type prProgram struct {
 	n     int
 	alpha float64
 	k     int // number of rank-update iterations
+	// seed warm-starts the run from exported ranks (adaptive plan
+	// layer handoff); nil means the uniform 1/n cold start. Compute is
+	// untouched, so a resumed segment is bit-identical to the suffix
+	// of an unswitched run.
+	seed []float64
 }
 
 func (p *prProgram) Init(g *graph.Graph, id VertexID) prValue {
+	if p.seed != nil {
+		return prValue{rank: p.seed[id]}
+	}
 	return prValue{rank: 1 / float64(p.n)}
 }
 

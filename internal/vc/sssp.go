@@ -18,9 +18,20 @@ type SSSPResult struct {
 
 type ssspValue struct{ dist float64 }
 
-type ssspProgram struct{ src VertexID }
+type ssspProgram struct {
+	src VertexID
+	// seed warm-starts the run from exported tentative distances
+	// (adaptive plan layer handoff); nil means the cold start where
+	// only the source is finite. A warm restart re-announces every
+	// finite distance at superstep 0, which dominates any message that
+	// was in flight when the previous engine stopped.
+	seed []float64
+}
 
 func (p *ssspProgram) Init(g *graph.Graph, id VertexID) ssspValue {
+	if p.seed != nil {
+		return ssspValue{dist: p.seed[id]}
+	}
 	if id == p.src {
 		return ssspValue{dist: 0}
 	}
@@ -30,6 +41,9 @@ func (p *ssspProgram) Init(g *graph.Graph, id VertexID) ssspValue {
 func (p *ssspProgram) Compute(ctx *pregel.Context[ssspValue, float64], msgs []float64) {
 	v := ctx.Value()
 	improved := ctx.Superstep() == 0 && ctx.ID() == p.src
+	if p.seed != nil && ctx.Superstep() == 0 {
+		improved = !math.IsInf(v.dist, 1)
+	}
 	for _, m := range msgs {
 		if m < v.dist {
 			v.dist = m

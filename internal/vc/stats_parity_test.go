@@ -68,7 +68,10 @@ func TestStatsParityPageRank(t *testing.T) {
 		runs[fmt.Sprintf("pregel/w%d", w)] = res.Stats
 	}
 	for _, b := range []int{2, 4} {
-		res, err := blockcentric.PageRank(g, 0.85, k, blockcentric.Config{Blocks: b})
+		// Pin push here too: under auto, blocks whose traffic is mostly
+		// intra-block reroute it around the wire, and Sent would
+		// (correctly) drop to the boundary-only count.
+		res, err := blockcentric.PageRank(g, 0.85, k, blockcentric.Config{Blocks: b, Mode: runtime.DirectionPush})
 		if err != nil {
 			t.Fatalf("blockcentric blocks=%d: %v", b, err)
 		}
