@@ -11,7 +11,7 @@ COVERDIR := /tmp
 endif
 COVERPROFILE ?= $(COVERDIR)/vcgraph-cover.out
 
-.PHONY: all build vet test race cover fuzz-smoke bench bench-csr bench-direction bench-service bench-incremental bench-planner bench-guard table1 ext figures ablations examples clean
+.PHONY: all build vet test race cover fuzz-smoke bench bench-csr bench-direction bench-service bench-incremental bench-planner bench-memory bench-guard table1 ext figures ablations examples clean
 
 all: build vet test
 
@@ -45,6 +45,7 @@ fuzz-smoke:
 	$(GO) test -fuzz='FuzzRandomTree$$' -fuzztime=10s -run='^$$' ./internal/graph
 	$(GO) test -fuzz='FuzzCSRBuild$$' -fuzztime=10s -run='^$$' ./internal/graph
 	$(GO) test -fuzz='FuzzMutationScript$$' -fuzztime=10s -run='^$$' ./internal/vc
+	$(GO) test -fuzz='FuzzVarintBlockCodec$$' -fuzztime=10s -run='^$$' ./internal/graph
 
 bench:
 	$(GO) test -bench . -benchmem ./...
@@ -83,6 +84,14 @@ bench-incremental:
 # auto-vs-best and auto-vs-worst headlines bench-guard enforces.
 bench-planner:
 	$(GO) test -run='^$$' -bench='^BenchmarkPlanner' -benchmem -benchtime=3x -count=1 . | tee /tmp/bench_planner.txt
+
+# Memory-lean substrate suite: resident edge bytes (EdgeBytes reported
+# as B/op) and traversal cost of the varint-delta packed CSR vs the flat
+# int32 one on the R-MAT power-law graph. Raw output lands in /tmp; the
+# committed record is BENCH_memory.json, whose edges-per-GB and
+# packed-tax headlines bench-guard enforces.
+bench-memory:
+	$(GO) test -run='^$$' -bench='^BenchmarkMemory' -benchmem -benchtime=3x -count=1 . | tee /tmp/bench_memory.txt
 
 # Re-measure every headline ratio declared in BENCH_*.json and fail if
 # any regressed beyond its tolerance/floor. Runs in CI after tier-1.

@@ -53,6 +53,10 @@ func main() {
 	workers := flag.Int("workers", 4, "BSP workers")
 	src := flag.Int("src", 0, "source vertex (sssp, betweenness single-source)")
 	load := flag.String("load", "", "load the graph from a vcgraph edge-list file instead of generating")
+	input := flag.String("input", "", "load a real dataset: a SNAP/TSV edge list, or an mmap-backed .vcsr snapshot (by extension)")
+	inputDirected := flag.Bool("input-directed", false, "treat -input SNAP/TSV pairs as directed edges")
+	encoding := flag.String("encoding", "int32", "CSR destination-array encoding: int32 (flat) or packed (varint-delta blocks)")
+	packedState := flag.Bool("packed-state", false, "bit-packed vertex-state stores for the small-domain algorithms (hashmin, kcore, coloring)")
 	save := flag.String("save", "", "write the (generated or loaded) graph to an edge-list file and continue")
 	dot := flag.String("dot", "", "also write the graph in Graphviz DOT format to this file")
 	checkpoint := flag.Int("checkpoint", 0, "checkpoint every k supersteps (0 = off)")
@@ -83,13 +87,26 @@ func main() {
 	}
 
 	var g *graph.Graph
-	if *load != "" {
+	switch {
+	case *input != "":
+		g, err = loadInput(*input, *inputDirected)
+	case *load != "":
 		g, err = loadGraph(*load)
-	} else {
+	default:
 		g, err = makeGraph(*gen, *n, *m, *seed)
 	}
 	if err != nil {
 		fail(err)
+	}
+	defer g.Close()
+	switch *encoding {
+	case "int32":
+	case "packed":
+		if !g.Adopted() { // a .vcsr snapshot is already packed
+			g.Encoding = graph.EncodePacked
+		}
+	default:
+		fail(fmt.Errorf("unknown encoding %q (int32 or packed)", *encoding))
 	}
 	if *save != "" {
 		if err := saveGraph(*save, g); err != nil {
@@ -113,6 +130,9 @@ func main() {
 	if *load != "" {
 		source = "file:" + *load
 	}
+	if *input != "" {
+		source = "input:" + *input
+	}
 	// The run goes through the job-scoped runtime: one scheduler over a
 	// shared pool, the run submitted as a job so -timeout cancellation
 	// aborts it at a superstep barrier instead of killing the process.
@@ -132,7 +152,7 @@ func main() {
 	var stats *bsp.Stats
 	start := time.Now()
 	job := sched.Submit(ctx, *algo, share, func(j *runtime.Job) error {
-		cfg := vc.Config{Workers: *workers, Seed: *seed, CheckpointEvery: *checkpoint, Faults: fplan, Mode: mode, Job: j}
+		cfg := vc.Config{Workers: *workers, Seed: *seed, CheckpointEvery: *checkpoint, Faults: fplan, Mode: mode, Job: j, PackedState: *packedState}
 		var err error
 		if *engine == "auto" {
 			summary, stats, err = runAutoEngine(*algo, g, graph.VertexID(*src), cfg, *seed)
@@ -167,6 +187,8 @@ func main() {
 	fmt.Printf("balance (per-vertex max / degree):\n")
 	fmt.Printf("  state %.2f  compute %.2f  sent %.2f  recv %.2f\n",
 		stats.MaxStatePerDeg, stats.MaxComputePerDeg, stats.MaxSentPerDeg, stats.MaxRecvPerDeg)
+	fmt.Printf("memory:                heap %+.2f MiB  allocated %.2f MiB\n",
+		float64(stats.HeapInuseDelta)/(1<<20), float64(stats.TotalAllocDelta)/(1<<20))
 	if rec := stats.Recovery; *checkpoint > 0 || rec.Faulted() {
 		fmt.Printf("fault tolerance:\n")
 		fmt.Printf("  checkpoints %d  rollbacks %d  redone supersteps %d\n",
@@ -179,6 +201,20 @@ func main() {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "vcrun:", err)
 	os.Exit(1)
+}
+
+// loadInput loads a real dataset: an mmap-backed .vcsr snapshot when
+// the extension says so, otherwise a SNAP/TSV edge list.
+func loadInput(path string, directed bool) (*graph.Graph, error) {
+	if strings.HasSuffix(path, ".vcsr") {
+		return graph.OpenCSRFile(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadSNAP(f, graph.SNAPOptions{Directed: directed})
 }
 
 func loadGraph(path string) (*graph.Graph, error) {

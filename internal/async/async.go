@@ -85,6 +85,10 @@ type Config struct {
 	// engine is sequential, so the job must be submitted with a worker
 	// share of 1.
 	Job *rt.Job
+	// PackedState selects the bit-packed label-store variant for the
+	// algorithms that have one (ConnectedComponents). Results and
+	// update counts are byte-identical to the dense programs.
+	PackedState bool
 }
 
 // ErrFaultsNeedFIFO rejects fault injection under the prioritized
@@ -120,6 +124,7 @@ type Context[V any] struct {
 	csr    *graph.CSR
 	values []V
 	work   int64
+	s      *graph.Scratch // pooled span-decode buffers for packed snapshots
 }
 
 // Graph returns the input graph. Only its construction-immutable
@@ -146,9 +151,15 @@ func (c *Context[V]) OutEdges(v VertexID) []graph.Edge {
 }
 
 // Out returns v's out-neighbor span from the CSR snapshot. The slice
-// aliases the snapshot and must not be modified; returning it from
-// Update as the activation list is allocation-free.
-func (c *Context[V]) Out(v VertexID) []VertexID { return c.csr.Out(v) }
+// aliases the snapshot (or, on a packed snapshot, the context's decode
+// buffer — the next Out call overwrites it) and must not be modified;
+// returning it from Update as the activation list is allocation-free.
+func (c *Context[V]) Out(v VertexID) []VertexID { return c.csr.OutSpan(v, c.s) }
+
+// In returns v's in-neighbor span from the CSR snapshot (the out span
+// for undirected graphs). It shares the context's decode buffers with
+// Out the way OutSpan/InSpan do: one live span per direction.
+func (c *Context[V]) In(v VertexID) []VertexID { return c.csr.InSpan(v, c.s) }
 
 // OutWeights returns v's out-edge weight span aligned with Out(v), or
 // nil when the graph is unweighted.
@@ -188,7 +199,7 @@ func Prepare[V any](g *graph.Graph, prog Program[V], cfg Config) func() (*Result
 	if prep, ok := any(prog).(Preparer); ok {
 		prep.PrepareAsync(csr)
 	}
-	ctx := &Context[V]{g: g, csr: csr, values: make([]V, n)}
+	ctx := &Context[V]{g: g, csr: csr, values: make([]V, n), s: rt.GetScratch()}
 	for v := 0; v < n; v++ {
 		ctx.values[v] = prog.Init(g, VertexID(v))
 	}
@@ -196,6 +207,7 @@ func Prepare[V any](g *graph.Graph, prog Program[V], cfg Config) func() (*Result
 		if pr, ok := prog.(Prioritizer[V]); ok {
 			return func() (*Result[V], error) {
 				defer g.Unpin(csr)
+				defer rt.PutScratch(ctx.s)
 				if cfg.Faults.NewInjector(1) != nil {
 					return nil, ErrFaultsNeedFIFO
 				}
@@ -256,6 +268,7 @@ func Prepare[V any](g *graph.Graph, prog Program[V], cfg Config) func() (*Result
 	})
 	return func() (*Result[V], error) {
 		defer g.Unpin(csr)
+		defer rt.PutScratch(ctx.s)
 		_, err := d.Run()
 		return &Result[V]{Values: ctx.values, Updates: p.Updates(), Stats: stats}, err
 	}
@@ -287,6 +300,12 @@ func runPrioritized[V any](ctx *Context[V], prog Program[V], pr Prioritizer[V], 
 	}
 	stats := &bsp.Stats{Workers: 1, N: n}
 	updates := 0
+	// On a packed snapshot the activation span Update returns lives in
+	// the context's decode buffer, and push -> Priority -> ctx.Out would
+	// overwrite it mid-iteration; copy it out first (reused buffer). A
+	// flat snapshot's spans alias immutable CSR arrays — no copy.
+	copyActs := ctx.csr.Packed()
+	var actBuf []VertexID
 	for pq.Len() > 0 {
 		// This loop bypasses the superstep driver (there are no epoch
 		// boundaries), so cancellation is checked between updates.
@@ -304,7 +323,12 @@ func runPrioritized[V any](ctx *Context[V], prog Program[V], pr Prioritizer[V], 
 		}
 		scheduled[it.v] = false
 		updates++
-		for _, w := range prog.Update(ctx, it.v) {
+		acts := prog.Update(ctx, it.v)
+		if copyActs {
+			actBuf = append(actBuf[:0], acts...)
+			acts = actBuf
+		}
+		for _, w := range acts {
 			push(w)
 		}
 	}
@@ -443,7 +467,7 @@ func (p *prProgram) PrepareAsync(csr *graph.CSR) {
 
 func (p *prProgram) Update(ctx *Context[float64], v VertexID) []VertexID {
 	var sum float64
-	for _, u := range p.csr.In(v) {
+	for _, u := range ctx.In(v) {
 		sum += *ctx.Value(u) / p.outDeg[u]
 	}
 	nr := (1-p.alpha)/float64(p.n) + p.alpha*sum
@@ -507,6 +531,21 @@ func ConnectedComponents(g *graph.Graph, cfg Config) ([]VertexID, *Result[Vertex
 // PrepareConnectedComponents is the job-scoped form of
 // ConnectedComponents.
 func PrepareConnectedComponents(g *graph.Graph, cfg Config) func() ([]VertexID, *Result[VertexID], error) {
+	if cfg.PackedState {
+		prog := newCCPackedProgram(g.N())
+		run := Prepare[struct{}](g, prog, cfg)
+		return func() ([]VertexID, *Result[VertexID], error) {
+			res, err := run()
+			var wrapped *Result[VertexID]
+			if res != nil {
+				wrapped = &Result[VertexID]{Values: prog.lbls(), Updates: res.Updates, Stats: res.Stats}
+			}
+			if err != nil {
+				return nil, wrapped, err
+			}
+			return wrapped.Values, wrapped, nil
+		}
+	}
 	run := Prepare[VertexID](g, ccProgram{}, cfg)
 	return func() ([]VertexID, *Result[VertexID], error) {
 		res, err := run()

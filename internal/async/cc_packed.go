@@ -1,0 +1,70 @@
+package async
+
+import (
+	"vcgraph/internal/graph"
+	rt "vcgraph/internal/runtime"
+)
+
+// Packed-state async connected components (Config.PackedState): the
+// labels move from the engine's value array into a bit-packed store at
+// ⌈log₂ n⌉ bits per vertex. Asynchronous updates read live neighbor
+// state by design, so a single store replaces the value array directly
+// — no double buffering — and the update/activation sequence under the
+// FIFO scheduler is byte-identical to the dense ccProgram.
+
+type ccPackedProgram struct {
+	labels rt.StateStore
+}
+
+func newCCPackedProgram(n int) *ccPackedProgram {
+	domain := uint64(n)
+	if domain == 0 {
+		domain = 1
+	}
+	return &ccPackedProgram{labels: rt.NewPackedInts(n, domain)}
+}
+
+func (p *ccPackedProgram) Init(g *graph.Graph, id VertexID) struct{} {
+	p.labels.Set(int(id), uint64(id))
+	return struct{}{}
+}
+
+func (p *ccPackedProgram) Update(ctx *Context[struct{}], v VertexID) []VertexID {
+	min := VertexID(p.labels.Get(int(v)))
+	dsts := ctx.Out(v)
+	for _, u := range dsts {
+		if l := VertexID(p.labels.Get(int(u))); l < min {
+			min = l
+		}
+	}
+	if min < VertexID(p.labels.Get(int(v))) {
+		p.labels.Set(int(v), uint64(min))
+		return dsts
+	}
+	return nil
+}
+
+// SnapshotState/RestoreState implement runtime.StateSnapshotter: epoch
+// checkpoints clone only the (empty) value array, so the label store
+// rides along here. RestoreState(nil) is the pristine identity-label
+// restart.
+func (p *ccPackedProgram) SnapshotState() any { return p.labels.Clone() }
+
+func (p *ccPackedProgram) RestoreState(s any) {
+	if s == nil {
+		for v := 0; v < p.labels.Len(); v++ {
+			p.labels.Set(v, uint64(v))
+		}
+		return
+	}
+	p.labels.CopyFrom(s.(rt.StateStore))
+}
+
+// lbls extracts the final labeling.
+func (p *ccPackedProgram) lbls() []VertexID {
+	out := make([]VertexID, p.labels.Len())
+	for v := range out {
+		out[v] = VertexID(p.labels.Get(v))
+	}
+	return out
+}

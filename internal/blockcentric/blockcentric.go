@@ -89,6 +89,10 @@ type Config struct {
 	// Blocks is taken from the job's lease, the run executes under the
 	// job's context, and superstep records stream to the handle.
 	Job *rt.Job
+	// PackedState selects the bit-packed label-store variant for the
+	// algorithms that have one (ConnectedComponents). Results and
+	// superstep counts are byte-identical to the dense programs.
+	PackedState bool
 }
 
 // ErrSuperstepCap mirrors pregel.ErrSuperstepCap. It aliases
@@ -133,15 +137,23 @@ type Engine[V, M any] struct {
 	anyPull    bool
 	localOut   [][]addr[M]
 	inboxLocal []int64
+
+	// scratch holds each block's span-decode buffers: ComputeBlock runs
+	// one goroutine per block, and every program consumes one Out span
+	// at a time, so one Scratch per block suffices. Nil-buffered (and
+	// unused) on flat snapshots.
+	scratch []*graph.Scratch
 }
 
 // bcSnapshot is one checkpoint generation: the barrier state entering
-// a superstep (boundary messages already delivered to inboxes).
+// a superstep (boundary messages already delivered to inboxes), plus
+// any program-private state (runtime.StateSnapshotter).
 type bcSnapshot[V, M any] struct {
 	values     []V
 	halted     []bool
 	inbox      []map[VertexID][]M
 	inboxLocal []int64
+	progState  any
 }
 
 type addr[M any] struct {
@@ -191,6 +203,7 @@ func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config) *Engine
 		outbox: make([][]addr[M], cfg.Blocks),
 		stats:  &bsp.Stats{Workers: cfg.Blocks, N: n},
 	}
+	e.scratch = rt.GetScratches(cfg.Blocks)
 	e.pullBlock = make([]bool, cfg.Blocks)
 	switch cfg.Mode {
 	case rt.DirectionPull:
@@ -236,6 +249,7 @@ func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config) *Engine
 // contributes the block-compute and boundary-delivery policy.
 func (e *Engine[V, M]) Run() (*Result[V], error) {
 	defer e.g.Unpin(e.csr)
+	defer rt.PutScratches(e.scratch)
 	e.driver = rt.NewDriver[*bcSnapshot[V, M]](e, e.stats, rt.DriverConfig{
 		Name:            "blockcentric",
 		Workers:         e.cfg.Blocks,
@@ -276,6 +290,7 @@ func (e *Engine[V, M]) Snapshot() *bcSnapshot[V, M] {
 		halted:     append([]bool(nil), e.halted...),
 		inbox:      make([]map[VertexID][]M, nb),
 		inboxLocal: append([]int64(nil), e.inboxLocal...),
+		progState:  rt.SnapshotProgState(e.prog),
 	}
 	for b := 0; b < nb; b++ {
 		ck.inbox[b] = make(map[VertexID][]M, len(e.inbox[b]))
@@ -303,9 +318,11 @@ func (e *Engine[V, M]) Restore(ck *bcSnapshot[V, M], step int, ok bool) {
 				e.localOut[b] = e.localOut[b][:0]
 			}
 		}
+		rt.RestoreProgState(e.prog, nil)
 		return
 	}
 	e.values = rt.CloneValues[V](e.prog, ck.values)
+	rt.RestoreProgState(e.prog, ck.progState)
 	copy(e.halted, ck.halted)
 	copy(e.inboxLocal, ck.inboxLocal)
 	for b := range e.inbox {
@@ -455,8 +472,12 @@ func (c *BlockContext[V, M]) OutEdges(v VertexID) []graph.Edge {
 }
 
 // Out returns v's out-neighbor span from the CSR snapshot. The slice
-// aliases the snapshot and must not be modified.
-func (c *BlockContext[V, M]) Out(v VertexID) []VertexID { return c.engine.csr.Out(v) }
+// aliases the snapshot (or, on a packed snapshot, the block's decode
+// buffer — the next Out call in this block overwrites it) and must not
+// be modified.
+func (c *BlockContext[V, M]) Out(v VertexID) []VertexID {
+	return c.engine.csr.OutSpan(v, c.engine.scratch[c.block])
+}
 
 // OutWeights returns v's out-edge weight span aligned with Out(v), or
 // nil when the graph is unweighted.
@@ -578,6 +599,17 @@ func ConnectedComponents(g *graph.Graph, cfg Config) (*CCResult, error) {
 // now (NewEngine), the returned closure runs lock-free on the pinned
 // snapshot.
 func PrepareConnectedComponents(g *graph.Graph, cfg Config) func() (*CCResult, error) {
+	if cfg.PackedState {
+		prog := newCCPackedProgram(g.N())
+		eng := NewEngine[struct{}, VertexID](g, prog, cfg)
+		return func() (*CCResult, error) {
+			res, err := eng.Run()
+			if err != nil {
+				return nil, err
+			}
+			return &CCResult{Color: prog.lbls(), Stats: res.Stats}, nil
+		}
+	}
 	eng := NewEngine[VertexID, VertexID](g, ccProgram{}, cfg)
 	return func() (*CCResult, error) {
 		res, err := eng.Run()

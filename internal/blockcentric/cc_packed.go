@@ -1,0 +1,109 @@
+package blockcentric
+
+import (
+	"vcgraph/internal/graph"
+	rt "vcgraph/internal/runtime"
+)
+
+// Packed-state block-centric connected components
+// (Config.PackedState): the labels move from the engine's value array
+// into a bit-packed store at ⌈log₂ n⌉ bits per vertex. Blocks run
+// concurrently but each vertex is written only by its owning block, so
+// the store's word-level CAS covers the sharing; the absorb/BFS/push
+// structure is byte-for-byte the dense ccProgram's, so labels and
+// aggregate costs are identical.
+
+type ccPackedProgram struct {
+	labels rt.StateStore
+}
+
+func newCCPackedProgram(n int) *ccPackedProgram {
+	domain := uint64(n)
+	if domain == 0 {
+		domain = 1
+	}
+	return &ccPackedProgram{labels: rt.NewPackedInts(n, domain)}
+}
+
+func (p *ccPackedProgram) Init(g *graph.Graph, id VertexID) struct{} {
+	p.labels.Set(int(id), uint64(id))
+	return struct{}{}
+}
+
+func (p *ccPackedProgram) ComputeBlock(ctx *BlockContext[struct{}, VertexID], msgs map[VertexID][]VertexID) {
+	// Absorb boundary updates.
+	dirty := make([]VertexID, 0, len(msgs))
+	for v, ms := range msgs {
+		for _, m := range ms {
+			ctx.Charge(1)
+			if m < VertexID(p.labels.Get(int(v))) {
+				p.labels.Set(int(v), uint64(m))
+				dirty = append(dirty, v)
+			}
+		}
+	}
+	if ctx.Superstep() == 0 {
+		dirty = append(dirty, ctx.Block()...)
+	}
+	// Local min-label BFS from every updated vertex, confined to the
+	// block.
+	changed := map[VertexID]bool{}
+	queue := dirty
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		label := VertexID(p.labels.Get(int(v)))
+		for _, u := range ctx.Out(v) {
+			ctx.Charge(1)
+			if !ctx.Local(u) {
+				continue
+			}
+			if label < VertexID(p.labels.Get(int(u))) {
+				p.labels.Set(int(u), uint64(label))
+				queue = append(queue, u)
+				changed[u] = true
+			}
+		}
+		if ctx.Superstep() == 0 {
+			changed[v] = true
+		}
+	}
+	for _, v := range dirty {
+		changed[v] = true
+	}
+	// Push labels over boundary edges for every changed vertex.
+	for v := range changed {
+		label := VertexID(p.labels.Get(int(v)))
+		for _, u := range ctx.Out(v) {
+			if !ctx.Local(u) {
+				ctx.SendTo(u, label)
+			}
+		}
+	}
+	ctx.VoteToHalt()
+}
+
+// SnapshotState/RestoreState implement runtime.StateSnapshotter: the
+// engine's checkpoints clone only the (empty) value array, so the
+// label store rides along here. RestoreState(nil) is the pristine
+// identity-label restart.
+func (p *ccPackedProgram) SnapshotState() any { return p.labels.Clone() }
+
+func (p *ccPackedProgram) RestoreState(s any) {
+	if s == nil {
+		for v := 0; v < p.labels.Len(); v++ {
+			p.labels.Set(v, uint64(v))
+		}
+		return
+	}
+	p.labels.CopyFrom(s.(rt.StateStore))
+}
+
+// lbls extracts the final labeling.
+func (p *ccPackedProgram) lbls() []VertexID {
+	out := make([]VertexID, p.labels.Len())
+	for v := range out {
+		out[v] = VertexID(p.labels.Get(v))
+	}
+	return out
+}

@@ -143,6 +143,16 @@ type Stats struct {
 	// order-independent at these magnitudes).
 	MeasuredTime float64
 
+	// Memory observability, stamped by the shared driver from
+	// runtime.ReadMemStats brackets around the run. HeapInuseDelta is
+	// the change in live heap bytes (HeapInuse) — negative when a
+	// collection ran mid-run — and TotalAllocDelta the cumulative bytes
+	// the run allocated. Comparative evidence for the memory-lean
+	// substrate (packed CSR, bit-packed state): identical runs on the
+	// two representations differ only here, never in Supersteps.
+	HeapInuseDelta  int64
+	TotalAllocDelta uint64
+
 	// Recovery reports the fault-tolerance cost of the run.
 	Recovery Recovery
 }

@@ -56,6 +56,8 @@ type Summary struct {
 	TotalWork     int64   `json:"total_work"`
 	MeasuredTime  float64 `json:"measured_time"`
 	MeasuredTPP   float64 `json:"measured_tpp"`
+	HeapDelta     int64   `json:"heap_inuse_delta"`
+	AllocDelta    uint64  `json:"total_alloc_delta"`
 	Rollbacks     int     `json:"rollbacks,omitempty"`
 	RedoneUnits   int     `json:"redone_units,omitempty"`
 }
@@ -71,6 +73,8 @@ func (s *Stats) Summarize() Summary {
 		TotalWork:     s.TotalWork,
 		MeasuredTime:  s.MeasuredTime,
 		MeasuredTPP:   s.MeasuredTPP(),
+		HeapDelta:     s.HeapInuseDelta,
+		AllocDelta:    s.TotalAllocDelta,
 		Rollbacks:     s.Recovery.Rollbacks,
 		RedoneUnits:   s.Recovery.RedoneSupersteps,
 	}

@@ -1,0 +1,87 @@
+package gas
+
+import (
+	"vcgraph/internal/graph"
+	rt "vcgraph/internal/runtime"
+)
+
+// Packed-state GAS connected components (Config.PackedState): the
+// labels move from the engine's value array into a pair of bit-packed
+// stores at ⌈log₂ n⌉ bits per vertex. The engine's value array
+// double-buffers to give gathers a consistent previous-iteration
+// snapshot; the program reproduces that itself — BeforeStep copies cur
+// into prev (single-threaded, at the iteration barrier), Gather reads
+// prev, ApplyAt writes cur — so activations, iteration counts, and
+// final labels are byte-identical to the dense ccProgram.
+
+type ccPackedProgram struct {
+	ccProgram // Zero and Sum (min with NoVertex identity) are shared
+
+	prev, cur rt.StateStore
+}
+
+func newCCPackedProgram(n int) *ccPackedProgram {
+	domain := uint64(n)
+	if domain == 0 {
+		domain = 1
+	}
+	p := &ccPackedProgram{
+		prev: rt.NewPackedInts(n, domain),
+		cur:  rt.NewPackedInts(n, domain),
+	}
+	return p
+}
+
+func (p *ccPackedProgram) Init(g *graph.Graph, id VertexID) struct{} {
+	p.cur.Set(int(id), uint64(id))
+	return struct{}{}
+}
+
+// BeforeStep publishes the previous iteration's labels for this
+// iteration's gathers (the store-side analogue of the engine's
+// cur/next swap).
+func (p *ccPackedProgram) BeforeStep(step int) { p.prev.CopyFrom(p.cur) }
+
+func (p *ccPackedProgram) Gather(u VertexID, w float64, _ struct{}) VertexID {
+	return VertexID(p.prev.Get(int(u)))
+}
+
+// Apply satisfies Program; the engine always routes through ApplyAt
+// for programs that implement it.
+func (p *ccPackedProgram) Apply(v *struct{}, total VertexID) bool {
+	panic("gas: ccPackedProgram.Apply called; engine should use ApplyAt")
+}
+
+func (p *ccPackedProgram) ApplyAt(v VertexID, total VertexID) bool {
+	if total != graph.NoVertex && total < VertexID(p.cur.Get(int(v))) {
+		p.cur.Set(int(v), uint64(total))
+		return true
+	}
+	return false
+}
+
+// SnapshotState/RestoreState implement runtime.StateSnapshotter: the
+// engine's checkpoints clone only the (empty) value array, so the
+// label store rides along here. RestoreState(nil) is the pristine
+// identity-label restart; prev needs no restore because BeforeStep
+// rebuilds it at the top of the next iteration.
+func (p *ccPackedProgram) SnapshotState() any { return p.cur.Clone() }
+
+func (p *ccPackedProgram) RestoreState(s any) {
+	if s == nil {
+		for v := 0; v < p.cur.Len(); v++ {
+			p.cur.Set(v, uint64(v))
+		}
+		return
+	}
+	p.cur.CopyFrom(s.(rt.StateStore))
+}
+
+// labels extracts the final labeling.
+func (p *ccPackedProgram) labels() []VertexID {
+	out := make([]VertexID, p.cur.Len())
+	for v := range out {
+		out[v] = VertexID(p.cur.Get(v))
+	}
+	return out
+}

@@ -71,6 +71,10 @@ type Config struct {
 	// PullThreshold overrides the auto-mode active-set density
 	// threshold (fraction of n; <= 0 means rt.DefaultPullThreshold).
 	PullThreshold float64
+	// PackedState selects the bit-packed label-store variant for the
+	// algorithms that have one (ConnectedComponents). Results and
+	// iteration counts are byte-identical to the dense programs.
+	PackedState bool
 	// Snapshot, when non-nil, is an already-pinned CSR generation the
 	// engine must run against instead of pinning the graph's current
 	// one (the adaptive plan layer re-prepares engines mid-job; see
@@ -120,6 +124,15 @@ type Preparer interface {
 // the step without threading it through Gather/Apply.
 type Stepper interface {
 	BeforeStep(step int)
+}
+
+// ApplierAt is an optional Program extension: when implemented, the
+// engine calls ApplyAt(v, total) instead of Apply(&next[v], total).
+// Programs that keep vertex state outside the value array (the
+// bit-packed stores of internal/vc) need the vertex ID to address it;
+// the value-array Apply never sees one.
+type ApplierAt[G any] interface {
+	ApplyAt(v VertexID, total G) bool
 }
 
 // Run executes prog on g to quiescence. The graph must be directed
@@ -175,6 +188,7 @@ func Prepare[V, G any](g *graph.Graph, prog Program[V, G], cfg Config) func() (*
 		active:     make([]bool, n),
 		nextActive: make([]bool, n),
 		wake:       make([][]VertexID, cfg.Workers),
+		scratch:    rt.GetScratches(cfg.Workers),
 	}
 	if cfg.Mode != rt.DirectionPush {
 		p.bcast = rt.NewBroadcasts[struct{}](n)
@@ -211,6 +225,7 @@ func Prepare[V, G any](g *graph.Graph, prog Program[V, G], cfg Config) func() (*
 	})
 	return func() (*Result[V], error) {
 		defer g.Unpin(csr)
+		defer rt.PutScratches(p.scratch)
 		iters, err := p.driver.Run()
 		return &Result[V]{Values: p.cur, Iterations: iters, Stats: stats}, err
 	}
@@ -233,7 +248,8 @@ type policy[V, G any] struct {
 	pristine           []V // Init-time copy for checkpoint-free restarts (faults only)
 	active, nextActive []bool
 	activeCount        int
-	wake               [][]VertexID // per-worker scatter buffers, reused
+	wake               [][]VertexID     // per-worker scatter buffers, reused
+	scratch            []*graph.Scratch // pooled per-worker span-decode buffers (packed snapshots)
 
 	// Pull-mode scatter (Mode pull/auto): changed vertices mark their
 	// broadcast bit; the activation pass scans transpose spans for
@@ -262,6 +278,7 @@ func (p *policy[V, G]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) 
 	if pull {
 		p.bcast.Advance()
 	}
+	applyAt, useApplyAt := any(prog).(ApplierAt[G])
 	p.driver.Lease().Run(func(w int) {
 		var workW, sentW, activeW int64
 		for _, vid := range p.verts[w] {
@@ -271,7 +288,7 @@ func (p *policy[V, G]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) 
 				continue
 			}
 			total := prog.Zero()
-			srcs := csr.In(vid)
+			srcs := csr.InSpan(vid, p.scratch[w])
 			if ws := csr.InWeights(vid); ws == nil {
 				for _, u := range srcs {
 					total = prog.Sum(total, prog.Gather(u, 1, p.cur[u]))
@@ -282,7 +299,13 @@ func (p *policy[V, G]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) 
 				}
 			}
 			workW += int64(len(srcs))
-			if prog.Apply(&p.next[v], total) {
+			var changed bool
+			if useApplyAt {
+				changed = applyAt.ApplyAt(vid, total)
+			} else {
+				changed = prog.Apply(&p.next[v], total)
+			}
+			if changed {
 				if pull {
 					// Pulled scatter: mark the change; destinations
 					// find it on their transpose spans below. No
@@ -292,7 +315,7 @@ func (p *policy[V, G]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) 
 				} else {
 					// Scatter: wake out-neighbors (buffered per
 					// worker; merged after the barrier).
-					out := csr.Out(vid)
+					out := csr.OutSpan(vid, p.scratch[w])
 					sentW += int64(len(out))
 					p.wake[w] = append(p.wake[w], out...)
 				}
@@ -317,7 +340,7 @@ func (p *policy[V, G]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) 
 		p.driver.Lease().Run(func(w int) {
 			var cnt int64
 			for _, vid := range p.verts[w] {
-				for _, u := range csr.In(vid) {
+				for _, u := range csr.InSpan(vid, p.scratch[w]) {
 					if p.bcast.Has(u) {
 						p.nextActive[vid] = true
 						cnt++
@@ -371,6 +394,7 @@ func (p *policy[V, G]) Snapshot() *gasSnapshot[V] {
 		values:      rt.CloneValues[V](p.prog, p.cur),
 		active:      append([]bool(nil), p.active...),
 		activeCount: p.activeCount,
+		progState:   rt.SnapshotProgState(p.prog),
 	}
 }
 
@@ -380,6 +404,7 @@ func (p *policy[V, G]) Restore(snap *gasSnapshot[V], step int, ok bool) {
 		p.cur = rt.CloneValues[V](p.prog, snap.values)
 		copy(p.active, snap.active)
 		p.activeCount = snap.activeCount
+		rt.RestoreProgState(p.prog, snap.progState)
 	} else {
 		// Restart from the pristine Init-time values: re-running Init
 		// here would read the mutable graph mid-run.
@@ -388,6 +413,7 @@ func (p *policy[V, G]) Restore(snap *gasSnapshot[V], step int, ok bool) {
 			p.active[v] = true
 		}
 		p.activeCount = p.n
+		rt.RestoreProgState(p.prog, nil)
 	}
 	for i := range p.nextActive {
 		p.nextActive[i] = false
@@ -395,11 +421,13 @@ func (p *policy[V, G]) Restore(snap *gasSnapshot[V], step int, ok bool) {
 }
 
 // gasSnapshot is one checkpoint generation of a GAS run: the barrier
-// state entering an iteration.
+// state entering an iteration, plus any program-private state
+// (runtime.StateSnapshotter, e.g. a bit-packed label store).
 type gasSnapshot[V any] struct {
 	values      []V
 	active      []bool
 	activeCount int
+	progState   any
 }
 
 // --- GAS PageRank ---
@@ -515,6 +543,18 @@ func ConnectedComponents(g *graph.Graph, cfg Config) ([]VertexID, *Result[Vertex
 // PrepareConnectedComponents is the two-phase form of
 // ConnectedComponents (see Prepare).
 func PrepareConnectedComponents(g *graph.Graph, cfg Config) func() ([]VertexID, *Result[VertexID], error) {
+	if cfg.PackedState {
+		prog := newCCPackedProgram(g.N())
+		run := Prepare[struct{}, VertexID](g, prog, cfg)
+		return func() ([]VertexID, *Result[VertexID], error) {
+			res, err := run()
+			if err != nil {
+				return nil, nil, err
+			}
+			labels := prog.labels()
+			return labels, &Result[VertexID]{Values: labels, Iterations: res.Iterations, Stats: res.Stats}, nil
+		}
+	}
 	run := Prepare[VertexID, VertexID](g, ccProgram{}, cfg)
 	return func() ([]VertexID, *Result[VertexID], error) {
 		res, err := run()

@@ -32,10 +32,18 @@ type CSR struct {
 	Directed bool
 
 	Offsets  []int32
-	Dsts     []VertexID
+	Dsts     []VertexID // nil when destinations are packed (see packed)
 	Weights  []float64
 	LabelIDs []int32
 	Labels   []string
+
+	// packed, when non-nil, replaces Dsts with the varint-delta block
+	// representation (codec.go): Offsets/Weights/LabelIDs keep their
+	// flat layout and flat indices, only the destination array is
+	// compressed. Built by BuildPackedCSR or CompressCSR; read through
+	// the same accessors as the flat form (Out allocates per call on a
+	// packed snapshot — hot loops use OutSpan/ForEachOut instead).
+	packed *packedEdges
 
 	numEdges int
 
@@ -43,12 +51,41 @@ type CSR struct {
 	// undirected graphs); reached through the In accessors. inSrcs is
 	// ordered by source ascending within each vertex's span, matching
 	// Graph.EnsureIn's iteration order. inOnce makes the lazy build
-	// safe when concurrent jobs share one pinned snapshot.
+	// safe when concurrent jobs share one pinned snapshot. When the out
+	// side is packed the transpose is packed too (inPacked replaces
+	// inSrcs).
 	inOnce     sync.Once
 	inOffsets  []int32
 	inSrcs     []VertexID
 	inWeights  []float64
 	inLabelIDs []int32
+	inPacked   *packedEdges
+}
+
+// Packed reports whether the snapshot's destination arrays are
+// varint-delta compressed.
+func (c *CSR) Packed() bool { return c.packed != nil }
+
+// EdgeBytes returns the retained size in bytes of the snapshot's edge
+// arrays (offsets + destinations, plus the transpose if built; weights
+// and labels excluded — they are identical across representations).
+// The honest numerator of the edges-per-GB headline.
+func (c *CSR) EdgeBytes() int {
+	total := 4 * len(c.Offsets)
+	if c.packed != nil {
+		total += c.packed.sizeBytes()
+	} else {
+		total += 4 * len(c.Dsts)
+	}
+	if c.Directed && c.inOffsets != nil {
+		total += 4 * len(c.inOffsets)
+		if c.inPacked != nil {
+			total += c.inPacked.sizeBytes()
+		} else {
+			total += 4 * len(c.inSrcs)
+		}
+	}
+	return total
 }
 
 // BuildCSR builds a CSR snapshot of g. Adjacency order is preserved
@@ -120,14 +157,40 @@ func (c *CSR) M() int { return c.numEdges }
 
 // NumEntries returns the number of adjacency entries (directed edges,
 // or 2·M minus self-loops for undirected graphs).
-func (c *CSR) NumEntries() int { return len(c.Dsts) }
+func (c *CSR) NumEntries() int {
+	if c.packed != nil {
+		return int(c.packed.n)
+	}
+	return len(c.Dsts)
+}
 
 // OutDegree returns the out-degree of v.
 func (c *CSR) OutDegree(v VertexID) int { return int(c.Offsets[v+1] - c.Offsets[v]) }
 
-// Out returns v's out-neighbor span in adjacency order. The slice
-// aliases the snapshot and must not be modified.
-func (c *CSR) Out(v VertexID) []VertexID { return c.Dsts[c.Offsets[v]:c.Offsets[v+1]] }
+// Out returns v's out-neighbor span in adjacency order. On a flat
+// snapshot the slice aliases the snapshot and must not be modified; on
+// a packed snapshot every call decodes into a fresh allocation, so hot
+// loops over packed snapshots use OutSpan or ForEachOut instead.
+func (c *CSR) Out(v VertexID) []VertexID {
+	lo, hi := c.Offsets[v], c.Offsets[v+1]
+	if c.packed == nil {
+		return c.Dsts[lo:hi]
+	}
+	if lo == hi {
+		return nil
+	}
+	return c.packed.appendRange(make([]VertexID, 0, hi-lo), lo, hi)
+}
+
+// DstAt returns the destination of the adjacency entry at flat index i.
+// O(1) on flat snapshots; O(edgeBlockLen) on packed ones — for cold
+// flat-index paths (the mutation overlay), not hot loops.
+func (c *CSR) DstAt(i int32) VertexID {
+	if c.packed == nil {
+		return c.Dsts[i]
+	}
+	return c.packed.at(i)
+}
 
 // OutWeights returns v's out-edge weight span, aligned with Out(v), or
 // nil when the graph is unweighted (every weight 1).
@@ -163,6 +226,14 @@ func (c *CSR) EdgeLabel(i int32) string {
 // Graph.Out[v] or copying Neighbors.
 func (c *CSR) ForEachOut(v VertexID, f func(dst VertexID, w float64)) {
 	lo, hi := c.Offsets[v], c.Offsets[v+1]
+	if c.packed != nil {
+		if c.Weights == nil {
+			c.packed.forEachRange(lo, hi, func(_ int32, d VertexID) { f(d, 1) })
+		} else {
+			c.packed.forEachRange(lo, hi, func(i int32, d VertexID) { f(d, c.Weights[i]) })
+		}
+		return
+	}
 	if c.Weights == nil {
 		for _, d := range c.Dsts[lo:hi] {
 			f(d, 1)
@@ -174,15 +245,28 @@ func (c *CSR) ForEachOut(v VertexID, f func(dst VertexID, w float64)) {
 	}
 }
 
+// forEachOutIdx calls f(i, dst) for every out-entry of v with its flat
+// index, decoding packed blocks into a stack buffer. The flat-index
+// iterator behind the mutation overlay's tombstone walk.
+func (c *CSR) forEachOutIdx(v VertexID, f func(i int32, dst VertexID)) {
+	lo, hi := c.Offsets[v], c.Offsets[v+1]
+	if c.packed != nil {
+		c.packed.forEachRange(lo, hi, f)
+		return
+	}
+	for i := lo; i < hi; i++ {
+		f(i, c.Dsts[i])
+	}
+}
+
 // AppendOutEdges appends v's out-adjacency to buf as Edge values
 // (materializing weights and interned labels) and returns the extended
 // slice. Cold paths that still want []Edge use this; hot paths iterate
 // the spans directly.
 func (c *CSR) AppendOutEdges(buf []Edge, v VertexID) []Edge {
-	lo, hi := c.Offsets[v], c.Offsets[v+1]
-	for i := lo; i < hi; i++ {
-		buf = append(buf, Edge{Dst: c.Dsts[i], W: c.Weight(i), L: c.EdgeLabel(i)})
-	}
+	c.forEachOutIdx(v, func(i int32, d VertexID) {
+		buf = append(buf, Edge{Dst: d, W: c.Weight(i), L: c.EdgeLabel(i)})
+	})
 	return buf
 }
 
@@ -202,17 +286,26 @@ func (c *CSR) buildIn() {
 		c.inSrcs = c.Dsts
 		c.inWeights = c.Weights
 		c.inLabelIDs = c.LabelIDs
+		c.inPacked = c.packed
 		return
 	}
 	n := c.N()
+	entries := c.NumEntries()
 	off := make([]int32, n+1)
-	for _, d := range c.Dsts {
-		off[d+1]++
+	eachDst := func(f func(i int32, d VertexID)) {
+		if c.packed != nil {
+			c.packed.forEachRange(0, int32(entries), f)
+			return
+		}
+		for i, d := range c.Dsts {
+			f(int32(i), d)
+		}
 	}
+	eachDst(func(_ int32, d VertexID) { off[d+1]++ })
 	for v := 0; v < n; v++ {
 		off[v+1] += off[v]
 	}
-	srcs := make([]VertexID, len(c.Dsts))
+	srcs := make([]VertexID, entries)
 	var ws []float64
 	if c.Weights != nil {
 		ws = make([]float64, len(c.Weights))
@@ -224,22 +317,28 @@ func (c *CSR) buildIn() {
 	pos := make([]int32, n)
 	copy(pos, off[:n])
 	for u := 0; u < n; u++ {
-		lo, hi := c.Offsets[u], c.Offsets[u+1]
-		for i := lo; i < hi; i++ {
-			d := c.Dsts[i]
+		uu := VertexID(u)
+		c.forEachOutIdx(uu, func(i int32, d VertexID) {
 			p := pos[d]
 			pos[d] = p + 1
-			srcs[p] = VertexID(u)
+			srcs[p] = uu
 			if ws != nil {
 				ws[p] = c.Weights[i]
 			}
 			if ls != nil {
 				ls[p] = c.LabelIDs[i]
 			}
-		}
+		})
 	}
 	c.inOffsets = off
-	c.inSrcs = srcs
+	if c.packed != nil {
+		// Mirror the out side: a packed snapshot packs its transpose
+		// too (in-spans are sorted by source ascending, so they
+		// compress even better than builder-order out-spans).
+		c.inPacked = packEdges(srcs)
+	} else {
+		c.inSrcs = srcs
+	}
 	c.inWeights = ws
 	c.inLabelIDs = ls
 }
@@ -268,12 +367,47 @@ func (c *CSR) TotalDegree(v VertexID) int {
 
 // In returns v's in-neighbor (source) span, ordered by source
 // ascending. EnsureIn must have been called for directed graphs; for
-// undirected graphs it returns Out(v).
+// undirected graphs it returns Out(v). On a packed snapshot every call
+// decodes into a fresh allocation (see Out); hot loops use InSpan or
+// ForEachIn.
 func (c *CSR) In(v VertexID) []VertexID {
 	if !c.Directed {
 		return c.Out(v)
 	}
-	return c.inSrcs[c.inOffsets[v]:c.inOffsets[v+1]]
+	lo, hi := c.inOffsets[v], c.inOffsets[v+1]
+	if c.inPacked == nil {
+		return c.inSrcs[lo:hi]
+	}
+	if lo == hi {
+		return nil
+	}
+	return c.inPacked.appendRange(make([]VertexID, 0, hi-lo), lo, hi)
+}
+
+// InSrcAt returns the source of the transpose entry at flat index i
+// (see DstAt for the cost model). EnsureIn must have been called.
+func (c *CSR) InSrcAt(i int32) VertexID {
+	if c.inPacked == nil {
+		return c.inSrcs[i]
+	}
+	return c.inPacked.at(i)
+}
+
+// forEachInIdx calls f(i, src) for every in-entry of v with its flat
+// transpose index. EnsureIn must have been called for directed graphs.
+func (c *CSR) forEachInIdx(v VertexID, f func(i int32, src VertexID)) {
+	if !c.Directed {
+		c.forEachOutIdx(v, f)
+		return
+	}
+	lo, hi := c.inOffsets[v], c.inOffsets[v+1]
+	if c.inPacked != nil {
+		c.inPacked.forEachRange(lo, hi, f)
+		return
+	}
+	for i := lo; i < hi; i++ {
+		f(i, c.inSrcs[i])
+	}
 }
 
 // InWeights returns v's in-edge weight span aligned with In(v), or nil
@@ -296,6 +430,14 @@ func (c *CSR) ForEachIn(v VertexID, f func(src VertexID, w float64)) {
 		return
 	}
 	lo, hi := c.inOffsets[v], c.inOffsets[v+1]
+	if c.inPacked != nil {
+		if c.inWeights == nil {
+			c.inPacked.forEachRange(lo, hi, func(_ int32, s VertexID) { f(s, 1) })
+		} else {
+			c.inPacked.forEachRange(lo, hi, func(i int32, s VertexID) { f(s, c.inWeights[i]) })
+		}
+		return
+	}
 	if c.inWeights == nil {
 		for _, s := range c.inSrcs[lo:hi] {
 			f(s, 1)
@@ -315,8 +457,7 @@ func (c *CSR) AppendInEdges(buf []Edge, v VertexID) []Edge {
 	if !c.Directed {
 		return c.AppendOutEdges(buf, v)
 	}
-	lo, hi := c.inOffsets[v], c.inOffsets[v+1]
-	for i := lo; i < hi; i++ {
+	c.forEachInIdx(v, func(i int32, s VertexID) {
 		w := 1.0
 		if c.inWeights != nil {
 			w = c.inWeights[i]
@@ -325,7 +466,7 @@ func (c *CSR) AppendInEdges(buf []Edge, v VertexID) []Edge {
 		if c.inLabelIDs != nil {
 			l = c.Labels[c.inLabelIDs[i]]
 		}
-		buf = append(buf, Edge{Dst: c.inSrcs[i], W: w, L: l})
-	}
+		buf = append(buf, Edge{Dst: s, W: w, L: l})
+	})
 	return buf
 }

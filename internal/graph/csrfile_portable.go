@@ -1,0 +1,25 @@
+//go:build !unix
+
+package graph
+
+import (
+	"os"
+	"unsafe"
+)
+
+// mapFile on platforms without syscall.Mmap reads the whole file into
+// an 8-byte-aligned buffer (a []uint64 allocation), preserving the
+// alignment contract the in-place section views rely on.
+func mapFile(path string) ([]byte, func() error, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(raw) == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	words := make([]uint64, (len(raw)+7)/8)
+	buf := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), len(raw))
+	copy(buf, raw)
+	return buf, func() error { return nil }, nil
+}

@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTempVCSR(t *testing.T, g *Graph) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.vcsr")
+	if err := WriteCSRFilePath(path, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestVCSRRoundTrip(t *testing.T) {
+	graphs := map[string]*Graph{
+		"powerlaw":   PreferentialAttachment(400, 3, 9),
+		"random-dir": RandomDirected(250, 1200, 5),
+		"weighted": func() *Graph {
+			g := RandomConnected(150, 500, 2)
+			RandomWeights(g, 8)
+			return g
+		}(),
+		"empty": New(0, false),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			path := writeTempVCSR(t, g)
+			got, err := OpenCSRFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer got.Close()
+			if !got.Adopted() {
+				t.Fatal("loaded graph not adopted")
+			}
+			if got.N() != g.N() || got.M() != g.M() || got.Directed != g.Directed {
+				t.Fatalf("shape: got n=%d m=%d dir=%v, want n=%d m=%d dir=%v",
+					got.N(), got.M(), got.Directed, g.N(), g.M(), g.Directed)
+			}
+			want := BuildCSR(g)
+			assertCSREqual(t, name, want, got.CSR())
+			if g.N() > 0 && !got.CSR().Packed() {
+				t.Fatal("loaded snapshot not packed")
+			}
+		})
+	}
+}
+
+func TestVCSRAdoptedGraphIsReadOnly(t *testing.T) {
+	g, err := OpenCSRFile(writeTempVCSR(t, Cycle(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if _, err := g.ApplyMutations([]Mutation{{Op: InsertEdge, U: 0, V: 5}}); err == nil {
+		t.Fatal("ApplyMutations succeeded on adopted graph")
+	}
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic on adopted graph", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("AddEdge", func() { g.AddEdge(0, 5) })
+	mustPanic("Invalidate", func() { g.Invalidate() })
+	// Reads all work, including the lazily derived transpose.
+	if d := g.Degree(3); d != 2 {
+		t.Fatalf("Degree(3) = %d, want 2", d)
+	}
+	g.EnsureIn()
+	if got := g.CSR().In(0); len(got) != 2 {
+		t.Fatalf("In(0) = %v, want 2 in-neighbors", got)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestVCSRRejectsGarbage(t *testing.T) {
+	g := PreferentialAttachment(60, 2, 4)
+	var buf bytes.Buffer
+	if err := WriteCSRFile(&buf, g.CSR()); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	dir := t.TempDir()
+	tryOpen := func(name string, data []byte) error {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := OpenCSRFile(path)
+		if err == nil {
+			loaded.Close()
+		}
+		return err
+	}
+	if err := tryOpen("good.vcsr", good); err != nil {
+		t.Fatalf("pristine file rejected: %v", err)
+	}
+	if err := tryOpen("empty.vcsr", nil); err == nil {
+		t.Error("empty file accepted")
+	}
+	if err := tryOpen("magic.vcsr", append([]byte("NOPE"), good[4:]...)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if err := tryOpen("trunc.vcsr", good[:len(good)/2]); err == nil {
+		t.Error("truncated file accepted")
+	}
+	// Corrupt the packed stream one byte at a time: every corruption
+	// must be rejected or decode to in-range destinations — never panic
+	// or yield a CSR that indexes out of bounds.
+	for i := vcsrHeaderLen; i < len(good); i += 7 {
+		mut := append([]byte(nil), good...)
+		mut[i] ^= 0xff
+		if werr := os.WriteFile(filepath.Join(dir, "mut.vcsr"), mut, 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+		loaded, err := OpenCSRFile(filepath.Join(dir, "mut.vcsr"))
+		if err != nil {
+			continue
+		}
+		c := loaded.CSR()
+		n := VertexID(c.N())
+		var s Scratch
+		for v := VertexID(0); v < n; v++ {
+			for _, d := range c.OutSpan(v, &s) {
+				if d < 0 || d >= n {
+					t.Fatalf("byte %d corruption: out-of-range dst %d accepted", i, d)
+				}
+			}
+		}
+		loaded.Close()
+	}
+}
+
+func TestVCSRNoVcsrOnLabeled(t *testing.T) {
+	g := New(2, false)
+	g.AddLabeledEdge(0, 1, 1, "road")
+	var buf bytes.Buffer
+	if err := WriteCSRFile(&buf, g.CSR()); err == nil {
+		t.Fatal("labeled snapshot serialized")
+	}
+}

@@ -166,13 +166,14 @@ func (d *DeltaCSR) ForEachOut(v VertexID, f func(dst VertexID, w float64)) {
 	if d.delCnt[v] == 0 {
 		d.base.ForEachOut(v, f)
 	} else {
-		lo, hi := d.base.OutRange(v)
-		for i := lo; i < hi; i++ {
+		// Flat-index walk so tombstones can be checked; forEachOutIdx
+		// block-decodes packed bases into a stack buffer.
+		d.base.forEachOutIdx(v, func(i int32, dst VertexID) {
 			if _, dead := d.dels[i]; dead {
-				continue
+				return
 			}
-			f(d.base.Dsts[i], d.base.Weight(i))
-		}
+			f(dst, d.base.Weight(i))
+		})
 	}
 	for _, e := range d.adds[v] {
 		f(e.Dst, e.W)
@@ -190,11 +191,9 @@ func (d *DeltaCSR) ForEachIn(v VertexID, f func(src VertexID, w float64)) {
 	d.base.EnsureIn()
 	adds := d.inAdds[v]
 	ai := 0
-	lo, hi := d.base.inOffsets[v], d.base.inOffsets[v+1]
 	cur := VertexID(-1)
 	toSkip := 0
-	for i := lo; i < hi; i++ {
-		s := d.base.inSrcs[i]
+	d.base.forEachInIdx(v, func(i int32, s VertexID) {
 		if s != cur {
 			cur = s
 			toSkip = d.delPairs[[2]VertexID{s, v}]
@@ -208,14 +207,14 @@ func (d *DeltaCSR) ForEachIn(v VertexID, f func(src VertexID, w float64)) {
 		}
 		if toSkip > 0 {
 			toSkip--
-			continue
+			return
 		}
 		w := 1.0
 		if d.base.inWeights != nil {
 			w = d.base.inWeights[i]
 		}
 		f(s, w)
-	}
+	})
 	for ; ai < len(adds); ai++ {
 		f(adds[ai].Dst, adds[ai].W)
 	}

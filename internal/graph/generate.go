@@ -235,6 +235,63 @@ func PreferentialAttachment(n, k int, seed int64) *Graph {
 	return g
 }
 
+// RMAT returns an undirected R-MAT graph (Chakrabarti, Zhan, Faloutsos)
+// with 2^scale vertices and approximately m distinct edges: each edge
+// picks its endpoints by recursively descending into one of four
+// quadrants with probabilities (a,b,c,d) = (0.57, 0.19, 0.19, 0.05) —
+// the standard Graph500 parameters. The skew toward the low-ID quadrant
+// yields both a power-law degree distribution and ID locality (a
+// vertex's neighbors cluster at small IDs), which is what makes R-MAT
+// the stress case of choice for delta-compressed adjacency: sorted
+// neighbor gaps are small, unlike uniform-target generators whose gaps
+// average n/degree. Self-loops and parallel edges are rejected; if the
+// hot quadrant saturates before m edges land, the graph is returned
+// with fewer (hence "approximately").
+func RMAT(scale, m int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << scale
+	g := New(n, false)
+	if n < 2 {
+		return g
+	}
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		m = maxM
+	}
+	const a, b, c = 0.57, 0.19, 0.19
+	seen := make(map[[2]VertexID]bool, m)
+	for attempts := 0; len(seen) < m && attempts < 100*m; attempts++ {
+		u, v := 0, 0
+		for bit := scale - 1; bit >= 0; bit-- {
+			switch r := rng.Float64(); {
+			case r < a:
+				// low-ID quadrant: neither bit set
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		k := [2]VertexID{VertexID(u), VertexID(v)}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		g.AddEdge(k[0], k[1])
+	}
+	g.SortAdjacency()
+	return g
+}
+
 // StochasticBlockModel returns an undirected graph with `blocks` equal
 // communities of size n/blocks: within-community edges appear with
 // probability pIn, cross-community edges with pOut. The ground-truth

@@ -112,3 +112,73 @@ func TestPermutedPathIsPath(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRMATStructure(t *testing.T) {
+	g := RMAT(10, 4000, 7)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 1024 {
+		t.Fatalf("n = %d, want 1024", g.N())
+	}
+	if g.M() < 3500 || g.M() > 4000 {
+		t.Fatalf("m = %d, want approximately 4000", g.M())
+	}
+	// Determinism: the same seed must reproduce the graph exactly.
+	h := RMAT(10, 4000, 7)
+	for v := 0; v < g.N(); v++ {
+		if len(g.Out[v]) != len(h.Out[v]) {
+			t.Fatalf("vertex %d: degree differs across same-seed runs", v)
+		}
+		for i := range g.Out[v] {
+			if g.Out[v][i] != h.Out[v][i] {
+				t.Fatalf("vertex %d entry %d: adjacency differs across same-seed runs", v, i)
+			}
+		}
+	}
+	// Power-law skew: the hottest vertex should dwarf the average
+	// degree, and the low-ID quadrant should hold most endpoints.
+	maxDeg, lowHalf := 0, 0
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(VertexID(v))
+		if d > maxDeg {
+			maxDeg = d
+		}
+		if v < g.N()/2 {
+			lowHalf += d
+		}
+	}
+	avg := 2 * g.M() / g.N()
+	if maxDeg < 8*avg {
+		t.Fatalf("max degree %d vs average %d: no power-law skew", maxDeg, avg)
+	}
+	if 3*lowHalf < 4*g.M() { // low-ID half should hold >= 2/3 of the 2m endpoints
+		t.Fatalf("low-ID half holds %d of %d endpoints: no locality skew", lowHalf, 2*g.M())
+	}
+}
+
+func TestRMATCompressesBetterThanUniform(t *testing.T) {
+	// The generator exists to exercise delta compression under ID
+	// locality: its packed snapshot must beat the flat one by more than
+	// a uniform-target power-law graph of similar size does.
+	sizeRatio := func(g *Graph) float64 {
+		g.Encoding = EncodeInt32
+		c := g.Pin()
+		flat := c.EdgeBytes()
+		g.Unpin(c)
+		g.Invalidate()
+		g.Encoding = EncodePacked
+		c = g.Pin()
+		packed := c.EdgeBytes()
+		g.Unpin(c)
+		return float64(flat) / float64(packed)
+	}
+	rm := sizeRatio(RMAT(13, 60000, 5))
+	pa := sizeRatio(PreferentialAttachment(1<<13, 7, 5))
+	if rm < 2.0 {
+		t.Fatalf("RMAT compression ratio %.2f, want >= 2.0", rm)
+	}
+	if rm <= pa {
+		t.Fatalf("RMAT ratio %.2f not better than uniform-target PA ratio %.2f", rm, pa)
+	}
+}

@@ -74,6 +74,66 @@ type Graph struct {
 	// this many mutations since the last full CSR build, ApplyMutations
 	// rebuilds and re-bases the overlay. 0 means DefaultRebuildEvery.
 	RebuildEvery int
+
+	// Encoding selects the snapshot representation csrLocked builds:
+	// EncodeInt32 (the default) keeps flat 4-byte destination arrays,
+	// EncodePacked varint-delta compresses them (codec.go). Set it
+	// before the first snapshot build (or call Invalidate after); every
+	// subsequent generation — including delta-overlay rebases — uses
+	// the chosen representation. Both representations enumerate
+	// adjacency in identical order, so runs are byte-identical.
+	Encoding EdgeEncoding
+
+	// adopted, when non-nil, pins the graph to an externally built
+	// immutable snapshot (an mmap-backed .vcsr file, see OpenCSRFile):
+	// snapshot reads delegate to it and mutation is forbidden — there
+	// is no adjacency-list builder to mutate. closer releases the
+	// backing resource (the mmap), installed by OpenCSRFile.
+	adopted *CSR
+	closer  func() error
+}
+
+// EdgeEncoding selects a CSR destination-array representation.
+type EdgeEncoding uint8
+
+const (
+	// EncodeInt32 stores destinations as flat 4-byte entries.
+	EncodeInt32 EdgeEncoding = iota
+	// EncodePacked stores destinations as varint-delta blocks: ~2-4x
+	// more edges per GB on sorted adjacency, identical enumeration.
+	EncodePacked
+)
+
+// AdoptCSR wraps an externally built immutable snapshot (typically
+// mmap-backed, see OpenCSRFile) as a read-only Graph: N/M/Degree and
+// the snapshot accessors delegate to the adopted CSR, and any mutation
+// attempt panics. Out remains a slice of n nil adjacency lists so code
+// that merely measures lengths sees a consistent (empty) builder view;
+// algorithms must go through CSR spans, which every engine hot path
+// does.
+func AdoptCSR(c *CSR) *Graph {
+	return &Graph{
+		Directed: c.Directed,
+		Out:      make([][]Edge, c.N()),
+		numEdges: c.M(),
+		adopted:  c,
+	}
+}
+
+// Adopted reports whether the graph is an immutable wrapper around an
+// externally built snapshot.
+func (g *Graph) Adopted() bool { return g.adopted != nil }
+
+// Close releases the resource backing an adopted graph (the mmap of a
+// .vcsr file). A no-op for ordinary graphs; safe to call twice. The
+// adopted snapshot must not be read after Close.
+func (g *Graph) Close() error {
+	c := g.closer
+	g.closer = nil
+	if c == nil {
+		return nil
+	}
+	return c()
 }
 
 // New returns an empty graph with n vertices.
@@ -110,6 +170,9 @@ func (g *Graph) AddWeightedEdge(u, v VertexID, w float64) {
 // out-of-range destination was silently accepted until Validate, so the
 // boundary is checked here.
 func (g *Graph) AddLabeledEdge(u, v VertexID, w float64, l string) {
+	if g.adopted != nil {
+		panic("graph: mutation of an adopted (mmap-backed) graph")
+	}
 	if n := VertexID(g.N()); u < 0 || u >= n || v < 0 || v >= n {
 		panic(fmt.Sprintf("graph: AddLabeledEdge(%d, %d): vertex out of range [0,%d)", u, v, n))
 	}
@@ -127,11 +190,19 @@ func (g *Graph) AddLabeledEdge(u, v VertexID, w float64, l string) {
 
 // Degree returns the out-degree of v (for undirected graphs, the
 // degree).
-func (g *Graph) Degree(v VertexID) int { return len(g.Out[v]) }
+func (g *Graph) Degree(v VertexID) int {
+	if g.adopted != nil {
+		return g.adopted.OutDegree(v)
+	}
+	return len(g.Out[v])
+}
 
 // InDegree returns the in-degree of v. For undirected graphs it equals
 // Degree. For directed graphs, EnsureIn must have been called.
 func (g *Graph) InDegree(v VertexID) int {
+	if g.adopted != nil {
+		return g.adopted.InDegree(v)
+	}
 	if !g.Directed {
 		return len(g.Out[v])
 	}
@@ -144,6 +215,9 @@ func (g *Graph) InDegree(v VertexID) int {
 // TotalDegree returns d(v) for undirected graphs and
 // d_in(v)+d_out(v) for directed graphs (with In built).
 func (g *Graph) TotalDegree(v VertexID) int {
+	if g.adopted != nil {
+		return g.adopted.TotalDegree(v)
+	}
 	if !g.Directed {
 		return len(g.Out[v])
 	}
@@ -157,6 +231,9 @@ func (g *Graph) TotalDegree(v VertexID) int {
 // CSR().Out(v) (an alias into the snapshot, allocation-free) or use
 // CSR().ForEachOut instead.
 func (g *Graph) Neighbors(v VertexID) []VertexID {
+	if g.adopted != nil {
+		return g.adopted.Out(v)
+	}
 	out := make([]VertexID, len(g.Out[v]))
 	for i, e := range g.Out[v] {
 		out[i] = e.Dst
@@ -167,6 +244,10 @@ func (g *Graph) Neighbors(v VertexID) []VertexID {
 // EnsureIn builds the in-adjacency lists of a directed graph. It is a
 // no-op for undirected graphs or if already built.
 func (g *Graph) EnsureIn() {
+	if g.adopted != nil {
+		g.adopted.EnsureIn()
+		return
+	}
 	if !g.Directed || g.In != nil {
 		return
 	}
@@ -190,8 +271,11 @@ func (g *Graph) CSR() *CSR {
 }
 
 func (g *Graph) csrLocked() *CSR {
+	if g.adopted != nil {
+		return g.adopted
+	}
 	if g.csr == nil || g.csrVersion != g.version {
-		g.csr = BuildCSR(g)
+		g.csr = g.buildSnapshotLocked()
 		g.csrVersion = g.version
 		// A fresh full build is also a fresh overlay base: re-basing
 		// here keeps delta spans no longer than mutations-since-last-
@@ -202,6 +286,17 @@ func (g *Graph) csrLocked() *CSR {
 		}
 	}
 	return g.csr
+}
+
+// buildSnapshotLocked builds a fresh snapshot in the representation the
+// Encoding knob selects. Every snapshot build — cache refresh, delta
+// rebase, RebuildEvery amortized rebuild — goes through here, so a
+// packed graph never silently republishes a flat generation.
+func (g *Graph) buildSnapshotLocked() *CSR {
+	if g.Encoding == EncodePacked {
+		return BuildPackedCSR(g)
+	}
+	return BuildCSR(g)
 }
 
 // Pin returns the current CSR snapshot with a reference held on it:
@@ -272,6 +367,9 @@ func (g *Graph) Pins() int {
 // !ok, forcing incremental consumers to cold-start), and the delta
 // overlay is dropped so PinDelta re-bases on a fresh full build.
 func (g *Graph) Invalidate() {
+	if g.adopted != nil {
+		panic("graph: mutation of an adopted (mmap-backed) graph")
+	}
 	g.mu.Lock()
 	g.version++
 	g.csr = nil

@@ -107,6 +107,9 @@ func (g *Graph) MutationsSince(epoch int64) ([]Mutation, bool) {
 func (g *Graph) ApplyMutations(muts []Mutation) (int64, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if g.adopted != nil {
+		return g.epoch, fmt.Errorf("graph: ApplyMutations on an adopted (mmap-backed) graph")
+	}
 	if len(muts) == 0 {
 		return g.epoch, nil
 	}
@@ -137,7 +140,7 @@ func (g *Graph) ApplyMutations(muts []Mutation) (int64, error) {
 		every = DefaultRebuildEvery
 	}
 	if g.mutsSinceRebuild += len(muts); g.mutsSinceRebuild >= every {
-		g.csr = BuildCSR(g)
+		g.csr = g.buildSnapshotLocked()
 		g.csrVersion = g.version
 		g.rebaseLocked(g.csr)
 	}
@@ -199,7 +202,7 @@ func (g *Graph) ensureDeltaBaseLocked() {
 		return
 	}
 	if g.csr == nil || g.csrVersion != g.version {
-		g.csr = BuildCSR(g)
+		g.csr = g.buildSnapshotLocked()
 		g.csrVersion = g.version
 	}
 	g.rebaseLocked(g.csr)
@@ -258,7 +261,7 @@ func (g *Graph) deleteHalfLocked(u, v VertexID) float64 {
 	base := g.deltaBase
 	lo, hi := base.OutRange(u)
 	for i := lo; i < hi; i++ {
-		if base.Dsts[i] != v {
+		if base.DstAt(i) != v {
 			continue
 		}
 		if _, dead := d.dels[i]; dead {

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 )
@@ -134,6 +135,145 @@ func TestPinConcurrentWithMutation(t *testing.T) {
 	if g.Pins() != 0 {
 		t.Fatalf("pins = %d after drain, want 0", g.Pins())
 	}
+}
+
+// TestPinPackedBaseSurvivesRebuild pins a delta view whose base is a
+// compressed (varint-delta packed) snapshot, then drives enough batches
+// through RebuildEvery to republish several fresh packed generations.
+// The pinned view must stay readable and enumerate byte-identically to
+// the moment it was pinned, while new pins see the new generations.
+func TestPinPackedBaseSurvivesRebuild(t *testing.T) {
+	g := RandomConnected(32, 64, 5)
+	g.Encoding = EncodePacked
+	g.RebuildEvery = 3
+
+	// Establish an overlay on a packed base, then freeze a view of it.
+	if _, err := g.ApplyMutations([]Mutation{{Op: InsertEdge, U: 0, V: 9, W: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	d := g.PinDelta()
+	if d.Base().packed == nil {
+		t.Fatal("overlay base is not packed despite EncodePacked")
+	}
+	c := g.Pin()
+	before := make([][]entry, g.N())
+	for v := VertexID(0); int(v) < g.N(); v++ {
+		before[v] = collectOut(d.ForEachOut, v)
+	}
+	beforeM, beforeCSR := d.M(), c.M()
+
+	// Enough batches to cross several RebuildEvery boundaries.
+	for j := 0; j < 12; j++ {
+		u, v := VertexID(j%32), VertexID((j*11+7)%32)
+		if _, err := g.ApplyMutations([]Mutation{{Op: InsertEdge, U: u, V: v, W: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if d.M() != beforeM || c.M() != beforeCSR {
+		t.Fatalf("pinned views changed m: delta %d->%d, csr %d->%d", beforeM, d.M(), beforeCSR, c.M())
+	}
+	for v := VertexID(0); int(v) < g.N(); v++ {
+		if got := collectOut(d.ForEachOut, v); !reflect.DeepEqual(got, before[v]) {
+			t.Fatalf("vertex %d: pinned delta view changed under rebuild: %v -> %v", v, got, before[v])
+		}
+	}
+	d2 := g.PinDelta()
+	if d2 == d {
+		t.Fatal("pin after rebuilds returned the stale view")
+	}
+	if d2.Base().packed == nil {
+		t.Fatal("republished base is not packed despite EncodePacked")
+	}
+	checkDeltaMatchesRebuild(t, g)
+	g.UnpinDelta(d)
+	g.UnpinDelta(d2)
+	g.Unpin(c)
+	if g.Pins() != 0 {
+		t.Fatalf("pins = %d after drain, want 0", g.Pins())
+	}
+}
+
+// TestPinPackedConcurrentRebuild is the -race variant: readers decode
+// packed spans off pinned views (flat Pin and delta PinDelta) while a
+// mutator's batches repeatedly fire RebuildEvery, republishing fresh
+// packed bases under them.
+func TestPinPackedConcurrentRebuild(t *testing.T) {
+	g := Cycle(64)
+	g.Encoding = EncodePacked
+	g.RebuildEvery = 2
+	var bracket sync.RWMutex
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var s Scratch
+			for j := 0; j < 50; j++ {
+				bracket.RLock()
+				c := g.Pin()
+				bracket.RUnlock()
+				total := 0
+				for v := VertexID(0); int(v) < c.N(); v++ {
+					total += len(c.OutSpan(v, &s))
+				}
+				if total != 2*c.M() {
+					t.Errorf("packed snapshot inconsistent: span sum %d != 2m %d", total, 2*c.M())
+				}
+				g.Unpin(c)
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				bracket.RLock()
+				d := g.PinDelta()
+				bracket.RUnlock()
+				if d.Base().packed == nil {
+					t.Error("delta base lost its packed encoding")
+				}
+				total := 0
+				for v := VertexID(0); int(v) < d.N(); v++ {
+					d.ForEachOut(v, func(VertexID, float64) { total++ })
+				}
+				if total != 2*d.M() {
+					t.Errorf("delta view over packed base inconsistent: degree sum %d != 2m %d", total, 2*d.M())
+				}
+				g.UnpinDelta(d)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			u, v := VertexID(j%64), VertexID((j*13+5)%64)
+			bracket.Lock()
+			if _, err := g.ApplyMutations([]Mutation{
+				{Op: InsertEdge, U: u, V: v, W: float64(j%7 + 1)},
+				{Op: DeleteEdge, U: u, V: v},
+				{Op: InsertEdge, U: v, V: u, W: 3},
+			}); err != nil {
+				t.Errorf("batch %d: %v", j, err)
+			}
+			bracket.Unlock()
+		}
+	}()
+	wg.Wait()
+	if g.Pins() != 0 {
+		t.Fatalf("pins = %d after drain, want 0", g.Pins())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := g.Pin()
+	if c.packed == nil {
+		t.Fatal("final snapshot is not packed despite EncodePacked")
+	}
+	g.Unpin(c)
 }
 
 // TestApplyMutationsConcurrentWithPin interleaves ApplyMutations with

@@ -185,8 +185,12 @@ type Engine[V, M any] struct {
 	gather   []*rt.Gatherer[M]
 	pullStep bool // current superstep runs the pull path
 
-	// Per-superstep scratch, allocated once per engine.
+	// Per-superstep scratch, allocated once per engine. scratch holds
+	// each worker's span-decode buffers: on a packed snapshot OutSpan/
+	// InSpan decode into them, on a flat snapshot they alias the CSR
+	// arrays and the buffers stay nil.
 	ctxs      []Context[V, M]
+	scratch   []*graph.Scratch // pooled span-decode buffers, returned when Run ends
 	workerMax []maxima
 	delivered []int64
 	placed    []int64
@@ -292,6 +296,7 @@ func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[M]) *Eng
 		}
 	}
 	e.ctxs = make([]Context[V, M], cfg.Workers)
+	e.scratch = rt.GetScratches(cfg.Workers)
 	e.workerMax = make([]maxima, cfg.Workers)
 	e.delivered = make([]int64, cfg.Workers)
 	e.placed = make([]int64, cfg.Workers)
@@ -365,6 +370,7 @@ func (e *Engine[V, M]) inEdges(v VertexID) []graph.Edge {
 // runtime.Driver; the engine contributes the pregel policy below.
 func (e *Engine[V, M]) Run() (*Result[V], error) {
 	defer e.g.Unpin(e.csr)
+	defer rt.PutScratches(e.scratch)
 	e.aggCurrent = make(map[string]any, len(e.aggs))
 	for name, a := range e.aggs {
 		e.aggCurrent[name] = a.Zero()
@@ -612,7 +618,7 @@ func (e *Engine[V, M]) gatherPulled(w int) (raw, placed int64) {
 	comb := e.cfg.Combiner
 	onMail := e.onMail[w]
 	for _, v := range e.verts[w] {
-		acc, r, ok := g.Gather(e.bcast, e.ownerOf, e.csr.In(v), comb)
+		acc, r, ok := g.Gather(e.bcast, e.ownerOf, e.csr.InSpan(v, e.scratch[w]), comb)
 		if !ok {
 			continue
 		}
@@ -754,7 +760,7 @@ func (c *Context[V, M]) SendToNeighbors(m M) {
 		e.bcast.Set(c.id, m, e.cfg.Combiner)
 		return
 	}
-	dsts := e.csr.Out(c.id)
+	dsts := e.csr.OutSpan(c.id, e.scratch[c.worker])
 	c.sent += int64(len(dsts))
 	c.wire += int64(len(dsts))
 	e.mbox.SendAll(c.worker, dsts, m)

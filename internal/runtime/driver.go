@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	goruntime "runtime"
 
 	"vcgraph/internal/bsp"
 )
@@ -193,6 +194,17 @@ func (d *Driver[S]) LoseBatch() { d.lost = true }
 // serial finish, the step cap, or a policy error. It returns the number
 // of steps executed (the barrier index at which the run stopped).
 func (d *Driver[S]) Run() (steps int, err error) {
+	// Memory observability: bracket the run with ReadMemStats so every
+	// engine reports how much heap the run grew and allocated — the
+	// comparative counters behind the memory-lean substrate.
+	var m0 goruntime.MemStats
+	goruntime.ReadMemStats(&m0)
+	defer func() {
+		var m1 goruntime.MemStats
+		goruntime.ReadMemStats(&m1)
+		d.stats.HeapInuseDelta += int64(m1.HeapInuse) - int64(m0.HeapInuse)
+		d.stats.TotalAllocDelta += m1.TotalAlloc - m0.TotalAlloc
+	}()
 	ctx := d.cfg.Ctx
 	if d.cfg.Job != nil {
 		ctx = d.cfg.Job.Context()

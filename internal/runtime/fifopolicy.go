@@ -119,8 +119,9 @@ func (p *WorklistRunner[V]) Superstep(step int, ss *bsp.SuperstepStats) (int, er
 // (step · EpochLen), so it is not stored.
 func (p *WorklistRunner[V]) Snapshot() *WorklistSnapshot[V] {
 	return &WorklistSnapshot[V]{
-		values: CloneValues[V](p.Prog, *p.Values),
-		queue:  p.Queue.Snapshot(),
+		values:    CloneValues[V](p.Prog, *p.Values),
+		queue:     p.Queue.Snapshot(),
+		progState: SnapshotProgState(p.Prog),
 	}
 }
 
@@ -132,9 +133,11 @@ func (p *WorklistRunner[V]) Restore(snap *WorklistSnapshot[V], step int, ok bool
 		*p.Values = CloneValues[V](p.Prog, snap.values)
 		p.Queue.Load(snap.queue)
 		p.updates = step * p.EpochLen
+		RestoreProgState(p.Prog, snap.progState)
 		return
 	}
 	*p.Values = CloneValues[V](p.Prog, p.PristineValues)
+	RestoreProgState(p.Prog, nil)
 	if p.PristineQueue != nil {
 		p.Queue.Load(p.PristineQueue)
 	} else {
@@ -147,8 +150,10 @@ func (p *WorklistRunner[V]) Restore(snap *WorklistSnapshot[V], step int, ok bool
 }
 
 // WorklistSnapshot is one checkpoint generation of a worklist run: the
-// values and the worklist (in arrival order) at an epoch boundary.
+// values and the worklist (in arrival order) at an epoch boundary,
+// plus any program-private state (StateSnapshotter).
 type WorklistSnapshot[V any] struct {
-	values []V
-	queue  []VertexID
+	values    []V
+	queue     []VertexID
+	progState any
 }

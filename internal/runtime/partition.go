@@ -121,9 +121,10 @@ func PartitionDegreeBalancedCSR(c *graph.CSR, workers int) []int32 {
 func BlockLocalFractions(c *graph.CSR, owner []int32, blocks int) []float64 {
 	local := make([]int64, blocks)
 	total := make([]int64, blocks)
+	var s graph.Scratch
 	for v := 0; v < c.N() && v < len(owner); v++ {
 		b := owner[v]
-		for _, u := range c.Out(VertexID(v)) {
+		for _, u := range c.OutSpan(VertexID(v), &s) {
 			total[b]++
 			if owner[u] == b {
 				local[b]++

@@ -1,0 +1,23 @@
+package runtime
+
+import "testing"
+
+func TestScratchPoolLease(t *testing.T) {
+	ss := GetScratches(4)
+	if len(ss) != 4 {
+		t.Fatalf("leased %d buffers, want 4", len(ss))
+	}
+	for i, s := range ss {
+		if s == nil {
+			t.Fatalf("entry %d is nil", i)
+		}
+	}
+	PutScratches(ss)
+	for i, s := range ss {
+		if s != nil {
+			t.Fatalf("entry %d not nilled on return", i)
+		}
+	}
+	PutScratch(nil) // returning a nil lease is a no-op, not a panic
+	PutScratch(GetScratch())
+}

@@ -1,0 +1,38 @@
+package runtime
+
+// StateSnapshotter is the engine-agnostic fault-tolerance hook for
+// programs that keep state outside the engine's value array (e.g. the
+// bit-packed stores in internal/vc). Engines whose checkpoints clone
+// the value array (gas, async's worklist runner, blockcentric) only
+// capture values they own; a program implementing this interface gets
+// its private state captured alongside at checkpoint time and restored
+// on rollback. RestoreState(nil) must reset to the pristine
+// initial-state (a restart from superstep 0 with no checkpoint taken).
+//
+// Pregel programs use the pregel package's own Snapshotter, which
+// predates this and has the same contract.
+type StateSnapshotter interface {
+	// SnapshotState returns an opaque deep copy of the program's
+	// private state.
+	SnapshotState() any
+	// RestoreState replaces the program's private state with a copy
+	// captured by SnapshotState, or resets to pristine when passed nil.
+	RestoreState(state any)
+}
+
+// SnapshotProgState captures prog's private state if it participates
+// in checkpointing, else nil.
+func SnapshotProgState(prog any) any {
+	if s, ok := prog.(StateSnapshotter); ok {
+		return s.SnapshotState()
+	}
+	return nil
+}
+
+// RestoreProgState hands state (possibly nil, meaning pristine) back
+// to prog if it participates in checkpointing.
+func RestoreProgState(prog any, state any) {
+	if s, ok := prog.(StateSnapshotter); ok {
+		s.RestoreState(state)
+	}
+}

@@ -145,8 +145,26 @@ func (p *colProgram) StateUnits(v *colValue) int64 { return 3 }
 // ColoringMIS colors the graph with Luby-MIS phases. The result is
 // deterministic for a given Config.Seed.
 func ColoringMIS(g *graph.Graph, cfg Config) (*ColoringResult, error) {
-	prog := &colProgram{}
 	ecfg := engineCfg[colMsg](cfg)
+	if cfg.PackedState {
+		prog := newColPackedProgram(g)
+		eng := pregel.NewEngine[struct{}, colMsg](g, prog, ecfg)
+		eng.RegisterAggregator("uncolored", pregel.SumInt64())
+		eng.RegisterAggregator("remaining", pregel.SumInt64())
+		res, err := eng.Run()
+		if err != nil {
+			return nil, err
+		}
+		out := &ColoringResult{Colors: make([]int, g.N()), K: prog.c + 1, Stats: res.Stats}
+		for v := range res.Values {
+			out.Colors[v] = int(prog.color.Get(v)) - 1
+		}
+		if g.N() == 0 {
+			out.K = 0
+		}
+		return out, nil
+	}
+	prog := &colProgram{}
 	eng := pregel.NewEngine[colValue, colMsg](g, prog, ecfg)
 	eng.RegisterAggregator("uncolored", pregel.SumInt64())
 	eng.RegisterAggregator("remaining", pregel.SumInt64())

@@ -111,6 +111,21 @@ func PrepareHashMinCC(g *graph.Graph, cfg Config) func() (*CCResult, error) {
 			return b
 		}
 	}
+	if cfg.PackedState {
+		prog := newHashMinPackedProgram(g.N(), nil)
+		eng := pregel.NewEngine[struct{}, VertexID](g, prog, ecfg)
+		return func() (*CCResult, error) {
+			res, err := eng.Run()
+			if err != nil {
+				return nil, err
+			}
+			color := make([]VertexID, g.N())
+			for v := range res.Values {
+				color[v] = VertexID(prog.labels.Get(v))
+			}
+			return &CCResult{Color: color, Stats: res.Stats}, nil
+		}
+	}
 	eng := pregel.NewEngine[hashMinValue, VertexID](g, hashMinProgram{}, ecfg)
 	return func() (*CCResult, error) {
 		res, err := eng.Run()

@@ -95,6 +95,25 @@ func KCore(g *graph.Graph, cfg Config) (*KCoreResult, error) {
 // constructed (and the snapshot pinned) now, under whatever lock the
 // caller holds; the returned closure runs lock-free.
 func PrepareKCore(g *graph.Graph, cfg Config) func() (*KCoreResult, error) {
+	if cfg.PackedState {
+		prog := newKCorePackedProgram(g)
+		eng := pregel.NewEngine[kcorePackedValue, kcoreMsg](g, prog, engineCfg[kcoreMsg](cfg))
+		return func() (*KCoreResult, error) {
+			res, err := eng.Run()
+			if err != nil {
+				return nil, err
+			}
+			out := &KCoreResult{Core: make([]int32, g.N()), Stats: res.Stats}
+			for v := range res.Values {
+				est := int32(prog.est.Get(v))
+				out.Core[v] = est
+				if est > out.Degeneracy {
+					out.Degeneracy = est
+				}
+			}
+			return out, nil
+		}
+	}
 	eng := pregel.NewEngine[kcoreValue, kcoreMsg](g, kcoreProgram{}, engineCfg[kcoreMsg](cfg))
 	return func() (*KCoreResult, error) {
 		res, err := eng.Run()

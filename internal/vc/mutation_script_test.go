@@ -39,6 +39,9 @@ type scriptRig struct {
 	g    *graph.Graph
 	rng  *rand.Rand
 	live [][3]float64 // {u, v, w}; a multiset snapshot of logical edges
+	// mirror, when set, receives every batch the rig applies — a twin
+	// graph evolving in lockstep (the packed-encoding differential).
+	mirror *graph.Graph
 }
 
 func newScriptRig(t *testing.T, n, m int, seed int64) *scriptRig {
@@ -81,6 +84,11 @@ func (r *scriptRig) step(k int) {
 	}
 	if _, err := r.g.ApplyMutations(muts); err != nil {
 		r.t.Fatalf("ApplyMutations(%v): %v", muts, err)
+	}
+	if r.mirror != nil {
+		if _, err := r.mirror.ApplyMutations(muts); err != nil {
+			r.t.Fatalf("mirror ApplyMutations(%v): %v", muts, err)
+		}
 	}
 }
 

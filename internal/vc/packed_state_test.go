@@ -1,0 +1,445 @@
+package vc
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"vcgraph/internal/async"
+	"vcgraph/internal/blockcentric"
+	"vcgraph/internal/bsp"
+	"vcgraph/internal/gas"
+	"vcgraph/internal/graph"
+	"vcgraph/internal/pregel"
+	rt "vcgraph/internal/runtime"
+)
+
+// Packed-state differential suite: every algorithm with a bit-packed
+// variant (PackedState) must produce runs byte-identical to its dense
+// twin — same outputs AND same per-superstep cost records — across
+// engines, partitioners, direction modes, and fault plans, on both
+// flat (int32) and varint-delta-packed CSR snapshots. Byte-packing
+// state or edges is a representation change only; any observable
+// difference is a bug.
+
+// packedCell pairs a dense run with its packed-state twin under one
+// engine × configuration.
+type packedCell struct {
+	name       string
+	epochSaves bool
+	// looseWork marks engines whose Work counters depend on map
+	// iteration order run-to-run (the block-centric local BFS rescans),
+	// where only the order-independent superstep fields can be compared.
+	looseWork bool
+	// noLanes marks cells that move no message batches over lanes (the
+	// GAS pull path gathers neighbor state directly), where lane fault
+	// events can never fire: output identity is still asserted but the
+	// recovery counters are not.
+	noLanes bool
+	dense   func(ck int, plan *rt.FaultPlan) (any, *bsp.Stats, error)
+	packed  func(ck int, plan *rt.FaultPlan) (any, *bsp.Stats, error)
+}
+
+// stripWork zeroes the order-dependent fields of a superstep record.
+func stripWork(ss []bsp.SuperstepStats) []bsp.SuperstepStats {
+	out := make([]bsp.SuperstepStats, len(ss))
+	for i, s := range ss {
+		s.Work = nil
+		s.MaxWork = 0
+		s.Cost = 0
+		out[i] = s
+	}
+	return out
+}
+
+// runPackedDifferential holds each cell's packed variant to its dense
+// baseline: identical values and superstep records fault-free, and
+// identical values again under every fault case and seeded plan.
+func runPackedDifferential(t *testing.T, cells []packedCell) {
+	for _, cell := range cells {
+		cell := cell
+		t.Run(cell.name, func(t *testing.T) {
+			base, dstats, err := cell.dense(0, nil)
+			if err != nil {
+				t.Fatalf("dense run: %v", err)
+			}
+			got, pstats, err := cell.packed(0, nil)
+			if err != nil {
+				t.Fatalf("packed run: %v", err)
+			}
+			if !reflect.DeepEqual(got, base) {
+				t.Fatalf("packed values differ from dense")
+			}
+			ds, ps := dstats.Supersteps, pstats.Supersteps
+			if cell.looseWork {
+				ds, ps = stripWork(ds), stripWork(ps)
+			}
+			if !reflect.DeepEqual(ds, ps) {
+				t.Fatalf("packed superstep records differ from dense:\ndense:  %+v\npacked: %+v", ds, ps)
+			}
+			if dstats.MaxStatePerDeg != pstats.MaxStatePerDeg {
+				t.Fatalf("state balance differs: dense %v, packed %v", dstats.MaxStatePerDeg, pstats.MaxStatePerDeg)
+			}
+
+			for _, fc := range faultCases() {
+				fc := fc
+				t.Run(fc.name, func(t *testing.T) {
+					got, st, err := cell.packed(fc.ck, fc.plan(engineCell{epochSaves: cell.epochSaves}))
+					if err != nil {
+						t.Fatalf("faulted packed run: %v", err)
+					}
+					if !reflect.DeepEqual(got, base) {
+						t.Fatalf("faulted packed output differs from dense baseline\nrecovery: %+v", st.Recovery)
+					}
+					if cell.noLanes && (fc.name == "drop-lane" || fc.name == "dup-lane") {
+						return
+					}
+					fc.check(t, st.Recovery)
+				})
+			}
+			for seed := int64(1); seed <= 2; seed++ {
+				seed := seed
+				t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+					got, st, err := cell.packed(2, rt.NewFaultPlan(seed))
+					if err != nil {
+						t.Fatalf("seeded packed run: %v", err)
+					}
+					if !reflect.DeepEqual(got, base) {
+						t.Fatalf("seed %d packed output differs from dense baseline\nrecovery: %+v", seed, st.Recovery)
+					}
+				})
+			}
+		})
+	}
+}
+
+// diffGraphs returns the two snapshot encodings every packed-state
+// cell matrix runs over: the flat int32 CSR and the varint-delta
+// packed one, built from identical adjacency.
+func diffGraphs(build func() *graph.Graph) []struct {
+	name string
+	g    *graph.Graph
+} {
+	flat := build()
+	packed := build()
+	packed.Encoding = graph.EncodePacked
+	return []struct {
+		name string
+		g    *graph.Graph
+	}{{"int32", flat}, {"vdelta", packed}}
+}
+
+func TestPackedStateCCDifferential(t *testing.T) {
+	for _, enc := range diffGraphs(func() *graph.Graph { return graph.Grid(12, 12) }) {
+		g := enc.g
+		var cells []packedCell
+
+		ccCell := func(name string, cfg Config) packedCell {
+			return packedCell{
+				name: name,
+				dense: func(ck int, plan *rt.FaultPlan) (any, *bsp.Stats, error) {
+					c := cfg
+					c.CheckpointEvery, c.Faults = ck, plan
+					res, err := HashMinCC(g, c)
+					if err != nil {
+						return nil, nil, err
+					}
+					return res.Color, res.Stats, nil
+				},
+				packed: func(ck int, plan *rt.FaultPlan) (any, *bsp.Stats, error) {
+					c := cfg
+					c.CheckpointEvery, c.Faults, c.PackedState = ck, plan, true
+					res, err := HashMinCC(g, c)
+					if err != nil {
+						return nil, nil, err
+					}
+					return res.Color, res.Stats, nil
+				},
+			}
+		}
+		for _, p := range []struct {
+			name string
+			part pregel.Partitioner
+		}{{"hash", nil}, {"range", pregel.PartitionRange}} {
+			for _, w := range []int{1, 3} {
+				cells = append(cells, ccCell(fmt.Sprintf("pregel/%s/w%d", p.name, w), Config{Workers: w, Partition: p.part}))
+			}
+		}
+		cells = append(cells,
+			ccCell("pregel/push", Config{Workers: 3, Mode: rt.DirectionPush}),
+			ccCell("pregel/pull", Config{Workers: 3, Mode: rt.DirectionPull}),
+			ccCell("pregel/nocombiner", Config{Workers: 3, NoCombiner: true}),
+			ccCell("pregel/fcs", Config{Workers: 3, FCS: 40}),
+		)
+
+		gasCell := func(name string, cfg gas.Config) packedCell {
+			return packedCell{
+				name:    name,
+				noLanes: cfg.Mode == rt.DirectionPull,
+				dense: func(ck int, plan *rt.FaultPlan) (any, *bsp.Stats, error) {
+					c := cfg
+					c.CheckpointEvery, c.Faults = ck, plan
+					labels, res, err := gas.ConnectedComponents(g, c)
+					if err != nil {
+						return nil, nil, err
+					}
+					return labels, res.Stats, nil
+				},
+				packed: func(ck int, plan *rt.FaultPlan) (any, *bsp.Stats, error) {
+					c := cfg
+					c.CheckpointEvery, c.Faults, c.PackedState = ck, plan, true
+					labels, res, err := gas.ConnectedComponents(g, c)
+					if err != nil {
+						return nil, nil, err
+					}
+					return labels, res.Stats, nil
+				},
+			}
+		}
+		for _, w := range []int{1, 3} {
+			cells = append(cells, gasCell(fmt.Sprintf("gas/w%d", w), gas.Config{Workers: w}))
+		}
+		cells = append(cells,
+			gasCell("gas/push", gas.Config{Workers: 3, Mode: rt.DirectionPush}),
+			gasCell("gas/pull", gas.Config{Workers: 3, Mode: rt.DirectionPull}),
+		)
+
+		cells = append(cells, packedCell{
+			name: "async", epochSaves: true,
+			dense: func(ck int, plan *rt.FaultPlan) (any, *bsp.Stats, error) {
+				labels, res, err := async.ConnectedComponents(g, async.Config{CheckpointEvery: ck, Faults: plan})
+				if err != nil {
+					return nil, nil, err
+				}
+				return labels, res.Stats, nil
+			},
+			packed: func(ck int, plan *rt.FaultPlan) (any, *bsp.Stats, error) {
+				labels, res, err := async.ConnectedComponents(g, async.Config{CheckpointEvery: ck, Faults: plan, PackedState: true})
+				if err != nil {
+					return nil, nil, err
+				}
+				return labels, res.Stats, nil
+			},
+		})
+
+		for _, b := range []int{2, 3} {
+			b := b
+			cells = append(cells, packedCell{
+				name: fmt.Sprintf("blockcentric/b%d", b), looseWork: true,
+				dense: func(ck int, plan *rt.FaultPlan) (any, *bsp.Stats, error) {
+					res, err := blockcentric.ConnectedComponents(g, blockcentric.Config{Blocks: b, CheckpointEvery: ck, Faults: plan})
+					if err != nil {
+						return nil, nil, err
+					}
+					return res.Color, res.Stats, nil
+				},
+				packed: func(ck int, plan *rt.FaultPlan) (any, *bsp.Stats, error) {
+					res, err := blockcentric.ConnectedComponents(g, blockcentric.Config{Blocks: b, CheckpointEvery: ck, Faults: plan, PackedState: true})
+					if err != nil {
+						return nil, nil, err
+					}
+					return res.Color, res.Stats, nil
+				},
+			})
+		}
+
+		t.Run(enc.name, func(t *testing.T) { runPackedDifferential(t, cells) })
+	}
+}
+
+func TestPackedStateKCoreDifferential(t *testing.T) {
+	// Both graphs are simple (no parallel edges, no self-loops), which
+	// the packed k-core variant requires: its edge-slot store dedupes
+	// through the adjacency where the dense map dedupes by key.
+	for _, gr := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid", graph.Grid(12, 12)},
+		{"powerlaw", graph.PreferentialAttachment(200, 3, 7)},
+	} {
+		for _, encName := range []string{"int32", "vdelta"} {
+			g := gr.g
+			if encName == "vdelta" {
+				g = rebuildWithEncoding(gr.g)
+			}
+			runPackedDifferential(t, []packedCell{{
+				name: gr.name + "/" + encName,
+				dense: func(ck int, plan *rt.FaultPlan) (any, *bsp.Stats, error) {
+					res, err := KCore(g, Config{Workers: 3, CheckpointEvery: ck, Faults: plan})
+					if err != nil {
+						return nil, nil, err
+					}
+					return res.Core, res.Stats, nil
+				},
+				packed: func(ck int, plan *rt.FaultPlan) (any, *bsp.Stats, error) {
+					res, err := KCore(g, Config{Workers: 3, CheckpointEvery: ck, Faults: plan, PackedState: true})
+					if err != nil {
+						return nil, nil, err
+					}
+					return res.Core, res.Stats, nil
+				},
+			}})
+		}
+	}
+}
+
+// rebuildWithEncoding deep-copies a graph's adjacency into a new graph
+// whose snapshots use the varint-delta packed encoding.
+func rebuildWithEncoding(src *graph.Graph) *graph.Graph {
+	c := graph.BuildCSR(src)
+	g := graph.New(c.N(), c.Directed)
+	g.Encoding = graph.EncodePacked
+	for v := 0; v < c.N(); v++ {
+		ws := c.OutWeights(graph.VertexID(v))
+		var s graph.Scratch
+		for i, u := range c.OutSpan(graph.VertexID(v), &s) {
+			if !c.Directed && u < graph.VertexID(v) {
+				continue // undirected edges appear in both adjacencies
+			}
+			w := 1.0
+			if ws != nil {
+				w = ws[i]
+			}
+			g.AddWeightedEdge(graph.VertexID(v), u, w)
+		}
+	}
+	if c.Directed {
+		g.EnsureIn()
+	}
+	return g
+}
+
+// TestMutationScriptPackedBase drives one mutation script through a
+// flat graph and its packed-encoding twin in lockstep (scriptRig
+// mirror): at every query point the incremental algorithms — whose
+// delta overlays enumerate base-then-adds over a *compressed* base on
+// the twin, re-based mid-script by RebuildEvery — and a from-scratch
+// engine run with packed vertex state must be byte-identical to the
+// int32 twin.
+func TestMutationScriptPackedBase(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rig := newScriptRig(t, 24, 48, seed)
+			twin := rig.g.Clone()
+			twin.Encoding = graph.EncodePacked
+			twin.RebuildEvery = 9 // force mid-script re-basing onto fresh packed bases
+			rig.mirror = twin
+
+			flat, packed := &incStates{}, &incStates{}
+			check := func() {
+				t.Helper()
+				ccF, _, err := IncrementalCC(rig.g, flat.cc, IncConfig{})
+				if err != nil {
+					t.Fatalf("flat incremental CC: %v", err)
+				}
+				ccP, _, err := IncrementalCC(twin, packed.cc, IncConfig{})
+				if err != nil {
+					t.Fatalf("packed incremental CC: %v", err)
+				}
+				if ccF.Cold != ccP.Cold || !reflect.DeepEqual(ccF.Labels, ccP.Labels) {
+					t.Fatalf("incremental CC over packed base differs (cold %v/%v)", ccF.Cold, ccP.Cold)
+				}
+				ssF, _, err := IncrementalSSSP(rig.g, scriptSrc, flat.sssp, IncConfig{})
+				if err != nil {
+					t.Fatalf("flat incremental SSSP: %v", err)
+				}
+				ssP, _, err := IncrementalSSSP(twin, scriptSrc, packed.sssp, IncConfig{})
+				if err != nil {
+					t.Fatalf("packed incremental SSSP: %v", err)
+				}
+				if !reflect.DeepEqual(ssF.Dist, ssP.Dist) {
+					t.Fatal("incremental SSSP over packed base differs")
+				}
+				prF, _, err := IncrementalPageRank(rig.g, scriptAlpha, scriptK, flat.pr, IncConfig{})
+				if err != nil {
+					t.Fatalf("flat incremental PageRank: %v", err)
+				}
+				prP, _, err := IncrementalPageRank(twin, scriptAlpha, scriptK, packed.pr, IncConfig{})
+				if err != nil {
+					t.Fatalf("packed incremental PageRank: %v", err)
+				}
+				if !reflect.DeepEqual(prF.Hist, prP.Hist) {
+					t.Fatal("incremental PageRank over packed base differs")
+				}
+				flat.cc, flat.sssp, flat.pr = ccF, ssF, prF
+				packed.cc, packed.sssp, packed.pr = ccP, ssP, prP
+
+				// From-scratch engine run combining every axis: flat
+				// graph + dense state vs compressed mutated base +
+				// bit-packed state.
+				dres, err := HashMinCC(rig.g, Config{Workers: 3})
+				if err != nil {
+					t.Fatalf("dense HashMinCC: %v", err)
+				}
+				pres, err := HashMinCC(twin, Config{Workers: 3, PackedState: true})
+				if err != nil {
+					t.Fatalf("packed HashMinCC: %v", err)
+				}
+				if !reflect.DeepEqual(dres.Color, pres.Color) {
+					t.Fatal("packed-state HashMinCC over compressed mutated base differs")
+				}
+				if !reflect.DeepEqual(dres.Stats.Supersteps, pres.Stats.Supersteps) {
+					t.Fatal("packed-state HashMinCC superstep records differ over compressed mutated base")
+				}
+			}
+
+			check()
+			for step := 1; step <= 12; step++ {
+				rig.step(1 + rig.rng.Intn(4))
+				if step%3 == 0 {
+					check()
+				}
+			}
+		})
+	}
+}
+
+func TestPackedStateColoringDifferential(t *testing.T) {
+	for _, gr := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid", graph.Grid(10, 10)},
+		{"powerlaw", graph.PreferentialAttachment(150, 3, 3)},
+	} {
+		for _, seed := range []int64{1, 5} {
+			seed := seed
+			t.Run(fmt.Sprintf("%s/seed%d", gr.name, seed), func(t *testing.T) {
+				dense, err := ColoringMIS(gr.g, Config{Workers: 3, Seed: seed})
+				if err != nil {
+					t.Fatalf("dense: %v", err)
+				}
+				packed, err := ColoringMIS(gr.g, Config{Workers: 3, Seed: seed, PackedState: true})
+				if err != nil {
+					t.Fatalf("packed: %v", err)
+				}
+				if !reflect.DeepEqual(packed.Colors, dense.Colors) || packed.K != dense.K {
+					t.Fatalf("packed coloring differs: K=%d vs %d", packed.K, dense.K)
+				}
+				if !reflect.DeepEqual(dense.Stats.Supersteps, packed.Stats.Supersteps) {
+					t.Fatalf("packed coloring superstep records differ from dense")
+				}
+
+				// The packed program checkpoints its master counters
+				// (the dense one cannot), so it must survive the fault
+				// matrix against its own fault-free output.
+				for _, fc := range faultCases() {
+					fc := fc
+					t.Run(fc.name, func(t *testing.T) {
+						got, err := ColoringMIS(gr.g, Config{Workers: 3, Seed: seed, PackedState: true,
+							CheckpointEvery: fc.ck, Faults: fc.plan(engineCell{})})
+						if err != nil {
+							t.Fatalf("faulted: %v", err)
+						}
+						if !reflect.DeepEqual(got.Colors, dense.Colors) || got.K != dense.K {
+							t.Fatalf("faulted packed coloring differs\nrecovery: %+v", got.Stats.Recovery)
+						}
+						fc.check(t, got.Stats.Recovery)
+					})
+				}
+			})
+		}
+	}
+}

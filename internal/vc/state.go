@@ -1,0 +1,36 @@
+package vc
+
+import "vcgraph/internal/runtime"
+
+// Small-domain vertex-state storage, the algorithm-facing surface of
+// the memory-lean substrate: a CC label is one of n values, a coreness
+// estimate is bounded by the maximum degree, a color by Δ+1, so a flat
+// array wastes most of its bits. The implementation lives in
+// internal/runtime (engines need it without importing this package,
+// which sits above them); these aliases make vc the canonical name for
+// algorithm code and tests.
+
+// StateStore is a fixed-length array of small unsigned integers (see
+// runtime.StateStore).
+type StateStore = runtime.StateStore
+
+// DenseStore is the flat 8-byte reference implementation.
+type DenseStore = runtime.DenseStore
+
+// PackedInts is the bit-packed implementation: ⌈log₂ domain⌉ bits per
+// entry, atomic word-level access.
+type PackedInts = runtime.PackedInts
+
+// NewDenseStore returns a flat store of n zero entries.
+func NewDenseStore(n int) *DenseStore { return runtime.NewDenseStore(n) }
+
+// NewPackedInts returns a packed store of n zero entries over
+// [0, domain).
+func NewPackedInts(n int, domain uint64) *PackedInts { return runtime.NewPackedInts(n, domain) }
+
+// NewStateStore returns a store for n entries over [0, domain): a
+// bit-packed store when packed is set, the flat reference store
+// otherwise.
+func NewStateStore(packed bool, n int, domain uint64) StateStore {
+	return runtime.NewStateStore(packed, n, domain)
+}

@@ -58,6 +58,15 @@ type Config struct {
 	// FCS enables finishing-computations-serially with the given
 	// active-vertex threshold for algorithms that support it (Hash-Min).
 	FCS int
+	// PackedState selects the bit-packed vertex-state variant for the
+	// small-domain algorithms that have one (Hash-Min CC, k-core,
+	// coloring): per-vertex state lives in a PackedInts store at
+	// ⌈log₂ domain⌉ bits per entry instead of a full value slot. The
+	// message flow is unchanged, so packed runs are byte-identical to
+	// dense ones (see the differential suite). K-core additionally
+	// assumes a simple graph: its dense variant dedupes parallel edges
+	// through a map, its packed variant through the adjacency itself.
+	PackedState bool
 	// Ctx, Pool, and Job pass through to the engine's job-scoped
 	// runtime: Ctx aborts the run at the next superstep barrier, Pool
 	// leases workers from a shared pool, and Job binds the run to a
@@ -113,6 +122,8 @@ func MergeStats(parts ...*bsp.Stats) *bsp.Stats {
 			out.MaxRecvPerDeg = p.MaxRecvPerDeg
 		}
 		out.TotalMessages += p.TotalMessages
+		out.HeapInuseDelta += p.HeapInuseDelta
+		out.TotalAllocDelta += p.TotalAllocDelta
 		out.TotalWork += p.TotalWork
 		out.MeasuredTime += p.MeasuredTime
 		out.Recovery.Add(p.Recovery)
