@@ -11,7 +11,7 @@ COVERDIR := /tmp
 endif
 COVERPROFILE ?= $(COVERDIR)/vcgraph-cover.out
 
-.PHONY: all build vet test race cover fuzz-smoke bench bench-csr bench-direction bench-service bench-incremental bench-planner bench-memory bench-guard table1 ext figures ablations examples clean
+.PHONY: all build vet test race cover fuzz-smoke bench bench-csr bench-direction bench-service bench-incremental bench-planner bench-memory bench-checkpoint bench-guard table1 ext figures ablations examples clean
 
 all: build vet test
 
@@ -92,6 +92,14 @@ bench-planner:
 # packed-tax headlines bench-guard enforces.
 bench-memory:
 	$(GO) test -run='^$$' -bench='^BenchmarkMemory' -benchmem -benchtime=3x -count=1 . | tee /tmp/bench_memory.txt
+
+# Checkpoint compaction suite: total checkpoint bytes at
+# checkpoint-every-superstep cadence, full snapshots versus dirty-set
+# delta chains, on the sparse-frontier SSSP and straggler-CC tails. Raw
+# output lands in /tmp; the committed record is BENCH_checkpoint.json,
+# whose >=5x bytes headlines bench-guard enforces.
+bench-checkpoint:
+	$(GO) test -run='^$$' -bench='^BenchmarkCheckpoint(SSSP|CC)' -benchmem -benchtime=3x -count=1 . | tee /tmp/bench_checkpoint.txt
 
 # Re-measure every headline ratio declared in BENCH_*.json and fail if
 # any regressed beyond its tolerance/floor. Runs in CI after tier-1.

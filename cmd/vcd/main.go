@@ -12,12 +12,17 @@
 // Usage:
 //
 //	vcd [-addr :8080] [-workers 0] [-max-jobs 4] [-job-retention 512] [-graph-ttl 0]
+//	    [-checkpoint-every 0] [-full-snapshot-every 0]
 //
 // workers = 0 sizes the shared pool to GOMAXPROCS; max-jobs bounds the
 // jobs running concurrently (the rest queue FIFO). job-retention caps
 // retained terminal job records; graph-ttl, when positive, evicts
 // graphs idle longer than the given duration (graphs with pinned
 // snapshots are never evicted). A background sweeper enforces both.
+// checkpoint-every and full-snapshot-every set server-wide checkpoint
+// cadence defaults for jobs that leave the corresponding spec fields
+// unset; full-snapshot-every > 1 stores the checkpoints between full
+// snapshots as dirty-set deltas (see internal/runtime.DeltaPolicy).
 package main
 
 import (
@@ -41,13 +46,19 @@ func main() {
 	graphTTL := flag.Duration("graph-ttl", 0,
 		"evict graphs idle longer than this (0 = keep forever; pinned graphs are never evicted)")
 	sweep := flag.Duration("sweep", time.Minute, "registry eviction sweep interval")
+	ckEvery := flag.Int("checkpoint-every", 0,
+		"default checkpoint cadence (supersteps/epochs) for jobs that do not set checkpoint_every (0 = off)")
+	fullEvery := flag.Int("full-snapshot-every", 0,
+		"default full-snapshot cadence for jobs that do not set full_snapshot_every; >1 stores the checkpoints between as dirty-set deltas")
 	flag.Parse()
 
 	srv := service.NewServer(service.Options{
-		Workers:      *workers,
-		MaxJobs:      *maxJobs,
-		JobRetention: *retention,
-		GraphTTL:     *graphTTL,
+		Workers:                  *workers,
+		MaxJobs:                  *maxJobs,
+		JobRetention:             *retention,
+		GraphTTL:                 *graphTTL,
+		DefaultCheckpointEvery:   *ckEvery,
+		DefaultFullSnapshotEvery: *fullEvery,
 		PlanTrace: func(jobID int64, d plan.Decision) {
 			fmt.Printf("vcd: job %d plan: step=%d engine=%s partition=%s mode=%s fcs=%d (%s)\n",
 				jobID, d.Step, d.Plan.Engine, d.Plan.Partition, d.Plan.Mode, d.Plan.FCS, d.Reason)

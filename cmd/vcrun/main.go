@@ -60,6 +60,7 @@ func main() {
 	save := flag.String("save", "", "write the (generated or loaded) graph to an edge-list file and continue")
 	dot := flag.String("dot", "", "also write the graph in Graphviz DOT format to this file")
 	checkpoint := flag.Int("checkpoint", 0, "checkpoint every k supersteps (0 = off)")
+	fullSnapshot := flag.Int("full-snapshot-every", 0, "store only every Nth checkpoint full; the checkpoints between are dirty-set deltas (0 or 1 = every checkpoint full)")
 	faults := flag.Int64("faults", 0, "inject a seeded random fault plan (0 = none); implies -checkpoint 2 unless set")
 	modeFlag := flag.String("mode", "auto", "message direction: push, pull, or auto (pull dense supersteps when the algorithm has a combiner)")
 	engine := flag.String("engine", "", "empty = the algorithm's own engine; \"auto\" = adaptive plan layer (pagerank, sssp, hashmin)")
@@ -152,7 +153,7 @@ func main() {
 	var stats *bsp.Stats
 	start := time.Now()
 	job := sched.Submit(ctx, *algo, share, func(j *runtime.Job) error {
-		cfg := vc.Config{Workers: *workers, Seed: *seed, CheckpointEvery: *checkpoint, Faults: fplan, Mode: mode, Job: j, PackedState: *packedState}
+		cfg := vc.Config{Workers: *workers, Seed: *seed, CheckpointEvery: *checkpoint, FullSnapshotEvery: *fullSnapshot, Faults: fplan, Mode: mode, Job: j, PackedState: *packedState}
 		var err error
 		if *engine == "auto" {
 			summary, stats, err = runAutoEngine(*algo, g, graph.VertexID(*src), cfg, *seed)
@@ -195,6 +196,14 @@ func main() {
 			rec.CheckpointsSaved, rec.Rollbacks, rec.RedoneSupersteps)
 		fmt.Printf("  corrupted checkpoints %d  dropped lanes %d  duplicated lanes %d\n",
 			rec.CorruptedCheckpoints, rec.DroppedLanes, rec.DuplicatedLanes)
+		if rec.DeltaCheckpointsSaved > 0 || rec.InvalidatedCheckpoints > 0 {
+			fmt.Printf("  delta checkpoints %d  invalidated %d\n",
+				rec.DeltaCheckpointsSaved, rec.InvalidatedCheckpoints)
+		}
+		if rec.CheckpointBytesFull > 0 || rec.CheckpointBytesDelta > 0 {
+			fmt.Printf("  checkpoint bytes: full %d  delta %d\n",
+				rec.CheckpointBytesFull, rec.CheckpointBytesDelta)
+		}
 	}
 }
 
@@ -479,7 +488,7 @@ func run(algo string, g *graph.Graph, src graph.VertexID, cfg vc.Config, seed in
 		}
 		return fmt.Sprintf("top hub %d (%.4f)", bhv, bh), res.Stats, nil
 	case "asynccc":
-		labels, res, err := async.ConnectedComponents(g, async.Config{CheckpointEvery: cfg.CheckpointEvery, Faults: cfg.Faults, Job: cfg.Job})
+		labels, res, err := async.ConnectedComponents(g, async.Config{CheckpointEvery: cfg.CheckpointEvery, FullSnapshotEvery: cfg.FullSnapshotEvery, Faults: cfg.Faults, Job: cfg.Job})
 		if err != nil {
 			return "", nil, err
 		}
@@ -487,14 +496,14 @@ func run(algo string, g *graph.Graph, src graph.VertexID, cfg vc.Config, seed in
 			res.Stats, nil
 	case "asyncsssp":
 		graph.RandomWeights(g, seed+1)
-		_, res, err := async.SSSP(g, src, async.Config{CheckpointEvery: cfg.CheckpointEvery, Faults: cfg.Faults, Job: cfg.Job})
+		_, res, err := async.SSSP(g, src, async.Config{CheckpointEvery: cfg.CheckpointEvery, FullSnapshotEvery: cfg.FullSnapshotEvery, Faults: cfg.Faults, Job: cfg.Job})
 		if err != nil {
 			return "", nil, err
 		}
 		return fmt.Sprintf("shortest paths in %d async updates", res.Updates),
 			res.Stats, nil
 	case "gaspagerank":
-		_, res, err := gas.PageRank(g, 0.85, 1e-9, gas.Config{Workers: cfg.Workers, CheckpointEvery: cfg.CheckpointEvery, Faults: cfg.Faults, Job: cfg.Job})
+		_, res, err := gas.PageRank(g, 0.85, 1e-9, gas.Config{Workers: cfg.Workers, CheckpointEvery: cfg.CheckpointEvery, FullSnapshotEvery: cfg.FullSnapshotEvery, Faults: cfg.Faults, Job: cfg.Job})
 		if err != nil {
 			return "", nil, err
 		}
@@ -540,7 +549,7 @@ func run(algo string, g *graph.Graph, src graph.VertexID, cfg vc.Config, seed in
 		}
 		return fmt.Sprintf("%d communities, modularity %.3f", len(distinct), res.Modularity), res.Stats, nil
 	case "blockcc":
-		res, err := blockcentric.ConnectedComponents(g, blockcentric.Config{Blocks: cfg.Workers, CheckpointEvery: cfg.CheckpointEvery, Faults: cfg.Faults, Job: cfg.Job})
+		res, err := blockcentric.ConnectedComponents(g, blockcentric.Config{Blocks: cfg.Workers, CheckpointEvery: cfg.CheckpointEvery, FullSnapshotEvery: cfg.FullSnapshotEvery, Faults: cfg.Faults, Job: cfg.Job})
 		if err != nil {
 			return "", nil, err
 		}

@@ -58,6 +58,11 @@ type Config struct {
 	// asynchronous analogue of a superstep-interval checkpoint. It
 	// also sets the epoch length at which faults are detected.
 	CheckpointEvery int
+	// FullSnapshotEvery, when > 1, stores only every Nth checkpoint as
+	// a full snapshot; the generations between are dirty-set deltas
+	// covering just the vertices updated since the previous frame
+	// (runtime.DeltaPolicy). 0 or 1 keeps every checkpoint full.
+	FullSnapshotEvery int
 	// Snapshot, when non-nil, is an already-pinned CSR generation the
 	// engine must run against instead of pinning the graph's current
 	// one (the adaptive plan layer re-prepares engines mid-job; see
@@ -254,17 +259,18 @@ func Prepare[V any](g *graph.Graph, prog Program[V], cfg Config) func() (*Result
 		p.PristineValues = rt.CloneValues[V](prog, ctx.values)
 	}
 	d := rt.NewDriver[*rt.WorklistSnapshot[V]](p, stats, rt.DriverConfig{
-		Name:            "async",
-		Workers:         1,
-		MaxSteps:        math.MaxInt,
-		CapErr:          ErrUpdateCap,
-		CheckpointEvery: cfg.CheckpointEvery,
-		Faults:          cfg.Faults,
-		EpochSaves:      true,
-		Ctx:             cfg.Ctx,
-		Pool:            cfg.Pool,
-		Job:             cfg.Job,
-		Replan:          cfg.Replan,
+		Name:              "async",
+		Workers:           1,
+		MaxSteps:          math.MaxInt,
+		CapErr:            ErrUpdateCap,
+		CheckpointEvery:   cfg.CheckpointEvery,
+		FullSnapshotEvery: cfg.FullSnapshotEvery,
+		Faults:            cfg.Faults,
+		EpochSaves:        true,
+		Ctx:               cfg.Ctx,
+		Pool:              cfg.Pool,
+		Job:               cfg.Job,
+		Replan:            cfg.Replan,
 	})
 	return func() (*Result[V], error) {
 		defer g.Unpin(csr)

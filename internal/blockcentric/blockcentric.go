@@ -47,6 +47,12 @@ type Config struct {
 	// (values, halt flags, undelivered boundary messages) every k
 	// supersteps for rollback recovery.
 	CheckpointEvery int
+	// FullSnapshotEvery, when > 1, stores only every Nth checkpoint as
+	// a full snapshot; the generations between are dirty-set deltas
+	// covering just the blocks that computed or received boundary
+	// messages since the previous frame (runtime.DeltaPolicy). 0 or 1
+	// keeps every checkpoint full.
+	FullSnapshotEvery int
 	// Faults, when non-nil, schedules deterministic fault injection
 	// (runtime.FaultPlan): a block crash or a dropped boundary-message
 	// batch rolls the run back to its newest readable snapshot; a
@@ -123,6 +129,14 @@ type Engine[V, M any] struct {
 	stats  *bsp.Stats
 	driver *rt.Driver[*bcSnapshot[V, M]]
 
+	// dirtyBlocks marks the blocks whose state diverged from the last
+	// checkpoint frame: a block is dirty once it computes (values, halt
+	// flag, inbox consumption) or receives a boundary message. The
+	// parallel phase writes only each goroutine's own block; boundary
+	// delivery marks destinations single-threaded. Snapshot,
+	// SnapshotDelta, and Restore clear it.
+	dirtyBlocks []bool
+
 	// Block-local pull state. pullBlock says, per block, whether its
 	// intra-block sends are rerouted (all true under DirectionPull, all
 	// false under DirectionPush, decided per block from the local edge
@@ -147,13 +161,21 @@ type Engine[V, M any] struct {
 
 // bcSnapshot is one checkpoint generation: the barrier state entering
 // a superstep (boundary messages already delivered to inboxes), plus
-// any program-private state (runtime.StateSnapshotter).
+// any program-private state (runtime.StateSnapshotter). A delta frame
+// (SnapshotDelta) sets delta and carries only the dirty blocks:
+// blocks lists them ascending, blockVals holds each one's member
+// values, and halted/inbox/inboxLocal are indexed by position in
+// blocks instead of by block ID. Program-private state is always full.
 type bcSnapshot[V, M any] struct {
 	values     []V
 	halted     []bool
 	inbox      []map[VertexID][]M
 	inboxLocal []int64
 	progState  any
+
+	delta     bool
+	blocks    []int
+	blockVals [][]V
 }
 
 type addr[M any] struct {
@@ -203,6 +225,7 @@ func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config) *Engine
 		outbox: make([][]addr[M], cfg.Blocks),
 		stats:  &bsp.Stats{Workers: cfg.Blocks, N: n},
 	}
+	e.dirtyBlocks = make([]bool, cfg.Blocks)
 	e.scratch = rt.GetScratches(cfg.Blocks)
 	e.pullBlock = make([]bool, cfg.Blocks)
 	switch cfg.Mode {
@@ -251,16 +274,17 @@ func (e *Engine[V, M]) Run() (*Result[V], error) {
 	defer e.g.Unpin(e.csr)
 	defer rt.PutScratches(e.scratch)
 	e.driver = rt.NewDriver[*bcSnapshot[V, M]](e, e.stats, rt.DriverConfig{
-		Name:            "blockcentric",
-		Workers:         e.cfg.Blocks,
-		MaxSteps:        e.cfg.MaxSupersteps,
-		CapErr:          ErrSuperstepCap,
-		CheckpointEvery: e.cfg.CheckpointEvery,
-		Faults:          e.cfg.Faults,
-		Ctx:             e.cfg.Ctx,
-		Pool:            e.cfg.Pool,
-		Job:             e.cfg.Job,
-		Replan:          e.cfg.Replan,
+		Name:              "blockcentric",
+		Workers:           e.cfg.Blocks,
+		MaxSteps:          e.cfg.MaxSupersteps,
+		CapErr:            ErrSuperstepCap,
+		CheckpointEvery:   e.cfg.CheckpointEvery,
+		FullSnapshotEvery: e.cfg.FullSnapshotEvery,
+		Faults:            e.cfg.Faults,
+		Ctx:               e.cfg.Ctx,
+		Pool:              e.cfg.Pool,
+		Job:               e.cfg.Job,
+		Replan:            e.cfg.Replan,
 	})
 	_, err := e.driver.Run()
 	e.driver = nil
@@ -298,7 +322,92 @@ func (e *Engine[V, M]) Snapshot() *bcSnapshot[V, M] {
 			ck.inbox[b][v] = append([]M(nil), ms...)
 		}
 	}
+	e.clearDirty()
 	return ck
+}
+
+// SnapshotDelta implements runtime.DeltaPolicy: it deep-copies only
+// the blocks dirtied since the previous frame — computed or mailed
+// across a boundary — plus the full (small) program-private state, and
+// resets the dirty tracking so the next frame patches this one.
+func (e *Engine[V, M]) SnapshotDelta() *bcSnapshot[V, M] {
+	var blocks []int
+	for b, d := range e.dirtyBlocks {
+		if d {
+			blocks = append(blocks, b)
+			e.dirtyBlocks[b] = false
+		}
+	}
+	ck := &bcSnapshot[V, M]{
+		delta:      true,
+		blocks:     blocks,
+		blockVals:  make([][]V, len(blocks)),
+		halted:     make([]bool, len(blocks)),
+		inbox:      make([]map[VertexID][]M, len(blocks)),
+		inboxLocal: make([]int64, len(blocks)),
+		progState:  rt.SnapshotProgState(e.prog),
+	}
+	for i, b := range blocks {
+		ck.blockVals[i] = rt.CloneValuesAt(e.prog, e.values, e.blocks[b])
+		ck.halted[i] = e.halted[b]
+		ck.inboxLocal[i] = e.inboxLocal[b]
+		ck.inbox[i] = make(map[VertexID][]M, len(e.inbox[b]))
+		for v, ms := range e.inbox[b] {
+			ck.inbox[i][v] = append([]M(nil), ms...)
+		}
+	}
+	return ck
+}
+
+// RestoreDelta implements runtime.DeltaPolicy: it patches the dirty
+// blocks of one delta frame onto the state already rebuilt from the
+// chain so far. A block's members are exactly its writable vertices,
+// so per-block value patches cover every write since the parent frame.
+func (e *Engine[V, M]) RestoreDelta(ck *bcSnapshot[V, M]) {
+	cloner, hasCloner := e.prog.(rt.ValueCloner[V])
+	for i, b := range ck.blocks {
+		for j, v := range e.blocks[b] {
+			if hasCloner {
+				e.values[v] = cloner.CloneValue(ck.blockVals[i][j])
+			} else {
+				e.values[v] = ck.blockVals[i][j]
+			}
+		}
+		e.halted[b] = ck.halted[i]
+		e.inboxLocal[b] = ck.inboxLocal[i]
+		clear(e.inbox[b])
+		for v, ms := range ck.inbox[i] {
+			e.inbox[b][v] = append([]M(nil), ms...)
+		}
+	}
+	rt.RestoreProgState(e.prog, ck.progState)
+}
+
+// FrameBytes implements runtime.SnapshotSizer: a deterministic
+// resident-byte estimate of a frame (full or delta). Program-private
+// state is opaque and excluded on both frame kinds alike.
+func (e *Engine[V, M]) FrameBytes(ck *bcSnapshot[V, M]) int64 {
+	szV := rt.SizeOf[V]()
+	b := int64(len(ck.values))*szV +
+		int64(len(ck.halted)) +
+		int64(len(ck.inboxLocal))*8 +
+		int64(len(ck.blocks))*8
+	for _, vs := range ck.blockVals {
+		b += int64(len(vs)) * szV
+	}
+	szM := rt.SizeOf[M]()
+	for _, in := range ck.inbox {
+		for _, ms := range in {
+			b += rt.MapEntryBytes + int64(len(ms))*szM
+		}
+	}
+	return b
+}
+
+func (e *Engine[V, M]) clearDirty() {
+	for b := range e.dirtyBlocks {
+		e.dirtyBlocks[b] = false
+	}
 }
 
 // Restore implements runtime.Policy: it rolls the engine back to a
@@ -319,6 +428,7 @@ func (e *Engine[V, M]) Restore(ck *bcSnapshot[V, M], step int, ok bool) {
 			}
 		}
 		rt.RestoreProgState(e.prog, nil)
+		e.clearDirty()
 		return
 	}
 	e.values = rt.CloneValues[V](e.prog, ck.values)
@@ -335,6 +445,7 @@ func (e *Engine[V, M]) Restore(ck *bcSnapshot[V, M], step int, ok bool) {
 			e.localOut[b] = e.localOut[b][:0]
 		}
 	}
+	e.clearDirty()
 }
 
 // Superstep implements runtime.Policy: compute every awake block in
@@ -356,6 +467,9 @@ func (e *Engine[V, M]) Superstep(superstep int, ss *bsp.SuperstepStats) (int, er
 		if e.halted[b] && len(msgs) == 0 && superstep > 0 {
 			return
 		}
+		// Computing mutates the block's values, halt flag, and inbox;
+		// each goroutine writes only its own flag, so this is race-free.
+		e.dirtyBlocks[b] = true
 		e.halted[b] = false
 		ss.Active[b] = int64(len(e.blocks[b]))
 		for _, ms := range msgs {
@@ -426,6 +540,7 @@ func (e *Engine[V, M]) Superstep(superstep int, ss *bsp.SuperstepStats) (int, er
 				continue
 			}
 			e.inbox[dst][am.dst] = append(e.inbox[dst][am.dst], am.m)
+			e.dirtyBlocks[dst] = true
 			pending++
 		}
 		e.outbox[src] = e.outbox[src][:0]

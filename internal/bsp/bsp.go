@@ -183,6 +183,23 @@ type Recovery struct {
 	// when a recovery tried to read them; each forces a fallback to
 	// the previous checkpoint generation or a fresh restart.
 	CorruptedCheckpoints int
+	// DeltaCheckpointsSaved counts the subset of CheckpointsSaved
+	// stored as dirty-set delta frames rather than full snapshots
+	// (Config.FullSnapshotEvery with a delta-capable engine).
+	DeltaCheckpointsSaved int
+	// InvalidatedCheckpoints counts readable frames discarded during
+	// recovery because a frame they depend on — the base full snapshot
+	// or an earlier delta in their chain — failed validation. They are
+	// collateral damage of CorruptedCheckpoints, not corrupt themselves.
+	InvalidatedCheckpoints int
+	// CheckpointBytesFull / CheckpointBytesDelta split the estimated
+	// resident bytes of the saved frames by kind. The estimate is
+	// deterministic (element sizes times element counts, excluding
+	// opaque program-private state the same way on both sides), so the
+	// full/delta ratio is comparable across runs — the compaction win
+	// delta checkpointing exists for.
+	CheckpointBytesFull  int64
+	CheckpointBytesDelta int64
 	// DroppedLanes counts message batches lost in transit; each forces
 	// a rollback.
 	DroppedLanes int
@@ -204,6 +221,10 @@ func (r *Recovery) Add(o Recovery) {
 	r.Rollbacks += o.Rollbacks
 	r.RedoneSupersteps += o.RedoneSupersteps
 	r.CorruptedCheckpoints += o.CorruptedCheckpoints
+	r.DeltaCheckpointsSaved += o.DeltaCheckpointsSaved
+	r.InvalidatedCheckpoints += o.InvalidatedCheckpoints
+	r.CheckpointBytesFull += o.CheckpointBytesFull
+	r.CheckpointBytesDelta += o.CheckpointBytesDelta
 	r.DroppedLanes += o.DroppedLanes
 	r.DuplicatedLanes += o.DuplicatedLanes
 }

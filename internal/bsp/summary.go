@@ -60,6 +60,12 @@ type Summary struct {
 	AllocDelta    uint64  `json:"total_alloc_delta"`
 	Rollbacks     int     `json:"rollbacks,omitempty"`
 	RedoneUnits   int     `json:"redone_units,omitempty"`
+	// Checkpoint byte accounting, split by frame kind (delta
+	// checkpointing): estimated resident bytes of full snapshots vs
+	// dirty-set delta frames, plus how many of the saves were deltas.
+	CheckpointBytesFull  int64 `json:"checkpoint_bytes_full,omitempty"`
+	CheckpointBytesDelta int64 `json:"checkpoint_bytes_delta,omitempty"`
+	DeltaCheckpoints     int   `json:"delta_checkpoints,omitempty"`
 }
 
 // Summarize projects the run's stats to the job-level wire view.
@@ -77,5 +83,9 @@ func (s *Stats) Summarize() Summary {
 		AllocDelta:    s.TotalAllocDelta,
 		Rollbacks:     s.Recovery.Rollbacks,
 		RedoneUnits:   s.Recovery.RedoneSupersteps,
+
+		CheckpointBytesFull:  s.Recovery.CheckpointBytesFull,
+		CheckpointBytesDelta: s.Recovery.CheckpointBytesDelta,
+		DeltaCheckpoints:     s.Recovery.DeltaCheckpointsSaved,
 	}
 }

@@ -53,6 +53,11 @@ type Config struct {
 	// CheckpointEvery, when positive, snapshots the computation state
 	// (values, active set) every k iterations for rollback recovery.
 	CheckpointEvery int
+	// FullSnapshotEvery, when > 1, stores only every Nth checkpoint as
+	// a full snapshot; the saves in between are delta frames carrying
+	// just the values the iteration applied (only active vertices can
+	// change under double buffering) plus the sparse active set.
+	FullSnapshotEvery int
 	// Faults, when non-nil, schedules deterministic fault injection
 	// (runtime.FaultPlan): worker crashes and corrupted checkpoints
 	// roll the engine back to its last readable snapshot; a dropped
@@ -187,6 +192,7 @@ func Prepare[V, G any](g *graph.Graph, prog Program[V, G], cfg Config) func() (*
 		next:       make([]V, n),
 		active:     make([]bool, n),
 		nextActive: make([]bool, n),
+		dirty:      make([]bool, n),
 		wake:       make([][]VertexID, cfg.Workers),
 		scratch:    rt.GetScratches(cfg.Workers),
 	}
@@ -212,16 +218,17 @@ func Prepare[V, G any](g *graph.Graph, prog Program[V, G], cfg Config) func() (*
 
 	stats := &bsp.Stats{Workers: cfg.Workers, N: n}
 	p.driver = rt.NewDriver[*gasSnapshot[V]](p, stats, rt.DriverConfig{
-		Name:            "gas",
-		Workers:         cfg.Workers,
-		MaxSteps:        cfg.MaxIterations,
-		CapErr:          ErrIterationCap,
-		CheckpointEvery: cfg.CheckpointEvery,
-		Faults:          cfg.Faults,
-		Ctx:             cfg.Ctx,
-		Pool:            cfg.Pool,
-		Job:             cfg.Job,
-		Replan:          cfg.Replan,
+		Name:              "gas",
+		Workers:           cfg.Workers,
+		MaxSteps:          cfg.MaxIterations,
+		CapErr:            ErrIterationCap,
+		CheckpointEvery:   cfg.CheckpointEvery,
+		FullSnapshotEvery: cfg.FullSnapshotEvery,
+		Faults:            cfg.Faults,
+		Ctx:               cfg.Ctx,
+		Pool:              cfg.Pool,
+		Job:               cfg.Job,
+		Replan:            cfg.Replan,
 	})
 	return func() (*Result[V], error) {
 		defer g.Unpin(csr)
@@ -248,8 +255,13 @@ type policy[V, G any] struct {
 	pristine           []V // Init-time copy for checkpoint-free restarts (faults only)
 	active, nextActive []bool
 	activeCount        int
-	wake               [][]VertexID     // per-worker scatter buffers, reused
-	scratch            []*graph.Scratch // pooled per-worker span-decode buffers (packed snapshots)
+	// dirty marks vertices whose value may have changed since the last
+	// checkpoint frame. Under double buffering only vertices that ran
+	// Apply can differ (everyone else's next is a verbatim copy), so
+	// the iteration's active set is exactly the write set.
+	dirty   []bool
+	wake    [][]VertexID     // per-worker scatter buffers, reused
+	scratch []*graph.Scratch // pooled per-worker span-decode buffers (packed snapshots)
 
 	// Pull-mode scatter (Mode pull/auto): changed vertices mark their
 	// broadcast bit; the activation pass scans transpose spans for
@@ -287,6 +299,7 @@ func (p *policy[V, G]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) 
 			if !p.active[v] {
 				continue
 			}
+			p.dirty[v] = true
 			total := prog.Zero()
 			srcs := csr.InSpan(vid, p.scratch[w])
 			if ws := csr.InWeights(vid); ws == nil {
@@ -390,11 +403,39 @@ func (p *policy[V, G]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) 
 
 // Snapshot implements runtime.Policy.
 func (p *policy[V, G]) Snapshot() *gasSnapshot[V] {
+	p.clearDirty()
 	return &gasSnapshot[V]{
 		values:      rt.CloneValues[V](p.prog, p.cur),
 		active:      append([]bool(nil), p.active...),
 		activeCount: p.activeCount,
 		progState:   rt.SnapshotProgState(p.prog),
+	}
+}
+
+// SnapshotDelta implements runtime.DeltaPolicy: only the values
+// dirtied since the previous frame, the complete active set in sparse
+// form (it is small exactly when deltas pay off), and the full
+// program-private state.
+func (p *policy[V, G]) SnapshotDelta() *gasSnapshot[V] {
+	var ids []VertexID
+	for v, d := range p.dirty {
+		if d {
+			ids = append(ids, VertexID(v))
+			p.dirty[v] = false
+		}
+	}
+	activeIDs := make([]VertexID, 0, p.activeCount)
+	for v, a := range p.active {
+		if a {
+			activeIDs = append(activeIDs, VertexID(v))
+		}
+	}
+	return &gasSnapshot[V]{
+		delta:     true,
+		ids:       ids,
+		values:    rt.CloneValuesAt(p.prog, p.cur, ids),
+		activeIDs: activeIDs,
+		progState: rt.SnapshotProgState(p.prog),
 	}
 }
 
@@ -415,19 +456,70 @@ func (p *policy[V, G]) Restore(snap *gasSnapshot[V], step int, ok bool) {
 		p.activeCount = p.n
 		rt.RestoreProgState(p.prog, nil)
 	}
+	p.clearDirty()
 	for i := range p.nextActive {
 		p.nextActive[i] = false
 	}
 }
 
+// RestoreDelta implements runtime.DeltaPolicy: patch the dirty values
+// onto the chain state, then replace the active set wholesale (each
+// delta carries it complete).
+func (p *policy[V, G]) RestoreDelta(snap *gasSnapshot[V]) {
+	if cloner, ok := p.prog.(rt.ValueCloner[V]); ok {
+		for i, id := range snap.ids {
+			p.cur[id] = cloner.CloneValue(snap.values[i])
+		}
+	} else {
+		for i, id := range snap.ids {
+			p.cur[id] = snap.values[i]
+		}
+	}
+	for v := range p.active {
+		p.active[v] = false
+	}
+	for _, id := range snap.activeIDs {
+		p.active[id] = true
+	}
+	p.activeCount = len(snap.activeIDs)
+	rt.RestoreProgState(p.prog, snap.progState)
+	for i := range p.nextActive {
+		p.nextActive[i] = false
+	}
+}
+
+// FrameBytes implements runtime.SnapshotSizer: a deterministic
+// resident-byte estimate of a frame. Program-private state
+// (StateSnapshotter, e.g. bit-packed stores) is opaque and excluded on
+// both frame kinds alike.
+func (p *policy[V, G]) FrameBytes(snap *gasSnapshot[V]) int64 {
+	szID := rt.SizeOf[VertexID]()
+	return int64(len(snap.values))*rt.SizeOf[V]() +
+		int64(len(snap.active)) +
+		int64(len(snap.ids))*szID +
+		int64(len(snap.activeIDs))*szID + 8
+}
+
+func (p *policy[V, G]) clearDirty() {
+	for v := range p.dirty {
+		p.dirty[v] = false
+	}
+}
+
 // gasSnapshot is one checkpoint generation of a GAS run: the barrier
 // state entering an iteration, plus any program-private state
-// (runtime.StateSnapshotter, e.g. a bit-packed label store).
+// (runtime.StateSnapshotter, e.g. a bit-packed label store). A delta
+// frame (SnapshotDelta) sets delta and indexes values by position in
+// ids; activeIDs is the complete active set in sparse form.
 type gasSnapshot[V any] struct {
 	values      []V
 	active      []bool
 	activeCount int
 	progState   any
+
+	delta     bool
+	ids       []VertexID
+	activeIDs []VertexID
 }
 
 // --- GAS PageRank ---

@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestDegreeOrderSortsHubsFirst(t *testing.T) {
+	g := New(4, false)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(1, 2)
+	order := DegreeOrder(g)
+	if order[0] != 0 {
+		t.Fatalf("order[0] = %d, want hub 0 (order %v)", order[0], order)
+	}
+	// Degrees: 0->3, 1->2, 2->2, 3->1; ties break by old ID.
+	want := []VertexID{0, 1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRelabelIsIsomorphic(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		g := PreferentialAttachment(200, 3, 7)
+		if directed {
+			d := New(g.N(), true)
+			for u := range g.Out {
+				for _, e := range g.Out[u] {
+					if VertexID(u) <= e.Dst {
+						d.AddWeightedEdge(VertexID(u), e.Dst, e.W)
+					}
+				}
+			}
+			g = d
+		}
+		order := DegreeOrder(g)
+		seen := make([]bool, g.N())
+		for _, old := range order {
+			if seen[old] {
+				t.Fatalf("directed=%v: order is not a permutation: %d twice", directed, old)
+			}
+			seen[old] = true
+		}
+		rl := Relabel(g, order)
+		if rl.N() != g.N() || rl.M() != g.M() {
+			t.Fatalf("directed=%v: n/m changed: %d/%d -> %d/%d", directed, g.N(), g.M(), rl.N(), rl.M())
+		}
+		newOf := make([]VertexID, g.N())
+		for newID, oldID := range order {
+			newOf[oldID] = VertexID(newID)
+		}
+		for u := range g.Out {
+			want := make([]VertexID, 0, len(g.Out[u]))
+			for _, e := range g.Out[u] {
+				want = append(want, newOf[e.Dst])
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			got := rl.Neighbors(newOf[u])
+			if len(got) != len(want) {
+				t.Fatalf("directed=%v: vertex %d degree changed: %v vs %v", directed, u, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("directed=%v: vertex %d adjacency mismatch: %v vs %v", directed, u, got, want)
+				}
+			}
+		}
+		// Hubs first: new ID 0 must hold the maximum total degree.
+		if directed {
+			g.EnsureIn()
+			rl.EnsureIn()
+		}
+		maxDeg := 0
+		for v := 0; v < g.N(); v++ {
+			if d := g.TotalDegree(VertexID(v)); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		if rl.TotalDegree(0) != maxDeg {
+			t.Fatalf("directed=%v: new vertex 0 degree %d, want max %d", directed, rl.TotalDegree(0), maxDeg)
+		}
+	}
+}

@@ -18,6 +18,14 @@ import (
 // Stats, as they would on a real cluster; Stats.Recovery itemizes the
 // recovery cost.
 //
+// With Config.FullSnapshotEvery > 1 the engine additionally implements
+// runtime.DeltaPolicy: between full snapshots it saves dirty-set delta
+// frames covering only the vertices that computed, received mail, or
+// were reactivated since the previous frame. Recovery then rebuilds a
+// generation by restoring the newest readable full frame and applying
+// its delta chain in order; a corrupt frame anywhere in a chain
+// invalidates every frame above it (see runtime.Checkpoints).
+//
 // Vertex values and messages are copied shallowly; programs whose V
 // carries reference types (slices, maps) must implement ValueCloner to
 // deep-copy them, or recovery would alias live state.
@@ -49,6 +57,13 @@ type checkpoint[V, M any] struct {
 	globals     map[string]any
 	aggCurrent  map[string]any
 	masterState any
+	// Delta frames (SnapshotDelta): ids lists the dirty vertices in
+	// ascending order, and values/halted/inbox/rawRecv are indexed by
+	// position in ids instead of by VertexID; adj holds the overrides
+	// of dirty mutated vertices. The tiny whole-run state — globals,
+	// aggregators, master state — is always carried in full.
+	delta bool
+	ids   []VertexID
 }
 
 func (e *Engine[V, M]) cloneValues(src []V) []V {
@@ -87,7 +102,113 @@ func (e *Engine[V, M]) Snapshot() *checkpoint[V, M] {
 	if s, ok := e.prog.(Snapshotter); ok {
 		ck.masterState = s.Snapshot()
 	}
+	e.clearDirty()
 	return ck
+}
+
+// SnapshotDelta implements runtime.DeltaPolicy: it deep-copies only
+// the vertices dirtied since the previous frame — computed, mailed, or
+// reactivated — plus the full (small) globals/aggregator/master state,
+// and resets the dirty tracking so the next frame patches this one.
+func (e *Engine[V, M]) SnapshotDelta() *checkpoint[V, M] {
+	var ids []VertexID
+	for v, d := range e.dirty {
+		if d {
+			ids = append(ids, VertexID(v))
+			e.dirty[v] = false
+		}
+	}
+	ck := &checkpoint[V, M]{
+		delta:      true,
+		ids:        ids,
+		values:     rt.CloneValuesAt(e.prog, e.values, ids),
+		halted:     make([]bool, len(ids)),
+		inbox:      make([][]M, len(ids)),
+		rawRecv:    make([]int64, len(ids)),
+		adj:        make(map[VertexID][]graph.Edge),
+		globals:    make(map[string]any, len(e.globals)),
+		aggCurrent: make(map[string]any, len(e.aggCurrent)),
+	}
+	for i, id := range ids {
+		ck.halted[i] = e.halted[id]
+		ck.inbox[i] = append([]M(nil), e.mbox.Inbox(id)...)
+		ck.rawRecv[i] = e.mbox.RawCount(id)
+		if e.mutated[id] {
+			ck.adj[id] = append([]graph.Edge(nil), e.adj[id]...)
+		}
+	}
+	for k, v := range e.globals {
+		ck.globals[k] = v
+	}
+	for k, v := range e.aggCurrent {
+		ck.aggCurrent[k] = v
+	}
+	if s, ok := e.prog.(Snapshotter); ok {
+		ck.masterState = s.Snapshot()
+	}
+	return ck
+}
+
+// RestoreDelta implements runtime.DeltaPolicy: it patches the dirty
+// vertices of one delta frame onto the state already rebuilt from the
+// chain so far. Adjacency overrides only accumulate between frames
+// (mutated never clears mid-run), so applying them additively is exact.
+func (e *Engine[V, M]) RestoreDelta(ck *checkpoint[V, M]) {
+	if cloner, ok := e.prog.(rt.ValueCloner[V]); ok {
+		for i, id := range ck.ids {
+			e.values[id] = cloner.CloneValue(ck.values[i])
+		}
+	} else {
+		for i, id := range ck.ids {
+			e.values[id] = ck.values[i]
+		}
+	}
+	for i, id := range ck.ids {
+		e.halted[id] = ck.halted[i]
+		e.mbox.LoadVertex(id, ck.inbox[i], ck.rawRecv[i])
+	}
+	for v, a := range ck.adj {
+		e.adj[v] = append([]graph.Edge(nil), a...)
+		e.mutated[v] = true
+	}
+	e.globals = make(map[string]any, len(ck.globals))
+	for k, v := range ck.globals {
+		e.globals[k] = v
+	}
+	for k, v := range ck.aggCurrent {
+		e.aggCurrent[k] = v
+	}
+	if s, hasState := e.prog.(Snapshotter); hasState {
+		s.Restore(ck.masterState)
+	}
+	e.rebuildWorklists()
+}
+
+// FrameBytes implements runtime.SnapshotSizer: a deterministic
+// resident-byte estimate of a frame (full or delta) — element sizes
+// times element counts. Boxed master/global/aggregator values are
+// opaque and charged a flat per-entry cost on both frame kinds.
+func (e *Engine[V, M]) FrameBytes(ck *checkpoint[V, M]) int64 {
+	b := int64(len(ck.values))*rt.SizeOf[V]() +
+		int64(len(ck.halted)) +
+		int64(len(ck.rawRecv))*8 +
+		int64(len(ck.ids))*rt.SizeOf[VertexID]()
+	szM := rt.SizeOf[M]()
+	for _, in := range ck.inbox {
+		b += int64(len(in)) * szM
+	}
+	szE := rt.SizeOf[graph.Edge]()
+	for _, a := range ck.adj {
+		b += rt.MapEntryBytes + int64(len(a))*szE
+	}
+	b += int64(len(ck.globals)+len(ck.aggCurrent)) * rt.MapEntryBytes
+	return b
+}
+
+func (e *Engine[V, M]) clearDirty() {
+	for v := range e.dirty {
+		e.dirty[v] = false
+	}
 }
 
 // Restore implements runtime.Policy: it rolls the engine back to a
@@ -112,6 +233,7 @@ func (e *Engine[V, M]) Restore(ck *checkpoint[V, M], step int, ok bool) {
 		if s, hasState := e.prog.(Snapshotter); hasState {
 			s.Restore(nil)
 		}
+		e.clearDirty()
 		e.rebuildWorklists()
 		return
 	}
@@ -135,6 +257,7 @@ func (e *Engine[V, M]) Restore(ck *checkpoint[V, M], step int, ok bool) {
 	if s, hasState := e.prog.(Snapshotter); hasState {
 		s.Restore(ck.masterState)
 	}
+	e.clearDirty()
 	e.rebuildWorklists()
 }
 

@@ -101,6 +101,11 @@ type Config[M any] struct {
 	// state every k supersteps (Pregel fault tolerance; see
 	// checkpoint.go for the deep-copy contract).
 	CheckpointEvery int
+	// FullSnapshotEvery, when > 1, stores only every Nth checkpoint as
+	// a full snapshot; the saves in between are dirty-set delta frames
+	// covering just the vertices that computed, received mail, or
+	// mutated adjacency since the previous frame (see checkpoint.go).
+	FullSnapshotEvery int
 	// Faults, when non-nil, schedules deterministic fault injection
 	// for the run: worker crashes at barriers, dropped/duplicated
 	// mailbox lanes, and corrupted checkpoints, all reproducible from
@@ -164,11 +169,17 @@ type Engine[V, M any] struct {
 	values   []V
 	pristine []V // Init-time copy for checkpoint-free restarts (faults only)
 	halted   []bool
-	csr      *graph.CSR     // pinned immutable adjacency snapshot, the hot-loop view
-	adj      [][]graph.Edge // per-vertex materialized/mutated out-edges; nil = read the CSR
-	mutated  []bool         // adj[v] diverges from the snapshot (SetOutEdges)
-	inadj    [][]graph.Edge // per-vertex lazily materialized in-edges (CSR transpose)
-	deg      []int          // original total degree, for BPPA ratios
+	// dirty marks vertices whose engine-visible state may have changed
+	// since the last checkpoint frame: computed vertices (value, halt
+	// flag, inbox reset, adjacency mutation), mail receivers (inbox,
+	// raw count), and master reactivations. Snapshot/SnapshotDelta
+	// clear it; delta frames carry exactly this set.
+	dirty   []bool
+	csr     *graph.CSR     // pinned immutable adjacency snapshot, the hot-loop view
+	adj     [][]graph.Edge // per-vertex materialized/mutated out-edges; nil = read the CSR
+	mutated []bool         // adj[v] diverges from the snapshot (SetOutEdges)
+	inadj   [][]graph.Edge // per-vertex lazily materialized in-edges (CSR transpose)
+	deg     []int          // original total degree, for BPPA ratios
 
 	ownerOf []int32      // vertex -> worker
 	verts   [][]VertexID // worker -> owned vertices
@@ -248,6 +259,7 @@ func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[M]) *Eng
 		cfg:     cfg,
 		values:  make([]V, n),
 		halted:  make([]bool, n),
+		dirty:   make([]bool, n),
 		csr:     csr,
 		adj:     make([][]graph.Edge, n),
 		mutated: make([]bool, n),
@@ -304,7 +316,14 @@ func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[M]) *Eng
 	e.onMail = make([]func(VertexID), cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		e.ctxs[w] = Context[V, M]{engine: e, worker: w}
-		e.onMail[w] = func(v VertexID) { e.wl.Add(w, v) }
+		// Delivery marks receivers dirty: the hook fires exactly once per
+		// vertex receiving mail in a superstep (rawRecv is zero at the
+		// first deposit — computed vertices reset theirs), and worker w
+		// only touches vertices it owns, so the write is race-free.
+		e.onMail[w] = func(v VertexID) {
+			e.dirty[v] = true
+			e.wl.Add(w, v)
+		}
 	}
 	e.aggPartials = make([]map[string]any, cfg.Workers)
 	for w := range e.aggPartials {
@@ -382,16 +401,17 @@ func (e *Engine[V, M]) Run() (*Result[V], error) {
 	e.wl.FillAll(e.verts)
 
 	e.driver = rt.NewDriver[*checkpoint[V, M]](e, e.stats, rt.DriverConfig{
-		Name:            "pregel",
-		Workers:         e.cfg.Workers,
-		MaxSteps:        e.cfg.MaxSupersteps,
-		CapErr:          ErrSuperstepCap,
-		CheckpointEvery: e.cfg.CheckpointEvery,
-		Faults:          e.cfg.Faults,
-		Ctx:             e.cfg.Ctx,
-		Pool:            e.cfg.Pool,
-		Job:             e.cfg.Job,
-		Replan:          e.cfg.Replan,
+		Name:              "pregel",
+		Workers:           e.cfg.Workers,
+		MaxSteps:          e.cfg.MaxSupersteps,
+		CapErr:            ErrSuperstepCap,
+		CheckpointEvery:   e.cfg.CheckpointEvery,
+		FullSnapshotEvery: e.cfg.FullSnapshotEvery,
+		Faults:            e.cfg.Faults,
+		Ctx:               e.cfg.Ctx,
+		Pool:              e.cfg.Pool,
+		Job:               e.cfg.Job,
+		Replan:            e.cfg.Replan,
 	})
 	steps, err := e.driver.Run()
 	e.driver = nil
@@ -418,8 +438,13 @@ func (e *Engine[V, M]) BeforeSuperstep(step, pending int) (halt bool) {
 		}
 	}
 	if e.activateAll {
+		// Reactivation flips halt flags outside any compute phase; the
+		// formerly-halted vertices must reach the next delta frame.
 		for v := range e.halted {
-			e.halted[v] = false
+			if e.halted[v] {
+				e.halted[v] = false
+				e.dirty[v] = true
+			}
 		}
 		e.wl.FillAll(e.verts)
 	}
@@ -481,6 +506,7 @@ func (e *Engine[V, M]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) 
 			if e.halted[v] && raw == 0 && step > 0 {
 				continue
 			}
+			e.dirty[v] = true
 			if raw > 0 {
 				e.halted[v] = false
 			}

@@ -92,6 +92,34 @@ type RollbackWeigher interface {
 	RedoneUnits(resumed, failed int) int
 }
 
+// DeltaPolicy is an optional Policy extension enabling delta
+// checkpoints. SnapshotDelta deep-copies only the state dirtied since
+// the previous snapshot (full or delta) into a patch frame; both
+// Snapshot and SnapshotDelta reset the policy's dirty tracking, so each
+// frame patches exactly the one before it. RestoreDelta applies a patch
+// on top of already-restored state: the driver rebuilds a generation by
+// calling Restore with the chain's base full frame, then RestoreDelta
+// for each dependent delta frame in save order.
+//
+// The driver only takes delta snapshots between full ones
+// (DriverConfig.FullSnapshotEvery) and forces the save after any
+// rollback to be full — a restore rewrites state wholesale, so the
+// dirty set no longer describes a patch against any stored frame.
+type DeltaPolicy[S any] interface {
+	SnapshotDelta() S
+	RestoreDelta(patch S)
+}
+
+// SnapshotSizer is an optional Policy extension reporting the estimated
+// resident bytes of a checkpoint frame (full or delta), feeding
+// Recovery.CheckpointBytesFull/Delta. Estimates must be deterministic —
+// they are benchmarked ratios, not allocator truth; opaque
+// program-private state may be excluded as long as full and delta
+// frames exclude it alike.
+type SnapshotSizer[S any] interface {
+	FrameBytes(snap S) int64
+}
+
 // DriverConfig parameterizes a Driver run.
 type DriverConfig struct {
 	// Name prefixes the cap error ("pregel: superstep cap reached ...").
@@ -104,6 +132,12 @@ type DriverConfig struct {
 	CapErr error
 	// CheckpointEvery > 0 snapshots the barrier state every k steps.
 	CheckpointEvery int
+	// FullSnapshotEvery > 1 stores only every Nth checkpoint as a full
+	// snapshot when the policy implements DeltaPolicy; the saves in
+	// between are dirty-set delta frames patching the previous one.
+	// 0 (or 1, or a policy without delta support) keeps every
+	// checkpoint full — the legacy behavior.
+	FullSnapshotEvery int
 	// Faults schedules deterministic fault injection (nil = none).
 	Faults *FaultPlan
 	// EpochSaves selects the async engine's checkpoint ordering: the
@@ -152,6 +186,11 @@ type Driver[S any] struct {
 	cks   Checkpoints[ckFrame[S]]
 	lost  bool
 	step  int
+	// sinceFull counts delta frames saved since the last full one;
+	// forceFull pins the next save to a full frame after a rollback
+	// (the dirty set no longer patches any stored frame).
+	sinceFull int
+	forceFull bool
 	// scratch holds the superstep being measured; a field rather than a
 	// local so passing its address through the Policy interface does not
 	// heap-allocate a struct per superstep.
@@ -362,28 +401,64 @@ func (d *Driver[S]) record(ss bsp.SuperstepStats) {
 	}
 }
 
-// save checkpoints the barrier state entering step. A scheduled
-// FaultCorruptCheckpoint damages the snapshot silently; the store only
-// discovers it when a recovery reads the generation back.
+// save checkpoints the barrier state entering step — a full snapshot,
+// or a dirty-set delta against the previous frame when the policy
+// supports deltas and the chain is not due for a full one. A scheduled
+// FaultCorruptCheckpoint damages the frame silently; the store only
+// discovers it when a recovery reads the frame's chain back.
 func (d *Driver[S]) save(step, pending int) {
-	d.cks.Save(step, ckFrame[S]{snap: d.pol.Snapshot(), pending: pending}, d.inj.CorruptSave(step))
+	dp, deltaCapable := d.pol.(DeltaPolicy[S])
+	full := !deltaCapable || d.cfg.FullSnapshotEvery <= 1 ||
+		d.forceFull || d.cks.Saved() == 0 ||
+		d.sinceFull >= d.cfg.FullSnapshotEvery-1
+	var snap S
+	if full {
+		snap = d.pol.Snapshot()
+		d.sinceFull = 0
+		d.forceFull = false
+	} else {
+		snap = dp.SnapshotDelta()
+		d.sinceFull++
+		d.stats.Recovery.DeltaCheckpointsSaved++
+	}
+	d.cks.Save(step, ckFrame[S]{snap: snap, pending: pending}, full, d.inj.CorruptSave(step))
 	d.stats.Recovery.CheckpointsSaved++
+	if sizer, sized := d.pol.(SnapshotSizer[S]); sized {
+		if b := sizer.FrameBytes(snap); full {
+			d.stats.Recovery.CheckpointBytesFull += b
+		} else {
+			d.stats.Recovery.CheckpointBytesDelta += b
+		}
+	}
 }
 
-// rollback restores the newest readable checkpoint (or a fresh start)
-// and returns the barrier position to resume from.
+// rollback restores the newest reconstructible generation (base full
+// frame plus its delta chain, or a fresh start) and returns the barrier
+// position to resume from.
 func (d *Driver[S]) rollback() (resumed, pending int) {
 	d.stats.Recovery.Rollbacks++
-	frame, step, skipped, ok := d.cks.Recover()
+	chain, step, skipped, invalidated, ok := d.cks.Recover()
 	d.stats.Recovery.CorruptedCheckpoints += skipped
+	d.stats.Recovery.InvalidatedCheckpoints += invalidated
+	d.forceFull = true
 	if !ok {
-		step, frame.pending = 0, 0
+		var zero S
+		d.pol.Restore(zero, 0, false)
+		step, pending = 0, 0
+	} else {
+		d.pol.Restore(chain[0].snap, step, true)
+		if len(chain) > 1 {
+			dp := d.pol.(DeltaPolicy[S]) // delta frames only exist for delta policies
+			for _, f := range chain[1:] {
+				dp.RestoreDelta(f.snap)
+			}
+		}
+		pending = chain[len(chain)-1].pending
 	}
-	d.pol.Restore(frame.snap, step, ok)
 	redone := d.step - step
 	if w, isWeigher := d.pol.(RollbackWeigher); isWeigher {
 		redone = w.RedoneUnits(step, d.step)
 	}
 	d.stats.Recovery.RedoneSupersteps += redone
-	return step, frame.pending
+	return step, pending
 }

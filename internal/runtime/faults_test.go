@@ -98,12 +98,12 @@ func TestNilInjectorIsSafe(t *testing.T) {
 
 func TestCheckpointsCorruptionFallback(t *testing.T) {
 	var cks Checkpoints[string]
-	cks.Save(2, "gen2", false)
-	cks.Save(4, "gen4", true) // written corrupt: silent until read
+	cks.Save(2, "gen2", true, false)
+	cks.Save(4, "gen4", true, true) // written corrupt: silent until read
 
-	state, step, skipped, ok := cks.Recover()
-	if !ok || state != "gen2" || step != 2 || skipped != 1 {
-		t.Fatalf("Recover() = %q, %d, %d, %v; want gen2, 2, 1, true", state, step, skipped, ok)
+	chain, step, skipped, invalidated, ok := cks.Recover()
+	if !ok || len(chain) != 1 || chain[0] != "gen2" || step != 2 || skipped != 1 || invalidated != 0 {
+		t.Fatalf("Recover() = %v, %d, %d, %d, %v; want [gen2], 2, 1, 0, true", chain, step, skipped, invalidated, ok)
 	}
 	if cks.Saved() != 2 {
 		t.Fatalf("Saved() = %d", cks.Saved())
@@ -111,15 +111,15 @@ func TestCheckpointsCorruptionFallback(t *testing.T) {
 
 	// Both generations corrupt: fresh restart.
 	var bad Checkpoints[string]
-	bad.Save(2, "a", true)
-	bad.Save(4, "b", true)
-	if _, _, skipped, ok := bad.Recover(); ok || skipped != 2 {
+	bad.Save(2, "a", true, true)
+	bad.Save(4, "b", true, true)
+	if _, _, skipped, _, ok := bad.Recover(); ok || skipped != 2 {
 		t.Fatalf("corrupt store recovered (skipped=%d ok=%v)", skipped, ok)
 	}
 
 	// Empty store: nothing to recover.
 	var empty Checkpoints[int]
-	if _, _, _, ok := empty.Recover(); ok {
+	if _, _, _, _, ok := empty.Recover(); ok {
 		t.Fatal("empty store recovered")
 	}
 }
@@ -179,5 +179,98 @@ func TestFIFOSnapshotLoad(t *testing.T) {
 	}
 	if _, ok := q.Pop(); ok {
 		t.Fatal("queue not empty after load+pops")
+	}
+}
+
+func TestCheckpointsDeltaChains(t *testing.T) {
+	// Chain reconstruction: the newest generation is full frame 1 plus
+	// deltas 2 and 3, returned base-first for in-order application.
+	var cks Checkpoints[string]
+	cks.Save(1, "f1", true, false)
+	cks.Save(2, "d2", false, false)
+	cks.Save(3, "d3", false, false)
+	chain, step, skipped, invalidated, ok := cks.Recover()
+	if !ok || step != 3 || skipped != 0 || invalidated != 0 {
+		t.Fatalf("Recover() = %v, %d, %d, %d, %v; want chain at 3", chain, step, skipped, invalidated, ok)
+	}
+	if want := []string{"f1", "d2", "d3"}; !reflect.DeepEqual(chain, want) {
+		t.Fatalf("chain = %v, want %v", chain, want)
+	}
+	if cks.Saved() != 3 || cks.DeltaSaved() != 2 {
+		t.Fatalf("Saved/DeltaSaved = %d/%d, want 3/2", cks.Saved(), cks.DeltaSaved())
+	}
+
+	// Corrupt mid-chain delta: counted once, the dependent delta above
+	// it invalidated, recovery falls back to the base full frame.
+	var mid Checkpoints[string]
+	mid.Save(1, "f1", true, false)
+	mid.Save(2, "d2", false, true) // silent damage
+	mid.Save(3, "d3", false, false)
+	chain, step, skipped, invalidated, ok = mid.Recover()
+	if !ok || step != 1 || skipped != 1 || invalidated != 1 {
+		t.Fatalf("mid-chain corruption: Recover() = %v, %d, %d, %d, %v; want fallback to 1 with 1 skipped, 1 invalidated",
+			chain, step, skipped, invalidated, ok)
+	}
+	if want := []string{"f1"}; !reflect.DeepEqual(chain, want) {
+		t.Fatalf("fallback chain = %v, want %v", chain, want)
+	}
+
+	// Corrupt base full frame: the whole generation collapses — both
+	// dependents invalidated, no readable frame left.
+	var base Checkpoints[string]
+	base.Save(1, "f1", true, true)
+	base.Save(2, "d2", false, false)
+	base.Save(3, "d3", false, false)
+	if _, _, skipped, invalidated, ok := base.Recover(); ok || skipped != 1 || invalidated != 2 {
+		t.Fatalf("corrupt base: skipped=%d invalidated=%d ok=%v; want 1, 2, false", skipped, invalidated, ok)
+	}
+
+	// A second full generation survives the collapse of the newer one.
+	var two Checkpoints[string]
+	two.Save(1, "f1", true, false)
+	two.Save(2, "d2", false, false)
+	two.Save(3, "f3", true, false)
+	two.Save(4, "d4", false, true)
+	two.Save(5, "d5", false, false)
+	chain, step, skipped, invalidated, ok = two.Recover()
+	if !ok || step != 3 || skipped != 1 || invalidated != 1 {
+		t.Fatalf("two generations: Recover() = %v, %d, %d, %d, %v; want fallback to 3", chain, step, skipped, invalidated, ok)
+	}
+	if want := []string{"f3"}; !reflect.DeepEqual(chain, want) {
+		t.Fatalf("fallback chain = %v, want %v", chain, want)
+	}
+}
+
+func TestCheckpointsPruneOnFull(t *testing.T) {
+	// A new full generation retires everything older than the previous
+	// full frame: after fulls at 1, 4, and 7, the store must have
+	// dropped frames 1–3, and recovery after losing generation 7 lands
+	// on the 4-5-6 chain, never on the retired one.
+	var cks Checkpoints[string]
+	cks.Save(1, "f1", true, false)
+	cks.Save(2, "d2", false, false)
+	cks.Save(3, "d3", false, false)
+	cks.Save(4, "f4", true, false)
+	cks.Save(5, "d5", false, false)
+	cks.Save(6, "d6", false, false)
+	cks.Save(7, "f7", true, true) // corrupt: forces fallback across generations
+	if cks.Saved() != 7 || cks.DeltaSaved() != 4 {
+		t.Fatalf("Saved/DeltaSaved = %d/%d, want 7/4", cks.Saved(), cks.DeltaSaved())
+	}
+	chain, step, skipped, invalidated, ok := cks.Recover()
+	if !ok || step != 6 || skipped != 1 || invalidated != 0 {
+		t.Fatalf("Recover() = %v, %d, %d, %d, %v; want chain at 6", chain, step, skipped, invalidated, ok)
+	}
+	if want := []string{"f4", "d5", "d6"}; !reflect.DeepEqual(chain, want) {
+		t.Fatalf("chain = %v, want %v", chain, want)
+	}
+
+	// Headless deltas: if pruning (or damage) leaves deltas with no
+	// readable full base below them, they are invalidated, not applied.
+	var headless Checkpoints[string]
+	headless.Save(2, "d2", false, false)
+	headless.Save(3, "d3", false, false)
+	if _, _, skipped, invalidated, ok := headless.Recover(); ok || skipped != 0 || invalidated != 2 {
+		t.Fatalf("headless deltas: skipped=%d invalidated=%d ok=%v; want 0, 2, false", skipped, invalidated, ok)
 	}
 }

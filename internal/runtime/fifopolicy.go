@@ -50,6 +50,11 @@ type WorklistRunner[V any] struct {
 	PristineQueue []VertexID
 
 	updates int
+	// dirty marks the vertices popped (and therefore possibly
+	// rewritten — Update writes only values[v]) since the last
+	// checkpoint frame; Snapshot, SnapshotDelta, and Restore clear it.
+	// Allocated lazily at the first epoch.
+	dirty []bool
 }
 
 // Updates returns the total number of vertex updates applied.
@@ -96,11 +101,15 @@ func (p *WorklistRunner[V]) RedoneUnits(resumed, failed int) int {
 func (p *WorklistRunner[V]) Superstep(step int, ss *bsp.SuperstepStats) (int, error) {
 	ss.Frontier = int64(p.Queue.Len())
 	ss.Pulled = ChoosePull(DirectionAuto, true, p.Queue.Len(), p.N, 0)
+	if p.dirty == nil {
+		p.dirty = make([]bool, p.N)
+	}
 	for i := 0; i < p.EpochLen; i++ {
 		v, ok := p.Queue.Pop()
 		if !ok {
 			break
 		}
+		p.dirty[v] = true
 		if p.updates >= p.MaxUpdates {
 			return p.Queue.Len(), fmt.Errorf("%s: %w (cap %d)", p.Name, p.CapErr, p.MaxUpdates)
 		}
@@ -118,6 +127,7 @@ func (p *WorklistRunner[V]) Superstep(step int, ss *bsp.SuperstepStats) (int, er
 // order. The update count is implied by the boundary step
 // (step · EpochLen), so it is not stored.
 func (p *WorklistRunner[V]) Snapshot() *WorklistSnapshot[V] {
+	p.clearDirty()
 	return &WorklistSnapshot[V]{
 		values:    CloneValues[V](p.Prog, *p.Values),
 		queue:     p.Queue.Snapshot(),
@@ -125,10 +135,67 @@ func (p *WorklistRunner[V]) Snapshot() *WorklistSnapshot[V] {
 	}
 }
 
+// SnapshotDelta implements DeltaPolicy: only the values of vertices
+// popped since the previous frame, the complete worklist (small on
+// sparse tails, and required — the queue cannot be patched), and the
+// full program-private state.
+func (p *WorklistRunner[V]) SnapshotDelta() *WorklistSnapshot[V] {
+	var ids []VertexID
+	for v, d := range p.dirty {
+		if d {
+			ids = append(ids, VertexID(v))
+			p.dirty[v] = false
+		}
+	}
+	return &WorklistSnapshot[V]{
+		delta:     true,
+		ids:       ids,
+		values:    CloneValuesAt(p.Prog, *p.Values, ids),
+		queue:     p.Queue.Snapshot(),
+		progState: SnapshotProgState(p.Prog),
+	}
+}
+
+// RestoreDelta implements DeltaPolicy: patch the popped vertices'
+// values onto the chain state and replace the worklist wholesale (each
+// frame carries it complete). The update count was already set by the
+// base Restore from the chain's final step.
+func (p *WorklistRunner[V]) RestoreDelta(snap *WorklistSnapshot[V]) {
+	vals := *p.Values
+	if cloner, ok := p.Prog.(ValueCloner[V]); ok {
+		for i, id := range snap.ids {
+			vals[id] = cloner.CloneValue(snap.values[i])
+		}
+	} else {
+		for i, id := range snap.ids {
+			vals[id] = snap.values[i]
+		}
+	}
+	p.Queue.Load(snap.queue)
+	RestoreProgState(p.Prog, snap.progState)
+}
+
+// FrameBytes implements SnapshotSizer: a deterministic resident-byte
+// estimate of a frame (full or delta); program-private state is opaque
+// and excluded on both frame kinds alike.
+func (p *WorklistRunner[V]) FrameBytes(snap *WorklistSnapshot[V]) int64 {
+	szID := SizeOf[VertexID]()
+	return int64(len(snap.values))*SizeOf[V]() +
+		int64(len(snap.ids))*szID +
+		int64(len(snap.queue))*szID
+}
+
+func (p *WorklistRunner[V]) clearDirty() {
+	for v := range p.dirty {
+		p.dirty[v] = false
+	}
+}
+
 // Restore implements Policy: a readable checkpoint restores its values
 // and worklist; a checkpoint-free rollback replays the pristine seed
 // state captured before the run.
 func (p *WorklistRunner[V]) Restore(snap *WorklistSnapshot[V], step int, ok bool) {
+	p.clearDirty()
 	if ok {
 		*p.Values = CloneValues[V](p.Prog, snap.values)
 		p.Queue.Load(snap.queue)
@@ -151,9 +218,14 @@ func (p *WorklistRunner[V]) Restore(snap *WorklistSnapshot[V], step int, ok bool
 
 // WorklistSnapshot is one checkpoint generation of a worklist run: the
 // values and the worklist (in arrival order) at an epoch boundary,
-// plus any program-private state (StateSnapshotter).
+// plus any program-private state (StateSnapshotter). A delta frame
+// (SnapshotDelta) sets delta and indexes values by position in ids;
+// the queue is always complete.
 type WorklistSnapshot[V any] struct {
 	values    []V
 	queue     []VertexID
 	progState any
+
+	delta bool
+	ids   []VertexID
 }

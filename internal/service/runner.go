@@ -114,6 +114,18 @@ func validEngines(algo string) []string {
 	return names
 }
 
+// withDefaults folds the server-level checkpoint cadence defaults
+// (Options) into unset spec fields, then the per-field fallbacks.
+func (s *Server) withDefaults(spec JobSpec) JobSpec {
+	if spec.Checkpoint == 0 && spec.CheckpointEvery == 0 {
+		spec.Checkpoint = s.opts.DefaultCheckpointEvery
+	}
+	if spec.FullSnapshot == 0 {
+		spec.FullSnapshot = s.opts.DefaultFullSnapshotEvery
+	}
+	return withDefaults(spec)
+}
+
 func withDefaults(spec JobSpec) JobSpec {
 	if spec.Incremental && spec.Engine == "" {
 		spec.Engine = "inc"
@@ -132,6 +144,9 @@ func withDefaults(spec JobSpec) JobSpec {
 	}
 	if spec.Eps == 0 {
 		spec.Eps = 1e-9
+	}
+	if spec.Checkpoint == 0 {
+		spec.Checkpoint = spec.CheckpointEvery
 	}
 	if spec.Faults != 0 && spec.Checkpoint == 0 {
 		spec.Checkpoint = 2
@@ -202,10 +217,11 @@ func (s *Server) prepareRunner(g *graph.Graph, spec JobSpec, prior *incPrior, jo
 // in runResult.auto for the status endpoint.
 func (s *Server) prepareAuto(g *graph.Graph, spec JobSpec, job *rt.Job) (func() (*runResult, error), error) {
 	cfg := vc.AutoConfig{Config: vc.Config{
-		Workers:         spec.Workers,
-		CheckpointEvery: spec.Checkpoint,
-		Faults:          faultPlan(spec),
-		Job:             job,
+		Workers:           spec.Workers,
+		CheckpointEvery:   spec.Checkpoint,
+		FullSnapshotEvery: spec.FullSnapshot,
+		Faults:            faultPlan(spec),
+		Job:               job,
 	}}
 	if trace := s.opts.PlanTrace; trace != nil {
 		id := job.ID()
@@ -258,9 +274,10 @@ func prepareInc(g *graph.Graph, spec JobSpec, prior *incPrior, job *rt.Job) (fun
 		return nil, fmt.Errorf("service: incremental %s requires an undirected graph", spec.Algo)
 	}
 	cfg := vc.IncConfig{
-		CheckpointEvery: spec.Checkpoint,
-		Faults:          faultPlan(spec),
-		Job:             job,
+		CheckpointEvery:   spec.Checkpoint,
+		FullSnapshotEvery: spec.FullSnapshot,
+		Faults:            faultPlan(spec),
+		Job:               job,
 	}
 	if prior == nil {
 		prior = &incPrior{}
@@ -310,11 +327,12 @@ func preparePregel(g *graph.Graph, spec JobSpec, job *rt.Job) (func() (*runResul
 		return nil, err
 	}
 	cfg := vc.Config{
-		Mode:            mode,
-		CheckpointEvery: spec.Checkpoint,
-		Faults:          faultPlan(spec),
-		FCS:             spec.FCS,
-		Job:             job,
+		Mode:              mode,
+		CheckpointEvery:   spec.Checkpoint,
+		FullSnapshotEvery: spec.FullSnapshot,
+		Faults:            faultPlan(spec),
+		FCS:               spec.FCS,
+		Job:               job,
 	}
 	switch spec.Algo {
 	case "pagerank":
@@ -367,10 +385,11 @@ func prepareGAS(g *graph.Graph, spec JobSpec, job *rt.Job) (func() (*runResult, 
 		return nil, err
 	}
 	cfg := gas.Config{
-		Mode:            mode,
-		CheckpointEvery: spec.Checkpoint,
-		Faults:          faultPlan(spec),
-		Job:             job,
+		Mode:              mode,
+		CheckpointEvery:   spec.Checkpoint,
+		FullSnapshotEvery: spec.FullSnapshot,
+		Faults:            faultPlan(spec),
+		Job:               job,
 	}
 	switch spec.Algo {
 	case "pagerank":
@@ -406,9 +425,10 @@ func prepareGAS(g *graph.Graph, spec JobSpec, job *rt.Job) (func() (*runResult, 
 
 func prepareAsync(g *graph.Graph, spec JobSpec, job *rt.Job) (func() (*runResult, error), error) {
 	cfg := async.Config{
-		CheckpointEvery: spec.Checkpoint,
-		Faults:          faultPlan(spec),
-		Job:             job,
+		CheckpointEvery:   spec.Checkpoint,
+		FullSnapshotEvery: spec.FullSnapshot,
+		Faults:            faultPlan(spec),
+		Job:               job,
 	}
 	switch spec.Algo {
 	case "pagerank":
@@ -444,9 +464,10 @@ func prepareAsync(g *graph.Graph, spec JobSpec, job *rt.Job) (func() (*runResult
 
 func prepareBlock(g *graph.Graph, spec JobSpec, job *rt.Job) (func() (*runResult, error), error) {
 	cfg := blockcentric.Config{
-		CheckpointEvery: spec.Checkpoint,
-		Faults:          faultPlan(spec),
-		Job:             job,
+		CheckpointEvery:   spec.Checkpoint,
+		FullSnapshotEvery: spec.FullSnapshot,
+		Faults:            faultPlan(spec),
+		Job:               job,
 	}
 	switch spec.Algo {
 	case "pagerank":

@@ -80,9 +80,14 @@ type JobSpec struct {
 	// FCS enables finishing-computations-serially for cc on pregel.
 	FCS int `json:"fcs,omitempty"`
 	// Checkpoint/Faults pass through to the engine's fault tolerance;
-	// Faults seeds a deterministic runtime.FaultPlan.
-	Checkpoint int   `json:"checkpoint,omitempty"`
-	Faults     int64 `json:"faults,omitempty"`
+	// Faults seeds a deterministic runtime.FaultPlan. CheckpointEvery
+	// is a wire alias of Checkpoint (withDefaults folds it in);
+	// FullSnapshot > 1 stores only every Nth checkpoint full, the
+	// generations between as dirty-set deltas (runtime.DeltaPolicy).
+	Checkpoint      int   `json:"checkpoint,omitempty"`
+	CheckpointEvery int   `json:"checkpoint_every,omitempty"`
+	FullSnapshot    int   `json:"full_snapshot_every,omitempty"`
+	Faults          int64 `json:"faults,omitempty"`
 	// TimeoutMS bounds the job's wall time (queue wait included).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
@@ -101,6 +106,13 @@ type Options struct {
 	// longer than this — except graphs with pinned snapshots, which a
 	// running job may still be reading.
 	GraphTTL time.Duration
+	// DefaultCheckpointEvery, when positive, is the checkpoint cadence
+	// applied to jobs that set neither checkpoint nor checkpoint_every.
+	DefaultCheckpointEvery int
+	// DefaultFullSnapshotEvery, when > 1, is the full-snapshot cadence
+	// (delta checkpointing) applied to jobs that leave
+	// full_snapshot_every unset.
+	DefaultFullSnapshotEvery int
 	// PlanTrace, when non-nil, observes every plan decision an
 	// engine-"auto" job takes as it happens — the initial pick at
 	// prepare time and any live handoffs at superstep barriers. The
@@ -347,7 +359,7 @@ func (s *Server) Submit(spec JobSpec) (*rt.Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	spec = withDefaults(spec)
+	spec = s.withDefaults(spec)
 	if err := validateSpec(spec); err != nil {
 		return nil, err
 	}

@@ -236,7 +236,7 @@ func PrepareAutoPageRank(g *graph.Graph, alpha float64, k int, cfg AutoConfig) f
 				Workers: workers, MaxIterations: cfg.MaxSupersteps,
 				Partition: fixedOwner(owner), Snapshot: csr, Replan: hook,
 				Mode: d.Plan.DirectionMode(), PullThreshold: cfg.PullThreshold,
-				CheckpointEvery: cfg.CheckpointEvery, Faults: cfg.Faults,
+				CheckpointEvery: cfg.CheckpointEvery, FullSnapshotEvery: cfg.FullSnapshotEvery, Faults: cfg.Faults,
 				Ctx: cfg.Ctx, Pool: cfg.Pool, Job: cfg.Job,
 			}
 			prog := gas.PageRankFixedK(n, remaining, alpha, seed)
@@ -255,7 +255,7 @@ func PrepareAutoPageRank(g *graph.Graph, alpha float64, k int, cfg AutoConfig) f
 				// The canonical program's fold order matches pregel only
 				// when every share crosses the inbox: pin push.
 				Mode:            runtime.DirectionPush,
-				CheckpointEvery: cfg.CheckpointEvery, Faults: cfg.Faults,
+				CheckpointEvery: cfg.CheckpointEvery, FullSnapshotEvery: cfg.FullSnapshotEvery, Faults: cfg.Faults,
 				Ctx: cfg.Ctx, Pool: cfg.Pool, Job: cfg.Job,
 			}
 			prog := blockcentric.PageRankProgramCanonical(n, remaining, alpha, seed)
@@ -335,7 +335,7 @@ func PrepareAutoHashMinCC(g *graph.Graph, cfg AutoConfig) func() (*CCResult, *Au
 				Workers: workers, MaxIterations: cfg.MaxSupersteps,
 				Partition: fixedOwner(owner), Snapshot: csr, Replan: hook,
 				Mode: d.Plan.DirectionMode(), PullThreshold: cfg.PullThreshold,
-				CheckpointEvery: cfg.CheckpointEvery, Faults: cfg.Faults,
+				CheckpointEvery: cfg.CheckpointEvery, FullSnapshotEvery: cfg.FullSnapshotEvery, Faults: cfg.Faults,
 				Ctx: cfg.Ctx, Pool: cfg.Pool, Job: cfg.Job,
 			}
 			res, err := gas.Prepare[VertexID, VertexID](g, gas.CCProgramSeeded(seed), gcfg)()
@@ -350,7 +350,7 @@ func PrepareAutoHashMinCC(g *graph.Graph, cfg AutoConfig) func() (*CCResult, *Au
 				Blocks: workers, MaxSupersteps: cfg.MaxSupersteps,
 				Partition: fixedOwner(owner), Snapshot: csr, Replan: hook,
 				Mode:            d.Plan.DirectionMode(),
-				CheckpointEvery: cfg.CheckpointEvery, Faults: cfg.Faults,
+				CheckpointEvery: cfg.CheckpointEvery, FullSnapshotEvery: cfg.FullSnapshotEvery, Faults: cfg.Faults,
 				Ctx: cfg.Ctx, Pool: cfg.Pool, Job: cfg.Job,
 			}
 			res, err := blockcentric.NewEngine[VertexID, VertexID](g, blockcentric.CCProgramSeeded(seed), bcfg).Run()
@@ -366,7 +366,7 @@ func PrepareAutoHashMinCC(g *graph.Graph, cfg AutoConfig) func() (*CCResult, *Au
 			}
 			acfg := async.Config{
 				Snapshot: csr, Replan: hook,
-				CheckpointEvery: cfg.CheckpointEvery, Faults: cfg.Faults,
+				CheckpointEvery: cfg.CheckpointEvery, FullSnapshotEvery: cfg.FullSnapshotEvery, Faults: cfg.Faults,
 				Ctx: cfg.Ctx, Pool: cfg.Pool, Job: cfg.Job,
 			}
 			res, err := async.Prepare[VertexID](g, async.CCProgramSeeded(seed), acfg)()
@@ -442,7 +442,7 @@ func PrepareAutoSSSP(g *graph.Graph, src VertexID, cfg AutoConfig) func() (*SSSP
 				Workers: workers, MaxIterations: cfg.MaxSupersteps,
 				Partition: fixedOwner(owner), Snapshot: csr, Replan: hook,
 				Mode: d.Plan.DirectionMode(), PullThreshold: cfg.PullThreshold,
-				CheckpointEvery: cfg.CheckpointEvery, Faults: cfg.Faults,
+				CheckpointEvery: cfg.CheckpointEvery, FullSnapshotEvery: cfg.FullSnapshotEvery, Faults: cfg.Faults,
 				Ctx: cfg.Ctx, Pool: cfg.Pool, Job: cfg.Job,
 			}
 			res, err := gas.Prepare[float64, float64](g, gas.SSSPProgramSeeded(src, seed), gcfg)()
@@ -457,7 +457,7 @@ func PrepareAutoSSSP(g *graph.Graph, src VertexID, cfg AutoConfig) func() (*SSSP
 				Blocks: workers, MaxSupersteps: cfg.MaxSupersteps,
 				Partition: fixedOwner(owner), Snapshot: csr, Replan: hook,
 				Mode:            d.Plan.DirectionMode(),
-				CheckpointEvery: cfg.CheckpointEvery, Faults: cfg.Faults,
+				CheckpointEvery: cfg.CheckpointEvery, FullSnapshotEvery: cfg.FullSnapshotEvery, Faults: cfg.Faults,
 				Ctx: cfg.Ctx, Pool: cfg.Pool, Job: cfg.Job,
 			}
 			res, err := blockcentric.NewEngine[float64, float64](g, blockcentric.SSSPProgramSeeded(src, seed), bcfg).Run()
@@ -487,7 +487,7 @@ func PrepareAutoSSSP(g *graph.Graph, src VertexID, cfg AutoConfig) func() (*SSSP
 			}
 			acfg := async.Config{
 				Snapshot: csr, Replan: hook,
-				CheckpointEvery: cfg.CheckpointEvery, Faults: cfg.Faults,
+				CheckpointEvery: cfg.CheckpointEvery, FullSnapshotEvery: cfg.FullSnapshotEvery, Faults: cfg.Faults,
 				Ctx: cfg.Ctx, Pool: cfg.Pool, Job: cfg.Job,
 			}
 			res, err := async.Prepare[float64](g, async.SSSPProgramSeeded(src, seed), acfg)()

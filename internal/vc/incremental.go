@@ -44,6 +44,11 @@ type IncConfig struct {
 	// CheckpointEvery, when positive, snapshots values + worklist every
 	// k updates and sets the fault-detection epoch length.
 	CheckpointEvery int
+	// FullSnapshotEvery, when > 1, stores only every Nth checkpoint as
+	// a full snapshot; the generations between are dirty-set deltas
+	// covering just the vertices updated since the previous frame
+	// (runtime.DeltaPolicy). 0 or 1 keeps every checkpoint full.
+	FullSnapshotEvery int
 	// Faults schedules deterministic fault injection at epoch
 	// boundaries (crash, drop/dup of the activation batch, checkpoint
 	// corruption), exactly as in the async engine.
@@ -111,16 +116,17 @@ func runIncWorklist[V any](name string, values *[]V, update func(VertexID) []Ver
 		}
 	}
 	d := rt.NewDriver[*rt.WorklistSnapshot[V]](p, stats, rt.DriverConfig{
-		Name:            name,
-		Workers:         1,
-		MaxSteps:        math.MaxInt,
-		CapErr:          bsp.ErrSuperstepCap,
-		CheckpointEvery: cfg.CheckpointEvery,
-		Faults:          cfg.Faults,
-		EpochSaves:      true,
-		Ctx:             cfg.Ctx,
-		Pool:            cfg.Pool,
-		Job:             cfg.Job,
+		Name:              name,
+		Workers:           1,
+		MaxSteps:          math.MaxInt,
+		CapErr:            bsp.ErrSuperstepCap,
+		CheckpointEvery:   cfg.CheckpointEvery,
+		FullSnapshotEvery: cfg.FullSnapshotEvery,
+		Faults:            cfg.Faults,
+		EpochSaves:        true,
+		Ctx:               cfg.Ctx,
+		Pool:              cfg.Pool,
+		Job:               cfg.Job,
 	})
 	_, err := d.Run()
 	return stats, err

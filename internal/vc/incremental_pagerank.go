@@ -77,15 +77,16 @@ func PrepareIncrementalPageRank(g *graph.Graph, alpha float64, k int, prior *Inc
 	p.mark = make([]bool, n)
 	stats := &bsp.Stats{Workers: 1, N: n}
 	d := rt.NewDriver[*incPRSnap](p, stats, rt.DriverConfig{
-		Name:            "vc: incremental pagerank",
-		Workers:         1,
-		MaxSteps:        k + 1,
-		CapErr:          bsp.ErrSuperstepCap,
-		CheckpointEvery: cfg.CheckpointEvery,
-		Faults:          cfg.Faults,
-		Ctx:             cfg.Ctx,
-		Pool:            cfg.Pool,
-		Job:             cfg.Job,
+		Name:              "vc: incremental pagerank",
+		Workers:           1,
+		MaxSteps:          k + 1,
+		CapErr:            bsp.ErrSuperstepCap,
+		CheckpointEvery:   cfg.CheckpointEvery,
+		FullSnapshotEvery: cfg.FullSnapshotEvery,
+		Faults:            cfg.Faults,
+		Ctx:               cfg.Ctx,
+		Pool:              cfg.Pool,
+		Job:               cfg.Job,
 	})
 	return func() (*IncPRState, *bsp.Stats, error) {
 		defer g.UnpinDelta(view)

@@ -48,11 +48,13 @@ type Config struct {
 	// PullThreshold overrides the auto-mode frontier density threshold
 	// (fraction of n; <= 0 means runtime.DefaultPullThreshold).
 	PullThreshold float64
-	// CheckpointEvery/Faults pass through to the engine's fault
-	// tolerance and fault injection (see pregel.Config and
-	// runtime.FaultPlan).
-	CheckpointEvery int
-	Faults          *runtime.FaultPlan
+	// CheckpointEvery/FullSnapshotEvery/Faults pass through to the
+	// engine's fault tolerance and fault injection (see pregel.Config
+	// and runtime.FaultPlan). FullSnapshotEvery > 1 turns the
+	// checkpoints between full snapshots into dirty-set deltas.
+	CheckpointEvery   int
+	FullSnapshotEvery int
+	Faults            *runtime.FaultPlan
 	// Partition picks the vertex-to-worker assignment (nil = hash).
 	Partition pregel.Partitioner
 	// FCS enables finishing-computations-serially with the given
@@ -78,18 +80,19 @@ type Config struct {
 
 func engineCfg[M any](c Config) pregel.Config[M] {
 	return pregel.Config[M]{
-		Workers:         c.Workers,
-		MaxSupersteps:   c.MaxSupersteps,
-		Seed:            c.Seed,
-		CheckpointEvery: c.CheckpointEvery,
-		Faults:          c.Faults,
-		Partition:       c.Partition,
-		FCSThreshold:    c.FCS,
-		Mode:            c.Mode,
-		PullThreshold:   c.PullThreshold,
-		Ctx:             c.Ctx,
-		Pool:            c.Pool,
-		Job:             c.Job,
+		Workers:           c.Workers,
+		MaxSupersteps:     c.MaxSupersteps,
+		Seed:              c.Seed,
+		CheckpointEvery:   c.CheckpointEvery,
+		FullSnapshotEvery: c.FullSnapshotEvery,
+		Faults:            c.Faults,
+		Partition:         c.Partition,
+		FCSThreshold:      c.FCS,
+		Mode:              c.Mode,
+		PullThreshold:     c.PullThreshold,
+		Ctx:               c.Ctx,
+		Pool:              c.Pool,
+		Job:               c.Job,
 	}
 }
 
